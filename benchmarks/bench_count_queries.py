@@ -1,0 +1,55 @@
+"""Experiment: Count queries need outerjoins ([MURA89], introduction).
+
+The introduction lists "processing queries with Count operations" among
+the motivations for outerjoin support: COUNT-per-group must report zero
+for empty groups, which a plain join cannot express.  This bench runs the
+departments/employees counting query both ways and then confirms the
+count query inherits free reorderability (every IT gives the same
+counts), so the optimizer may reorder below the aggregation.
+"""
+
+from repro.algebra import bag_equal, eq
+from repro.algebra.aggregation import group_count
+from repro.core import graph_of, implementing_trees, jn, oj, theorem1_applies
+from repro.datagen import departments_database
+
+
+def test_zero_groups_require_outerjoin(benchmark, report):
+    db = departments_database(n_departments=6, employees_per_department=3, empty_departments=2)
+    p = eq("DEPT.dno", "EMP.dno")
+
+    def both_counts():
+        via_oj = group_count(oj("DEPT", "EMP", p).eval(db), ["DEPT.dno"], "EMP.eno")
+        via_jn = group_count(jn("DEPT", "EMP", p).eval(db), ["DEPT.dno"], "EMP.eno")
+        return via_oj, via_jn
+
+    via_oj, via_jn = benchmark(both_counts)
+    zero_groups = sum(1 for r in via_oj if r["count"] == 0)
+    assert zero_groups == 2
+    assert len(via_oj) == 6 and len(via_jn) == 4
+    report.add("groups via outerjoin", "all 6 (2 at zero)", f"{len(via_oj)} groups, {zero_groups} zeros")
+    report.add("groups via join", "only 4 (zeros lost)", f"{len(via_jn)} groups")
+    report.dump("Count queries: the [MURA89] motivation")
+
+
+def test_count_query_is_freely_reorderable_below_aggregation(benchmark, report):
+    db = departments_database(n_departments=4, empty_departments=1)
+    q = oj("DEPT", "EMP", eq("DEPT.dno", "EMP.dno"))
+    graph = graph_of(q, db.registry)
+    assert theorem1_applies(graph, db.registry).freely_reorderable
+
+    def counts_over_all_trees():
+        reference = None
+        trees = 0
+        for tree in implementing_trees(graph):
+            counts = group_count(tree.eval(db), ["DEPT.dno"], "EMP.eno")
+            if reference is None:
+                reference = counts
+            else:
+                assert bag_equal(counts, reference)
+            trees += 1
+        return trees
+
+    trees = benchmark(counts_over_all_trees)
+    report.add("ITs under the COUNT", "all give the same counts", f"{trees} trees")
+    report.dump("Count queries: reorderable below the aggregation")

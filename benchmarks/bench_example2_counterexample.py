@@ -1,0 +1,69 @@
+"""Experiment: Example 2 — joins and outerjoins do not always associate.
+
+Paper claim: "Despite having the same graph, R1 → (R2 − R3) is not
+equivalent to (R1 → R2) − R3 ... The first expression yields
+{(r1, −, −)}, while the second yields the empty set."
+
+We reproduce the paper's literal one-tuple database, then let the
+brute-force checker find disagreement witnesses over random databases.
+"""
+
+from repro.algebra import Database, NULL, Relation, bag_equal, eq
+from repro.core import brute_force_check, graph_of, is_nice, jn, oj
+from repro.datagen import example2_graph, random_databases
+
+P12 = eq("R1.a", "R2.a")
+P23 = eq("R2.b", "R3.b")
+
+
+def paper_database() -> Database:
+    """r1, r2, r3 with (r2, r3) not satisfying the join predicate."""
+    return Database(
+        {
+            "R1": Relation.from_dicts(["R1.a"], [{"R1.a": 1}]),
+            "R2": Relation.from_dicts(["R2.a", "R2.b"], [{"R2.a": 1, "R2.b": 5}]),
+            "R3": Relation.from_dicts(["R3.b"], [{"R3.b": 6}]),
+        }
+    )
+
+
+def test_example2_literal(benchmark, report):
+    db = paper_database()
+    q1 = oj("R1", jn("R2", "R3", P23), P12)  # R1 → (R2 − R3)
+    q2 = jn(oj("R1", "R2", P12), "R3", P23)  # (R1 → R2) − R3
+
+    r1, r2 = benchmark(lambda: (q1.eval(db), q2.eval(db)))
+    assert graph_of(q1, db.registry) == graph_of(q2, db.registry)
+    assert len(r1) == 1 and next(iter(r1))["R2.a"] is NULL  # {(r1, -, -)}
+    assert len(r2) == 0  # the empty set
+    assert not bag_equal(r1, r2)
+    report.add("graphs", "identical", "identical")
+    report.add("R1→(R2−R3)", "{(r1,-,-)}", f"{len(r1)} row, padded")
+    report.add("(R1→R2)−R3", "empty set", f"{len(r2)} rows")
+    report.dump("Example 2: non-associativity")
+
+
+def test_example2_graph_not_nice(benchmark, report):
+    scenario = example2_graph()
+    nice = benchmark(lambda: is_nice(scenario.graph))
+    assert not nice
+    report.add("graph class", "outside 'nice'", "forbidden pattern X→Y−Z found")
+    report.dump("Example 2: graph classification")
+
+
+def test_example2_brute_force_witness_rate(benchmark, report):
+    """How often does a random database expose the disagreement?"""
+    scenario = example2_graph()
+    dbs = random_databases(scenario.schemas, 50, seed=31)
+
+    def count_witnesses():
+        witnesses = 0
+        for db in dbs:
+            if not brute_force_check(scenario.graph, [db]).consistent:
+                witnesses += 1
+        return witnesses
+
+    witnesses = benchmark(count_witnesses)
+    assert witnesses > 0
+    report.add("witness databases", "> 0 (inequivalent)", f"{witnesses}/50")
+    report.dump("Example 2: randomized witnesses")

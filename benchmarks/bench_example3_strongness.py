@@ -1,0 +1,83 @@
+"""Experiment: Example 3 — non-strong predicates break identity 12.
+
+Paper claim: with A = {(a)}, B = {(b, −)}, C = {(c)}, P_ab = (A.attr1 =
+B.attr1) and P_bc = (B.attr2 = C.attr1 OR B.attr2 IS NULL), the two
+associations of A → B → C differ — "Identity 12 does not extend to
+arbitrary predicates."
+"""
+
+from repro.algebra import NULL, IsNull, Or, Relation, bag_equal, eq
+from repro.core import IDENTITIES, TriSetting
+from repro.datagen import random_databases
+
+PAB = eq("A.attr1", "B.attr1")
+PBC = Or((eq("B.attr2", "C.attr1"), IsNull("B.attr2")))
+
+
+def paper_setting() -> TriSetting:
+    a = Relation.from_dicts(["A.attr1"], [{"A.attr1": "a"}])
+    b = Relation.from_dicts(["B.attr1", "B.attr2"], [{"B.attr1": "b", "B.attr2": NULL}])
+    c = Relation.from_dicts(["C.attr1"], [{"C.attr1": "c"}])
+    return TriSetting(x=a, y=b, z=c, pxy=PAB, pyz=PBC)
+
+
+def test_example3_literal(benchmark, report):
+    setting = paper_setting()
+    identity = IDENTITIES["12"]
+
+    lhs, rhs = benchmark(lambda: (identity.lhs(setting), identity.rhs(setting)))
+    assert not identity.precondition(setting)  # P_bc is not strong w.r.t. B
+    assert not bag_equal(lhs, rhs)
+    # (A→B)→C: A→B pads B (a≠b), the IS NULL disjunct matches C.
+    lhs_row = next(iter(lhs))
+    assert lhs_row["B.attr1"] is NULL and lhs_row["C.attr1"] == "c"
+    # A→(B→C): P_ab fails, so everything right of A is padded.
+    rhs_row = next(iter(rhs))
+    assert rhs_row["C.attr1"] is NULL
+    report.add("P_bc strong wrt B", "no", "no (abstract evaluation)")
+    report.add("(A→B)→C", "{(a,-,-,c)}", repr(dict(lhs_row)))
+    report.add("A→(B→C)", "{(a,-,-,-)}", repr(dict(rhs_row)))
+    report.dump("Example 3: literal counterexample")
+
+
+def test_example3_failure_rate_on_random_data(benchmark, report):
+    """With the weak predicate, how often does identity 12 break?"""
+    schemas = {"A": ["A.attr1"], "B": ["B.attr1", "B.attr2"], "C": ["C.attr1"]}
+    dbs = random_databases(schemas, 80, seed=17, domain=3)
+    identity = IDENTITIES["12"]
+
+    def count_failures():
+        failures = 0
+        for db in dbs:
+            setting = TriSetting(x=db["A"], y=db["B"], z=db["C"], pxy=PAB, pyz=PBC)
+            ok, _diff = identity.check(setting)
+            if not ok:
+                failures += 1
+        return failures
+
+    failures = benchmark(count_failures)
+    assert failures > 0
+    report.add("identity-12 failures (weak P_bc)", "> 0", f"{failures}/80 databases")
+    report.dump("Example 3: randomized failure rate")
+
+
+def test_strong_predicate_restores_identity(benchmark, report):
+    """Control: the same sweep with a strong P_bc never fails."""
+    schemas = {"A": ["A.attr1"], "B": ["B.attr1", "B.attr2"], "C": ["C.attr1"]}
+    dbs = random_databases(schemas, 80, seed=18, domain=3)
+    strong_pbc = eq("B.attr2", "C.attr1")
+    identity = IDENTITIES["12"]
+
+    def count_failures():
+        failures = 0
+        for db in dbs:
+            setting = TriSetting(x=db["A"], y=db["B"], z=db["C"], pxy=PAB, pyz=strong_pbc)
+            ok, _diff = identity.check(setting)
+            if not ok:
+                failures += 1
+        return failures
+
+    failures = benchmark(count_failures)
+    assert failures == 0
+    report.add("identity-12 failures (strong P_bc)", "0", f"{failures}/80 databases")
+    report.dump("Example 3: strong-predicate control")

@@ -1,0 +1,58 @@
+"""Experiment: Figure 1 — query graph vs implementing trees.
+
+Paper claims around Figure 1: the two representations carry different
+information; "ITs correspond only to connectivity-preserving
+parenthesizations, i.e., joins without graph edges (i.e., Cartesian
+products) are excluded"; and "a reassociation joining R and T is
+disallowed" for the pictured graph.
+"""
+
+from repro.core import (
+    Join,
+    count_implementing_trees,
+    graph_of,
+    implementing_trees,
+)
+from repro.datagen import figure1_graph
+
+
+def test_fig1_enumeration(benchmark, report):
+    scenario = figure1_graph()
+    trees = benchmark(lambda: list(implementing_trees(scenario.graph)))
+    assert len(trees) == count_implementing_trees(scenario.graph)
+    report.add("distinct ITs of R-S-T-U", "many (graph abstracts them)", str(len(trees)))
+    report.dump("Figure 1: implementing trees")
+
+
+def test_fig1_no_rt_reassociation(benchmark, report):
+    """No IT ever joins the subtrees {R} and {T} directly."""
+    scenario = figure1_graph()
+
+    def violating_trees():
+        bad = 0
+        for tree in implementing_trees(scenario.graph):
+            for _path, node in tree.nodes():
+                if isinstance(node, Join):
+                    sides = {frozenset(node.left.relations()), frozenset(node.right.relations())}
+                    if sides == {frozenset({"R"}), frozenset({"T"})}:
+                        bad += 1
+        return bad
+
+    bad = benchmark(violating_trees)
+    assert bad == 0
+    report.add("trees joining R with T", "0 (disallowed)", str(bad))
+    report.dump("Figure 1: R-T reassociation excluded")
+
+
+def test_fig1_trees_round_trip_to_graph(benchmark, report):
+    """Every IT maps back to the one graph: graph(Q) loses only order."""
+    scenario = figure1_graph()
+    reg = scenario.registry
+    trees = list(implementing_trees(scenario.graph))
+
+    def round_trip():
+        return all(graph_of(t, reg) == scenario.graph for t in trees)
+
+    assert benchmark(round_trip)
+    report.add("graph(IT) == G for all ITs", "yes (definition)", "yes")
+    report.dump("Figure 1: representation round trip")

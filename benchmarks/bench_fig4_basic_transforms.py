@@ -1,0 +1,79 @@
+"""Experiment: Figure 4 — reversal and reassociation on implementing trees.
+
+Paper content: Figure 4 illustrates the two basic transforms on the IT of
+Figure 1.  We measure: every BT preserves graph(Q); the BT graph over the
+IT space is connected (Lemma 3); and BFS path lengths between random tree
+pairs stay small.
+"""
+
+from repro.core import (
+    applicable_transforms,
+    apply_transform,
+    bt_closure,
+    bt_path,
+    canonicalize,
+    count_implementing_trees,
+    graph_of,
+    implementing_trees,
+    sample_implementing_tree,
+)
+from repro.datagen import figure1_graph
+from repro.util.rng import make_rng
+
+
+def test_fig4_bts_preserve_graph(benchmark, report):
+    scenario = figure1_graph()
+    reg = scenario.registry
+    trees = list(implementing_trees(scenario.graph))
+
+    def apply_all():
+        applied = 0
+        for tree in trees[:40]:
+            for t in applicable_transforms(tree, reg):
+                out = apply_transform(tree, t, reg)
+                assert graph_of(out, reg) == scenario.graph
+                applied += 1
+        return applied
+
+    applied = benchmark(apply_all)
+    report.add("BT applications checked", "graph invariant", str(applied))
+    report.dump("Figure 4: graph preservation")
+
+
+def test_fig4_closure_connects_the_it_space(benchmark, report):
+    scenario = figure1_graph()
+    reg = scenario.registry
+    seed_tree = canonicalize(next(implementing_trees(scenario.graph)))
+
+    closure = benchmark.pedantic(
+        lambda: bt_closure(seed_tree, reg), rounds=1, iterations=1
+    )
+    total = count_implementing_trees(scenario.graph)
+    assert len(closure) == total
+    report.add("closure size", "= #ITs (Lemma 3)", f"{len(closure)} == {total}")
+    report.dump("Figure 4: closure connectivity")
+
+
+def test_fig4_bt_path_lengths(benchmark, report):
+    scenario = figure1_graph()
+    reg = scenario.registry
+    rng = make_rng(44)
+    pairs = [
+        (
+            canonicalize(sample_implementing_tree(scenario.graph, rng)),
+            canonicalize(sample_implementing_tree(scenario.graph, rng)),
+        )
+        for _ in range(8)
+    ]
+
+    def longest_path():
+        longest = 0
+        for a, b in pairs:
+            path = bt_path(a, b, reg)
+            assert path is not None
+            longest = max(longest, len(path))
+        return longest
+
+    longest = benchmark.pedantic(longest_path, rounds=1, iterations=1)
+    report.add("max BT path (8 random pairs)", "finite sequence", str(longest))
+    report.dump("Figure 4: BT path lengths")

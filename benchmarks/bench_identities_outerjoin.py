@@ -1,0 +1,82 @@
+"""Experiment: identities 11-13 (Section 2.3) — outerjoin reassociation.
+
+Paper claim: the three "three operand" reassociation rules hold, identity
+12 only under P_yz strong w.r.t. Y; "the analysis of whether join
+predicates must be strong appears to be new".  We sweep all three over
+randomized databases, confirm 12's precondition is necessary, and confirm
+the asymmetry: strongness w.r.t. Z (the null-supplied side) does NOT
+rescue identity 12 — the reproduction's witness that Section 1.3's
+"preserved relation" phrasing (not Lemma 2's "null-supplied") is the
+operative condition.
+"""
+
+import pytest
+
+from repro.algebra import And, Comparison, Const, IsNull, Or, eq
+from repro.core import IDENTITIES, TriSetting
+from repro.datagen import random_databases
+
+SCHEMAS = {"X": ["X.a", "X.b"], "Y": ["Y.a", "Y.b"], "Z": ["Z.a", "Z.b"]}
+PXY = eq("X.a", "Y.a")
+PYZ = eq("Y.b", "Z.b")
+WEAK_PYZ = Or((eq("Y.b", "Z.b"), IsNull("Y.b")))
+#: Strong w.r.t. Z.b (null-supplied), NOT w.r.t. Y.b (preserved side).
+Z_ONLY_STRONG = Or(
+    (eq("Y.b", "Z.b"), And((Comparison("Z.b", "=", Const(2)), IsNull("Y.b"))))
+)
+
+
+def _sweep(number, dbs, pyz=PYZ):
+    identity = IDENTITIES[number]
+    failures = 0
+    for db in dbs:
+        setting = TriSetting(x=db["X"], y=db["Y"], z=db["Z"], pxy=PXY, pyz=pyz)
+        ok, _ = identity.check(setting)
+        if not ok:
+            failures += 1
+    return failures
+
+
+@pytest.mark.parametrize("number", ["11", "12", "13"])
+def test_reassociation_identity(benchmark, report, number):
+    dbs = random_databases(SCHEMAS, 50, seed=int(number) * 11)
+    failures = benchmark(lambda: _sweep(number, dbs))
+    assert failures == 0
+    report.add(f"identity {number}", "holds", "0/50 failures")
+    report.dump(f"Identity {number}: {IDENTITIES[number].title}")
+
+
+def test_identity12_needs_strongness(benchmark, report):
+    dbs = random_databases(SCHEMAS, 60, seed=555)
+    failures = benchmark(lambda: _sweep("12", dbs, pyz=WEAK_PYZ))
+    assert failures > 0
+    report.add("identity 12, weak P_yz", "fails (Example 3)", f"{failures}/60 failures")
+    report.dump("Identity 12: strongness necessity")
+
+
+def test_identity12_null_supplied_strongness_insufficient(benchmark, report):
+    """The erratum witness: P_yz strong w.r.t. Z alone is not enough."""
+    assert Z_ONLY_STRONG.is_strong(["Z.b"])
+    assert not Z_ONLY_STRONG.is_strong(["Y.b"])
+    dbs = random_databases(SCHEMAS, 80, seed=556, domain=4)
+    failures = benchmark(lambda: _sweep("12", dbs, pyz=Z_ONLY_STRONG))
+    assert failures > 0
+    report.add(
+        "identity 12, Z-only-strong P_yz",
+        "must fail (Sec 1.3 phrasing operative)",
+        f"{failures}/80 failures",
+    )
+    report.dump("Identity 12: the preserved-vs-null-supplied erratum")
+
+
+def test_identities_11_13_need_no_strongness(benchmark, report):
+    """11 and 13 survive even the weak predicate — no precondition."""
+    dbs = random_databases(SCHEMAS, 50, seed=557)
+
+    def sweep_both():
+        return _sweep("11", dbs, pyz=WEAK_PYZ) + _sweep("13", dbs, pyz=WEAK_PYZ)
+
+    failures = benchmark(sweep_both)
+    assert failures == 0
+    report.add("identities 11/13, weak P_yz", "still hold", "0/100 failures")
+    report.dump("Identities 11, 13: unconditional")

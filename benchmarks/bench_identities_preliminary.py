@@ -1,0 +1,61 @@
+"""Experiment: identities 1-10 (Section 2.2) over randomized databases.
+
+Paper claim: the associativity identities (1-3), distributivity identities
+(4-7), strong-predicate identities (8, 9), and the outerjoin expansion
+(10) hold for all ground-relation values; 8 and 9 require P_yz strong
+w.r.t. Y.
+"""
+
+import pytest
+
+from repro.algebra import IsNull, Or, eq
+from repro.core import IDENTITIES, TriSetting
+from repro.datagen import random_databases
+
+SCHEMAS = {"X": ["X.a", "X.b"], "Y": ["Y.a", "Y.b"], "Z": ["Z.a", "Z.b"]}
+PXY = eq("X.a", "Y.a")
+PYZ = eq("Y.b", "Z.b")
+PXZ = eq("X.b", "Z.a")
+WEAK_PYZ = Or((eq("Y.b", "Z.b"), IsNull("Y.b")))
+
+
+def _sweep(number, dbs, pyz=PYZ, pxz=None):
+    identity = IDENTITIES[number]
+    failures = 0
+    for db in dbs:
+        setting = TriSetting(x=db["X"], y=db["Y"], z=db["Z"], pxy=PXY, pyz=pyz, pxz=pxz)
+        ok, _ = identity.check(setting)
+        if not ok:
+            failures += 1
+    return failures
+
+
+@pytest.mark.parametrize("number", ["1", "2", "3", "4", "5", "6", "7", "8", "9", "10"])
+def test_identity_sweep(benchmark, report, number):
+    dbs = random_databases(SCHEMAS, 40, seed=int(number) * 13 + 1)
+    failures = benchmark(lambda: _sweep(number, dbs))
+    assert failures == 0
+    report.add(f"identity {number}", "holds for all values", f"0/40 failures")
+    report.dump(f"Identity {number}: {IDENTITIES[number].title}")
+
+
+def test_identity1_with_cycle_conjunct(benchmark, report):
+    """Identity 1's P_xz variant: the conjunct migrates between joins."""
+    dbs = random_databases(SCHEMAS, 40, seed=777)
+    failures = benchmark(lambda: _sweep("1", dbs, pxz=PXZ))
+    assert failures == 0
+    report.add("identity 1 + P_xz", "holds (conjunct moves)", "0/40 failures")
+    report.dump("Identity 1 with cycle conjunct")
+
+
+@pytest.mark.parametrize("number", ["8", "9"])
+def test_strongness_necessity(benchmark, report, number):
+    """Dropping the strongness precondition must produce counterexamples."""
+    dbs = random_databases(SCHEMAS, 60, seed=int(number) * 29)
+    failures = benchmark(lambda: _sweep(number, dbs, pyz=WEAK_PYZ))
+    assert failures > 0
+    report.add(
+        f"identity {number} without strongness", "fails (precondition needed)",
+        f"{failures}/60 failures",
+    )
+    report.dump(f"Identity {number}: necessity of strongness")

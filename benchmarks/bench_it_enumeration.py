@@ -1,0 +1,81 @@
+"""Experiment: the implementing-tree space the graph abstracts over.
+
+Context for Figure 1 / Section 3: the query graph is valuable precisely
+because the set of implementing trees it stands for grows explosively.
+This bench tabulates IT counts for chains and stars (pure-join vs
+outerjoined variants) and times counting vs full enumeration.
+"""
+
+import pytest
+
+from repro.core import count_implementing_trees, implementing_trees
+from repro.datagen import chain, star
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6])
+def test_it_counts_join_chain(benchmark, report, n):
+    graph = chain(n).graph
+    count = benchmark(lambda: count_implementing_trees(graph))
+    report.add(f"join chain n={n}", "grows super-exponentially", str(count))
+    report.dump("IT growth: join chains")
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6])
+def test_it_counts_oj_chain_equal_to_join_chain(benchmark, report, n):
+    """On acyclic graphs every connected cut crosses exactly one edge, and
+    a single edge supports exactly one operator in each operand order
+    whether it is a join or a directed outerjoin — so the IT count depends
+    only on the tree shape, not on edge kinds.  (A finding the paper
+    leaves implicit: the graph abstraction costs outerjoins nothing in
+    plan-space size on tree-shaped queries.)"""
+    oj_graph = chain(n, ["out"] * (n - 1)).graph
+    join_graph = chain(n).graph
+    oj_count = benchmark(lambda: count_implementing_trees(oj_graph))
+    join_count = count_implementing_trees(join_graph)
+    assert oj_count == join_count
+    report.add(f"chain n={n}", "same shape, same count", f"{oj_count} == {join_count}")
+    report.dump("IT growth: outerjoin vs join chains")
+
+
+def test_it_counts_shrink_when_oj_meets_a_cycle(benchmark, report):
+    """Multi-edge cuts exist only in cyclic graphs, and there a mixed
+    join/outerjoin cut supports no operator — so replacing one cycle edge
+    by an outerjoin strictly shrinks the IT space."""
+    from repro.algebra import eq
+    from repro.core import QueryGraph
+    from repro.datagen import join_cycle
+
+    all_join = join_cycle(3).graph
+    one_oj = QueryGraph.from_edges(
+        join=[("R1", "R2", eq("R1.a", "R2.a")), ("R2", "R3", eq("R2.a", "R3.a"))],
+        oj=[("R1", "R3", eq("R1.a", "R3.a"))],
+    )
+
+    def count_both():
+        return count_implementing_trees(all_join), count_implementing_trees(one_oj)
+
+    join_count, oj_count = benchmark(count_both)
+    assert oj_count < join_count
+    report.add("3-cycle all-join vs one-OJ", "OJ forbids mixed cuts", f"{join_count} > {oj_count}")
+    report.dump("IT growth: cycles are where edge kinds matter")
+
+
+@pytest.mark.parametrize("leaves", [3, 4, 5])
+def test_it_counts_star(benchmark, report, leaves):
+    graph = star(leaves, oj_leaves=1).graph
+    count = benchmark(lambda: count_implementing_trees(graph))
+    report.add(f"star {leaves} leaves (1 OJ)", "large", str(count))
+    report.dump("IT growth: stars")
+
+
+def test_enumeration_vs_counting(benchmark, report):
+    """Counting via memoized recursion is much cheaper than materializing."""
+    graph = chain(6).graph
+
+    def enumerate_all():
+        return sum(1 for _ in implementing_trees(graph))
+
+    total = benchmark.pedantic(enumerate_all, rounds=1, iterations=1)
+    assert total == count_implementing_trees(graph)
+    report.add("chain n=6 trees enumerated", "= counted", str(total))
+    report.dump("IT growth: enumeration cross-check")

@@ -1,0 +1,120 @@
+"""Experiment: Lemma 1 — the two definitions of "nice" coincide.
+
+Paper claim (Lemma 1): G is nice (decomposes into a connected join core
+G1 plus an outward outerjoin forest G2) iff G has no outerjoin cycle, no
+path X → Y − Z, and no path X → Y ← Z.
+
+Machine check: exhaustive sweep over every 3-node graph buildable from a
+fixed edge menu (4^3 = 64 graphs), plus randomized 6- and 8-node graphs;
+the decomposition-based and pattern-based checkers must agree everywhere.
+"""
+
+from itertools import product
+
+from repro.algebra import eq
+from repro.core import QueryGraph, is_nice, is_nice_by_decomposition
+from repro.datagen import random_graph, random_nice_graph
+
+
+def _all_three_node_graphs():
+    nodes = ["A", "B", "C"]
+    pairs = [("A", "B"), ("B", "C"), ("A", "C")]
+    options = ["none", "join", "fwd", "rev"]
+    graphs = []
+    for combo in product(options, repeat=3):
+        join_edges, oj_edges = [], []
+        for (u, v), kind in zip(pairs, combo):
+            p = eq(f"{u}.a", f"{v}.a")
+            if kind == "join":
+                join_edges.append((u, v, p))
+            elif kind == "fwd":
+                oj_edges.append((u, v, p))
+            elif kind == "rev":
+                oj_edges.append((v, u, p))
+        graphs.append(QueryGraph.from_edges(join=join_edges, oj=oj_edges, isolated=nodes))
+    return graphs
+
+
+def test_lemma1_exhaustive_three_nodes(benchmark, report):
+    graphs = _all_three_node_graphs()
+
+    def check_all():
+        agree = nice_count = 0
+        for g in graphs:
+            a, b = is_nice(g), is_nice_by_decomposition(g)
+            assert a == b, g.describe()
+            agree += 1
+            nice_count += a
+        return agree, nice_count
+
+    agree, nice_count = benchmark(check_all)
+    assert agree == 64
+    report.add("3-node graphs checked", "definitions equivalent", f"{agree} (nice: {nice_count})")
+    report.dump("Lemma 1: exhaustive 3-node sweep")
+
+
+def _all_four_node_graphs():
+    nodes = ["A", "B", "C", "D"]
+    pairs = [
+        ("A", "B"), ("A", "C"), ("A", "D"), ("B", "C"), ("B", "D"), ("C", "D"),
+    ]
+    options = ["none", "join", "fwd", "rev"]
+    for combo in product(options, repeat=6):
+        join_edges, oj_edges = [], []
+        for (u, v), kind in zip(pairs, combo):
+            p = eq(f"{u}.a", f"{v}.a")
+            if kind == "join":
+                join_edges.append((u, v, p))
+            elif kind == "fwd":
+                oj_edges.append((u, v, p))
+            elif kind == "rev":
+                oj_edges.append((v, u, p))
+        yield QueryGraph.from_edges(join=join_edges, oj=oj_edges, isolated=nodes)
+
+
+def test_lemma1_exhaustive_four_nodes(benchmark, report):
+    """All 4^6 = 4096 four-node graphs over the edge menu."""
+
+    def check_all():
+        agree = nice_count = 0
+        for g in _all_four_node_graphs():
+            a, b = is_nice(g), is_nice_by_decomposition(g)
+            assert a == b, g.describe()
+            agree += 1
+            nice_count += a
+        return agree, nice_count
+
+    agree, nice_count = benchmark.pedantic(check_all, rounds=1, iterations=1)
+    assert agree == 4096
+    report.add("4-node graphs checked", "definitions equivalent", f"{agree} (nice: {nice_count})")
+    report.dump("Lemma 1: exhaustive 4-node sweep")
+
+
+def test_lemma1_random_graphs(benchmark, report):
+    graphs = [random_graph(7, seed=s, oj_probability=0.5, extra_edges=3).graph
+              for s in range(120)]
+
+    def check_all():
+        nice_count = 0
+        for g in graphs:
+            a, b = is_nice(g), is_nice_by_decomposition(g)
+            assert a == b, g.describe()
+            nice_count += a
+        return nice_count
+
+    nice_count = benchmark(check_all)
+    report.add("random 7-node graphs", "definitions equivalent", f"120 checked, {nice_count} nice")
+    report.dump("Lemma 1: randomized sweep")
+
+
+def test_lemma1_constructed_nice_graphs(benchmark, report):
+    graphs = [random_nice_graph(3, 4, seed=s, extra_join_edges=2).graph for s in range(60)]
+
+    def check_all():
+        for g in graphs:
+            assert is_nice(g) and is_nice_by_decomposition(g)
+        return len(graphs)
+
+    n = benchmark(check_all)
+    report.add("constructed nice graphs", "recognized nice", f"{n}/60")
+    report.dump("Lemma 1: construction round trip")

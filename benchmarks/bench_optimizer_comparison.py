@@ -1,0 +1,129 @@
+"""Experiment: Section 6.1 — a reordering-aware optimizer vs baselines.
+
+Paper claim: "For designers of query optimizers, freely-reorderable
+queries are much simpler than the general case ... now it must fill in
+Join or else Outerjoin (preserving the operator direction).  There is no
+need to insert additional operators, or perform a subtle analysis."
+
+Measured: across chain and star topologies with skewed cardinalities, the
+graph-DP (which crosses outerjoins freely, licensed by Theorem 1) beats
+the outerjoin-barrier baseline (a conventional optimizer) and the
+fixed-order baseline; greedy comes close at much lower planning cost.
+All plans are executed and verified equal.
+"""
+
+import pytest
+
+from repro.algebra import bag_equal, eq
+from repro.core import graph_of, jn, oj
+from repro.datagen import example1_storage
+from repro.engine import Storage, execute
+from repro.optimizer import (
+    CardinalityEstimator,
+    CoutCostModel,
+    DPOptimizer,
+    GreedyOptimizer,
+    OuterjoinBarrierOptimizer,
+    RetrievalCostModel,
+    fixed_order_plan,
+)
+
+
+def _chain_storage(cards, indexed=True):
+    """R1 - R2 → R3 with controllable cardinalities."""
+    storage = Storage()
+    storage.create_table("R1", ["R1.k"], [{"R1.k": i} for i in range(cards[0])])
+    storage.create_table(
+        "R2", ["R2.k", "R2.j"], [{"R2.k": i, "R2.j": i} for i in range(cards[1])]
+    )
+    storage.create_table("R3", ["R3.j"], [{"R3.j": i} for i in range(cards[2])])
+    if indexed:
+        for t, a in (("R2", "R2.k"), ("R3", "R3.j")):
+            storage[t].create_index(a)
+    return storage
+
+
+WRITTEN = lambda: jn("R1", oj("R2", "R3", eq("R2.j", "R3.j")), eq("R1.k", "R2.k"))
+
+
+@pytest.mark.parametrize("cards", [(1, 500, 500), (5, 1000, 1000)])
+def test_dp_vs_baselines_measured(benchmark, report, cards):
+    storage = _chain_storage(cards)
+    written = WRITTEN()
+    graph = graph_of(written, storage.registry)
+    model = RetrievalCostModel(CardinalityEstimator(storage), storage)
+
+    def optimize_all():
+        dp = DPOptimizer(graph, model).optimize()
+        greedy = GreedyOptimizer(graph, model).optimize()
+        barrier = OuterjoinBarrierOptimizer(storage.registry, model).optimize(written)
+        fixed = fixed_order_plan(written, model)
+        return dp, greedy, barrier, fixed
+
+    dp, greedy, barrier, fixed = benchmark(optimize_all)
+    measured = {}
+    reference = None
+    for name, plan in (("dp", dp), ("greedy", greedy), ("barrier", barrier), ("fixed", fixed)):
+        run = execute(plan.expr, storage)
+        measured[name] = run.tuples_retrieved
+        if reference is None:
+            reference = run.relation
+        else:
+            assert bag_equal(reference, run.relation)
+    assert measured["dp"] <= measured["greedy"]
+    assert measured["dp"] < measured["barrier"]
+    assert measured["dp"] < measured["fixed"]
+    n = cards[1]
+    report.add(
+        f"retrievals (|R2|={n})",
+        "DP << barrier/fixed (~2N+1 vs small)",
+        ", ".join(f"{k}={v}" for k, v in measured.items()),
+    )
+    report.dump("Section 6.1: optimizer comparison (measured retrievals)")
+
+
+def test_planning_cost_dp_vs_greedy(benchmark, report):
+    """Greedy's selling point: far fewer cost evaluations on wide graphs."""
+    from repro.datagen import star, random_databases
+
+    scenario = star(6, oj_leaves=3)
+    dbs = random_databases(scenario.schemas, 1, seed=5, max_rows=9, allow_empty=False)
+    storage = Storage.from_database(dbs[0])
+    model = CoutCostModel(CardinalityEstimator(storage))
+
+    def both():
+        dp = DPOptimizer(scenario.graph, model).optimize()
+        greedy = GreedyOptimizer(scenario.graph, model).optimize()
+        return dp, greedy
+
+    dp, greedy = benchmark(both)
+    assert greedy.cost >= dp.cost - 1e-9
+    gap = (greedy.cost - dp.cost) / max(dp.cost, 1e-9)
+    report.add("greedy optimality gap", "small but nonnegative", f"{gap * 100:.1f}%")
+    report.dump("Section 6.1: greedy vs exact DP")
+
+
+def test_barrier_penalty_grows_with_scale(benchmark, report):
+    """The Example-1 effect as a sweep: the conventional-optimizer penalty
+    is linear in N while the DP plan stays at 3 retrievals."""
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for n in (100, 400, 1600):
+            storage = example1_storage(n)
+            written = WRITTEN()
+            graph = graph_of(written, storage.registry)
+            model = RetrievalCostModel(CardinalityEstimator(storage), storage)
+            dp = DPOptimizer(graph, model).optimize()
+            barrier = OuterjoinBarrierOptimizer(storage.registry, model).optimize(written)
+            dp_run = execute(dp.expr, storage).tuples_retrieved
+            barrier_run = execute(barrier.expr, storage).tuples_retrieved
+            rows.append((n, dp_run, barrier_run))
+        return rows
+
+    swept = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n, dp_run, barrier_run in swept:
+        assert dp_run == 3 and barrier_run == 2 * n + 1
+        report.add(f"N={n}", "3 vs 2N+1", f"dp={dp_run}, barrier={barrier_run}")
+    report.dump("Section 6.1: barrier penalty sweep")

@@ -1,0 +1,96 @@
+"""Experiment: Section 6.3's two forward-looking conjectures, resolved.
+
+1. **Tree-level conditions.**  "We conjecture that there are also simple
+   conditions on the expression trees.  For example, the null-supplied
+   input of an operand should not be created by a regular join, nor
+   involved later as an operand of a regular join."  Formalized as:
+   T1 — a padded relation is never referenced by a join predicate;
+   T2 — no relation is padded twice.  Measured: over the IT spaces of
+   randomized graphs, (T1 ∧ T2) agrees with graph-niceness on every tree;
+   the conjecture holds, with the tree test usable by an optimizer that
+   never materializes the graph.
+
+2. **Join/semijoin queries.**  "Semijoin edges in series appear to be an
+   additional forbidden subgraph."  Measured: series semijoins collapse
+   the valid-tree space to a single right-deep order (zero reordering
+   freedom — the transform-level face of 'forbidden'), while parallel
+   semijoins and join/semijoin mixes keep multiple valid trees that all
+   agree on randomized databases.
+"""
+
+from repro.algebra import SchemaRegistry, eq
+from repro.core import count_implementing_trees, is_nice, sample_implementing_tree
+from repro.core.semijoin_theory import (
+    JoinSemijoinGraph,
+    check_semijoin_graph,
+    semijoin_implementing_trees,
+)
+from repro.core.tree_conditions import satisfies_tree_conditions
+from repro.datagen import random_databases, random_graph
+from repro.util.rng import make_rng
+
+SJ_SCHEMAS = {"X": ["X.a", "X.b"], "Y": ["Y.a", "Y.b"], "Z": ["Z.a", "Z.b"]}
+PXY = eq("X.a", "Y.a")
+PYZ = eq("Y.b", "Z.b")
+PXZ = eq("X.b", "Z.a")
+
+
+def test_tree_conditions_match_niceness(benchmark, report):
+    def sweep():
+        graphs = trees = 0
+        for seed in range(40):
+            scenario = random_graph(5, seed=seed, oj_probability=0.5, extra_edges=1)
+            if count_implementing_trees(scenario.graph) == 0:
+                continue
+            nice = is_nice(scenario.graph)
+            rng = make_rng(seed + 1)
+            for _ in range(5):
+                tree = sample_implementing_tree(scenario.graph, rng)
+                assert satisfies_tree_conditions(tree, scenario.registry) == nice
+                trees += 1
+            graphs += 1
+        return graphs, trees
+
+    graphs, trees = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.add("tree test == graph test", "conjectured", f"{trees} trees over {graphs} graphs")
+    report.dump("Section 6.3: tree-level conditions confirmed")
+
+
+def test_semijoin_series_forbidden(benchmark, report):
+    reg = SchemaRegistry(SJ_SCHEMAS)
+    series = JoinSemijoinGraph.from_edges(sj=[("X", "Y", PXY), ("Y", "Z", PYZ)])
+    parallel = JoinSemijoinGraph.from_edges(sj=[("X", "Y", PXY), ("X", "Z", PXZ)])
+    mixed = JoinSemijoinGraph.from_edges(join=[("X", "Y", PXY)], sj=[("Y", "Z", PYZ)])
+
+    def count_trees():
+        return (
+            len(list(semijoin_implementing_trees(series, reg))),
+            len(list(semijoin_implementing_trees(parallel, reg))),
+            len(list(semijoin_implementing_trees(mixed, reg))),
+        )
+
+    s, p, m = benchmark(count_trees)
+    assert s == 1  # series: no freedom at all
+    assert p >= 2 and m >= 2
+    report.add("semijoins in series", "forbidden (no reordering)", f"{s} valid tree")
+    report.add("semijoins in parallel", "reorderable", f"{p} valid trees")
+    report.add("join + semijoin mix", "reorderable", f"{m} valid trees")
+    report.dump("Section 6.3: the semijoin-in-series pattern")
+
+
+def test_semijoin_valid_trees_agree(benchmark, report):
+    reg = SchemaRegistry(SJ_SCHEMAS)
+    parallel = JoinSemijoinGraph.from_edges(sj=[("X", "Y", PXY), ("X", "Z", PXZ)])
+    mixed = JoinSemijoinGraph.from_edges(join=[("X", "Y", PXY)], sj=[("Y", "Z", PYZ)])
+    dbs = random_databases(SJ_SCHEMAS, 20, seed=44)
+
+    def check_both():
+        a = check_semijoin_graph(parallel, reg, dbs)
+        b = check_semijoin_graph(mixed, reg, dbs)
+        return a, b
+
+    a, b = benchmark(check_both)
+    assert a.consistent and b.consistent
+    report.add("parallel agreement", "all trees equal", f"{a.tree_count} trees x 20 dbs")
+    report.add("mixed agreement", "all trees equal", f"{b.tree_count} trees x 20 dbs")
+    report.dump("Section 6.3: semijoin reorderability where it exists")

@@ -1,0 +1,145 @@
+"""Experiment: Lemma 3 and Theorem 1 — free reorderability, end to end.
+
+Paper claims:
+
+* Lemma 3: on a nice graph, BT sequences connect any two ITs; we verify
+  constructively (closure = full IT space).
+* Theorem 1: nice + strong ⇒ every IT evaluates to the same result; we
+  verify by exhaustive evaluation, and show both hypotheses are needed
+  (non-nice graph: Example 2; non-strong predicate: Example 3 pattern).
+"""
+
+from repro.core import (
+    brute_force_check,
+    bt_closure,
+    canonicalize,
+    count_implementing_trees,
+    implementing_trees,
+    preserving_equivalence_class,
+    theorem1_applies,
+)
+from repro.datagen import (
+    chain,
+    example2_graph,
+    random_databases,
+    random_nice_graph,
+    weaken_oj_edge,
+)
+
+
+def test_lemma3_closure_equals_it_space(benchmark, report):
+    def sweep():
+        checked = []
+        for seed in range(5):
+            scenario = random_nice_graph(2, 2, seed=seed)
+            reg = scenario.registry
+            trees = {canonicalize(t) for t in implementing_trees(scenario.graph)}
+            seed_tree = next(iter(sorted(trees, key=repr)))
+            closure = bt_closure(seed_tree, reg)
+            assert set(closure.trees) == trees
+            checked.append(len(trees))
+        return checked
+
+    sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.add("closure == IT space", "Lemma 3", f"5 graphs, IT counts {sizes}")
+    report.dump("Lemma 3: BT connectivity")
+
+
+def test_theorem1_preserving_bts_suffice(benchmark, report):
+    """Theorem 1's engine: preserving BTs alone already span the space."""
+    scenario = chain(4, ["join", "out", "out"])
+    reg = scenario.registry
+    trees = {canonicalize(t) for t in implementing_trees(scenario.graph)}
+    seed_tree = next(iter(sorted(trees, key=repr)))
+
+    preserved = benchmark.pedantic(
+        lambda: preserving_equivalence_class(seed_tree, reg), rounds=1, iterations=1
+    )
+    assert preserved == trees
+    report.add("preserving closure", "= IT space (nice+strong)", f"{len(preserved)} trees")
+    report.dump("Theorem 1: preserving BTs suffice")
+
+
+def test_theorem1_exhaustive_evaluation(benchmark, report):
+    def sweep():
+        results = []
+        for seed in range(4):
+            scenario = random_nice_graph(2, 2, seed=seed + 10)
+            assert theorem1_applies(scenario.graph, scenario.registry).freely_reorderable
+            dbs = random_databases(scenario.schemas, 5, seed=seed + 400)
+            rep = brute_force_check(scenario.graph, dbs)
+            assert rep.consistent
+            results.append(rep.trees_checked)
+        return results
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.add("all ITs agree (nice+strong)", "Theorem 1", f"tree counts {counts}")
+    report.dump("Theorem 1: exhaustive evaluation")
+
+
+def test_theorem1_hypotheses_necessary(benchmark, report):
+    def sweep():
+        # Drop niceness: Example 2.
+        e2 = example2_graph()
+        dbs = random_databases(e2.schemas, 40, seed=41)
+        non_nice = brute_force_check(e2.graph, dbs)
+        # Drop strongness: weakened chained OJ edge.
+        weak = weaken_oj_edge(chain(3, ["out", "out"]), ("R2", "R3"))
+        dbs2 = random_databases(weak.schemas, 60, seed=42)
+        non_strong = brute_force_check(weak.graph, dbs2)
+        return non_nice.consistent, non_strong.consistent
+
+    nice_ok, strong_ok = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert not nice_ok and not strong_ok
+    report.add("without niceness", "reordering unsafe", "witness found")
+    report.add("without strongness", "reordering unsafe", "witness found")
+    report.dump("Theorem 1: both hypotheses necessary")
+
+
+def test_it_space_sizes_for_reference(benchmark, report):
+    """The sizes Theorem 1 quantifies over (also the optimizer's space)."""
+    rows = []
+
+    def count_all():
+        rows.clear()
+        for n in (3, 4, 5):
+            for kinds, label in (
+                (["join"] * (n - 1), "all-join"),
+                (["out"] * (n - 1), "all-outerjoin"),
+            ):
+                rows.append((n, label, count_implementing_trees(chain(n, kinds).graph)))
+        return rows
+
+    counted = benchmark(count_all)
+    for n, label, count in counted:
+        report.add(f"chain n={n} {label}", "full IT space", str(count))
+    report.dump("Theorem 1: IT space sizes")
+
+
+def test_equivalence_class_structure(benchmark, report):
+    """How non-reorderable IS a non-nice graph?  Partition the IT space
+    into provably-equal classes: nice graphs give one class (Theorem 1);
+    Example 2's graph fractures into exactly two four-tree classes — the
+    two readings of the ambiguous graph, each internally reorderable."""
+    from repro.core import equivalence_classes
+    from repro.datagen import example2_graph, weaken_oj_edge
+
+    nice = chain(3, ["join", "out"])
+    ambiguous = example2_graph()
+    weak = weaken_oj_edge(chain(3, ["out", "out"]), ("R2", "R3"))
+
+    def partition_all():
+        return (
+            [len(c) for c in equivalence_classes(nice.graph, nice.registry)],
+            [len(c) for c in equivalence_classes(ambiguous.graph, ambiguous.registry)],
+            [len(c) for c in equivalence_classes(weak.graph, weak.registry)],
+        )
+
+    nice_sizes, ambiguous_sizes, weak_sizes = benchmark(partition_all)
+    assert nice_sizes == [8]
+    assert sorted(ambiguous_sizes) == [4, 4]
+    assert len(weak_sizes) == 2
+    report.add("nice chain", "1 class (Theorem 1)", str(nice_sizes))
+    report.add("Example 2 graph", "2 readings", str(ambiguous_sizes))
+    report.add("weak-predicate chain", "fractured", str(weak_sizes))
+    report.dump("Theorem 1: equivalence-class structure of the IT space")

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark/experiment suite.
+
+Every benchmark regenerates one of the paper's examples, figures, or
+identity families; the asserts inside each benchmark ARE the reproduction
+check (who wins, by what factor, where it breaks), while pytest-benchmark
+provides the timing table.  ``report()`` collects the paper-vs-measured
+rows; run with ``-s`` to see them inline, or read EXPERIMENTS.md for the
+recorded values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class ExperimentReport:
+    """Accumulates 'paper says / we measured' rows for one experiment."""
+
+    def __init__(self):
+        self.rows: list[tuple[str, str, str]] = []
+
+    def add(self, metric: str, paper: str, measured: str) -> None:
+        self.rows.append((metric, paper, measured))
+
+    def dump(self, title: str) -> None:
+        width = max((len(m) for m, _p, _me in self.rows), default=10)
+        print(f"\n=== {title} ===")
+        for metric, paper, measured in self.rows:
+            print(f"  {metric.ljust(width)}  paper: {paper:<22} measured: {measured}")
+
+
+@pytest.fixture
+def report():
+    return ExperimentReport()

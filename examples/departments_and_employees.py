@@ -1,0 +1,60 @@
+"""The motivating workload: list all departments, even empty ones.
+
+The introduction's example: "when we want a listing of departments and
+their employees, we often want to see all departments, even those without
+employees" — a join silently drops them, an outerjoin keeps them.  The
+example then walks through Section 4: a strong restriction turns the
+outerjoin back into a join, while an IS NULL restriction (find the empty
+departments!) must keep it.
+
+Run:  python examples/departments_and_employees.py
+"""
+
+from repro.algebra import Comparison, Const, IsNull, eq
+from repro.core import Restrict, graph_of, jn, oj, simplify_outerjoins, theorem1_applies
+from repro.datagen import departments_database
+
+
+def show(title: str, relation) -> None:
+    print(f"\n{title}")
+    for row in sorted(relation, key=lambda r: (str(r["DEPT.dno"]), str(r.get("EMP.eno")))):
+        print("  ", dict(row))
+
+
+def main() -> None:
+    db = departments_database(n_departments=4, employees_per_department=2, empty_departments=1)
+    link = eq("DEPT.dno", "EMP.dno")
+
+    # A join loses the empty department...
+    join_query = jn("DEPT", "EMP", link)
+    show("JOIN — department 3 is silently missing:", join_query.eval(db))
+
+    # ...the outerjoin keeps it, padded with nulls.
+    oj_query = oj("DEPT", "EMP", link)
+    show("OUTERJOIN — department 3 survives with null employee columns:", oj_query.eval(db))
+
+    # The query block remains freely reorderable:
+    verdict = theorem1_applies(graph_of(oj_query, db.registry), db.registry)
+    print("\nTheorem 1 on the outerjoin query:", "OK" if verdict.freely_reorderable else verdict)
+
+    # Section 4, case 1: a strong restriction on the employee side makes
+    # the padding pointless — the simplifier converts OJ to JN.
+    strong = Restrict(oj_query, Comparison("EMP.ename", "=", Const("emp-0")))
+    report = simplify_outerjoins(strong, db.registry)
+    print("\nRestriction EMP.ename = 'emp-0' (strong on EMP):")
+    for conversion in report.conversions:
+        print("  ", conversion)
+    print("   simplified tree:", report.query.to_infix())
+
+    # Section 4, case 2: "find departments with no employees" uses IS NULL,
+    # which is satisfied by padded tuples — NOT strong, so the outerjoin
+    # must stay.
+    find_empty = Restrict(oj_query, IsNull("EMP.eno"))
+    report2 = simplify_outerjoins(find_empty, db.registry)
+    print("\nRestriction EMP.eno IS NULL (not strong):")
+    print("   conversions:", report2.conversions or "none — outerjoin preserved, as it must be")
+    show("   empty departments found:", report2.query.eval(db))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""A tour of the optimizer: DP over the query graph vs the baselines.
+
+Shows the Section-6.1 point quantitatively: an optimizer that treats
+outerjoins as barriers (the pre-Theorem-1 world) pays a linearly growing
+penalty on Example 1's workload, while the graph DP — with NO outerjoin-
+specific machinery — finds the 3-retrieval plan at every scale.  Also
+demonstrates Example 1b, where the optimal plan runs the OUTERJOIN first.
+
+Run:  python examples/optimizer_tour.py
+"""
+
+from repro.algebra import eq, gt
+from repro.core import graph_of, jn, oj
+from repro.datagen import example1_storage, example1b_storage
+from repro.engine import execute
+from repro.optimizer import (
+    CardinalityEstimator,
+    CoutCostModel,
+    DPOptimizer,
+    GreedyOptimizer,
+    OuterjoinBarrierOptimizer,
+    RetrievalCostModel,
+    fixed_order_plan,
+)
+
+
+def example1_sweep() -> None:
+    print("=" * 72)
+    print("Example 1 sweep — measured base-tuple retrievals per strategy")
+    print(f"{'N':>8} | {'DP':>6} | {'greedy':>6} | {'barrier':>9} | {'fixed':>9}")
+    print("-" * 50)
+    for n in (100, 1_000, 10_000):
+        storage = example1_storage(n)
+        written = jn("R1", oj("R2", "R3", eq("R2.j", "R3.j")), eq("R1.k", "R2.k"))
+        graph = graph_of(written, storage.registry)
+        model = RetrievalCostModel(CardinalityEstimator(storage), storage)
+
+        dp = DPOptimizer(graph, model).optimize()
+        greedy = GreedyOptimizer(graph, model).optimize()
+        barrier = OuterjoinBarrierOptimizer(storage.registry, model).optimize(written)
+        fixed = fixed_order_plan(written, model)
+
+        counts = [
+            execute(plan.expr, storage).tuples_retrieved
+            for plan in (dp, greedy, barrier, fixed)
+        ]
+        print(f"{n:>8} | {counts[0]:>6} | {counts[1]:>6} | {counts[2]:>9} | {counts[3]:>9}")
+    print("\nDP plan:", dp.expr.to_infix(), "— reorders across the outerjoin,")
+    print("which Theorem 1 licenses and the barrier baseline cannot do.")
+
+
+def example1b_crossover() -> None:
+    print("\n" + "=" * 72)
+    print("Example 1b — sometimes the OUTERJOIN should run first")
+    storage = example1b_storage(80, 80, 80, seed=7)
+    join_pred = gt("R1.A", "R2.B")
+    oj_pred = eq("R2.C", "R3.D")
+    join_first = oj(jn("R1", "R2", join_pred), "R3", oj_pred)
+    oj_first = jn("R1", oj("R2", "R3", oj_pred), join_pred)
+    graph = graph_of(join_first, storage.registry)
+
+    model = CoutCostModel(CardinalityEstimator(storage))
+    best = DPOptimizer(graph, model).optimize()
+    print("  join-first cost (C_out):     ", f"{model.plan_cost(join_first):,.0f}")
+    print("  outerjoin-first cost (C_out):", f"{model.plan_cost(oj_first):,.0f}")
+    print("  DP's pick:                   ", best.expr.to_infix())
+    print("  -> 'joins before outerjoins' is NOT a universal rule;")
+    print("     free reorderability lets the optimizer decide per query.")
+
+
+def main() -> None:
+    example1_sweep()
+    example1b_crossover()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — a reproduction of Rosenthal & Galindo-Legaria (SIGMOD 1990),
+"Query Graphs, Implementing Trees, and Freely-Reorderable Outerjoins".
+
+The package is organized bottom-up, mirroring the paper:
+
+* :mod:`repro.algebra`   — schemes, tuples with nulls, predicates with
+  strongness analysis, and the join-like operators (Sections 1.2, 2.1, 6.2);
+* :mod:`repro.core`      — expression trees, query graphs, niceness,
+  implementing-tree enumeration, basic transforms, identities 1-16, and the
+  free-reorderability theorem with a brute-force validator (Sections 1-4, 6);
+* :mod:`repro.engine`    — an instrumented execution engine whose cost
+  currency is "base tuples retrieved", Example 1's metric;
+* :mod:`repro.optimizer` — a DP optimizer over query graphs (Section 6.1's
+  programme), greedy and outerjoin-barrier baselines;
+* :mod:`repro.language`  — the Section-5 SQL extension with UnNest (*) and
+  Link (->), compiled to freely-reorderable outerjoins;
+* :mod:`repro.datagen`   — randomized databases, graph topologies, and the
+  paper's concrete workloads.
+
+Quickstart::
+
+    from repro.algebra import eq
+    from repro.core import jn, oj, graph_of, theorem1_applies
+    from repro.datagen import example1_storage
+    from repro.engine import execute
+
+    storage = example1_storage(10_000)
+    slow = jn("R1", oj("R2", "R3", eq("R2.j", "R3.j")), eq("R1.k", "R2.k"))
+    fast = oj(jn("R1", "R2", eq("R1.k", "R2.k")), "R3", eq("R2.j", "R3.j"))
+    assert graph_of(slow, storage.registry) == graph_of(fast, storage.registry)
+    print(execute(slow, storage).tuples_retrieved)   # 20_001
+    print(execute(fast, storage).tuples_retrieved)   # 3
+"""
+
+__version__ = "1.0.0"
+
+from repro import algebra, core, datagen, engine, language, optimizer, util
+
+__all__ = ["algebra", "core", "datagen", "engine", "language", "optimizer", "util"]

@@ -1,0 +1,183 @@
+"""Schemes, attribute ownership, and the scheme-disjointness rules.
+
+Section 1.2 of the paper: a *scheme* is a finite set of attribute names; a
+*database* is a set of relations whose schemes are mutually disjoint (the
+"ground relations").  Because schemes are disjoint, an attribute name
+uniquely identifies the ground relation that owns it; the whole query-graph
+construction (which relations does this predicate conjunct reference?)
+rests on that ownership function, which :class:`SchemaRegistry` provides.
+
+Attribute names are plain strings.  By convention the library qualifies
+them as ``"Relation.attr"`` (see :func:`qualify`), which makes disjointness
+automatic for distinct relation names, but nothing requires that format.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Dict, FrozenSet
+
+from repro.util.errors import SchemaError
+
+
+def qualify(relation: str, attribute: str) -> str:
+    """Return the conventional qualified name ``"relation.attribute"``."""
+    return f"{relation}.{attribute}"
+
+
+class Schema:
+    """An immutable set of attribute names.
+
+    Thin wrapper over ``frozenset`` adding validation and set-algebra
+    helpers used throughout the library (concatenation schemes, padding
+    schemes, projection schemes).
+    """
+
+    __slots__ = ("_attrs",)
+
+    def __init__(self, attributes: Iterable[str]):
+        attrs = frozenset(attributes)
+        for a in attrs:
+            if not isinstance(a, str) or not a:
+                raise SchemaError(f"attribute names must be non-empty strings, got {a!r}")
+        self._attrs = attrs
+
+    @property
+    def attributes(self) -> FrozenSet[str]:
+        return self._attrs
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._attrs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._attrs))
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._attrs == other._attrs
+        if isinstance(other, frozenset):
+            return self._attrs == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._attrs)
+
+    def __repr__(self) -> str:
+        return f"Schema({sorted(self._attrs)})"
+
+    # -- set algebra -------------------------------------------------------
+
+    def union(self, other: "Schema | Iterable[str]") -> "Schema":
+        return Schema(self._attrs | _as_attrs(other))
+
+    def intersection(self, other: "Schema | Iterable[str]") -> "Schema":
+        return Schema(self._attrs & _as_attrs(other))
+
+    def difference(self, other: "Schema | Iterable[str]") -> "Schema":
+        return Schema(self._attrs - _as_attrs(other))
+
+    def is_disjoint(self, other: "Schema | Iterable[str]") -> bool:
+        return self._attrs.isdisjoint(_as_attrs(other))
+
+    def is_subset(self, other: "Schema | Iterable[str]") -> bool:
+        return self._attrs <= _as_attrs(other)
+
+    def require_disjoint(self, other: "Schema | Iterable[str]", context: str = "") -> None:
+        """Raise :class:`SchemaError` unless the schemes are disjoint.
+
+        Concatenation (Section 1.2) and every generic join operator
+        (Section 2.1 convention: ``sch(eval(X)) ∩ sch(eval(Y)) = ∅``)
+        require disjoint operand schemes.
+        """
+        overlap = self._attrs & _as_attrs(other)
+        if overlap:
+            where = f" in {context}" if context else ""
+            raise SchemaError(f"schemes must be disjoint{where}; shared: {sorted(overlap)}")
+
+
+def _as_attrs(obj: "Schema | Iterable[str]") -> FrozenSet[str]:
+    if isinstance(obj, Schema):
+        return obj.attributes
+    return frozenset(obj)
+
+
+class SchemaRegistry(Mapping[str, Schema]):
+    """The database schema: relation name -> scheme, with attribute ownership.
+
+    Enforces the paper's requirement that ground relations have mutually
+    disjoint schemes, and answers the central question of query-graph
+    construction: *which ground relation owns this attribute?*
+    """
+
+    def __init__(self, schemas: Mapping[str, Iterable[str]] | None = None):
+        self._schemas: Dict[str, Schema] = {}
+        self._owner: Dict[str, str] = {}
+        if schemas:
+            for name, attrs in schemas.items():
+                self.register(name, attrs)
+
+    def register(self, relation: str, attributes: Iterable[str]) -> Schema:
+        """Register a ground relation's scheme, checking disjointness."""
+        if relation in self._schemas:
+            raise SchemaError(f"relation {relation!r} registered twice")
+        schema = attributes if isinstance(attributes, Schema) else Schema(attributes)
+        for attr in schema.attributes:
+            owner = self._owner.get(attr)
+            if owner is not None:
+                raise SchemaError(
+                    f"attribute {attr!r} of {relation!r} already owned by {owner!r}; "
+                    "ground relations must have mutually disjoint schemes"
+                )
+        self._schemas[relation] = schema
+        for attr in schema.attributes:
+            self._owner[attr] = relation
+        return schema
+
+    # -- Mapping interface --------------------------------------------------
+
+    def __getitem__(self, relation: str) -> Schema:
+        try:
+            return self._schemas[relation]
+        except KeyError:
+            raise SchemaError(f"unknown relation {relation!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schemas)
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def __contains__(self, relation: object) -> bool:
+        # Mapping.__contains__ relies on __getitem__ raising KeyError; ours
+        # raises SchemaError, so membership must be answered directly.
+        return relation in self._schemas
+
+    # -- ownership -----------------------------------------------------------
+
+    def owner(self, attribute: str) -> str:
+        """Return the name of the ground relation owning ``attribute``."""
+        try:
+            return self._owner[attribute]
+        except KeyError:
+            raise SchemaError(f"attribute {attribute!r} is not owned by any relation") from None
+
+    def owners(self, attributes: Iterable[str]) -> FrozenSet[str]:
+        """Return the set of ground relations referenced by ``attributes``."""
+        return frozenset(self.owner(a) for a in attributes)
+
+    def scheme_of(self, relations: Iterable[str]) -> Schema:
+        """Union of the schemes of the given relations."""
+        attrs: set[str] = set()
+        for r in relations:
+            attrs |= self[r].attributes
+        return Schema(attrs)
+
+    def restricted_to(self, relations: Iterable[str]) -> "SchemaRegistry":
+        """A registry containing only the given relations (for subqueries)."""
+        sub = SchemaRegistry()
+        for r in relations:
+            sub.register(r, self[r])
+        return sub

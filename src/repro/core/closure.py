@@ -1,0 +1,171 @@
+"""Closures of implementing trees under basic transforms (Lemmas 2 and 3).
+
+Lemma 3 states that for a "nice" graph, a sequence of BTs maps any IT to
+any other IT of the same graph.  This module computes such closures by
+breadth-first search and, constructively, the BT *sequence* between two
+given trees — which is how the test suite machine-checks Lemma 3 (the
+closure under all BTs equals the full IT set) and Theorem 1 (the closure
+under *result-preserving* BTs alone already covers the full IT set when
+the graph is nice and the predicates are strong).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.algebra.schema import SchemaRegistry
+from repro.core.expressions import Expression
+from repro.core.transforms import (
+    BasicTransform,
+    applicable_transforms,
+    apply_transform,
+    canonicalize,
+    classify_transform,
+)
+
+
+@dataclass
+class ClosureResult:
+    """The set of trees reachable from a seed by BTs.
+
+    ``trees`` maps each reached tree to the transform-edge that first
+    produced it, enabling path reconstruction; ``truncated`` reports that
+    ``max_size`` stopped the search early.
+    """
+
+    seed: Expression
+    trees: Dict[Expression, Optional[Tuple[Expression, BasicTransform]]] = field(
+        default_factory=dict
+    )
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    def __contains__(self, tree: Expression) -> bool:
+        return canonicalize(tree) in self.trees
+
+    def path_to(self, target: Expression) -> List[BasicTransform]:
+        """The BT sequence from the seed to ``target`` (Lemma 3's witness)."""
+        goal = canonicalize(target)
+        if goal not in self.trees:
+            raise KeyError(f"{target!r} was not reached from the seed")
+        steps: List[BasicTransform] = []
+        cur = goal
+        while True:
+            parent_edge = self.trees[cur]
+            if parent_edge is None:
+                break
+            parent, transform = parent_edge
+            steps.append(transform)
+            cur = parent
+        steps.reverse()
+        return steps
+
+
+def bt_closure(
+    seed: Expression,
+    registry: SchemaRegistry,
+    preserving_only: bool = False,
+    max_size: Optional[int] = None,
+) -> ClosureResult:
+    """BFS over the BT graph starting from ``seed``.
+
+    With ``preserving_only=True`` only transforms classified as result
+    preserving (Section 2's identities, with strongness preconditions) are
+    followed — this is "the closure under those BTs [which] is a set of
+    trees that evaluate to the same result" (Section 3).
+    """
+    start = canonicalize(seed)
+    result = ClosureResult(seed=start)
+    result.trees[start] = None
+    queue: deque[Expression] = deque([start])
+    while queue:
+        tree = queue.popleft()
+        for transform in applicable_transforms(tree, registry):
+            if preserving_only:
+                verdict = classify_transform(tree, transform, registry)
+                if not verdict.preserving:
+                    continue
+            successor = canonicalize(apply_transform(tree, transform, registry))
+            if successor in result.trees:
+                continue
+            if max_size is not None and len(result.trees) >= max_size:
+                result.truncated = True
+                return result
+            result.trees[successor] = (tree, transform)
+            queue.append(successor)
+    return result
+
+
+def bt_path(
+    source: Expression,
+    target: Expression,
+    registry: SchemaRegistry,
+    preserving_only: bool = False,
+    max_size: Optional[int] = None,
+) -> Optional[List[BasicTransform]]:
+    """Shortest BT sequence mapping ``source`` to ``target``, or ``None``.
+
+    BFS guarantees minimality in number of transforms.  For nice graphs
+    Lemma 3 promises a path always exists within the (finite) IT space.
+    """
+    goal = canonicalize(target)
+    start = canonicalize(source)
+    if start == goal:
+        return []
+    result = ClosureResult(seed=start)
+    result.trees[start] = None
+    queue: deque[Expression] = deque([start])
+    while queue:
+        tree = queue.popleft()
+        for transform in applicable_transforms(tree, registry):
+            if preserving_only:
+                verdict = classify_transform(tree, transform, registry)
+                if not verdict.preserving:
+                    continue
+            successor = canonicalize(apply_transform(tree, transform, registry))
+            if successor in result.trees:
+                continue
+            result.trees[successor] = (tree, transform)
+            if successor == goal:
+                return result.path_to(goal)
+            if max_size is not None and len(result.trees) >= max_size:
+                return None
+            queue.append(successor)
+    return None
+
+
+def preserving_equivalence_class(
+    seed: Expression, registry: SchemaRegistry, max_size: Optional[int] = None
+) -> Set[Expression]:
+    """The set of trees provably result-equal to the seed via identities."""
+    return set(bt_closure(seed, registry, preserving_only=True, max_size=max_size).trees)
+
+
+def equivalence_classes(graph, registry: SchemaRegistry) -> List[Set[Expression]]:
+    """Partition a graph's full IT space into preserving-BT classes.
+
+    On a nice+strong graph this returns **one** class covering every
+    implementing tree — that is Theorem 1.  On a non-reorderable graph the
+    space fractures; the class count quantifies *how* non-reorderable the
+    graph is (each class is internally safe to reorder, classes must not
+    be mixed).  Example 2's graph, for instance, splits its 8 trees into
+    classes whose members the paper's identities can still interconvert.
+    """
+    from repro.core.enumeration import implementing_trees
+
+    remaining: Set[Expression] = {canonicalize(t) for t in implementing_trees(graph)}
+    classes: List[Set[Expression]] = []
+    while remaining:
+        seed = next(iter(sorted(remaining, key=repr)))
+        cls = preserving_equivalence_class(seed, registry)
+        # Guard against closure drift (the closure must stay inside the
+        # IT space; anything else is a bug upstream).
+        cls &= remaining | cls
+        classes.append(cls)
+        remaining -= cls
+    classes.sort(key=len, reverse=True)
+    return classes

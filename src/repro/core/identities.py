@@ -1,0 +1,441 @@
+"""Executable forms of the paper's identities 1–13 and the Figure-3 proof.
+
+Section 2 proves a toolbox of algebraic identities over join (−),
+antijoin (▷/◁), outerjoin (→/←) and padded union, then assembles them
+into the three reassociation rules for outerjoins (identities 11–13).
+Each identity is represented here as an object that *builds both sides*
+from concrete relations and predicates using the algebra operators, so
+that the test- and benchmark-suites can check them over randomized
+databases, and check that dropping a precondition (strongness for 8, 9
+and 12) actually produces counterexamples.
+
+Notation notes:
+
+* ``X ◁ Y`` is the symmetric antijoin, ``Y ▷ X``.
+* Unions and comparisons follow the padding convention of Section 2.1;
+  identities 8 and 9 apply to the *padded* antijoin term produced when a
+  join distributes over such a union — the padding is what makes the
+  strong predicate reject every tuple.
+* Identity 1 optionally carries a third predicate ``P_xz``; when present,
+  the corresponding query graph has a cycle, and the conjunct must move
+  between operators during reassociation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.algebra.comparison import RelationDiff, bag_equal, explain_difference
+from repro.algebra.operators import antijoin, join, outerjoin, union_padded
+from repro.algebra.predicates import Predicate, conjunction
+from repro.algebra.relation import Relation
+from repro.util.errors import PredicateError
+
+
+@dataclass
+class TriSetting:
+    """Three relations and the predicates linking them.
+
+    ``pxy`` links X and Y; ``pyz`` links Y and Z; ``pxz`` (identity 1 only)
+    closes the cycle between X and Z.
+    """
+
+    x: Relation
+    y: Relation
+    z: Relation
+    pxy: Predicate
+    pyz: Predicate
+    pxz: Optional[Predicate] = None
+
+    def y_attrs_of(self, predicate: Predicate) -> frozenset[str]:
+        """Attributes of Y that a predicate references (strongness probes)."""
+        return predicate.attributes() & self.y.scheme
+
+
+def _padded_antijoin(x: Relation, y: Relation, p: Predicate) -> Relation:
+    """``X ▷ Y`` padded to ``sch(X) ∪ sch(Y)`` (the union-convention form)."""
+    return antijoin(x, y, p).pad_to(x.schema.union(y.schema))
+
+
+@dataclass(frozen=True)
+class Identity:
+    """One paper identity, as a pair of relation-level evaluators."""
+
+    number: str
+    title: str
+    lhs: Callable[[TriSetting], Relation]
+    rhs: Callable[[TriSetting], Relation]
+    precondition: Callable[[TriSetting], bool]
+    precondition_text: str = "none"
+
+    def check(self, setting: TriSetting) -> Tuple[bool, RelationDiff]:
+        left = self.lhs(setting)
+        right = self.rhs(setting)
+        diff = explain_difference(left, right)
+        return diff.equal, diff
+
+    def holds(self, setting: TriSetting) -> bool:
+        return bag_equal(self.lhs(setting), self.rhs(setting))
+
+
+def _no_precondition(setting: TriSetting) -> bool:
+    return True
+
+
+def _pyz_strong_wrt_y(setting: TriSetting) -> bool:
+    return setting.pyz.is_strong(setting.y_attrs_of(setting.pyz))
+
+
+# -- identity 1: join reassociation (optionally with a cycle conjunct) -------
+
+
+def _id1_lhs(s: TriSetting) -> Relation:
+    outer = conjunction([p for p in (s.pyz, s.pxz) if p is not None])
+    return join(join(s.x, s.y, s.pxy), s.z, outer)
+
+
+def _id1_rhs(s: TriSetting) -> Relation:
+    outer = conjunction([p for p in (s.pxy, s.pxz) if p is not None])
+    return join(s.x, join(s.y, s.z, s.pyz), outer)
+
+
+# -- identities 2, 3: antijoin reassociation ---------------------------------
+
+
+def _id2_lhs(s: TriSetting) -> Relation:
+    return antijoin(join(s.x, s.y, s.pxy), s.z, s.pyz)
+
+
+def _id2_rhs(s: TriSetting) -> Relation:
+    return join(s.x, antijoin(s.y, s.z, s.pyz), s.pxy)
+
+
+def _id3_lhs(s: TriSetting) -> Relation:
+    # (X ◁ Y) ▷ Z  with  X ◁ Y = Y ▷ X.
+    return antijoin(antijoin(s.y, s.x, s.pxy), s.z, s.pyz)
+
+
+def _id3_rhs(s: TriSetting) -> Relation:
+    # X ◁ (Y ▷ Z) = (Y ▷ Z) ▷ X.
+    return antijoin(antijoin(s.y, s.z, s.pyz), s.x, s.pxy)
+
+
+# -- identities 4-6: distribution over (padded) union ------------------------
+#
+# The union operands play the role of two fragments of the same logical
+# input; we instantiate them as the join/antijoin split of Y against Z so
+# the identities are exercised exactly the way Figure 3 uses them.
+
+
+def _id4_lhs(s: TriSetting) -> Relation:
+    fragment = union_padded(join(s.y, s.z, s.pyz), _padded_antijoin(s.y, s.z, s.pyz))
+    return join(s.x, fragment, s.pxy)
+
+
+def _id4_rhs(s: TriSetting) -> Relation:
+    return union_padded(
+        join(s.x, join(s.y, s.z, s.pyz), s.pxy),
+        join(s.x, _padded_antijoin(s.y, s.z, s.pyz), s.pxy),
+    )
+
+
+def _id5_lhs(s: TriSetting) -> Relation:
+    fragment = union_padded(join(s.x, s.y, s.pxy), _padded_antijoin(s.x, s.y, s.pxy))
+    return join(fragment, s.z, s.pyz)
+
+
+def _id5_rhs(s: TriSetting) -> Relation:
+    return union_padded(
+        join(join(s.x, s.y, s.pxy), s.z, s.pyz),
+        join(_padded_antijoin(s.x, s.y, s.pxy), s.z, s.pyz),
+    )
+
+
+def _id6_lhs(s: TriSetting) -> Relation:
+    fragment = union_padded(join(s.x, s.y, s.pxy), _padded_antijoin(s.x, s.y, s.pxy))
+    return antijoin(fragment, s.z, s.pyz)
+
+
+def _id6_rhs(s: TriSetting) -> Relation:
+    return union_padded(
+        antijoin(join(s.x, s.y, s.pxy), s.z, s.pyz),
+        antijoin(_padded_antijoin(s.x, s.y, s.pxy), s.z, s.pyz),
+    )
+
+
+# -- identity 7: pseudo-distributivity of antijoin ----------------------------
+
+
+def _id7_lhs(s: TriSetting) -> Relation:
+    return antijoin(s.x, s.y, s.pxy)
+
+
+def _id7_rhs(s: TriSetting) -> Relation:
+    fragment = union_padded(join(s.y, s.z, s.pyz), _padded_antijoin(s.y, s.z, s.pyz))
+    return antijoin(s.x, fragment, s.pxy)
+
+
+# -- identities 8, 9: strong predicates against padded antijoins --------------
+
+
+def _id8_lhs(s: TriSetting) -> Relation:
+    return join(_padded_antijoin(s.x, s.y, s.pxy), s.z, s.pyz)
+
+
+def _id8_rhs(s: TriSetting) -> Relation:
+    return Relation(_id8_lhs(s).schema)  # the empty relation on the same scheme
+
+
+def _id9_lhs(s: TriSetting) -> Relation:
+    return antijoin(_padded_antijoin(s.x, s.y, s.pxy), s.z, s.pyz)
+
+
+def _id9_rhs(s: TriSetting) -> Relation:
+    return _padded_antijoin(s.x, s.y, s.pxy)
+
+
+# -- identity 10: outerjoin = join ∪ antijoin ---------------------------------
+
+
+def _id10_lhs(s: TriSetting) -> Relation:
+    return outerjoin(s.x, s.y, s.pxy)
+
+
+def _id10_rhs(s: TriSetting) -> Relation:
+    return union_padded(join(s.x, s.y, s.pxy), antijoin(s.x, s.y, s.pxy))
+
+
+# -- identities 11-13: the outerjoin reassociation rules ----------------------
+
+
+def _id11_lhs(s: TriSetting) -> Relation:
+    return outerjoin(join(s.x, s.y, s.pxy), s.z, s.pyz)
+
+
+def _id11_rhs(s: TriSetting) -> Relation:
+    return join(s.x, outerjoin(s.y, s.z, s.pyz), s.pxy)
+
+
+def _id12_lhs(s: TriSetting) -> Relation:
+    return outerjoin(outerjoin(s.x, s.y, s.pxy), s.z, s.pyz)
+
+
+def _id12_rhs(s: TriSetting) -> Relation:
+    return outerjoin(s.x, outerjoin(s.y, s.z, s.pyz), s.pxy)
+
+
+def _id13_lhs(s: TriSetting) -> Relation:
+    # (X ← Y) → Z  with  X ← Y = OJ(Y, X).
+    return outerjoin(outerjoin(s.y, s.x, s.pxy), s.z, s.pyz)
+
+
+def _id13_rhs(s: TriSetting) -> Relation:
+    # X ← (Y → Z) = OJ(Y → Z, X).
+    return outerjoin(outerjoin(s.y, s.z, s.pyz), s.x, s.pxy)
+
+
+# -- reversal mirrors of 11 and 12 (Section 2.1's symmetric forms) ------------
+#
+# Identity 13 has no useful mirror: flipping its arrows produces the
+# forbidden X → Y ← Z pattern, which is not an identity at all.
+
+
+def _id11m_lhs(s: TriSetting) -> Relation:
+    # (X ← Y) − Z  with  X ← Y = OJ(Y, X).
+    return join(outerjoin(s.y, s.x, s.pxy), s.z, s.pyz)
+
+
+def _id11m_rhs(s: TriSetting) -> Relation:
+    # X ← (Y − Z) = OJ(Y − Z, X).
+    return outerjoin(join(s.y, s.z, s.pyz), s.x, s.pxy)
+
+
+def _id12m_lhs(s: TriSetting) -> Relation:
+    # (X ← Y) ← Z = OJ(Z, OJ(Y, X)).
+    return outerjoin(s.z, outerjoin(s.y, s.x, s.pxy), s.pyz)
+
+
+def _id12m_rhs(s: TriSetting) -> Relation:
+    # X ← (Y ← Z) = OJ(OJ(Z, Y), X).
+    return outerjoin(outerjoin(s.z, s.y, s.pyz), s.x, s.pxy)
+
+
+def _pxy_strong_wrt_y(setting: TriSetting) -> bool:
+    return setting.pxy.is_strong(setting.y_attrs_of(setting.pxy))
+
+
+IDENTITIES: Dict[str, Identity] = {
+    "1": Identity(
+        "1",
+        "join reassociation (with optional cycle conjunct migration)",
+        _id1_lhs,
+        _id1_rhs,
+        _no_precondition,
+    ),
+    "2": Identity(
+        "2", "(X − Y) ▷ Z = X − (Y ▷ Z)", _id2_lhs, _id2_rhs, _no_precondition
+    ),
+    "3": Identity(
+        "3", "(X ◁ Y) ▷ Z = X ◁ (Y ▷ Z)", _id3_lhs, _id3_rhs, _no_precondition
+    ),
+    "4": Identity(
+        "4", "X − (Y ∪ Z) = (X − Y) ∪ (X − Z)", _id4_lhs, _id4_rhs, _no_precondition
+    ),
+    "5": Identity(
+        "5", "(Y ∪ Z) − X = (Y − X) ∪ (Z − X)", _id5_lhs, _id5_rhs, _no_precondition
+    ),
+    "6": Identity(
+        "6", "(Y ∪ Z) ▷ X = (Y ▷ X) ∪ (Z ▷ X)", _id6_lhs, _id6_rhs, _no_precondition
+    ),
+    "7": Identity(
+        "7",
+        "X ▷ Y = X ▷ (Y − Z ∪ Y ▷ Z)  (pseudo-distributivity)",
+        _id7_lhs,
+        _id7_rhs,
+        _no_precondition,
+    ),
+    "8": Identity(
+        "8",
+        "(X ▷ Y) − Z = ∅  (padded; P_yz strong w.r.t. Y)",
+        _id8_lhs,
+        _id8_rhs,
+        _pyz_strong_wrt_y,
+        precondition_text="P_yz strong w.r.t. Y",
+    ),
+    "9": Identity(
+        "9",
+        "(X ▷ Y) ▷ Z = X ▷ Y  (padded; P_yz strong w.r.t. Y)",
+        _id9_lhs,
+        _id9_rhs,
+        _pyz_strong_wrt_y,
+        precondition_text="P_yz strong w.r.t. Y",
+    ),
+    "10": Identity(
+        "10", "X → Y = X − Y ∪ X ▷ Y", _id10_lhs, _id10_rhs, _no_precondition
+    ),
+    "11": Identity(
+        "11", "(X − Y) → Z = X − (Y → Z)", _id11_lhs, _id11_rhs, _no_precondition
+    ),
+    "12": Identity(
+        "12",
+        "(X → Y) → Z = X → (Y → Z)  (P_yz strong w.r.t. Y)",
+        _id12_lhs,
+        _id12_rhs,
+        _pyz_strong_wrt_y,
+        precondition_text="P_yz strong w.r.t. Y",
+    ),
+    "13": Identity(
+        "13", "(X ← Y) → Z = X ← (Y → Z)", _id13_lhs, _id13_rhs, _no_precondition
+    ),
+    "11m": Identity(
+        "11m",
+        "(X ← Y) − Z = X ← (Y − Z)  (reversal mirror of 11)",
+        _id11m_lhs,
+        _id11m_rhs,
+        _no_precondition,
+    ),
+    "12m": Identity(
+        "12m",
+        "(X ← Y) ← Z = X ← (Y ← Z)  (mirror of 12; P_xy strong w.r.t. Y)",
+        _id12m_lhs,
+        _id12m_rhs,
+        _pxy_strong_wrt_y,
+        precondition_text="P_xy strong w.r.t. Y",
+    ),
+}
+
+
+def check_identity(number: str, setting: TriSetting) -> Tuple[bool, RelationDiff]:
+    """Evaluate one identity on a concrete setting.
+
+    Raises :class:`PredicateError` if the setting violates the identity's
+    precondition — preconditions must be checked (or deliberately violated)
+    by the caller via ``IDENTITIES[n].precondition``.
+    """
+    identity = IDENTITIES[number]
+    if not identity.precondition(setting):
+        raise PredicateError(
+            f"identity {number} requires: {identity.precondition_text}; "
+            "use Identity.check directly to study precondition violations"
+        )
+    return identity.check(setting)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: the step-by-step algebraic proof of identity 12
+# ---------------------------------------------------------------------------
+
+
+def identity12_proof_steps(setting: TriSetting) -> List[Tuple[str, Relation]]:
+    """Evaluate every line of Figure 3's proof of identity 12.
+
+    Returns the eight stages, each with the equation(s) justifying the
+    step.  When ``P_yz`` is strong w.r.t. Y, all eight relations are
+    bag-equal; the benchmark suite asserts exactly that, replaying the
+    paper's proof on randomized data.
+    """
+    x, y, z, pxy, pyz = setting.x, setting.y, setting.z, setting.pxy, setting.pyz
+
+    xy_oj = outerjoin(x, y, pxy)
+    xy_jn = join(x, y, pxy)
+    xy_aj = _padded_antijoin(x, y, pxy)
+    yz_jn = join(y, z, pyz)
+    yz_aj = _padded_antijoin(y, z, pyz)
+    yz_oj = outerjoin(y, z, pyz)
+
+    steps: List[Tuple[str, Relation]] = []
+    steps.append(("(X → Y) → Z", outerjoin(xy_oj, z, pyz)))
+    steps.append(
+        (
+            "expand outer outerjoin (eqn 10): (X→Y) − Z ∪ (X→Y) ▷ Z",
+            union_padded(join(xy_oj, z, pyz), antijoin(xy_oj, z, pyz)),
+        )
+    )
+    inner_union = union_padded(xy_jn, xy_aj)
+    steps.append(
+        (
+            "expand inner outerjoin (eqn 10): (X−Y ∪ X▷Y) − Z ∪ (X−Y ∪ X▷Y) ▷ Z",
+            union_padded(join(inner_union, z, pyz), antijoin(inner_union, z, pyz)),
+        )
+    )
+    steps.append(
+        (
+            "distribute (eqn 5, 6) then drop strong-padded terms (eqn 8, 9): "
+            "(X−Y) − Z ∪ (X−Y) ▷ Z ∪ X ▷ Y",
+            union_padded(
+                union_padded(join(xy_jn, z, pyz), antijoin(xy_jn, z, pyz)), xy_aj
+            ),
+        )
+    )
+    steps.append(
+        (
+            "reassociate join and antijoin (eqn 1, 2): "
+            "X − (Y − Z) ∪ X − (Y ▷ Z) ∪ X ▷ Y",
+            union_padded(
+                union_padded(join(x, yz_jn, pxy), join(x, yz_aj, pxy)), xy_aj
+            ),
+        )
+    )
+    steps.append(
+        (
+            "complete by pseudo-distributivity of antijoin (eqn 7): "
+            "X − (Y − Z) ∪ X − (Y ▷ Z) ∪ X ▷ (Y − Z ∪ Y ▷ Z)",
+            union_padded(
+                union_padded(join(x, yz_jn, pxy), join(x, yz_aj, pxy)),
+                antijoin(x, union_padded(yz_jn, yz_aj), pxy),
+            ),
+        )
+    )
+    steps.append(
+        (
+            "factor out join from union (eqn 4): "
+            "X − (Y−Z ∪ Y▷Z) ∪ X ▷ (Y−Z ∪ Y▷Z)",
+            union_padded(
+                join(x, union_padded(yz_jn, yz_aj), pxy),
+                antijoin(x, union_padded(yz_jn, yz_aj), pxy),
+            ),
+        )
+    )
+    steps.append(("rewrite as outerjoin (eqn 10): X → (Y → Z)", outerjoin(x, yz_oj, pxy)))
+    return steps

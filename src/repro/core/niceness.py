@@ -1,0 +1,237 @@
+"""The "nice" query-graph class (Section 3.1) and Lemma 1.
+
+Definition (Section 3.1).  A query graph ``G`` is *nice* if
+
+* ``G = G1 ∪ G2`` where ``G1`` is connected and has only join edges, and
+  ``G2`` is a forest of outerjoin edges; and
+* the intersection of ``G1`` and ``G2`` is exactly the set of roots of the
+  forest ``G2``.
+
+Lemma 1 gives the forbidden-pattern characterization: ``G`` is nice iff
+
+1. there are no cycles composed of outerjoin edges,
+2. there is no path of the form ``X → Y − Z`` (a node with an incoming
+   outerjoin edge and an incident join edge), and
+3. there is no path of the form ``X → Y ← Z`` (a node with two incoming
+   outerjoin edges).
+
+This module implements **both** definitions independently —
+:func:`nice_decomposition` constructs the (G1, G2) split, and
+:func:`violations` hunts for the Lemma-1 patterns — and the test suite
+verifies their equivalence on exhaustive small graphs and random large
+ones, which is this repository's machine check of Lemma 1.
+
+Niceness is stated for connected graphs (queries whose implementing trees
+exist are connected, since Cartesian products are excluded); both checkers
+report a disconnected graph as not nice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.graph import Arrow, QueryGraph
+
+
+@dataclass(frozen=True)
+class NicenessViolation:
+    """One forbidden pattern found in a graph."""
+
+    kind: str  # "disconnected" | "oj-cycle" | "oj-into-join" | "two-incoming-oj"
+    nodes: Tuple[str, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} at {', '.join(self.nodes)}: {self.detail}"
+
+
+def violations(graph: QueryGraph) -> List[NicenessViolation]:
+    """All Lemma-1 violations in the graph (empty list == nice)."""
+    found: List[NicenessViolation] = []
+    if not graph.is_connected():
+        found.append(
+            NicenessViolation(
+                kind="disconnected",
+                nodes=tuple(sorted(graph.nodes)),
+                detail="a query graph without Cartesian products is connected",
+            )
+        )
+
+    # Condition 3: no X → Y ← Z.
+    for node in sorted(graph.nodes):
+        incoming = graph.oj_in_edges(node)
+        if len(incoming) >= 2:
+            sources = tuple(sorted(u for (u, _v) in incoming))
+            found.append(
+                NicenessViolation(
+                    kind="two-incoming-oj",
+                    nodes=(node,),
+                    detail=f"outerjoin edges from {sources} both point into {node!r} "
+                    f"(path X → Y ← Z)",
+                )
+            )
+        # Condition 2: no X → Y − Z.
+        if incoming:
+            join_nbs = graph.join_neighbors(node)
+            if join_nbs:
+                found.append(
+                    NicenessViolation(
+                        kind="oj-into-join",
+                        nodes=(node,),
+                        detail=f"{node!r} is null-supplied by {incoming[0][0]!r} but also "
+                        f"joins with {sorted(join_nbs)} (path X → Y − Z)",
+                    )
+                )
+
+    # Condition 1: no cycles composed of outerjoin edges (undirected sense).
+    cycle = _oj_cycle(graph)
+    if cycle is not None:
+        found.append(
+            NicenessViolation(
+                kind="oj-cycle",
+                nodes=tuple(cycle),
+                detail="outerjoin edges form a cycle; G2 must be a forest",
+            )
+        )
+    return found
+
+
+def is_nice(graph: QueryGraph) -> bool:
+    """Lemma-1 characterization: nice iff no forbidden pattern occurs."""
+    return not violations(graph)
+
+
+def _oj_cycle(graph: QueryGraph) -> Optional[List[str]]:
+    """Find a cycle among outerjoin edges viewed as undirected, if any."""
+    adjacency: dict[str, list[str]] = {}
+    for (u, v) in graph.oj_edges:
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+    seen: set[str] = set()
+    for start in sorted(adjacency):
+        if start in seen:
+            continue
+        # DFS with parent tracking; a visited non-parent neighbor closes a cycle.
+        stack: list[tuple[str, Optional[str]]] = [(start, None)]
+        parents: dict[str, Optional[str]] = {start: None}
+        while stack:
+            node, parent = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for nb in adjacency.get(node, ()):
+                if nb == parent:
+                    # A multigraph of two opposite arrows between the same pair
+                    # is rejected at construction time, so skipping one parent
+                    # edge is safe.
+                    continue
+                if nb in seen:
+                    return _reconstruct_cycle(parents, node, nb)
+                if nb not in parents:
+                    parents[nb] = node
+                stack.append((nb, node))
+    return None
+
+
+def _reconstruct_cycle(parents, node: str, other: str) -> List[str]:
+    path = [node]
+    cur = node
+    while parents.get(cur) is not None:
+        cur = parents[cur]  # type: ignore[assignment]
+        path.append(cur)
+    return [other] + path
+
+
+@dataclass(frozen=True)
+class NiceDecomposition:
+    """The constructive witness of niceness: G = G1 ∪ G2.
+
+    ``g1_nodes`` spans the connected join-edge core; ``forest_roots`` is
+    the intersection of G1 and G2 (roots of the outerjoin forest);
+    ``forest_edges`` are the outerjoin edges, each directed away from its
+    root.
+    """
+
+    g1_nodes: FrozenSet[str]
+    forest_roots: FrozenSet[str]
+    forest_edges: Tuple[Arrow, ...]
+
+
+def nice_decomposition(graph: QueryGraph) -> Optional[NiceDecomposition]:
+    """Construct the Section-3.1 decomposition, or return None.
+
+    Independent of :func:`violations`; the two are cross-validated in the
+    test suite as the machine check of Lemma 1.
+    """
+    if not graph.is_connected():
+        return None
+
+    # G2 candidate: all outerjoin edges.  Check forest, in-degree <= 1.
+    indegree: dict[str, int] = {}
+    for (u, v) in graph.oj_edges:
+        indegree[v] = indegree.get(v, 0) + 1
+    if any(d > 1 for d in indegree.values()):
+        return None
+    if _oj_cycle(graph) is not None:
+        return None
+
+    # Nodes internal to outerjoin trees (non-roots) must not be in G1.
+    non_roots = {v for (_u, v) in graph.oj_edges}
+    g1_nodes = graph.nodes - frozenset(non_roots)
+
+    # All join edges must connect G1 nodes only.
+    for pair in graph.join_edges:
+        if not pair <= g1_nodes:
+            return None
+
+    # G1 must be connected using join edges alone.
+    if not _join_connected(graph, g1_nodes):
+        return None
+
+    # Roots of the forest: G2 nodes that are in G1.
+    g2_nodes = {u for (u, _v) in graph.oj_edges} | non_roots
+    roots = frozenset(g2_nodes & g1_nodes)
+
+    # Every outerjoin tree must be rooted in G1: walking arrows backward
+    # from any G2 node must end at a root (in-degree 0 node inside G1).
+    parent = {v: u for (u, v) in graph.oj_edges}
+    for node in g2_nodes:
+        cur = node
+        hops = 0
+        while cur in parent:
+            cur = parent[cur]
+            hops += 1
+            if hops > len(graph.nodes):
+                return None  # defensive; cycles were excluded above
+        if cur not in g1_nodes:
+            return None
+
+    return NiceDecomposition(
+        g1_nodes=frozenset(g1_nodes),
+        forest_roots=roots,
+        forest_edges=tuple(sorted(graph.oj_edges)),
+    )
+
+
+def _join_connected(graph: QueryGraph, nodes: FrozenSet[str]) -> bool:
+    """Are ``nodes`` connected using join edges only?"""
+    if not nodes:
+        return False
+    if len(nodes) == 1:
+        return True
+    start = next(iter(nodes))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for nb in graph.join_neighbors(node):
+            if nb in nodes and nb not in seen:
+                seen.add(nb)
+                frontier.append(nb)
+    return seen == nodes
+
+
+def is_nice_by_decomposition(graph: QueryGraph) -> bool:
+    """Definition-based niceness check (the left side of Lemma 1)."""
+    return nice_decomposition(graph) is not None

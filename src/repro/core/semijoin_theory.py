@@ -1,0 +1,313 @@
+"""Section 6.3's closing conjecture: join/semijoin queries.
+
+The paper: "We hope that similar free reorderability theorems can be
+proved of other classes of expressions ... For example, for join/semijoin
+queries, it appears that fewer basic transforms preserve the result, and
+therefore a smaller set of graphs will be freely reorderable — semijoin
+edges in series appear to be an additional forbidden subgraph."
+
+This module builds the machinery to *study* that conjecture empirically:
+
+* join/semijoin query graphs (undirected join edges plus directed
+  semijoin edges pointing at the *discarded* relation);
+* ``semijoin_graph_of`` for Join/Semijoin expression trees;
+* an implementing-tree enumerator with the crucial twist that a semijoin
+  *discards* its right operand's attributes, so a candidate operator is
+  only well formed if its predicate's attributes are still **available**
+  in both operand subtrees;
+* a brute-force agreement checker over the valid trees.
+
+Findings (machine-checked in the tests and the bench
+``bench_section63_semijoin.py``):
+
+* semijoin edges **in series** (``X ⋉ Y ⋉ Z`` with the second predicate
+  on Y, Z) collapse the valid-tree set to the single right-deep order —
+  the "forbidden subgraph" manifests as a total loss of reordering
+  freedom, exactly the "fewer basic transforms" the paper predicts;
+* semijoin edges in **parallel** (two semijoins filtering the same
+  relation) and join/semijoin mixes keep multiple valid trees, and those
+  trees agree on randomized databases (semijoins are filters on their
+  preserved operand, and filters commute with joins whenever the
+  availability rule lets them apply at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
+
+from repro.algebra.comparison import bag_equal, explain_difference
+from repro.algebra.predicates import Predicate, conjunction
+from repro.algebra.relation import Database
+from repro.algebra.schema import SchemaRegistry
+from repro.core.expressions import Expression, Join, Rel, Semijoin
+from repro.util.errors import GraphUndefinedError
+
+Arrow = Tuple[str, str]
+
+
+class JoinSemijoinGraph:
+    """A query graph with join edges and directed semijoin edges.
+
+    A semijoin edge ``(u, v)`` means "``u``'s side is filtered by a match
+    in ``v``'s side, and ``v``'s side is discarded" — the arrow points at
+    the discarded relation, by analogy with the outerjoin arrow pointing
+    at the null-supplied one.
+    """
+
+    def __init__(
+        self,
+        nodes,
+        join_edges: Mapping[FrozenSet[str], Predicate] | None = None,
+        sj_edges: Mapping[Arrow, Predicate] | None = None,
+    ):
+        self.nodes = frozenset(nodes)
+        self.join_edges: Dict[FrozenSet[str], Predicate] = dict(join_edges or {})
+        self.sj_edges: Dict[Arrow, Predicate] = dict(sj_edges or {})
+
+    @classmethod
+    def from_edges(cls, join=(), sj=(), isolated=()) -> "JoinSemijoinGraph":
+        nodes = set(isolated)
+        join_edges: Dict[FrozenSet[str], List[Predicate]] = {}
+        for u, v, p in join:
+            nodes.update((u, v))
+            join_edges.setdefault(frozenset({u, v}), []).append(p)
+        sj_edges: Dict[Arrow, Predicate] = {}
+        for u, v, p in sj:
+            nodes.update((u, v))
+            if (u, v) in sj_edges:
+                raise GraphUndefinedError(f"duplicate semijoin edge {(u, v)}")
+            sj_edges[(u, v)] = p
+        return cls(nodes, {k: conjunction(v) for k, v in join_edges.items()}, sj_edges)
+
+    def neighbors(self, node: str) -> FrozenSet[str]:
+        out: set[str] = set()
+        for pair in self.join_edges:
+            if node in pair:
+                out |= pair - {node}
+        for (u, v) in self.sj_edges:
+            if u == node:
+                out.add(v)
+            elif v == node:
+                out.add(u)
+        return frozenset(out)
+
+    def is_connected(self, within: Optional[FrozenSet[str]] = None) -> bool:
+        universe = self.nodes if within is None else frozenset(within)
+        if not universe:
+            return False
+        start = next(iter(universe))
+        seen, frontier = {start}, [start]
+        while frontier:
+            node = frontier.pop()
+            for nb in self.neighbors(node):
+                if nb in universe and nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        return seen == universe
+
+    def cut(self, side_a: FrozenSet[str], side_b: FrozenSet[str]):
+        joins = [
+            (pair, p)
+            for pair, p in self.join_edges.items()
+            if len(pair & side_a) == 1 and len(pair & side_b) == 1
+        ]
+        sjs = [
+            ((u, v), p)
+            for (u, v), p in self.sj_edges.items()
+            if (u in side_a and v in side_b) or (u in side_b and v in side_a)
+        ]
+        return joins, sjs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinSemijoinGraph):
+            return NotImplemented
+        return (
+            self.nodes == other.nodes
+            and self.join_edges == other.join_edges
+            and self.sj_edges == other.sj_edges
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.nodes, frozenset(self.join_edges.items()), frozenset(self.sj_edges.items()))
+        )
+
+    def describe(self) -> str:
+        lines = [f"nodes: {', '.join(sorted(self.nodes))}"]
+        for pair, p in sorted(self.join_edges.items(), key=lambda kv: sorted(kv[0])):
+            u, v = sorted(pair)
+            lines.append(f"  {u} - {v}   [{p!r}]")
+        for (u, v), p in sorted(self.sj_edges.items()):
+            lines.append(f"  {u} ⋉ {v}   [{p!r}]")
+        return "\n".join(lines)
+
+
+def semijoin_graph_of(query: Expression, registry: SchemaRegistry) -> JoinSemijoinGraph:
+    """``graph(Q)`` for Join/Semijoin queries, mirroring Section 1.2."""
+    join_lists: Dict[FrozenSet[str], List[Predicate]] = {}
+    sj_edges: Dict[Arrow, Predicate] = {}
+
+    def visit(node: Expression) -> None:
+        if isinstance(node, Rel):
+            return
+        if isinstance(node, Join):
+            for conjunct in node.predicate.conjuncts():
+                owners = sorted(registry.owners(conjunct.attributes()))
+                if len(owners) != 2:
+                    raise GraphUndefinedError(
+                        f"join conjunct {conjunct!r} must reference two ground relations"
+                    )
+                join_lists.setdefault(frozenset(owners), []).append(conjunct)
+        elif isinstance(node, Semijoin):
+            owners = sorted(registry.owners(node.predicate.attributes()))
+            if len(owners) != 2:
+                raise GraphUndefinedError(
+                    f"semijoin predicate {node.predicate!r} must reference two ground relations"
+                )
+            a, b = owners
+            preserved_rel = a if a in node.left.relations() else b
+            discarded_rel = b if preserved_rel == a else a
+            arrow = (preserved_rel, discarded_rel)
+            if arrow in sj_edges:
+                raise GraphUndefinedError(f"duplicate semijoin edge {arrow}")
+            sj_edges[arrow] = node.predicate
+        else:
+            raise GraphUndefinedError(
+                f"join/semijoin graphs cover Join and Semijoin nodes only; found "
+                f"{type(node).__name__}"
+            )
+        for child in node.children():
+            visit(child)
+
+    visit(query)
+    return JoinSemijoinGraph(
+        query.relations(),
+        {pair: conjunction(preds) for pair, preds in join_lists.items()},
+        sj_edges,
+    )
+
+
+@dataclass(frozen=True)
+class _TreeInfo:
+    """A candidate tree plus the relations whose attributes it still carries."""
+
+    expr: Expression
+    available: FrozenSet[str]
+
+
+def _ordered_partitions(graph: JoinSemijoinGraph, nodes: FrozenSet[str]):
+    members = sorted(nodes)
+    n = len(members)
+    for mask in range(1, (1 << n) - 1):
+        side_a = frozenset(members[i] for i in range(n) if mask & (1 << i))
+        side_b = nodes - side_a
+        if graph.is_connected(side_a) and graph.is_connected(side_b):
+            yield side_a, side_b
+
+
+def semijoin_implementing_trees(
+    graph: JoinSemijoinGraph, registry: SchemaRegistry
+) -> Iterator[Expression]:
+    """All *well-formed* trees of a join/semijoin graph.
+
+    Availability rule: a semijoin discards its right operand's scheme, so
+    an operator is only emitted when every predicate attribute is still
+    carried by the corresponding operand — this is where "semijoin edges
+    in series" lose their reorderings.
+    """
+    if not graph.is_connected():
+        raise GraphUndefinedError("disconnected graphs have no implementing trees")
+    for info in _trees_for(graph, registry, graph.nodes, {}):
+        yield info.expr
+
+
+def _trees_for(
+    graph: JoinSemijoinGraph,
+    registry: SchemaRegistry,
+    nodes: FrozenSet[str],
+    cache: Dict[FrozenSet[str], List[_TreeInfo]],
+) -> List[_TreeInfo]:
+    if nodes in cache:
+        return cache[nodes]
+    if len(nodes) == 1:
+        name = next(iter(nodes))
+        result = [_TreeInfo(Rel(name), frozenset({name}))]
+        cache[nodes] = result
+        return result
+    result: List[_TreeInfo] = []
+    for side_a, side_b in _ordered_partitions(graph, nodes):
+        join_cut, sj_cut = graph.cut(side_a, side_b)
+        if join_cut and sj_cut:
+            continue
+        if len(sj_cut) > 1:
+            continue
+        for left in _trees_for(graph, registry, side_a, cache):
+            for right in _trees_for(graph, registry, side_b, cache):
+                if join_cut and not sj_cut:
+                    predicate = conjunction([p for _pair, p in join_cut])
+                    if _predicate_supported(predicate, left, right, registry):
+                        result.append(
+                            _TreeInfo(
+                                Join(left.expr, right.expr, predicate),
+                                left.available | right.available,
+                            )
+                        )
+                elif sj_cut:
+                    (arrow, predicate) = sj_cut[0]
+                    preserved, _discarded = arrow
+                    if preserved not in side_a:
+                        continue  # semijoin keeps its left operand only
+                    if _predicate_supported(predicate, left, right, registry):
+                        result.append(
+                            _TreeInfo(
+                                Semijoin(left.expr, right.expr, predicate),
+                                left.available,
+                            )
+                        )
+    cache[nodes] = result
+    return result
+
+
+def _predicate_supported(
+    predicate: Predicate, left: _TreeInfo, right: _TreeInfo, registry: SchemaRegistry
+) -> bool:
+    owners = registry.owners(predicate.attributes())
+    for owner in owners:
+        if owner in left.expr.relations():
+            if owner not in left.available:
+                return False
+        elif owner not in right.available:
+            return False
+    return True
+
+
+@dataclass
+class SemijoinReport:
+    """Outcome of the join/semijoin reorderability study for one graph."""
+
+    tree_count: int
+    consistent: bool
+    witness: Optional[str] = None
+
+
+def check_semijoin_graph(
+    graph: JoinSemijoinGraph, registry: SchemaRegistry, databases: List[Database]
+) -> SemijoinReport:
+    """Enumerate the valid trees and compare their evaluations."""
+    trees = list(semijoin_implementing_trees(graph, registry))
+    if not trees:
+        return SemijoinReport(tree_count=0, consistent=True)
+    reference = trees[0]
+    for db in databases:
+        expected = reference.eval(db)
+        for tree in trees[1:]:
+            got = tree.eval(db)
+            if not bag_equal(expected, got):
+                diff = explain_difference(expected, got)
+                return SemijoinReport(
+                    tree_count=len(trees),
+                    consistent=False,
+                    witness=f"{reference!r} vs {tree!r}: {diff}",
+                )
+    return SemijoinReport(tree_count=len(trees), consistent=True)

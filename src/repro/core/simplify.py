@@ -1,0 +1,170 @@
+"""Section 4: strong restrictions simplify outerjoins to joins.
+
+The paper's simplification rule:
+
+    Suppose the query includes a predicate (restriction or regular join)
+    that is strong in some attributes of relation R.  Consider the path in
+    the implementing tree going from that predicate to R.  If an outerjoin
+    is in that path and R is in its null-supplied subtree, then replace
+    the operator by regular join.
+
+Rationale: a strong predicate discards every tuple in which R's attributes
+were null-padded, so there was no point padding them — "regular join would
+suffice".  The simplification is carried out *before* creation of the
+query graph.
+
+The module also packages the cautionary tale at the end of Section 4: a
+referential-integrity constraint may justify replacing an outerjoin edge
+by a join edge, but the revised graph "may not be freely reorderable" —
+:func:`apply_referential_integrity` performs the replacement so tests and
+benchmarks can watch niceness break (``R1 → R2 → R3`` turning into
+``R1 → (R2 − R3)``, Example 2's shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from repro.algebra.predicates import Predicate
+from repro.algebra.schema import SchemaRegistry
+from repro.core.expressions import (
+    BinaryOp,
+    Expression,
+    FullOuterJoin,
+    Join,
+    LeftOuterJoin,
+    Project,
+    Rel,
+    Restrict,
+    RightOuterJoin,
+)
+from repro.core.graph import QueryGraph
+from repro.util.errors import NotApplicableError
+
+
+@dataclass
+class SimplificationReport:
+    """What the Section-4 rewrite did to a tree."""
+
+    query: Expression
+    conversions: List[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.conversions)
+
+
+def _strong_relations(
+    predicate: Predicate, registry: SchemaRegistry, candidates: FrozenSet[str]
+) -> FrozenSet[str]:
+    """Relations among ``candidates`` on whose referenced attributes the
+    predicate is strong."""
+    out: set[str] = set()
+    for rel_name in candidates:
+        probe = predicate.attributes() & registry[rel_name].attributes
+        if probe and predicate.is_strong(probe):
+            out.add(rel_name)
+    return frozenset(out)
+
+
+def simplify_outerjoins(
+    query: Expression, registry: SchemaRegistry
+) -> SimplificationReport:
+    """Apply the Section-4 rule everywhere in the tree.
+
+    The traversal carries downward the set of relations protected by a
+    strong predicate applied *above*; whenever an outerjoin's null-supplied
+    subtree contains such a relation, the outerjoin becomes a regular join
+    (whose predicate then also contributes strength further down, since
+    regular-join predicates count as "restriction or regular join").
+    """
+    report = SimplificationReport(query=query)
+
+    def walk(node: Expression, strong_rels: FrozenSet[str]) -> Expression:
+        if isinstance(node, Rel):
+            return node
+        if isinstance(node, Restrict):
+            gained = _strong_relations(node.predicate, registry, node.relations())
+            child = walk(node.child, strong_rels | gained)
+            return Restrict(child, node.predicate)
+        if isinstance(node, Project):
+            return Project(walk(node.child, strong_rels), node.attributes, node.dedup)
+        if isinstance(node, Join):
+            gained = _strong_relations(node.predicate, registry, node.relations())
+            passed = strong_rels | gained
+            return Join(
+                walk(node.left, passed), walk(node.right, passed), node.predicate
+            )
+        if isinstance(node, FullOuterJoin):
+            # Section 4's closing remark: "A similar argument can be used
+            # to convert 2-sided outerjoin to one-sided outerjoin."  A
+            # strong predicate over a left-subtree relation kills the rows
+            # that pad the left side (those produced for unmatched right
+            # tuples), leaving a left outerjoin; symmetrically for the
+            # right; both sides strong leaves a regular join.
+            left_hit = bool(node.left.relations() & strong_rels)
+            right_hit = bool(node.right.relations() & strong_rels)
+            if left_hit or right_hit:
+                if left_hit and right_hit:
+                    converted: Expression = Join(node.left, node.right, node.predicate)
+                    target = "join"
+                elif left_hit:
+                    converted = LeftOuterJoin(node.left, node.right, node.predicate)
+                    target = "left outerjoin"
+                else:
+                    converted = RightOuterJoin(node.left, node.right, node.predicate)
+                    target = "right outerjoin"
+                report.conversions.append(
+                    f"{node.to_infix()}: strong predicate above protects "
+                    f"{'both sides' if left_hit and right_hit else ('left' if left_hit else 'right') + ' side'}"
+                    f" — full outerjoin ⇒ {target}"
+                )
+                return walk(converted, strong_rels)
+            return node.with_parts(
+                walk(node.left, strong_rels), walk(node.right, strong_rels)
+            )
+        if isinstance(node, (LeftOuterJoin, RightOuterJoin)):
+            null_side = node.null_supplied()
+            if null_side.relations() & strong_rels:
+                victims = sorted(null_side.relations() & strong_rels)
+                report.conversions.append(
+                    f"{node.to_infix()}: null-supplied side contains {victims}, "
+                    "protected by a strong predicate above — outerjoin ⇒ join"
+                )
+                converted = Join(node.left, node.right, node.predicate)
+                return walk(converted, strong_rels)
+            # The outerjoin survives; its own predicate is NOT strength-
+            # contributing (it pads rather than discards non-matches), so
+            # only the inherited set flows down.
+            return node.with_parts(
+                walk(node.left, strong_rels), walk(node.right, strong_rels)
+            )
+        # Other operators: recurse without gaining strength.
+        kids = node.children()
+        if isinstance(node, BinaryOp) and len(kids) == 2:
+            return node.with_parts(walk(kids[0], strong_rels), walk(kids[1], strong_rels))
+        return node
+
+    report.query = walk(query, frozenset())
+    return report
+
+
+def apply_referential_integrity(
+    graph: QueryGraph, edge: Tuple[str, str]
+) -> QueryGraph:
+    """Replace the outerjoin edge ``(preserved, null_supplied)`` by a join edge.
+
+    Models Section 4's referential-integrity rewrite: when a constraint
+    guarantees that no tuple would be null-padded, the outerjoin result
+    equals the join result, so the edge *may* be converted — but the
+    resulting graph can fall outside the freely-reorderable class, which
+    is exactly what the caller should go on to check.
+    """
+    if edge not in graph.oj_edges:
+        raise NotApplicableError(f"no outerjoin edge {edge} in graph")
+    predicate = graph.oj_edges[edge]
+    oj_edges = {arrow: p for arrow, p in graph.oj_edges.items() if arrow != edge}
+    join_edges = dict(graph.join_edges)
+    join_edges[frozenset(edge)] = predicate
+    return QueryGraph(graph.nodes, join_edges, oj_edges)

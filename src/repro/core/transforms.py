@@ -1,0 +1,370 @@
+"""Basic transforms (BTs) on implementing trees — Section 3.2.
+
+Two transforms modify an implementing tree while preserving its graph:
+
+**Reversal** exchanges the left and right subtrees of a node, replacing the
+operator by its symmetric form (``X → Y`` becomes ``Y ← X``).  Reversals
+are always result preserving.
+
+**Reassociation** exchanges a parent/child pair:
+``((Q1 ⊙1 Q2) ⊙2 Q3)`` becomes ``(Q1 ⊙1 (Q2 ⊙2 Q3))`` — here called a
+*right rotation*; the inverse direction is a *left rotation*.  If a
+conjunct of ``⊙2`` references ``Q1`` it must migrate to ``⊙1`` (identity 1;
+the query graph has a cycle), which is legal only when both operators are
+regular joins.  The transform is applicable only if the migrating
+operator's predicate references some relation in the middle subtree
+``Q2``, and only if the operator left behind still has a predicate (no
+Cartesian products in ITs).
+
+A reassociation is *result preserving* when the corresponding
+three-operand identity of Section 2 holds; :func:`classify_rotation`
+pattern-matches the operator pair against identities 1, 11, 12, 13 (and
+their reversal mirrors), including identity 12's strongness precondition.
+The two non-preserving patterns are exactly the ones Lemma 2 names:
+``[X → Y − Z]`` and ``[X → Y ← Z]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.algebra.predicates import Predicate, conjunction
+from repro.algebra.schema import SchemaRegistry
+from repro.core.expressions import (
+    BinaryOp,
+    Expression,
+    Join,
+    LeftOuterJoin,
+    Path,
+    Rel,
+    RightOuterJoin,
+    replace_at,
+    subtree_at,
+)
+from repro.util.errors import NotApplicableError
+
+#: The operator kinds that participate in join/outerjoin implementing trees.
+IT_OPERATORS = (Join, LeftOuterJoin, RightOuterJoin)
+
+
+@dataclass(frozen=True)
+class BasicTransform:
+    """A BT instance: what to do and where in the tree.
+
+    ``kind`` is one of ``"reversal"``, ``"rotate_right"`` (maps
+    ``((A ⊙1 B) ⊙2 C)`` to ``(A ⊙1 (B ⊙2 C))``), or ``"rotate_left"``
+    (the inverse).  ``path`` addresses the node the transform acts on.
+    """
+
+    kind: str
+    path: Path
+
+    def __str__(self) -> str:
+        where = "/".join(self.path) if self.path else "root"
+        return f"{self.kind}@{where}"
+
+
+@dataclass(frozen=True)
+class RotationClassification:
+    """Verdict on whether a reassociation BT is result preserving.
+
+    ``preserving`` reflects the Section-2 identities; ``identity`` names
+    the identity that justifies (or whose precondition fails for) the
+    rotation; ``reason`` is a human-readable explanation.  A ``False``
+    verdict means "not guaranteed by the identities" — on particular data
+    the two trees may still coincide, which is why Lemma 2 is about
+    guarantees over *all* ground-relation values.
+    """
+
+    preserving: bool
+    identity: Optional[str]
+    reason: str
+
+
+def reverse_node(node: BinaryOp) -> BinaryOp:
+    """The reversal BT at a single node (always result preserving)."""
+    if isinstance(node, Join):
+        return Join(node.right, node.left, node.predicate)
+    if isinstance(node, LeftOuterJoin):
+        return RightOuterJoin(node.right, node.left, node.predicate)
+    if isinstance(node, RightOuterJoin):
+        return LeftOuterJoin(node.right, node.left, node.predicate)
+    raise NotApplicableError(f"reversal undefined for {type(node).__name__}")
+
+
+def _split_predicate(
+    predicate: Predicate,
+    outer_rels: FrozenSet[str],
+    registry: SchemaRegistry,
+) -> Tuple[List[Predicate], List[Predicate]]:
+    """Partition conjuncts into (staying, migrating-to-the-other-operator).
+
+    A conjunct migrates when it references a relation of ``outer_rels``
+    (the subtree the rotation moves the operator away from).
+    """
+    stay: List[Predicate] = []
+    move: List[Predicate] = []
+    for conjunct in predicate.conjuncts():
+        owners = registry.owners(conjunct.attributes())
+        if owners & outer_rels:
+            move.append(conjunct)
+        else:
+            stay.append(conjunct)
+    return stay, move
+
+
+def rotate_right(node: BinaryOp, registry: SchemaRegistry) -> BinaryOp:
+    """``((A ⊙1 B) ⊙2 C)  →  (A ⊙1 (B ⊙2 C))``.
+
+    Raises :class:`NotApplicableError` when the transform's preconditions
+    (Section 3.2) fail.
+    """
+    if not isinstance(node, IT_OPERATORS):
+        raise NotApplicableError(f"{type(node).__name__} is not an IT operator")
+    inner = node.left
+    if not isinstance(inner, IT_OPERATORS):
+        raise NotApplicableError("left child is not a binary IT operator")
+    a, b, c = inner.left, inner.right, node.right
+
+    stay, move = _split_predicate(node.predicate, a.relations(), registry)
+    if not stay:
+        raise NotApplicableError(
+            "predicate of the migrating operator references no relation of the "
+            "middle subtree; rotation would create a Cartesian product"
+        )
+    if move:
+        if not (isinstance(node, Join) and isinstance(inner, Join)):
+            raise NotApplicableError(
+                "a conjunct must move between operators (identity 1), which is "
+                "legal only when both operators are regular joins"
+            )
+        new_outer_pred = conjunction([inner.predicate, *move])
+    else:
+        new_outer_pred = inner.predicate
+    new_inner = node.with_parts(b, c, conjunction(stay))
+    return inner.with_parts(a, new_inner, new_outer_pred)
+
+
+def rotate_left(node: BinaryOp, registry: SchemaRegistry) -> BinaryOp:
+    """``(A ⊙1 (B ⊙2 C))  →  ((A ⊙1 B) ⊙2 C)`` — the inverse rotation."""
+    if not isinstance(node, IT_OPERATORS):
+        raise NotApplicableError(f"{type(node).__name__} is not an IT operator")
+    inner = node.right
+    if not isinstance(inner, IT_OPERATORS):
+        raise NotApplicableError("right child is not a binary IT operator")
+    a, b, c = node.left, inner.left, inner.right
+
+    stay, move = _split_predicate(node.predicate, c.relations(), registry)
+    if not stay:
+        raise NotApplicableError(
+            "predicate of the migrating operator references no relation of the "
+            "middle subtree; rotation would create a Cartesian product"
+        )
+    if move:
+        if not (isinstance(node, Join) and isinstance(inner, Join)):
+            raise NotApplicableError(
+                "a conjunct must move between operators (identity 1), which is "
+                "legal only when both operators are regular joins"
+            )
+        new_inner_pred = conjunction([inner.predicate, *move])
+    else:
+        new_inner_pred = inner.predicate
+    new_outer = node.with_parts(a, b, conjunction(stay))
+    return inner.with_parts(new_outer, c, new_inner_pred)
+
+
+def apply_transform(
+    query: Expression, transform: BasicTransform, registry: SchemaRegistry
+) -> Expression:
+    """Apply one BT at its path and return the new tree."""
+    node = subtree_at(query, transform.path)
+    if not isinstance(node, BinaryOp):
+        raise NotApplicableError(f"no binary operator at path {transform.path}")
+    if transform.kind == "reversal":
+        replacement: Expression = reverse_node(node)
+    elif transform.kind == "rotate_right":
+        replacement = rotate_right(node, registry)
+    elif transform.kind == "rotate_left":
+        replacement = rotate_left(node, registry)
+    else:
+        raise NotApplicableError(f"unknown transform kind {transform.kind!r}")
+    return replace_at(query, transform.path, replacement)
+
+
+def applicable_transforms(
+    query: Expression, registry: SchemaRegistry
+) -> Iterator[BasicTransform]:
+    """All BTs applicable anywhere in the tree.
+
+    Applicability is decided by actually attempting the rotation, so the
+    exact Section-3.2 side conditions (predicate must reference the middle
+    subtree; conjunct moves only between regular joins; no Cartesian
+    products) are enforced in one place.
+    """
+    for path, node in query.nodes():
+        if not isinstance(node, IT_OPERATORS):
+            continue
+        yield BasicTransform("reversal", path)
+        if isinstance(node.left, IT_OPERATORS):
+            try:
+                rotate_right(node, registry)
+            except NotApplicableError:
+                pass
+            else:
+                yield BasicTransform("rotate_right", path)
+        if isinstance(node.right, IT_OPERATORS):
+            try:
+                rotate_left(node, registry)
+            except NotApplicableError:
+                pass
+            else:
+                yield BasicTransform("rotate_left", path)
+
+
+# ---------------------------------------------------------------------------
+# Result-preserving classification (Lemma 2's case analysis)
+# ---------------------------------------------------------------------------
+
+
+def _attrs_of(rels: FrozenSet[str], registry: SchemaRegistry) -> FrozenSet[str]:
+    out: set[str] = set()
+    for r in rels:
+        out |= registry[r].attributes
+    return frozenset(out)
+
+
+def classify_rotation(
+    op1: BinaryOp,
+    op2: BinaryOp,
+    middle: Expression,
+    registry: SchemaRegistry,
+) -> RotationClassification:
+    """Classify the identity behind ``(A ⊙1 B) ⊙2 C  =  A ⊙1 (B ⊙2 C)``.
+
+    ``op1`` is the operator adjacent to ``A`` and ``B`` (with its
+    predicate), ``op2`` the one adjacent to ``C``; ``middle`` is the
+    subtree ``B``.  The same table serves right rotations and left
+    rotations because the underlying identity is an equality.
+
+    The strongness conditions follow Section 2.3: identity 12 requires the
+    second outerjoin predicate to be strong with respect to the attributes
+    it references from the middle subtree (whose tuples the first outerjoin
+    may have null-padded).  Example 3 shows the condition is not optional.
+    """
+    t1, t2 = type(op1), type(op2)
+    p1, p2 = op1.predicate, op2.predicate
+    middle_attrs = _attrs_of(middle.relations(), registry)
+
+    if t1 is Join and t2 is Join:
+        return RotationClassification(True, "identity 1", "joins reassociate freely")
+    if t1 is Join and t2 is LeftOuterJoin:
+        return RotationClassification(
+            True, "identity 11", "(X − Y) → Z = X − (Y → Z) holds unconditionally"
+        )
+    if t1 is RightOuterJoin and t2 is Join:
+        return RotationClassification(
+            True,
+            "identity 11 (mirror)",
+            "(X ← Y) − Z = X ← (Y − Z): the join touches the preserved side",
+        )
+    if t1 is RightOuterJoin and t2 is LeftOuterJoin:
+        return RotationClassification(
+            True, "identity 13", "(X ← Y) → Z = X ← (Y → Z) holds unconditionally"
+        )
+    if t1 is LeftOuterJoin and t2 is LeftOuterJoin:
+        probe = p2.attributes() & middle_attrs
+        if p2.is_strong(probe):
+            return RotationClassification(
+                True,
+                "identity 12",
+                "outer predicate is strong w.r.t. the middle subtree it references",
+            )
+        return RotationClassification(
+            False,
+            "identity 12",
+            f"outer predicate {p2!r} is not strong w.r.t. {sorted(probe)} "
+            "(Example 3's failure mode)",
+        )
+    if t1 is RightOuterJoin and t2 is RightOuterJoin:
+        probe = p1.attributes() & middle_attrs
+        if p1.is_strong(probe):
+            return RotationClassification(
+                True,
+                "identity 12 (mirror)",
+                "inner predicate is strong w.r.t. the middle subtree it references",
+            )
+        return RotationClassification(
+            False,
+            "identity 12 (mirror)",
+            f"predicate {p1!r} is not strong w.r.t. {sorted(probe)}",
+        )
+    if t1 is LeftOuterJoin and t2 is Join:
+        return RotationClassification(
+            False, None, "forbidden pattern [X → Y − Z]: join on a null-supplied subtree"
+        )
+    if t1 is LeftOuterJoin and t2 is RightOuterJoin:
+        return RotationClassification(
+            False, None, "forbidden pattern [X → Y ← Z]: two arrows into the middle"
+        )
+    if t1 is Join and t2 is RightOuterJoin:
+        return RotationClassification(
+            False,
+            None,
+            "forbidden pattern [X → Y − Z] (mirror): the outerjoin would null-supply "
+            "a join result",
+        )
+    return RotationClassification(False, None, f"unsupported operator pair ({t1.__name__}, {t2.__name__})")
+
+
+def classify_transform(
+    query: Expression, transform: BasicTransform, registry: SchemaRegistry
+) -> RotationClassification:
+    """Classify a BT instance located in a tree."""
+    if transform.kind == "reversal":
+        return RotationClassification(
+            True, "reversal", "reversal BTs are always result preserving"
+        )
+    node = subtree_at(query, transform.path)
+    if not isinstance(node, BinaryOp):
+        raise NotApplicableError(f"no binary operator at path {transform.path}")
+    if transform.kind == "rotate_right":
+        inner = node.left
+        if not isinstance(inner, BinaryOp):
+            raise NotApplicableError("left child is not a binary operator")
+        # If conjuncts migrate, both operators are joins (identity 1 applies).
+        _stay, move = _split_predicate(node.predicate, inner.left.relations(), registry)
+        if move:
+            return RotationClassification(
+                True, "identity 1", "conjunct migration between regular joins"
+            )
+        return classify_rotation(inner, node, inner.right, registry)
+    if transform.kind == "rotate_left":
+        inner = node.right
+        if not isinstance(inner, BinaryOp):
+            raise NotApplicableError("right child is not a binary operator")
+        _stay, move = _split_predicate(node.predicate, inner.right.relations(), registry)
+        if move:
+            return RotationClassification(
+                True, "identity 1", "conjunct migration between regular joins"
+            )
+        return classify_rotation(node, inner, inner.left, registry)
+    raise NotApplicableError(f"unknown transform kind {transform.kind!r}")
+
+
+def canonicalize(query: Expression) -> Expression:
+    """Rebuild a tree with canonical conjunct ordering at every operator.
+
+    Trees produced by :mod:`repro.core.enumeration` and by the transforms
+    are already canonical; user-assembled trees should pass through here
+    before set-based comparisons (e.g. Lemma-3 closure checks).
+    """
+    if isinstance(node := query, Rel):
+        return node
+    if isinstance(query, BinaryOp):
+        return query.with_parts(
+            canonicalize(query.left),
+            canonicalize(query.right),
+            conjunction([query.predicate]),
+        )
+    return query

@@ -1,0 +1,129 @@
+"""Section 6.3's conjecture: reorderability conditions on the *tree*.
+
+The paper: "Thus far, our conditions for reorderability applied to
+graphs; we conjecture that there are also simple conditions on the
+expression trees.  For example, the null-supplied input of an operand
+should not be created by a regular join, nor involved later as an operand
+of a regular join."
+
+Making this precise requires reading "the null-supplied input" as the
+*relation being padded* — the ground relation an outerjoin's predicate
+references on its null-supplied side.  With that reading the conjecture
+becomes two purely tree-local conditions over a join/outerjoin query Q:
+
+* **T1 — never joined:** a padded relation is not referenced by any
+  regular-join predicate anywhere in the tree (neither below the
+  outerjoin, where the join would have "created" the null-supplied input,
+  nor above it, where the relation would be "involved later as an operand
+  of a regular join");
+
+* **T2 — padded once:** no relation is the padded target of two
+  different outerjoin operators.
+
+These are exactly Lemma 1's forbidden patterns ``X → Y − Z`` and
+``X → Y ← Z`` transported to the tree (join-predicate references are join
+edges; padded targets are outerjoin-edge heads).  Lemma 1's third
+condition — no outerjoin cycles — needs no tree-side counterpart because
+a graph with an outerjoin cycle has **no implementing trees at all**: a
+legal operator cut crosses either join edges only or exactly one
+outerjoin edge, and neither can ever separate the cycle's nodes.
+
+The test suite and ``benchmarks/bench_section63_tree_conditions.py``
+machine-check the resulting theorem: *an implementing tree satisfies
+T1 + T2 iff its query graph is nice* — so an optimizer can decide
+reorderability on whichever representation it holds, which is the point
+of the paper's conjecture.
+
+(The reproduction initially tried a more "structural" reading — the
+null-supplied *operand subtree* must not be rooted by a join — which is
+necessary but not sufficient: a non-nice graph admits trees where the
+offending join hides below further outerjoins inside the operand.  The
+padded-relation reading is the one that closes the equivalence.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from repro.algebra.schema import SchemaRegistry
+from repro.core.expressions import (
+    Expression,
+    Join,
+    LeftOuterJoin,
+    RightOuterJoin,
+)
+
+
+@dataclass(frozen=True)
+class TreeConditionViolation:
+    """One violation of the Section-6.3 tree conditions."""
+
+    kind: str  # "padded-relation-joined" | "double-padding"
+    relation: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} on {self.relation}: {self.detail}"
+
+
+def padded_target(node: Expression, registry: SchemaRegistry) -> str:
+    """The ground relation an outerjoin pads (its predicate's null-side ref).
+
+    Well-defined for valid join/outerjoin queries: the outerjoin predicate
+    references exactly two ground relations, one per operand.
+    """
+    assert isinstance(node, (LeftOuterJoin, RightOuterJoin))
+    null_rels = node.null_supplied().relations()
+    owners = registry.owners(node.predicate.attributes())
+    targets = owners & null_rels
+    # graph(Q) validity guarantees exactly one.
+    return next(iter(targets))
+
+
+def tree_violations(
+    query: Expression, registry: SchemaRegistry
+) -> List[TreeConditionViolation]:
+    """All violations of conditions T1 and T2 in the tree."""
+    padded_by: Dict[str, int] = {}
+    joined: FrozenSet[str] = frozenset()
+    join_refs: set[str] = set()
+
+    for _path, node in query.nodes():
+        if isinstance(node, (LeftOuterJoin, RightOuterJoin)):
+            target = padded_target(node, registry)
+            padded_by[target] = padded_by.get(target, 0) + 1
+        elif isinstance(node, Join):
+            join_refs |= registry.owners(node.predicate.attributes())
+    joined = frozenset(join_refs)
+
+    found: List[TreeConditionViolation] = []
+    for relation, count in sorted(padded_by.items()):
+        if relation in joined:
+            found.append(
+                TreeConditionViolation(
+                    kind="padded-relation-joined",
+                    relation=relation,
+                    detail=(
+                        "an outerjoin pads this relation while a regular-join "
+                        "predicate references it (the tree form of X → Y − Z)"
+                    ),
+                )
+            )
+        if count > 1:
+            found.append(
+                TreeConditionViolation(
+                    kind="double-padding",
+                    relation=relation,
+                    detail=(
+                        f"{count} outerjoin operators pad this relation "
+                        "(the tree form of X → Y ← Z)"
+                    ),
+                )
+            )
+    return found
+
+
+def satisfies_tree_conditions(query: Expression, registry: SchemaRegistry) -> bool:
+    """The Section-6.3 conjecture's tree-level test (T1 and T2)."""
+    return not tree_violations(query, registry)

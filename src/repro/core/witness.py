@@ -1,0 +1,141 @@
+"""Counterexample search and minimization.
+
+When a query graph is *not* freely reorderable, the most convincing
+artifact is a concrete witness: two implementing trees and a database on
+which they disagree — ideally as small as the paper's own examples (one
+tuple per relation in Examples 2 and 3).  This module finds witnesses by
+randomized search and then *shrinks* them greedily, deleting one tuple at
+a time while the disagreement survives.
+
+The bench suite uses this to regenerate Example 2's and Example 3's
+minimal counterexamples mechanically, rather than by transcription.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from repro.algebra.comparison import bag_equal
+from repro.algebra.relation import Database, Relation
+from repro.algebra.schema import SchemaRegistry
+from repro.core.expressions import Expression
+from repro.core.enumeration import implementing_trees
+from repro.core.graph import QueryGraph
+from repro.datagen.random_db import random_database
+from repro.util.rng import make_rng
+
+
+@dataclass
+class Witness:
+    """Two trees and a database on which they evaluate differently."""
+
+    first: Expression
+    second: Expression
+    database: Database
+
+    def total_tuples(self) -> int:
+        return sum(len(self.database[name]) for name in self.database)
+
+    def still_disagrees(self) -> bool:
+        return not bag_equal(self.first.eval(self.database), self.second.eval(self.database))
+
+    def describe(self) -> str:
+        lines = [
+            f"trees: {self.first.to_infix()}  vs  {self.second.to_infix()}",
+            f"database ({self.total_tuples()} tuples):",
+        ]
+        for name in sorted(self.database):
+            rows = ", ".join(repr(dict(r)) for r in self.database[name])
+            lines.append(f"  {name} = [{rows}]")
+        return "\n".join(lines)
+
+
+def find_witness(
+    graph: QueryGraph,
+    registry: SchemaRegistry,
+    attempts: int = 200,
+    seed: int | random.Random | None = None,
+    max_trees: int = 64,
+    domain: int = 3,
+) -> Optional[Witness]:
+    """Randomized search for a disagreement witness.
+
+    Draws random databases and evaluates all (bounded) implementing trees
+    until two of them differ.  Returns ``None`` when no witness is found
+    — which, for nice+strong graphs, Theorem 1 says is the only outcome.
+    """
+    rng = make_rng(seed)
+    trees = list(implementing_trees(graph))[:max_trees]
+    if len(trees) < 2:
+        return None
+    schemas = {name: list(registry[name]) for name in graph.nodes}
+    for _ in range(attempts):
+        db = random_database(schemas, seed=rng, max_rows=3, domain=domain)
+        results = [(tree, tree.eval(db)) for tree in trees]
+        reference_tree, reference = results[0]
+        for tree, outcome in results[1:]:
+            if not bag_equal(reference, outcome):
+                return Witness(first=reference_tree, second=tree, database=db)
+    return None
+
+
+def shrink_witness(witness: Witness) -> Witness:
+    """Greedy delta-debugging: drop tuples while the disagreement survives.
+
+    Repeatedly tries to remove each single tuple (and, as a finishing
+    pass, each attribute-value tweak is left to the caller); terminates at
+    a 1-minimal database — removing any one remaining tuple would make the
+    trees agree.
+    """
+    current = witness
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(current.database):
+            relation = current.database[name]
+            rows = list(relation)
+            for index in range(len(rows)):
+                candidate_rows = rows[:index] + rows[index + 1 :]
+                candidate_db = current.database.with_relation(
+                    name, Relation(relation.schema, candidate_rows)
+                )
+                candidate = Witness(current.first, current.second, candidate_db)
+                if candidate.still_disagrees():
+                    current = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return current
+
+
+def minimal_witness(
+    graph: QueryGraph,
+    registry: SchemaRegistry,
+    attempts: int = 200,
+    seed: int | random.Random | None = None,
+) -> Optional[Witness]:
+    """Find and shrink a witness in one call."""
+    witness = find_witness(graph, registry, attempts=attempts, seed=seed)
+    if witness is None:
+        return None
+    return shrink_witness(witness)
+
+
+def disagreeing_tree_pairs(
+    graph: QueryGraph,
+    registry: SchemaRegistry,
+    database: Database,
+    max_trees: int = 64,
+) -> List[Tuple[Expression, Expression]]:
+    """All tree pairs that differ on one given database (for reporting)."""
+    trees = list(implementing_trees(graph))[:max_trees]
+    evaluated = [(t, t.eval(database)) for t in trees]
+    out: List[Tuple[Expression, Expression]] = []
+    for (t1, r1), (t2, r2) in combinations(evaluated, 2):
+        if not bag_equal(r1, r2):
+            out.append((t1, t2))
+    return out

@@ -1,0 +1,51 @@
+"""Workload and data generators for tests and benchmarks."""
+
+from repro.datagen.random_db import (
+    duplicate_free_database,
+    random_database,
+    random_databases,
+    random_relation,
+)
+from repro.datagen.topologies import (
+    GraphScenario,
+    chain,
+    example2_graph,
+    figure1_graph,
+    figure2_graph,
+    join_cycle,
+    random_graph,
+    random_nice_graph,
+    star,
+    weaken_oj_edge,
+)
+from repro.datagen.workloads import (
+    departments_database,
+    example1_storage,
+    example1b_storage,
+    sales_storage,
+    section5_catalog,
+    section5_store,
+)
+
+__all__ = [
+    "GraphScenario",
+    "chain",
+    "departments_database",
+    "duplicate_free_database",
+    "example1_storage",
+    "example1b_storage",
+    "example2_graph",
+    "figure1_graph",
+    "figure2_graph",
+    "join_cycle",
+    "random_database",
+    "random_databases",
+    "random_graph",
+    "random_nice_graph",
+    "random_relation",
+    "sales_storage",
+    "section5_catalog",
+    "section5_store",
+    "star",
+    "weaken_oj_edge",
+]

@@ -1,0 +1,112 @@
+"""Random databases for identity checks and brute-force reorderability.
+
+The paper's identities quantify over *all* values of the ground relations;
+we approximate that with randomized databases designed to hit the corner
+cases that matter for join/outerjoin semantics:
+
+* small value domains, so joins actually match (and mismatch);
+* explicit null injection, so strongness has something to reject;
+* duplicate rows, so bag semantics is genuinely exercised
+  (switch-offable for the duplicate-free GOJ identities);
+* empty relations with positive probability, the classic edge case.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.algebra.nulls import NULL
+from repro.algebra.relation import Database, Relation
+from repro.algebra.tuples import Row
+from repro.util.rng import make_rng
+
+
+def random_relation(
+    attributes: Sequence[str],
+    rng: random.Random,
+    max_rows: int = 5,
+    domain: int = 4,
+    null_probability: float = 0.2,
+    duplicate_probability: float = 0.25,
+    allow_empty: bool = True,
+) -> Relation:
+    """One random relation over the given attributes.
+
+    Values are drawn from ``0..domain-1`` so that cross-relation matches
+    occur with useful frequency; with probability ``null_probability`` an
+    individual value is NULL instead.
+    """
+    low = 0 if allow_empty else 1
+    n = rng.randint(low, max_rows)
+    rows: List[Row] = []
+    for _ in range(n):
+        row = Row(
+            {
+                a: (NULL if rng.random() < null_probability else rng.randrange(domain))
+                for a in attributes
+            }
+        )
+        rows.append(row)
+        if rows and rng.random() < duplicate_probability:
+            rows.append(rows[rng.randrange(len(rows))])
+    return Relation(attributes, rows)
+
+
+def random_database(
+    schemas: Mapping[str, Iterable[str]],
+    seed: int | random.Random | None = None,
+    max_rows: int = 5,
+    domain: int = 4,
+    null_probability: float = 0.2,
+    duplicate_probability: float = 0.25,
+    allow_empty: bool = True,
+) -> Database:
+    """A database with one random relation per schema entry."""
+    rng = make_rng(seed)
+    relations: Dict[str, Relation] = {}
+    for name in sorted(schemas):
+        relations[name] = random_relation(
+            sorted(schemas[name]),
+            rng,
+            max_rows=max_rows,
+            domain=domain,
+            null_probability=null_probability,
+            duplicate_probability=duplicate_probability,
+            allow_empty=allow_empty,
+        )
+    return Database(relations)
+
+
+def random_databases(
+    schemas: Mapping[str, Iterable[str]],
+    count: int,
+    seed: int | random.Random | None = None,
+    **kwargs,
+) -> List[Database]:
+    """A reproducible batch of random databases (one rng stream)."""
+    rng = make_rng(seed)
+    return [random_database(schemas, seed=rng, **kwargs) for _ in range(count)]
+
+
+def duplicate_free_database(
+    schemas: Mapping[str, Iterable[str]],
+    seed: int | random.Random | None = None,
+    max_rows: int = 5,
+    domain: int = 4,
+    null_probability: float = 0.15,
+) -> Database:
+    """Random database without duplicate rows (GOJ identities' precondition)."""
+    rng = make_rng(seed)
+    relations: Dict[str, Relation] = {}
+    for name in sorted(schemas):
+        rel = random_relation(
+            sorted(schemas[name]),
+            rng,
+            max_rows=max_rows,
+            domain=domain,
+            null_probability=null_probability,
+            duplicate_probability=0.0,
+        )
+        relations[name] = rel.distinct()
+    return Database(relations)

@@ -1,0 +1,281 @@
+"""Query-graph topologies: paper figures, parametric families, random graphs.
+
+Every builder returns a :class:`GraphScenario` — a graph plus the schemas
+of its relations — so tests and benchmarks can generate matching random
+databases and evaluate implementing trees directly.
+
+Default edge predicates are equijoins on the nodes' ``.a`` attributes
+(strong w.r.t. everything they reference).  :func:`weaken_oj_edge`
+replaces one outerjoin predicate with Example 3's non-strong shape
+(``u.a = v.a OR v.b IS NULL`` style) to study strongness violations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.algebra.predicates import Comparison, IsNull, Or, Predicate, eq
+from repro.algebra.schema import SchemaRegistry
+from repro.core.graph import QueryGraph
+from repro.util.errors import GraphUndefinedError
+from repro.util.rng import make_rng
+
+
+@dataclass
+class GraphScenario:
+    """A query graph together with its relations' schemas."""
+
+    name: str
+    graph: QueryGraph
+    schemas: Dict[str, List[str]]
+    description: str = ""
+
+    @property
+    def registry(self) -> SchemaRegistry:
+        return SchemaRegistry(self.schemas)
+
+
+def _schemas_for(nodes: Sequence[str]) -> Dict[str, List[str]]:
+    return {n: [f"{n}.a", f"{n}.b"] for n in nodes}
+
+
+def _equi(u: str, v: str) -> Predicate:
+    return eq(f"{u}.a", f"{v}.a")
+
+
+def chain(n: int, kinds: Sequence[str] | None = None, name: str = "chain") -> GraphScenario:
+    """A path ``R1 .. Rn`` with per-edge kinds.
+
+    ``kinds[i]`` describes the edge between ``R(i+1)`` and ``R(i+2)``:
+    ``"join"``, ``"out"`` (outerjoin pointing right), or ``"in"``
+    (outerjoin pointing left).  Default: all joins.
+    """
+    if n < 1:
+        raise GraphUndefinedError("chain needs at least one node")
+    kinds = list(kinds) if kinds is not None else ["join"] * (n - 1)
+    if len(kinds) != n - 1:
+        raise GraphUndefinedError(f"need {n - 1} edge kinds, got {len(kinds)}")
+    nodes = [f"R{i + 1}" for i in range(n)]
+    join_edges: List[Tuple[str, str, Predicate]] = []
+    oj_edges: List[Tuple[str, str, Predicate]] = []
+    for i, kind in enumerate(kinds):
+        u, v = nodes[i], nodes[i + 1]
+        p = _equi(u, v)
+        if kind == "join":
+            join_edges.append((u, v, p))
+        elif kind == "out":
+            oj_edges.append((u, v, p))
+        elif kind == "in":
+            oj_edges.append((v, u, p))
+        else:
+            raise GraphUndefinedError(f"unknown edge kind {kind!r}")
+    graph = QueryGraph.from_edges(join=join_edges, oj=oj_edges, isolated=nodes)
+    return GraphScenario(
+        name=name,
+        graph=graph,
+        schemas=_schemas_for(nodes),
+        description=f"chain of {n} nodes, edges {kinds}",
+    )
+
+
+def star(
+    n_leaves: int, oj_leaves: int = 0, name: str = "star"
+) -> GraphScenario:
+    """A hub ``R0`` with leaves; the last ``oj_leaves`` hang by outerjoins."""
+    nodes = ["R0"] + [f"R{i + 1}" for i in range(n_leaves)]
+    join_edges = []
+    oj_edges = []
+    for i in range(n_leaves):
+        leaf = nodes[i + 1]
+        p = _equi("R0", leaf)
+        if i >= n_leaves - oj_leaves:
+            oj_edges.append(("R0", leaf, p))
+        else:
+            join_edges.append(("R0", leaf, p))
+    graph = QueryGraph.from_edges(join=join_edges, oj=oj_edges, isolated=nodes)
+    return GraphScenario(
+        name=name,
+        graph=graph,
+        schemas=_schemas_for(nodes),
+        description=f"star, {n_leaves} leaves of which {oj_leaves} outerjoined",
+    )
+
+
+def join_cycle(n: int, name: str = "cycle") -> GraphScenario:
+    """A cycle of join edges (identity 1's conjunct-migration territory)."""
+    nodes = [f"R{i + 1}" for i in range(n)]
+    join_edges = [
+        (nodes[i], nodes[(i + 1) % n], _equi(nodes[i], nodes[(i + 1) % n]))
+        for i in range(n)
+    ]
+    graph = QueryGraph.from_edges(join=join_edges)
+    return GraphScenario(
+        name=name, graph=graph, schemas=_schemas_for(nodes), description=f"join cycle of {n}"
+    )
+
+
+def figure1_graph() -> GraphScenario:
+    """The Figure-1 query: four relations in a path R − S − T − U.
+
+    The paper's point about this graph: "a reassociation joining R and T
+    is disallowed" — there is no R–T edge, so no implementing tree ever
+    joins R and T directly.
+    """
+    nodes = ["R", "S", "T", "U"]
+    join_edges = [(a, b, _equi(a, b)) for a, b in (("R", "S"), ("S", "T"), ("T", "U"))]
+    graph = QueryGraph.from_edges(join=join_edges)
+    return GraphScenario(
+        name="figure1",
+        graph=graph,
+        schemas=_schemas_for(nodes),
+        description="Figure 1: join path R-S-T-U",
+    )
+
+
+def figure2_graph() -> GraphScenario:
+    """A "nice" topology in the shape of Figure 2.
+
+    A connected join core (A − B − C) from which outerjoin trees go
+    outward: a two-edge chain under A and a single edge under C.
+    """
+    join_edges = [("A", "B", _equi("A", "B")), ("B", "C", _equi("B", "C"))]
+    oj_edges = [
+        ("A", "D", _equi("A", "D")),
+        ("D", "E", _equi("D", "E")),
+        ("C", "F", _equi("C", "F")),
+    ]
+    nodes = ["A", "B", "C", "D", "E", "F"]
+    graph = QueryGraph.from_edges(join=join_edges, oj=oj_edges)
+    return GraphScenario(
+        name="figure2",
+        graph=graph,
+        schemas=_schemas_for(nodes),
+        description="Figure 2: join core A-B-C with outward outerjoin trees A→D→E, C→F",
+    )
+
+
+def example2_graph() -> GraphScenario:
+    """Example 2's graph: R1 → R2 − R3 (not nice)."""
+    graph = QueryGraph.from_edges(
+        join=[("R2", "R3", _equi("R2", "R3"))],
+        oj=[("R1", "R2", _equi("R1", "R2"))],
+    )
+    return GraphScenario(
+        name="example2",
+        graph=graph,
+        schemas=_schemas_for(["R1", "R2", "R3"]),
+        description="Example 2: outerjoin into a join (forbidden pattern X→Y−Z)",
+    )
+
+
+def weaken_oj_edge(scenario: GraphScenario, edge: Tuple[str, str]) -> GraphScenario:
+    """Replace one OJ edge's predicate with a non-strong one (Example 3).
+
+    The new predicate is ``u.a = v.a OR u.a IS NULL`` — satisfiable when
+    the preserved endpoint's attributes are all null, so NOT strong w.r.t.
+    the preserved relation.
+    """
+    u, v = edge
+    if edge not in scenario.graph.oj_edges:
+        raise GraphUndefinedError(f"{edge} is not an outerjoin edge of {scenario.name}")
+    weak = Or((Comparison(f"{u}.a", "=", f"{v}.a"), IsNull(f"{u}.a")))
+    oj_edges = dict(scenario.graph.oj_edges)
+    oj_edges[edge] = weak
+    graph = QueryGraph(scenario.graph.nodes, dict(scenario.graph.join_edges), oj_edges)
+    return GraphScenario(
+        name=f"{scenario.name}-weak",
+        graph=graph,
+        schemas=scenario.schemas,
+        description=scenario.description + f"; non-strong predicate on {u}→{v}",
+    )
+
+
+def random_nice_graph(
+    n_core: int,
+    n_forest: int,
+    seed: int | random.Random | None = None,
+    extra_join_edges: int = 0,
+) -> GraphScenario:
+    """A random graph satisfying the "nice" definition by construction.
+
+    A random join tree over the core (optionally densified with extra join
+    edges), then forest nodes attached one by one: each new node hangs by
+    an outerjoin from a core node or from an existing forest node (always
+    pointing outward), so in-degrees stay ≤ 1 and no join edge ever meets
+    a null-supplied node.
+    """
+    rng = make_rng(seed)
+    core = [f"C{i + 1}" for i in range(n_core)]
+    forest = [f"F{i + 1}" for i in range(n_forest)]
+    join_edges: List[Tuple[str, str, Predicate]] = []
+    for i in range(1, n_core):
+        anchor = core[rng.randrange(i)]
+        join_edges.append((anchor, core[i], _equi(anchor, core[i])))
+    for _ in range(extra_join_edges):
+        if n_core < 2:
+            break
+        u, v = rng.sample(core, 2)
+        if frozenset({u, v}) not in {frozenset({a, b}) for a, b, _p in join_edges}:
+            join_edges.append((u, v, _equi(u, v)))
+    oj_edges: List[Tuple[str, str, Predicate]] = []
+    attachable = list(core)
+    for node in forest:
+        owner = attachable[rng.randrange(len(attachable))]
+        oj_edges.append((owner, node, _equi(owner, node)))
+        attachable.append(node)
+    nodes = core + forest
+    graph = QueryGraph.from_edges(join=join_edges, oj=oj_edges, isolated=nodes)
+    return GraphScenario(
+        name=f"random-nice-{n_core}c{n_forest}f",
+        graph=graph,
+        schemas=_schemas_for(nodes),
+        description=f"random nice graph: {n_core} core, {n_forest} forest",
+    )
+
+
+def random_graph(
+    n: int,
+    seed: int | random.Random | None = None,
+    oj_probability: float = 0.45,
+    extra_edges: int = 1,
+) -> GraphScenario:
+    """A random *connected* graph with arbitrary edge kinds and directions.
+
+    Deliberately unconstrained — used to exercise the Lemma-1 equivalence
+    check and the brute-force reorderability tester on graphs that may or
+    may not be nice.
+    """
+    rng = make_rng(seed)
+    nodes = [f"R{i + 1}" for i in range(n)]
+    join_edges: List[Tuple[str, str, Predicate]] = []
+    oj_edges: List[Tuple[str, str, Predicate]] = []
+    seen_pairs: set[frozenset] = set()
+
+    def add_edge(u: str, v: str) -> None:
+        pair = frozenset({u, v})
+        if pair in seen_pairs:
+            return
+        seen_pairs.add(pair)
+        p = _equi(u, v)
+        if rng.random() < oj_probability:
+            if rng.random() < 0.5:
+                u, v = v, u
+            oj_edges.append((u, v, p))
+        else:
+            join_edges.append((u, v, p))
+
+    for i in range(1, n):
+        add_edge(nodes[rng.randrange(i)], nodes[i])
+    for _ in range(extra_edges):
+        if n >= 2:
+            u, v = rng.sample(nodes, 2)
+            add_edge(u, v)
+    graph = QueryGraph.from_edges(join=join_edges, oj=oj_edges, isolated=nodes)
+    return GraphScenario(
+        name=f"random-{n}",
+        graph=graph,
+        schemas=_schemas_for(nodes),
+        description=f"random connected graph on {n} nodes",
+    )

@@ -1,0 +1,216 @@
+"""The paper's concrete workloads, parameterized for laptop scale.
+
+* :func:`example1_storage` — Example 1's indexed key-joined tables
+  (|R1| = 1, |R2| = |R3| = N; the paper uses N = 10^7, the benchmarks
+  default to 10^3..10^5 and report the analytic 10^7 numbers alongside);
+* :func:`example1b_storage` — the follow-up scenario where the join
+  predicate is ``R1.A > R2.B`` and doing the *outerjoin* first wins;
+* :func:`departments_database` — the departments/employees listing that
+  motivates outerjoins in the introduction;
+* :func:`section5_store` — the entity world of Section 5 (EMPLOYEE with
+  children, DEPARTMENT with Manager/Secretary/Audit, REPORT), sized to
+  the paper's Queretaro/Zurich/prosecutor examples.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algebra.nulls import NULL
+from repro.algebra.relation import Database, Relation
+from repro.engine.storage import Storage
+from repro.language.catalog import Catalog
+from repro.language.objectstore import ObjectStore
+from repro.util.rng import make_rng
+
+
+def example1_storage(n: int, with_indexes: bool = True) -> Storage:
+    """Example 1: keys indexed, |R1| = 1 and |R2| = |R3| = n.
+
+    The first predicate equijoins keys of R1 and R2; the second equijoins
+    keys of R2 and R3.  Every R2 key matches exactly one R3 key.
+    """
+    storage = Storage()
+    storage.create_table("R1", ["R1.k"], [{"R1.k": 0}])
+    storage.create_table(
+        "R2", ["R2.k", "R2.j"], [{"R2.k": i, "R2.j": i} for i in range(n)]
+    )
+    storage.create_table("R3", ["R3.j"], [{"R3.j": i} for i in range(n)])
+    if with_indexes:
+        storage["R1"].create_index("R1.k")
+        storage["R2"].create_index("R2.k")
+        storage["R3"].create_index("R3.j")
+    return storage
+
+
+def example1b_storage(
+    n1: int, n2: int, n3: int, seed: int | random.Random | None = None
+) -> Storage:
+    """The second Example-1 scenario: ``R1.A > R2.B`` join, equijoin outerjoin.
+
+    The inequality join produces a large intermediate (≈ half the cross
+    product), while the R2→R3 equijoin on keys keeps cardinality at |R2|;
+    evaluating the outerjoin first is optimal, showing that "joins before
+    outerjoins" is *not* a universal rule.
+    """
+    rng = make_rng(seed)
+    storage = Storage()
+    storage.create_table(
+        "R1", ["R1.A"], [{"R1.A": rng.randrange(1000)} for _ in range(n1)]
+    )
+    storage.create_table(
+        "R2",
+        ["R2.B", "R2.C"],
+        [{"R2.B": rng.randrange(1000), "R2.C": i} for i in range(n2)],
+    )
+    storage.create_table("R3", ["R3.D"], [{"R3.D": i} for i in range(n3)])
+    storage["R3"].create_index("R3.D")
+    return storage
+
+
+def departments_database(
+    n_departments: int = 4, employees_per_department: int = 2, empty_departments: int = 1
+) -> Database:
+    """The motivating workload: all departments, even those without employees."""
+    dept_rows = [
+        {"DEPT.dno": i, "DEPT.dname": f"dept-{i}"}
+        for i in range(n_departments)
+    ]
+    emp_rows = []
+    eid = 0
+    for d in range(n_departments - empty_departments):
+        for _ in range(employees_per_department):
+            emp_rows.append({"EMP.eno": eid, "EMP.dno": d, "EMP.ename": f"emp-{eid}"})
+            eid += 1
+    return Database(
+        {
+            "DEPT": Relation.from_dicts(["DEPT.dno", "DEPT.dname"], dept_rows),
+            "EMP": Relation.from_dicts(["EMP.eno", "EMP.dno", "EMP.ename"], emp_rows),
+        }
+    )
+
+
+def section5_catalog() -> Catalog:
+    """Entity types of the Section-5 examples."""
+    catalog = Catalog()
+    employee = catalog.define("EMPLOYEE")
+    employee.add_scalar("Name")
+    employee.add_scalar("D#")
+    employee.add_scalar("Rank")
+    employee.add_set("ChildName")
+    department = catalog.define("DEPARTMENT")
+    department.add_scalar("D#")
+    department.add_scalar("Location")
+    department.add_entity("Manager", "EMPLOYEE")
+    department.add_entity("Secretary", "EMPLOYEE")
+    department.add_entity("Audit", "REPORT")
+    report = catalog.define("REPORT")
+    report.add_scalar("Title")
+    report.add_scalar("Findings")
+    return catalog
+
+
+def section5_store(
+    n_departments: int = 3,
+    employees_per_department: int = 3,
+    seed: int | random.Random | None = None,
+) -> ObjectStore:
+    """A populated Section-5 object store.
+
+    Includes the paper's specific flavor: some employees have no children
+    (UnNest must pad), some departments have no audit report (Link must
+    pad), and locations include Queretaro and Zurich.
+    """
+    rng = make_rng(seed)
+    store = ObjectStore(section5_catalog())
+    locations = ["Queretaro", "Zurich", "Cambridge"]
+    child_pool = ["Kim", "Lu", "Max", "Ana", "Sol"]
+    for d in range(n_departments):
+        employee_oids = []
+        for e in range(employees_per_department):
+            n_children = rng.choice([0, 0, 1, 2])
+            children = tuple(rng.sample(child_pool, n_children))
+            oid = store.insert(
+                "EMPLOYEE",
+                Name=f"emp-{d}-{e}",
+                Rank=rng.randrange(1, 15),
+                ChildName=children,
+                **{"D#": d},
+            )
+            employee_oids.append(oid)
+        audit = (
+            store.insert("REPORT", Title=f"audit-{d}", Findings=f"findings-{d}")
+            if rng.random() < 0.7
+            else NULL
+        )
+        store.insert(
+            "DEPARTMENT",
+            Location=locations[d % len(locations)],
+            Manager=employee_oids[0],
+            Secretary=employee_oids[-1] if len(employee_oids) > 1 else NULL,
+            Audit=audit,
+            **{"D#": d},
+        )
+    return store
+
+
+def sales_storage(
+    n_customers: int = 200,
+    orders_per_customer: int = 3,
+    shipment_rate: float = 0.7,
+    profile_rate: float = 0.6,
+    seed: int | random.Random | None = None,
+) -> Storage:
+    """A realistic "report query" workload for the optimizer benchmarks.
+
+    The shape the paper's introduction motivates: a required core
+    (CUSTOMER − ORDERS on customer keys) decorated with *optional* data
+    that must not shrink the report — shipments (not every order has
+    shipped) and marketing profiles (not every customer filled one in).
+    The natural query graph is nice:
+
+        PROFILE ← CUSTOMER − ORDERS → SHIPMENT
+
+    Keys are indexed so access-path choices matter, mirroring Example 1
+    at a more believable scale and fan-out.
+    """
+    rng = make_rng(seed)
+    storage = Storage()
+    storage.create_table(
+        "CUSTOMER",
+        ["CUSTOMER.ck", "CUSTOMER.name"],
+        [{"CUSTOMER.ck": c, "CUSTOMER.name": f"cust-{c}"} for c in range(n_customers)],
+    )
+    order_rows = []
+    shipment_rows = []
+    ok = 0
+    for c in range(n_customers):
+        for _ in range(rng.randint(1, orders_per_customer)):
+            order_rows.append(
+                {"ORDERS.ok": ok, "ORDERS.ck": c, "ORDERS.total": rng.randint(10, 500)}
+            )
+            if rng.random() < shipment_rate:
+                shipment_rows.append(
+                    {"SHIPMENT.ok": ok, "SHIPMENT.carrier": rng.choice(["sea", "air", "rail"])}
+                )
+            ok += 1
+    storage.create_table("ORDERS", ["ORDERS.ok", "ORDERS.ck", "ORDERS.total"], order_rows)
+    storage.create_table("SHIPMENT", ["SHIPMENT.ok", "SHIPMENT.carrier"], shipment_rows)
+    storage.create_table(
+        "PROFILE",
+        ["PROFILE.ck", "PROFILE.segment"],
+        [
+            {"PROFILE.ck": c, "PROFILE.segment": rng.choice(["a", "b", "c"])}
+            for c in range(n_customers)
+            if rng.random() < profile_rate
+        ],
+    )
+    for table, attr in (
+        ("CUSTOMER", "CUSTOMER.ck"),
+        ("ORDERS", "ORDERS.ck"),
+        ("ORDERS", "ORDERS.ok"),
+        ("SHIPMENT", "SHIPMENT.ok"),
+        ("PROFILE", "PROFILE.ck"),
+    ):
+        storage[table].create_index(attr)
+    return storage

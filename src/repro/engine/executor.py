@@ -1,0 +1,63 @@
+"""Running physical plans and collecting metrics.
+
+The executor is the meeting point of the theory and the engine: a logical
+expression (possibly reordered by :mod:`repro.optimizer`) is planned,
+drained, and returned together with the metered costs — which is exactly
+how the Example-1 benchmark compares ``R1 − (R2 → R3)`` against
+``(R1 − R2) → R3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.comparison import bag_equal
+from repro.algebra.relation import Relation
+from repro.core.expressions import Expression
+from repro.engine.iterators import PhysicalOp
+from repro.engine.metrics import Metrics
+from repro.engine.planner import Planner
+from repro.engine.storage import Storage
+
+
+@dataclass
+class ExecutionResult:
+    """A drained plan: its rows, its costs, and the plan that produced them."""
+
+    relation: Relation
+    metrics: Metrics
+    plan: PhysicalOp
+
+    @property
+    def tuples_retrieved(self) -> int:
+        return self.metrics.total_retrieved
+
+    def __str__(self) -> str:
+        return (
+            f"{len(self.relation)} rows\n{self.plan.describe()}\n{self.metrics.summary()}"
+        )
+
+
+def execute_plan(plan: PhysicalOp) -> ExecutionResult:
+    """Drain a physical plan with a fresh metrics sink."""
+    metrics = Metrics()
+    relation = Relation(plan.schema, plan.execute(metrics))
+    return ExecutionResult(relation=relation, metrics=metrics, plan=plan)
+
+
+def execute(expr: Expression, storage: Storage) -> ExecutionResult:
+    """Plan and run a logical expression against the storage."""
+    plan = Planner(storage).plan(expr)
+    return execute_plan(plan)
+
+
+def verify_against_algebra(expr: Expression, storage: Storage) -> bool:
+    """Cross-check the engine against the algebra-level evaluator.
+
+    The algebra operators are the semantic oracle (they transcribe the
+    paper's definitions directly); the engine must agree with them on
+    every plan it produces.  Used throughout the integration tests.
+    """
+    engine_result = execute(expr, storage).relation
+    oracle = expr.eval(storage.to_database())
+    return bag_equal(engine_result, oracle)

@@ -1,0 +1,150 @@
+"""EXPLAIN / EXPLAIN ANALYZE for physical plans.
+
+``explain`` annotates every operator of a plan with the optimizer's
+cardinality estimate; ``explain_analyze`` additionally runs the plan and
+records the *actual* row counts flowing out of each operator, giving the
+estimate-vs-actual view DBAs use to debug optimizer choices — and giving
+this reproduction a per-operator view of where the System-R model drifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.algebra.tuples import Row
+from repro.engine.iterators import PhysicalOp, SeqScan
+from repro.engine.metrics import Metrics
+from repro.engine.storage import Storage
+
+
+@dataclass
+class ExplainNode:
+    """One operator's line in the EXPLAIN output."""
+
+    label: str
+    estimated_rows: Optional[float]
+    actual_rows: Optional[int]
+    children: List["ExplainNode"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> str:
+        parts = [self.label]
+        if self.estimated_rows is not None:
+            parts.append(f"est={self.estimated_rows:.1f}")
+        if self.actual_rows is not None:
+            parts.append(f"actual={self.actual_rows}")
+        line = " " * indent + "-> " + "  ".join(parts)
+        return "\n".join([line] + [c.render(indent + 3) for c in self.children])
+
+    def worst_q_error(self) -> float:
+        """Largest estimate/actual discrepancy anywhere in the subtree."""
+        worst = 1.0
+        if self.estimated_rows is not None and self.actual_rows is not None:
+            est = max(self.estimated_rows, 1.0)
+            act = max(float(self.actual_rows), 1.0)
+            worst = max(est / act, act / est)
+        for child in self.children:
+            worst = max(worst, child.worst_q_error())
+        return worst
+
+
+class _CountingOp(PhysicalOp):
+    """Transparent wrapper that counts the rows an operator emits."""
+
+    def __init__(self, inner: PhysicalOp):
+        self.inner = inner
+        self.schema = inner.schema
+        self.count = 0
+
+    def children(self):
+        return self.inner.children()
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        for row in self.inner.execute(metrics):
+            self.count += 1
+            yield row
+
+    def describe(self, indent: int = 0) -> str:
+        return self.inner.describe(indent)
+
+
+def _label_of(op: PhysicalOp) -> str:
+    return op.describe().splitlines()[0].strip()
+
+
+def _estimate_for(op: PhysicalOp, storage: Storage) -> Optional[float]:
+    # Only base scans have an estimate independent of the logical tree; for
+    # composite operators the estimator needs the logical expression, which
+    # the caller can supply via `explain(expr=...)` — handled in `explain`.
+    if isinstance(op, SeqScan):
+        return float(len(op.table))
+    return None
+
+
+def explain(
+    plan: PhysicalOp,
+    storage: Storage,
+    expr=None,
+) -> ExplainNode:
+    """Annotate a plan with cardinality estimates (no execution).
+
+    When the logical expression ``expr`` is supplied, the root estimate
+    comes from :class:`~repro.optimizer.cardinality.CardinalityEstimator`;
+    leaf scans are estimated from table statistics either way.
+    """
+    root_estimate: Optional[float] = None
+    if expr is not None:
+        from repro.optimizer.cardinality import CardinalityEstimator
+
+        root_estimate = CardinalityEstimator(storage).estimate_expression(expr).cardinality
+
+    def walk(op: PhysicalOp, is_root: bool) -> ExplainNode:
+        estimate = root_estimate if is_root and root_estimate is not None else _estimate_for(op, storage)
+        return ExplainNode(
+            label=_label_of(op),
+            estimated_rows=estimate,
+            actual_rows=None,
+            children=[walk(child, False) for child in op.children()],
+        )
+
+    return walk(plan, True)
+
+
+def explain_analyze(
+    plan: PhysicalOp,
+    storage: Storage,
+    expr=None,
+) -> ExplainNode:
+    """Run the plan and annotate every operator with actual row counts."""
+
+    def wrap(op: PhysicalOp) -> PhysicalOp:
+        # Rewrap children first so inner flows are counted too.
+        for attr in ("left", "right", "child", "inner"):
+            child = getattr(op, attr, None)
+            if isinstance(child, PhysicalOp):
+                setattr(op, attr, wrap(child))
+        return _CountingOp(op)
+
+    counted = wrap(plan)
+    metrics = Metrics()
+    for _row in counted.execute(metrics):
+        pass
+
+    annotated = explain(plan, storage, expr=expr)
+
+    def attach(node: ExplainNode, op: PhysicalOp) -> None:
+        if isinstance(op, _CountingOp):
+            node.actual_rows = op.count
+            inner = op.inner
+        else:
+            inner = op
+        kids = [
+            getattr(inner, attr)
+            for attr in ("left", "right", "child")
+            if isinstance(getattr(inner, attr, None), (PhysicalOp,))
+        ]
+        for child_node, child_op in zip(node.children, kids):
+            attach(child_node, child_op)
+
+    attach(annotated, counted)
+    return annotated

@@ -1,0 +1,85 @@
+"""Physical operator for the generalized outerjoin (Section 6.2).
+
+The paper: "As with Generalized-Join, GOJ can be computed by a slightly
+modified join algorithm."  This operator is that modification over the
+hash-join skeleton: build on the right, probe with the left, track which
+S-projections of the left input found a match, and emit one null-padded
+witness per unmatched projection at the end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import List, Optional
+
+from repro.algebra.nulls import is_null, satisfied
+from repro.algebra.predicates import PairView, Predicate, TruePredicate
+from repro.algebra.schema import Schema
+from repro.algebra.tuples import Row, null_row
+from repro.engine.iterators import PhysicalOp
+from repro.engine.metrics import Metrics
+
+
+class GeneralizedOuterJoinOp(PhysicalOp):
+    """Hash-based GOJ: join results plus one padded row per unmatched
+    S-projection of the left input."""
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        left_key: str,
+        right_key: str,
+        projection: List[str],
+        residual: Optional[Predicate] = None,
+    ):
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.projection = sorted(projection)
+        self.residual = residual or TruePredicate()
+        self.schema = left.schema.union(right.schema)
+        if not Schema(self.projection).is_subset(left.schema):
+            from repro.util.errors import PlanningError
+
+            raise PlanningError("GOJ projection must be a subset of the left schema")
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        buckets: dict = {}
+        for row in self.right.execute(metrics):
+            key = row[self.right_key]
+            if is_null(key):
+                continue
+            buckets.setdefault(key, []).append(row)
+
+        label = "GOJ"
+        seen_projections: set[Row] = set()
+        matched_projections: set[Row] = set()
+        for left_row in self.left.execute(metrics):
+            proj = left_row.project(self.projection)
+            seen_projections.add(proj)
+            key = left_row[self.left_key]
+            matches = [] if is_null(key) else buckets.get(key, [])
+            for right_row in matches:
+                metrics.evaluated()
+                if satisfied(self.residual.evaluate(PairView(left_row, right_row))):
+                    matched_projections.add(proj)
+                    metrics.emitted(label)
+                    yield left_row.concat(right_row)
+
+        padding = null_row(self.schema.difference(Schema(self.projection)))
+        for proj in sorted(seen_projections - matched_projections, key=repr):
+            metrics.emitted(label)
+            yield proj.concat(padding)
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (
+            f"{pad}GeneralizedOuterJoin[S={self.projection}, "
+            f"{self.left_key} = {self.right_key}]\n"
+            f"{self.left.describe(indent + 2)}\n{self.right.describe(indent + 2)}"
+        )

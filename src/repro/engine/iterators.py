@@ -1,0 +1,342 @@
+"""Physical operators (iterator model) with metered base access.
+
+Every operator exposes ``execute(metrics)`` returning an iterator of rows
+and a ``schema`` describing its output.  Join operators preserve their
+*left* input for the outer/semi/anti variants; the planner performs any
+operand swapping (e.g. a ``RightOuterJoin`` logical node runs as a
+left-preserving physical join with swapped children).
+
+Retrieval metering follows Example 1's accounting:
+
+* a sequential scan retrieves every row of its table;
+* an index nested-loop join retrieves exactly the rows its probes return;
+* intermediate results live in memory and are never re-counted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import List, Optional
+
+from repro.algebra.nulls import satisfied
+from repro.algebra.predicates import PairView, Predicate, TruePredicate
+from repro.algebra.relation import Relation
+from repro.algebra.schema import Schema
+from repro.algebra.tuples import Row, null_row
+from repro.engine.indexes import HashIndex
+from repro.engine.metrics import Metrics
+from repro.engine.storage import Table
+from repro.util.errors import PlanningError
+
+#: Join variants supported by the physical operators.
+JOIN_TYPES = ("inner", "left_outer", "semi", "anti")
+
+
+class PhysicalOp:
+    """Base class for all physical operators."""
+
+    schema: Schema
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def describe(self, indent: int = 0) -> str:
+        """Multi-line plan rendering (EXPLAIN-style)."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["PhysicalOp", ...]:
+        return ()
+
+    def run(self, metrics: Optional[Metrics] = None) -> Relation:
+        """Drain the operator into a relation (convenience for tests)."""
+        metrics = metrics or Metrics()
+        return Relation(self.schema, self.execute(metrics))
+
+
+def _check_join_type(join_type: str) -> None:
+    if join_type not in JOIN_TYPES:
+        raise PlanningError(f"unknown join type {join_type!r}; expected one of {JOIN_TYPES}")
+
+
+class SeqScan(PhysicalOp):
+    """Full scan of a base table; every row is a metered retrieval."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self.schema = table.schema
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        for row in self.table.scan():
+            metrics.retrieved(self.table.name)
+            yield row
+
+    def describe(self, indent: int = 0) -> str:
+        return " " * indent + f"SeqScan({self.table.name})"
+
+
+class Filter(PhysicalOp):
+    """Selection on top of any child operator."""
+
+    def __init__(self, child: PhysicalOp, predicate: Predicate):
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        for row in self.child.execute(metrics):
+            metrics.evaluated()
+            if satisfied(self.predicate.evaluate(row)):
+                yield row
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return f"{pad}Filter[{self.predicate!r}]\n{self.child.describe(indent + 2)}"
+
+
+class ProjectOp(PhysicalOp):
+    """Projection; optional duplicate elimination."""
+
+    def __init__(self, child: PhysicalOp, attributes, dedup: bool = False):
+        self.child = child
+        self.attributes = sorted(attributes)
+        self.dedup = dedup
+        self.schema = Schema(self.attributes)
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        seen = set() if self.dedup else None
+        for row in self.child.execute(metrics):
+            out = row.project(self.attributes)
+            if seen is not None:
+                if out in seen:
+                    continue
+                seen.add(out)
+            yield out
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return f"{pad}Project[{self.attributes}]\n{self.child.describe(indent + 2)}"
+
+
+class Materialize(PhysicalOp):
+    """Buffer a child's output; re-iteration does not re-pay retrievals."""
+
+    def __init__(self, child: PhysicalOp):
+        self.child = child
+        self.schema = child.schema
+        self._cache: Optional[List[Row]] = None
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        if self._cache is None:
+            self._cache = list(self.child.execute(metrics))
+        return iter(self._cache)
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return f"{pad}Materialize\n{self.child.describe(indent + 2)}"
+
+
+class NestedLoopJoin(PhysicalOp):
+    """Left-preserving nested-loop join over arbitrary predicates.
+
+    The right input is materialized once (intermediate results are memory
+    resident, per the module-level accounting rules), so base retrievals
+    are paid exactly once per input.
+    """
+
+    def __init__(
+        self, left: PhysicalOp, right: PhysicalOp, predicate: Predicate, join_type: str = "inner"
+    ):
+        _check_join_type(join_type)
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.join_type = join_type
+        if join_type in ("semi", "anti"):
+            self.schema = left.schema
+        else:
+            self.schema = left.schema.union(right.schema)
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        inner_rows = list(self.right.execute(metrics))
+        padding = null_row(self.right.schema)
+        label = f"NLJ[{self.join_type}]"
+        for outer_row in self.left.execute(metrics):
+            matched = False
+            for inner_row in inner_rows:
+                metrics.evaluated()
+                if satisfied(self.predicate.evaluate(PairView(outer_row, inner_row))):
+                    matched = True
+                    if self.join_type == "semi":
+                        break
+                    if self.join_type in ("inner", "left_outer"):
+                        metrics.emitted(label)
+                        yield outer_row.concat(inner_row)
+            if self.join_type == "left_outer" and not matched:
+                metrics.emitted(label)
+                yield outer_row.concat(padding)
+            elif self.join_type == "semi" and matched:
+                metrics.emitted(label)
+                yield outer_row
+            elif self.join_type == "anti" and not matched:
+                metrics.emitted(label)
+                yield outer_row
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (
+            f"{pad}NestedLoopJoin[{self.join_type}, {self.predicate!r}]\n"
+            f"{self.left.describe(indent + 2)}\n{self.right.describe(indent + 2)}"
+        )
+
+
+class IndexNestedLoopJoin(PhysicalOp):
+    """Probe a base table's hash index once per outer row.
+
+    This is Example 1's fast path: joining a one-row outer against an
+    indexed ten-million-row table retrieves one tuple instead of ten
+    million.  Only the rows the index returns are metered as retrieved.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        table: Table,
+        index: HashIndex,
+        outer_key: str,
+        residual: Optional[Predicate] = None,
+        join_type: str = "inner",
+    ):
+        _check_join_type(join_type)
+        self.left = left
+        self.table = table
+        self.index = index
+        self.outer_key = outer_key
+        self.residual = residual or TruePredicate()
+        self.join_type = join_type
+        if join_type in ("semi", "anti"):
+            self.schema = left.schema
+        else:
+            self.schema = left.schema.union(table.schema)
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left,)
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        padding = null_row(self.table.schema)
+        label = f"INLJ[{self.join_type}]"
+        for outer_row in self.left.execute(metrics):
+            metrics.probed(self.index.name)
+            matches = self.index.lookup(outer_row[self.outer_key])
+            matched = False
+            for inner_row in matches:
+                metrics.retrieved(self.table.name)
+                metrics.evaluated()
+                if satisfied(self.residual.evaluate(PairView(outer_row, inner_row))):
+                    matched = True
+                    if self.join_type == "semi":
+                        break
+                    if self.join_type in ("inner", "left_outer"):
+                        metrics.emitted(label)
+                        yield outer_row.concat(inner_row)
+            if self.join_type == "left_outer" and not matched:
+                metrics.emitted(label)
+                yield outer_row.concat(padding)
+            elif self.join_type == "semi" and matched:
+                metrics.emitted(label)
+                yield outer_row
+            elif self.join_type == "anti" and not matched:
+                metrics.emitted(label)
+                yield outer_row
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (
+            f"{pad}IndexNLJ[{self.join_type}, {self.outer_key} -> {self.index.name}]\n"
+            f"{self.left.describe(indent + 2)}"
+        )
+
+
+class HashJoin(PhysicalOp):
+    """Equi-join: build on the right input, probe with the left (preserved).
+
+    ``left_key``/``right_key`` are single equi-join attributes; additional
+    conjuncts go into ``residual``.  Null keys never match, as in the
+    algebra layer.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        left_key: str,
+        right_key: str,
+        residual: Optional[Predicate] = None,
+        join_type: str = "inner",
+    ):
+        _check_join_type(join_type)
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual or TruePredicate()
+        self.join_type = join_type
+        if join_type in ("semi", "anti"):
+            self.schema = left.schema
+        else:
+            self.schema = left.schema.union(right.schema)
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        from repro.algebra.nulls import is_null
+
+        buckets: dict = {}
+        for row in self.right.execute(metrics):
+            key = row[self.right_key]
+            if is_null(key):
+                continue
+            buckets.setdefault(key, []).append(row)
+        padding = null_row(self.right.schema)
+        label = f"HashJoin[{self.join_type}]"
+        for outer_row in self.left.execute(metrics):
+            key = outer_row[self.left_key]
+            matches = [] if is_null(key) else buckets.get(key, [])
+            matched = False
+            for inner_row in matches:
+                metrics.evaluated()
+                if satisfied(self.residual.evaluate(PairView(outer_row, inner_row))):
+                    matched = True
+                    if self.join_type == "semi":
+                        break
+                    if self.join_type in ("inner", "left_outer"):
+                        metrics.emitted(label)
+                        yield outer_row.concat(inner_row)
+            if self.join_type == "left_outer" and not matched:
+                metrics.emitted(label)
+                yield outer_row.concat(padding)
+            elif self.join_type == "semi" and matched:
+                metrics.emitted(label)
+                yield outer_row
+            elif self.join_type == "anti" and not matched:
+                metrics.emitted(label)
+                yield outer_row
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (
+            f"{pad}HashJoin[{self.join_type}, {self.left_key} = {self.right_key}]\n"
+            f"{self.left.describe(indent + 2)}\n{self.right.describe(indent + 2)}"
+        )

@@ -1,0 +1,112 @@
+"""Sort-merge join: the third classic access path.
+
+Example 1 only needs index nested loops, but a credible engine offers the
+standard trio; merge join also gives the test suite an independent
+implementation to differentially test against hash join and the algebra
+oracle.  Supports the same left-preserving variants as the other joins
+(inner, left_outer, semi, anti) over a single equality key; null keys
+never match and — for ``left_outer``/``anti`` — surface as preserved rows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import List, Optional
+
+from repro.algebra.nulls import is_null, satisfied
+from repro.algebra.predicates import PairView, Predicate, TruePredicate
+from repro.algebra.tuples import Row, null_row
+from repro.engine.iterators import PhysicalOp, _check_join_type
+from repro.engine.metrics import Metrics
+
+
+class MergeJoin(PhysicalOp):
+    """Left-preserving sort-merge join on one equality key."""
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        left_key: str,
+        right_key: str,
+        residual: Optional[Predicate] = None,
+        join_type: str = "inner",
+    ):
+        _check_join_type(join_type)
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual or TruePredicate()
+        self.join_type = join_type
+        if join_type in ("semi", "anti"):
+            self.schema = left.schema
+        else:
+            self.schema = left.schema.union(right.schema)
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def _sorted_non_null(self, rows: List[Row], key: str) -> List[Row]:
+        return sorted(
+            (r for r in rows if not is_null(r[key])),
+            key=lambda r: r[key],
+        )
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        left_rows = list(self.left.execute(metrics))
+        right_rows = list(self.right.execute(metrics))
+        # Null-keyed left rows never match: for the preserved variants they
+        # must still be emitted.
+        left_null_keyed = [r for r in left_rows if is_null(r[self.left_key])]
+        left_sorted = self._sorted_non_null(left_rows, self.left_key)
+        right_sorted = self._sorted_non_null(right_rows, self.right_key)
+        padding = null_row(self.right.schema)
+        label = f"MergeJoin[{self.join_type}]"
+
+        i = j = 0
+        while i < len(left_sorted):
+            left_row = left_sorted[i]
+            key = left_row[self.left_key]
+            # Advance the right cursor to the first candidate >= key.
+            while j < len(right_sorted) and right_sorted[j][self.right_key] < key:
+                j += 1
+            # Collect the group of equal right keys.
+            k = j
+            matched = False
+            while k < len(right_sorted) and right_sorted[k][self.right_key] == key:
+                right_row = right_sorted[k]
+                metrics.evaluated()
+                if satisfied(self.residual.evaluate(PairView(left_row, right_row))):
+                    matched = True
+                    if self.join_type == "semi":
+                        break
+                    if self.join_type in ("inner", "left_outer"):
+                        metrics.emitted(label)
+                        yield left_row.concat(right_row)
+                k += 1
+            if self.join_type == "left_outer" and not matched:
+                metrics.emitted(label)
+                yield left_row.concat(padding)
+            elif self.join_type == "semi" and matched:
+                metrics.emitted(label)
+                yield left_row
+            elif self.join_type == "anti" and not matched:
+                metrics.emitted(label)
+                yield left_row
+            i += 1
+
+        for left_row in left_null_keyed:
+            if self.join_type == "left_outer":
+                metrics.emitted(label)
+                yield left_row.concat(padding)
+            elif self.join_type == "anti":
+                metrics.emitted(label)
+                yield left_row
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (
+            f"{pad}MergeJoin[{self.join_type}, {self.left_key} = {self.right_key}]\n"
+            f"{self.left.describe(indent + 2)}\n{self.right.describe(indent + 2)}"
+        )

@@ -1,0 +1,52 @@
+"""Execution metrics — the paper's own cost currency.
+
+Example 1 argues for outerjoin reordering in terms of *tuples retrieved*
+from base relations (``2·10^7 + 1`` versus ``3``).  The engine therefore
+instruments every base-table access method with a retrieval counter, per
+table and in total, plus auxiliary counters (predicate evaluations, index
+probes, rows emitted per operator) that the optimizer's cost model and the
+benchmark harness report alongside.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Metrics:
+    """Mutable counters shared by the physical operators of one execution."""
+
+    tuples_retrieved: Counter = field(default_factory=Counter)
+    index_probes: Counter = field(default_factory=Counter)
+    predicate_evaluations: int = 0
+    rows_emitted: Dict[str, int] = field(default_factory=dict)
+
+    def retrieved(self, table: str, count: int = 1) -> None:
+        """Record base-table tuples handed to the query (Example 1's metric)."""
+        self.tuples_retrieved[table] += count
+
+    def probed(self, index: str, count: int = 1) -> None:
+        self.index_probes[index] += count
+
+    def evaluated(self, count: int = 1) -> None:
+        self.predicate_evaluations += count
+
+    def emitted(self, operator: str, count: int = 1) -> None:
+        self.rows_emitted[operator] = self.rows_emitted.get(operator, 0) + count
+
+    @property
+    def total_retrieved(self) -> int:
+        """Total base tuples retrieved — the headline number of Example 1."""
+        return sum(self.tuples_retrieved.values())
+
+    def summary(self) -> str:
+        lines = [f"tuples retrieved: {self.total_retrieved}"]
+        for table in sorted(self.tuples_retrieved):
+            lines.append(f"  {table}: {self.tuples_retrieved[table]}")
+        if self.index_probes:
+            lines.append(f"index probes: {sum(self.index_probes.values())}")
+        lines.append(f"predicate evaluations: {self.predicate_evaluations}")
+        return "\n".join(lines)

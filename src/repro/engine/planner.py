@@ -1,0 +1,183 @@
+"""Translate logical expression trees into physical plans.
+
+The planner respects the logical join order exactly — choosing a join
+*order* is the optimizer's job (:mod:`repro.optimizer`); choosing access
+methods is the planner's.  Per node it picks, in order of preference:
+
+1. **Index nested-loop join** when the inner operand is a base table with
+   a hash index on its side of an equi-join conjunct (Example 1's setup);
+2. **Hash join** for any equi-join conjunct;
+3. **Nested-loop join** otherwise (e.g. Example 1b's ``R1.A > R2.B``).
+
+Outerjoins plan as left-preserved physical joins; a ``RightOuterJoin``
+swaps operands first.  Preserved-side semantics never change — only the
+access path does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.algebra.predicates import Comparison, AttrRef, Predicate, conjunction
+from repro.algebra.schema import Schema
+from repro.core.expressions import (
+    Antijoin,
+    Expression,
+    Join,
+    LeftOuterJoin,
+    Project,
+    Rel,
+    Restrict,
+    RightAntijoin,
+    RightOuterJoin,
+    Semijoin,
+)
+from repro.engine.iterators import (
+    Filter,
+    HashJoin,
+    IndexNestedLoopJoin,
+    NestedLoopJoin,
+    PhysicalOp,
+    ProjectOp,
+    SeqScan,
+)
+from repro.engine.storage import Storage
+from repro.util.errors import PlanningError
+
+
+def split_equijoin(
+    predicate: Predicate, left_schema: Schema, right_schema: Schema
+) -> Optional[Tuple[str, str, Optional[Predicate]]]:
+    """Find an equi-join conjunct ``left_attr = right_attr`` across the sides.
+
+    Returns ``(left_key, right_key, residual_predicate)`` where the
+    residual collects every other conjunct, or ``None`` when no usable
+    equality conjunct exists.
+    """
+    equi: Optional[Tuple[str, str]] = None
+    residual = []
+    for conjunct in predicate.conjuncts():
+        if (
+            equi is None
+            and isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, AttrRef)
+            and isinstance(conjunct.right, AttrRef)
+        ):
+            a, b = conjunct.left.name, conjunct.right.name
+            if a in left_schema and b in right_schema:
+                equi = (a, b)
+                continue
+            if b in left_schema and a in right_schema:
+                equi = (b, a)
+                continue
+        residual.append(conjunct)
+    if equi is None:
+        return None
+    left_key, right_key = equi
+    residual_pred = conjunction(residual) if residual else None
+    return left_key, right_key, residual_pred
+
+
+#: Logical operator -> (physical join_type, swap_operands).
+_JOIN_KINDS = {
+    Join: ("inner", False),
+    LeftOuterJoin: ("left_outer", False),
+    RightOuterJoin: ("left_outer", True),
+    Antijoin: ("anti", False),
+    RightAntijoin: ("anti", True),
+    Semijoin: ("semi", False),
+}
+
+
+class Planner:
+    """Stateless physical planner over a :class:`Storage`.
+
+    ``equi_join`` selects the algorithm for equi-joins without a usable
+    index: ``"hash"`` (default) or ``"merge"`` — the latter mainly exists
+    so the test suite can differentially validate the two implementations
+    on identical plans.
+    """
+
+    def __init__(self, storage: Storage, equi_join: str = "hash"):
+        if equi_join not in ("hash", "merge"):
+            raise PlanningError(f"unknown equi-join algorithm {equi_join!r}")
+        self.storage = storage
+        self.equi_join = equi_join
+
+    def plan(self, expr: Expression) -> PhysicalOp:
+        if isinstance(expr, Rel):
+            return SeqScan(self.storage[expr.name])
+        if isinstance(expr, Restrict):
+            return Filter(self.plan(expr.child), expr.predicate)
+        if isinstance(expr, Project):
+            return ProjectOp(self.plan(expr.child), expr.attributes, dedup=expr.dedup)
+        from repro.core.expressions import GeneralizedOuterJoin
+
+        if type(expr) is GeneralizedOuterJoin:
+            return self._plan_goj(expr)
+        kind = _JOIN_KINDS.get(type(expr))
+        if kind is None:
+            raise PlanningError(f"no physical plan for {type(expr).__name__}")
+        join_type, swap = kind
+        left_expr, right_expr = (expr.right, expr.left) if swap else (expr.left, expr.right)
+        return self._plan_join(left_expr, right_expr, expr.predicate, join_type)
+
+    def _plan_join(
+        self,
+        left_expr: Expression,
+        right_expr: Expression,
+        predicate: Predicate,
+        join_type: str,
+    ) -> PhysicalOp:
+        left_plan = self.plan(left_expr)
+        left_schema = left_plan.schema
+        right_schema = self._schema_of(right_expr)
+        split = split_equijoin(predicate, left_schema, right_schema)
+
+        # Preference 1: index nested loop against an indexed base table.
+        if split is not None and isinstance(right_expr, Rel):
+            left_key, right_key, residual = split
+            table = self.storage[right_expr.name]
+            index = table.index_on(right_key)
+            if index is not None:
+                return IndexNestedLoopJoin(
+                    left_plan, table, index, left_key, residual, join_type
+                )
+
+        right_plan = self.plan(right_expr)
+        # Preference 2: hash (or merge) join on the equi-key.
+        if split is not None:
+            left_key, right_key, residual = split
+            if self.equi_join == "merge":
+                from repro.engine.merge_join import MergeJoin
+
+                return MergeJoin(
+                    left_plan, right_plan, left_key, right_key, residual, join_type
+                )
+            return HashJoin(left_plan, right_plan, left_key, right_key, residual, join_type)
+
+        # Fallback: nested loops with the full predicate.
+        return NestedLoopJoin(left_plan, right_plan, predicate, join_type)
+
+    def _plan_goj(self, expr) -> PhysicalOp:
+        """Plan a generalized outerjoin via the modified hash join."""
+        from repro.engine.goj_op import GeneralizedOuterJoinOp
+
+        left_plan = self.plan(expr.left)
+        right_plan = self.plan(expr.right)
+        split = split_equijoin(expr.predicate, left_plan.schema, right_plan.schema)
+        if split is None:
+            raise PlanningError(
+                "the GOJ physical operator needs an equi-join conjunct "
+                "(the paper's 'slightly modified join algorithm' is hash-based)"
+            )
+        left_key, right_key, residual = split
+        return GeneralizedOuterJoinOp(
+            left_plan, right_plan, left_key, right_key, sorted(expr.projection), residual
+        )
+
+    def _schema_of(self, expr: Expression) -> Schema:
+        if isinstance(expr, Rel):
+            return self.storage[expr.name].schema
+        return expr.scheme(self.storage.registry)

@@ -1,0 +1,154 @@
+"""Base-table storage with simple statistics.
+
+A deliberately small storage layer: heap tables of :class:`Row` objects,
+per-attribute statistics (cardinality, distinct count, min/max) feeding the
+optimizer's cardinality model, and named hash indexes
+(:mod:`repro.engine.indexes`).  Access always flows through the physical
+operators so that every base-tuple retrieval is metered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.algebra.nulls import is_null
+from repro.algebra.relation import Database, Relation
+from repro.algebra.schema import Schema, SchemaRegistry
+from repro.algebra.tuples import Row
+from repro.engine.indexes import HashIndex
+from repro.util.errors import PlanningError, SchemaError
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for one attribute of a table."""
+
+    distinct: int
+    nulls: int
+    minimum: Optional[Any]
+    maximum: Optional[Any]
+
+
+class Table:
+    """A heap table: named, schema'd, with rows and optional hash indexes."""
+
+    def __init__(self, name: str, schema: Schema | Iterable[str], rows: Iterable[Row] = ()):
+        self.name = name
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self._rows: List[Row] = []
+        self._indexes: Dict[str, HashIndex] = {}
+        self._stats: Optional[Dict[str, ColumnStats]] = None
+        for row in rows:
+            self.insert(row)
+
+    def insert(self, row: Row) -> None:
+        if row.scheme != self.schema.attributes:
+            raise SchemaError(
+                f"row scheme {sorted(row.scheme)} does not match table {self.name!r} "
+                f"scheme {sorted(self.schema.attributes)}"
+            )
+        self._rows.append(row)
+        for index in self._indexes.values():
+            index.insert(row)
+        self._stats = None
+
+    @property
+    def rows(self) -> List[Row]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def scan(self) -> Iterator[Row]:
+        """Raw iteration; physical operators wrap this with metering."""
+        return iter(self._rows)
+
+    # -- indexes -------------------------------------------------------------
+
+    def create_index(self, attribute: str) -> HashIndex:
+        """Build (or return) a hash index on one attribute."""
+        if attribute not in self.schema:
+            raise SchemaError(f"table {self.name!r} has no attribute {attribute!r}")
+        if attribute not in self._indexes:
+            index = HashIndex(f"{self.name}({attribute})", attribute)
+            for row in self._rows:
+                index.insert(row)
+            self._indexes[attribute] = index
+        return self._indexes[attribute]
+
+    def index_on(self, attribute: str) -> Optional[HashIndex]:
+        return self._indexes.get(attribute)
+
+    @property
+    def indexed_attributes(self) -> frozenset[str]:
+        return frozenset(self._indexes)
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, ColumnStats]:
+        """Per-column statistics, computed lazily and cached."""
+        if self._stats is None:
+            out: Dict[str, ColumnStats] = {}
+            for attr in self.schema:
+                values = [r[attr] for r in self._rows]
+                non_null = [v for v in values if not is_null(v)]
+                out[attr] = ColumnStats(
+                    distinct=len(set(non_null)),
+                    nulls=len(values) - len(non_null),
+                    minimum=min(non_null, default=None),
+                    maximum=max(non_null, default=None),
+                )
+            self._stats = out
+        return self._stats
+
+    def to_relation(self) -> Relation:
+        return Relation(self.schema, self._rows)
+
+
+class Storage(Mapping[str, Table]):
+    """A physical database: tables with disjoint schemes, plus a registry."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._registry = SchemaRegistry()
+
+    @classmethod
+    def from_database(cls, db: Database) -> "Storage":
+        """Materialize an algebra-level database into engine storage."""
+        storage = cls()
+        for name in db:
+            rel = db[name]
+            storage.add_table(Table(name, rel.schema, list(rel)))
+        return storage
+
+    def add_table(self, table: Table) -> Table:
+        self._registry.register(table.name, table.schema)
+        self._tables[table.name] = table
+        return table
+
+    def create_table(
+        self, name: str, schema: Iterable[str], rows: Iterable[Mapping[str, Any]] = ()
+    ) -> Table:
+        return self.add_table(Table(name, Schema(schema), (Row(r) for r in rows)))
+
+    @property
+    def registry(self) -> SchemaRegistry:
+        return self._registry
+
+    def __getitem__(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise PlanningError(f"unknown table {name!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def to_database(self) -> Database:
+        """View the storage as an algebra-level database (for oracles)."""
+        return Database({name: table.to_relation() for name, table in self._tables.items()})

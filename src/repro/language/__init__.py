@@ -1,0 +1,45 @@
+"""Section-5 language: SQL + UnNest (*) and Link (->) over entity data."""
+
+from repro.language.ast_nodes import (
+    AndCond,
+    AttrExpr,
+    CompareCond,
+    ConstExpr,
+    FromItem,
+    FromOp,
+    IsNullCond,
+    NotCond,
+    OrCond,
+    SelectQuery,
+)
+from repro.language.catalog import Catalog, EntityType, FieldDef
+from repro.language.compiler import CompiledQuery, Compiler, compile_query
+from repro.language.lexer import Token, TokenStream, tokenize
+from repro.language.objectstore import ObjectStore, oid_attr
+from repro.language.parser import parse, parse_condition
+
+__all__ = [
+    "AndCond",
+    "AttrExpr",
+    "Catalog",
+    "CompareCond",
+    "CompiledQuery",
+    "Compiler",
+    "ConstExpr",
+    "EntityType",
+    "FieldDef",
+    "FromItem",
+    "FromOp",
+    "IsNullCond",
+    "NotCond",
+    "ObjectStore",
+    "OrCond",
+    "SelectQuery",
+    "Token",
+    "TokenStream",
+    "compile_query",
+    "oid_attr",
+    "parse",
+    "parse_condition",
+    "tokenize",
+]

@@ -1,0 +1,128 @@
+"""Abstract syntax of the Section-5 query language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FromOp:
+    """One postfix operator in a From-item: UnNest (``*``) or Link (``->``)."""
+
+    kind: str  # "unnest" | "link"
+    field_name: str
+
+    def __str__(self) -> str:
+        symbol = "*" if self.kind == "unnest" else "-->"
+        return f"{symbol}{self.field_name}"
+
+
+@dataclass(frozen=True)
+class FromItem:
+    """A base entity type with a chain of UnNest/Link operators.
+
+    ``alias`` supports the paper's "several copies of the same relation
+    with renamed attributes" (Section 1.2): ``FROM EMPLOYEE E1,
+    EMPLOYEE E2`` introduces two independent tuple variables over the
+    same entity type.
+    """
+
+    base: str
+    ops: Tuple[FromOp, ...] = ()
+    alias: Optional[str] = None
+
+    @property
+    def instance(self) -> str:
+        """The tuple-variable name this item binds."""
+        return self.alias or self.base
+
+    def __str__(self) -> str:
+        head = f"{self.base} {self.alias}" if self.alias else self.base
+        return head + "".join(str(op) for op in self.ops)
+
+
+# -- conditions (the Where clause) -------------------------------------------
+
+
+class Condition:
+    """Base class of Where-clause conditions."""
+
+
+@dataclass(frozen=True)
+class AttrExpr(Condition):
+    """A qualified attribute reference ``Relation.attr``."""
+
+    relation: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class ConstExpr(Condition):
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class CompareCond(Condition):
+    left: Condition
+    op: str
+    right: Condition
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class IsNullCond(Condition):
+    operand: Condition
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.operand} IS {'NOT ' if self.negated else ''}NULL"
+
+
+@dataclass(frozen=True)
+class AndCond(Condition):
+    parts: Tuple[Condition, ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class OrCond(Condition):
+    parts: Tuple[Condition, ...]
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class NotCond(Condition):
+    part: Condition
+
+    def __str__(self) -> str:
+        return f"NOT ({self.part})"
+
+
+@dataclass
+class SelectQuery:
+    """A parsed query block: Select / From / Where."""
+
+    select_all: bool
+    select_list: List[AttrExpr] = field(default_factory=list)
+    from_items: List[FromItem] = field(default_factory=list)
+    where: Optional[Condition] = None
+
+    def __str__(self) -> str:
+        select = "ALL" if self.select_all else ", ".join(map(str, self.select_list))
+        text = f"SELECT {select} FROM {', '.join(map(str, self.from_items))}"
+        if self.where is not None:
+            text += f" WHERE {self.where}"
+        return text

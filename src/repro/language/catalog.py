@@ -1,0 +1,120 @@
+"""Entity-type catalog for the Section-5 language.
+
+Section 5 extends SQL "to handle relations whose attributes may be set- or
+entity-valued", crediting the (unpublished) operator designs of J. Bauer.
+An entity type here has three kinds of fields:
+
+* **scalar** fields — ordinary single values;
+* **set-valued** fields — a set of scalar values (the target of the
+  UnNest/Flatten operator ``*``);
+* **entity-valued** fields — a reference to a tuple of another entity
+  type (the target of the Link-via operator ``->``).
+
+The catalog is pure schema; instances live in
+:class:`repro.language.objectstore.ObjectStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.util.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """One field of an entity type."""
+
+    name: str
+    kind: str  # "scalar" | "set" | "entity"
+    target: Optional[str] = None  # entity fields: the referenced type
+
+    def __post_init__(self):
+        if self.kind not in ("scalar", "set", "entity"):
+            raise CatalogError(f"unknown field kind {self.kind!r}")
+        if (self.kind == "entity") != (self.target is not None):
+            raise CatalogError("entity fields (and only those) need a target type")
+
+
+@dataclass
+class EntityType:
+    """A named entity type with its field definitions."""
+
+    name: str
+    fields: Dict[str, FieldDef] = field(default_factory=dict)
+
+    def add_scalar(self, name: str) -> "EntityType":
+        self._add(FieldDef(name, "scalar"))
+        return self
+
+    def add_set(self, name: str) -> "EntityType":
+        self._add(FieldDef(name, "set"))
+        return self
+
+    def add_entity(self, name: str, target: str) -> "EntityType":
+        self._add(FieldDef(name, "entity", target))
+        return self
+
+    def _add(self, fd: FieldDef) -> None:
+        if fd.name in self.fields:
+            raise CatalogError(f"field {fd.name!r} defined twice on {self.name!r}")
+        self.fields[fd.name] = fd
+
+    def field_def(self, name: str) -> FieldDef:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise CatalogError(f"type {self.name!r} has no field {name!r}") from None
+
+    def scalar_fields(self) -> Iterator[str]:
+        return (f for f, d in self.fields.items() if d.kind == "scalar")
+
+    def entity_fields(self) -> Iterator[str]:
+        return (f for f, d in self.fields.items() if d.kind == "entity")
+
+
+class Catalog:
+    """All entity types known to a database."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, EntityType] = {}
+
+    def define(self, name: str) -> EntityType:
+        if name in self._types:
+            raise CatalogError(f"entity type {name!r} defined twice")
+        etype = EntityType(name)
+        self._types[name] = etype
+        return etype
+
+    def __getitem__(self, name: str) -> EntityType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise CatalogError(f"unknown entity type {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self):
+        return iter(self._types)
+
+    def resolve_field(self, available_types: Iterator[Tuple[str, str]], field_name: str):
+        """Find which available (instance, type) owns ``field_name``.
+
+        Section 5: "The order of the clauses is not essential — the parser
+        can associate the attributes with their relations."  Ambiguity (two
+        available types owning the same field) is an error.
+        """
+        owners = [
+            (instance, type_name)
+            for instance, type_name in available_types
+            if field_name in self[type_name].fields
+        ]
+        if not owners:
+            raise CatalogError(f"no relation in scope has a field {field_name!r}")
+        if len(owners) > 1:
+            raise CatalogError(
+                f"field {field_name!r} is ambiguous among {[o[0] for o in owners]}"
+            )
+        return owners[0]

@@ -1,0 +1,388 @@
+"""Compile Section-5 query blocks into freely-reorderable outerjoin queries.
+
+Section 5.2's reformulation, implemented end to end:
+
+* ``R * Field``  becomes  ``OJ[NestedIn(@r, @value)](R, ValueOfField)``
+* ``R -> Field`` becomes  ``OJ[LinkedTo(@r, @value)](R, DomainOfField)``
+
+Each traversal introduces an *independent* relation instance (a new tuple
+variable), every outerjoin edge points outward from its owner, and the
+NestedIn/LinkedTo predicates are strong — so, as Section 5.3 observes,
+every query block satisfies the preconditions of Theorem 1 and is freely
+reorderable.  The compiler asserts exactly that on every compilation, and
+hands the resulting query graph to the optimizer without any outerjoin-
+specific analysis (the Section-6.1 programme).
+
+Restrictions (single-relation Where conjuncts) are applied to the base
+relations up front; Section 4 sanctions this because base instances are
+never null-supplied — only the relations manufactured by ``*``/``->`` are,
+and the language forbids Where-clause references to those ("Attributes
+obtained from the right side of -> and * operators cannot appear in the
+Where-List predicates").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.operators import project, restrict
+from repro.algebra.predicates import (
+    AttrRef,
+    Comparison,
+    Const,
+    IsNull,
+    Not,
+    Or,
+    And,
+    Predicate,
+    conjunction,
+)
+from repro.algebra.relation import Database, Relation
+from repro.core.expressions import Expression, Join, LeftOuterJoin, Rel
+from repro.core.graph import QueryGraph
+from repro.core.reorderability import ReorderabilityVerdict, theorem1_applies
+from repro.language.ast_nodes import (
+    AndCond,
+    AttrExpr,
+    CompareCond,
+    Condition,
+    ConstExpr,
+    IsNullCond,
+    NotCond,
+    OrCond,
+    SelectQuery,
+)
+from repro.language.catalog import Catalog
+from repro.language.objectstore import ObjectStore, oid_attr
+from repro.language.parser import parse
+from repro.util.errors import CatalogError, GraphUndefinedError, ParseError
+
+
+@dataclass
+class CompiledQuery:
+    """Everything the back end needs: data, graph, trees, and the proof."""
+
+    source: SelectQuery
+    database: Database
+    graph: QueryGraph
+    initial_tree: Expression
+    restrictions: List[Tuple[str, Predicate]]
+    verdict: ReorderabilityVerdict
+    select_attrs: Optional[List[str]]
+    derived_instances: List[str] = field(default_factory=list)
+
+    @property
+    def registry(self):
+        return self.database.registry
+
+    def run(self, tree: Optional[Expression] = None) -> Relation:
+        """Evaluate the block (with any implementing tree — they all agree)."""
+        expr = tree if tree is not None else self.initial_tree
+        result = expr.eval(self.database)
+        if self.select_attrs is not None:
+            result = project(result, self.select_attrs, dedup=False)
+        return result
+
+    def restrict_result(
+        self, condition_text: str, tree: Optional[Expression] = None
+    ) -> Relation:
+        """Apply an *enclosing-block* restriction to this block's result.
+
+        Section 5: attributes from the right side of ``*``/``->`` "cannot
+        appear in the Where-List predicates because the position of the
+        restriction predicate would be ambiguous, either before or after
+        unnesting.  But they may be restricted in an enclosing query
+        block."  This method is that enclosing block: the condition is
+        evaluated against the block's finished rows, so its position is
+        unambiguous (after), derived attributes included.
+        """
+        from repro.language.parser import parse_condition
+
+        condition = parse_condition(condition_text)
+        attrs_available = set()
+        for name in self.database:
+            attrs_available |= set(self.database[name].scheme)
+
+        def term(node):
+            if isinstance(node, AttrExpr):
+                qualified = f"{node.relation}.{node.attribute}"
+                if qualified not in attrs_available:
+                    raise CatalogError(f"no attribute {qualified!r} in the block result")
+                return AttrRef(qualified)
+            if isinstance(node, ConstExpr):
+                return Const(node.value)
+            raise ParseError(f"expected an operand, got {node}")
+
+        def build(node) -> Predicate:
+            if isinstance(node, CompareCond):
+                return Comparison(term(node.left), node.op, term(node.right))
+            if isinstance(node, IsNullCond):
+                base = IsNull(term(node.operand))
+                return Not(base) if node.negated else base
+            if isinstance(node, AndCond):
+                return conjunction([build(p) for p in node.parts])
+            if isinstance(node, OrCond):
+                return Or(tuple(build(p) for p in node.parts))
+            if isinstance(node, NotCond):
+                return Not(build(node.part))
+            raise ParseError(f"unsupported condition {node}")
+
+        predicate = build(condition)
+        expr = tree if tree is not None else self.initial_tree
+        return restrict(expr.eval(self.database), predicate)
+
+    def optimized_tree(self) -> Expression:
+        """Cheapest IT under C_out — no outerjoin-specific machinery needed."""
+        from repro.engine.storage import Storage
+        from repro.optimizer.cardinality import CardinalityEstimator
+        from repro.optimizer.cost import CoutCostModel
+        from repro.optimizer.dp import DPOptimizer
+
+        storage = Storage.from_database(self.database)
+        model = CoutCostModel(CardinalityEstimator(storage))
+        return DPOptimizer(self.graph, model).optimize().expr
+
+
+class Compiler:
+    """Compiles parsed query blocks against a catalog + object store."""
+
+    def __init__(self, store: ObjectStore):
+        self.store = store
+        self.catalog: Catalog = store.catalog
+
+    # -- public API -------------------------------------------------------------
+
+    def compile(self, query: SelectQuery | str) -> CompiledQuery:
+        if isinstance(query, str):
+            query = parse(query)
+
+        relations: Dict[str, Relation] = {}
+        base_instances: List[str] = []
+        derived_instances: List[str] = []
+        oj_triples: List[Tuple[str, str, Predicate]] = []
+        instance_types: Dict[str, Optional[str]] = {}
+
+        # 1. From-list: base relations and UnNest/Link traversals.
+        item_oj_triples: Dict[str, List[Tuple[str, str, Predicate]]] = {}
+        for item in query.from_items:
+            if item.base not in self.catalog:
+                raise CatalogError(f"unknown entity type {item.base!r} in FROM")
+            if item.instance in relations:
+                raise CatalogError(
+                    f"tuple variable {item.instance!r} bound twice; give each use of "
+                    f"{item.base!r} a distinct alias (FROM {item.base} E1, {item.base} E2)"
+                )
+            relations[item.instance] = self.store.base_relation(
+                item.base, instance=item.instance
+            )
+            base_instances.append(item.instance)
+            instance_types[item.instance] = item.base
+            # Entities available for field resolution within this item.
+            available: List[Tuple[str, str]] = [(item.instance, item.base)]
+            for op in item.ops:
+                owner_instance, owner_type = self.catalog.resolve_field(
+                    iter(available), op.field_name
+                )
+                fdef = self.catalog[owner_type].field_def(op.field_name)
+                instance = f"{owner_instance}_{op.field_name}"
+                if instance in relations:
+                    raise CatalogError(f"field {op.field_name!r} traversed twice")
+                if op.kind == "unnest":
+                    if fdef.kind != "set":
+                        raise CatalogError(
+                            f"'*' needs a set-valued field; {owner_type}.{op.field_name} "
+                            f"is {fdef.kind}"
+                        )
+                    rel, membership = self.store.value_relation(
+                        owner_type, op.field_name, instance
+                    )
+                    predicate = ObjectStore.nested_in(
+                        owner_instance, instance, op.field_name, membership
+                    )
+                    instance_types[instance] = None
+                else:
+                    if fdef.kind != "entity":
+                        raise CatalogError(
+                            f"'->' needs an entity-valued field; {owner_type}.{op.field_name} "
+                            f"is {fdef.kind}"
+                        )
+                    rel = self.store.base_relation(fdef.target, instance=instance)
+                    predicate = ObjectStore.linked_to(
+                        owner_instance, op.field_name, instance
+                    )
+                    available.append((instance, fdef.target))
+                    instance_types[instance] = fdef.target
+                relations[instance] = rel
+                derived_instances.append(instance)
+                oj_triples.append((owner_instance, instance, predicate))
+                item_oj_triples.setdefault(item.instance, []).append(
+                    (owner_instance, instance, predicate)
+                )
+
+        # 2. Where-clause: split into restrictions and join edges.
+        restrictions: List[Tuple[str, Predicate]] = []
+        join_triples: List[Tuple[str, str, Predicate]] = []
+        if query.where is not None:
+            for conjunct in _flatten_and(query.where):
+                predicate, instances = self._compile_condition(
+                    conjunct, relations, base_instances
+                )
+                if len(instances) == 1:
+                    restrictions.append((next(iter(instances)), predicate))
+                elif len(instances) == 2:
+                    a, b = sorted(instances)
+                    join_triples.append((a, b, predicate))
+                else:
+                    raise GraphUndefinedError(
+                        f"conjunct {conjunct} references {len(instances)} relations; "
+                        "the query graph requires one or two"
+                    )
+
+        # 3. Apply restrictions to base relations (never null-supplied).
+        for instance, predicate in restrictions:
+            relations[instance] = restrict(relations[instance], predicate)
+
+        # 4. Assemble the database and graph.
+        database = Database(relations)
+        graph = QueryGraph.from_edges(
+            join=join_triples, oj=oj_triples, isolated=list(relations)
+        )
+        if len(relations) > 1 and not graph.is_connected():
+            raise GraphUndefinedError(
+                "the FROM items are not all connected by WHERE predicates; "
+                "Cartesian products are not expressible as implementing trees"
+            )
+
+        # 5. The Section-5.3 observation, machine-checked on every compile.
+        verdict = theorem1_applies(graph, database.registry)
+        if not verdict.freely_reorderable:
+            raise GraphUndefinedError(
+                f"internal error: a compiled block must be freely reorderable:\n{verdict}"
+            )
+
+        initial_tree = self._initial_tree(query, graph, item_oj_triples)
+        select_attrs = self._resolve_select(query, database)
+        return CompiledQuery(
+            source=query,
+            database=database,
+            graph=graph,
+            initial_tree=initial_tree,
+            restrictions=restrictions,
+            verdict=verdict,
+            select_attrs=select_attrs,
+            derived_instances=derived_instances,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _compile_condition(
+        self,
+        condition: Condition,
+        relations: Dict[str, Relation],
+        base_instances: List[str],
+    ) -> Tuple[Predicate, frozenset[str]]:
+        """Compile one conjunct; returns (predicate, referenced instances)."""
+        instances: set[str] = set()
+
+        def term(node: Condition):
+            if isinstance(node, AttrExpr):
+                if node.relation not in relations:
+                    raise CatalogError(f"unknown relation {node.relation!r} in WHERE")
+                if node.relation not in base_instances:
+                    raise ParseError(
+                        f"attribute {node} comes from the right side of a '*' or '->' "
+                        "operator and cannot appear in the WHERE list (restrict it in "
+                        "an enclosing query block instead)"
+                    )
+                qualified = f"{node.relation}.{node.attribute}"
+                if qualified not in relations[node.relation].scheme:
+                    raise CatalogError(f"relation {node.relation!r} has no attribute {node}")
+                instances.add(node.relation)
+                return AttrRef(qualified)
+            if isinstance(node, ConstExpr):
+                return Const(node.value)
+            raise ParseError(f"expected an operand, got {node}")
+
+        def compile_node(node: Condition) -> Predicate:
+            if isinstance(node, CompareCond):
+                return Comparison(term(node.left), node.op, term(node.right))
+            if isinstance(node, IsNullCond):
+                base = IsNull(term(node.operand))
+                return Not(base) if node.negated else base
+            if isinstance(node, AndCond):
+                return conjunction([compile_node(p) for p in node.parts])
+            if isinstance(node, OrCond):
+                return Or(tuple(compile_node(p) for p in node.parts))
+            if isinstance(node, NotCond):
+                return Not(compile_node(node.part))
+            raise ParseError(f"unsupported condition {node}")
+
+        predicate = compile_node(condition)
+        return predicate, frozenset(instances)
+
+    def _initial_tree(
+        self,
+        query: SelectQuery,
+        graph: QueryGraph,
+        item_oj_triples: Dict[str, List[Tuple[str, str, Predicate]]],
+    ) -> Expression:
+        """The "as written" implementing tree.
+
+        Each From-item becomes a left-deep chain of outerjoins in the order
+        the ``*``/``->`` operators were written; items are then joined left
+        to right on the Where conjuncts that connect them (with a lookahead
+        for items whose connecting predicate arrives later in the clause).
+        """
+        item_exprs: List[Expression] = []
+        for item in query.from_items:
+            expr: Expression = Rel(item.instance)
+            for _owner, target, predicate in item_oj_triples.get(item.instance, []):
+                expr = LeftOuterJoin(expr, Rel(target), predicate)
+            item_exprs.append(expr)
+
+        tree = item_exprs[0]
+        pending = list(item_exprs[1:])
+        while pending:
+            progressed = False
+            for candidate in list(pending):
+                cut_joins, _cut_ojs = graph.cut(tree.relations(), candidate.relations())
+                if cut_joins:
+                    predicate = conjunction([p for _pair, p in cut_joins])
+                    tree = Join(tree, candidate, predicate)
+                    pending.remove(candidate)
+                    progressed = True
+            if not progressed:
+                raise GraphUndefinedError(
+                    "FROM items cannot be joined in any order without a Cartesian product"
+                )
+        return tree
+
+    def _resolve_select(
+        self, query: SelectQuery, database: Database
+    ) -> Optional[List[str]]:
+        if query.select_all:
+            return None
+        out: List[str] = []
+        for attr in query.select_list:
+            qualified = f"{attr.relation}.{attr.attribute}"
+            if attr.relation not in database:
+                raise CatalogError(f"unknown relation {attr.relation!r} in SELECT")
+            if qualified not in database[attr.relation].scheme:
+                raise CatalogError(f"relation {attr.relation!r} has no attribute {attr}")
+            out.append(qualified)
+        return out
+
+
+def _flatten_and(condition: Condition) -> List[Condition]:
+    if isinstance(condition, AndCond):
+        out: List[Condition] = []
+        for part in condition.parts:
+            out.extend(_flatten_and(part))
+        return out
+    return [condition]
+
+
+def compile_query(text: str, store: ObjectStore) -> CompiledQuery:
+    """One-call convenience: parse and compile a query block."""
+    return Compiler(store).compile(text)

@@ -1,0 +1,139 @@
+"""Tokenizer for the Section-5 query language.
+
+The token set covers the paper's examples verbatim, including identifiers
+containing ``#`` (``EMPLOYEE.D#``), the UnNest operator ``*``, the Link
+operator written either ``-->`` (as in the paper's examples) or ``->``
+(as in its prose), string literals in single quotes, and the usual
+comparison operators.  Keywords are case-insensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.util.errors import ParseError
+
+KEYWORDS = {"SELECT", "ALL", "FROM", "WHERE", "AND", "OR", "NOT", "IS", "NULL"}
+
+#: Multi-character operators, longest first so ``-->`` beats ``->``.
+OPERATORS = ["-->", "->", "<>", "<=", ">=", "=", "<", ">", "*", ",", ".", "(", ")"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | EOF
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    # '#' appears in the paper's attribute names (D#).
+    return ch.isalnum() or ch in "_#"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Turn query text into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            column += 1
+            continue
+        if ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise ParseError("unterminated string literal", line, column)
+            tokens.append(Token("STRING", text[i + 1 : j], line, column))
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            word = text[i:j]
+            kind = "KEYWORD" if word.upper() in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word.upper() if kind == "KEYWORD" else word, line, column))
+            column += j - i
+            i = j
+            continue
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, line, column))
+                column += len(op)
+                i += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def match(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        if text is not None and token.text != text:
+            return False
+        self.advance()
+        return True
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want}, found {token.text or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self._tokens[self._pos :])

@@ -1,0 +1,161 @@
+"""Entity instances with object identity, and their relational views.
+
+Section 5.2 grounds the UnNest/Link operators in the relational algebra by
+assuming "every tuple (i.e., entity), and also every field value, has a
+unique object identifier (e.g., a physical address on disk), denoted by
+the prefix @".  The store assigns OIDs, and produces:
+
+* **base relations** — one per entity type, with scheme
+  ``{T.@oid} ∪ {T.f | scalar f} ∪ {T.@f | entity-valued f}`` (references
+  surface as OID-valued attributes so the LinkedTo access predicate can be
+  evaluated relationally; set-valued fields do not appear — they are only
+  reachable through UnNest);
+* **value relations** — the paper's abstract one-column ``ValueOfField``
+  for a set-valued field, together with the ``NestedIn(@r, @value)``
+  membership predicate;
+* **linked copies** — an independent, renamed copy of a target type's base
+  relation for each Link traversal ("each time a relation is obtained from
+  a field, it was considered independent, i.e., a new tuple variable"),
+  with the ``LinkedTo(@r, @value)`` predicate.
+
+Both access predicates are :class:`~repro.algebra.predicates.CustomPredicate`
+instances declared null-rejecting on both OID arguments, hence *strong* —
+the last precondition of Section 5.3's free-reorderability proof.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.algebra.nulls import NULL
+from repro.algebra.predicates import CustomPredicate
+from repro.algebra.relation import Relation
+from repro.algebra.tuples import Row
+from repro.language.catalog import Catalog
+from repro.util.errors import CatalogError
+
+
+def oid_attr(instance: str) -> str:
+    return f"{instance}.@oid"
+
+
+class ObjectStore:
+    """In-memory entity instances for one catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._instances: Dict[str, List[Dict[str, Any]]] = {t: [] for t in catalog}
+        self._counter = 0
+
+    def insert(self, type_name: str, **fields: Any) -> str:
+        """Create one entity; returns its OID.
+
+        Scalar fields default to NULL; set fields to the empty set; entity
+        fields to a null reference.  Entity fields take the target's OID.
+        """
+        etype = self.catalog[type_name]
+        unknown = set(fields) - set(etype.fields)
+        if unknown:
+            raise CatalogError(f"{type_name!r} has no fields {sorted(unknown)}")
+        self._counter += 1
+        oid = f"@{type_name}:{self._counter}"
+        record: Dict[str, Any] = {"@oid": oid}
+        for fname, fdef in etype.fields.items():
+            if fdef.kind == "scalar":
+                record[fname] = fields.get(fname, NULL)
+            elif fdef.kind == "set":
+                record[fname] = tuple(fields.get(fname, ()))
+            else:
+                record[fname] = fields.get(fname, NULL)
+        self._instances[type_name].append(record)
+        return oid
+
+    def instances(self, type_name: str) -> List[Dict[str, Any]]:
+        return self._instances[self.catalog[type_name].name]
+
+    # -- relational views ---------------------------------------------------
+
+    def base_relation(self, type_name: str, instance: Optional[str] = None) -> Relation:
+        """The flattened base relation of a type, under an instance name."""
+        etype = self.catalog[type_name]
+        inst = instance or type_name
+        attrs = [oid_attr(inst)]
+        attrs += [f"{inst}.{f}" for f in etype.scalar_fields()]
+        attrs += [f"{inst}.@{f}" for f in etype.entity_fields()]
+        rows = []
+        for record in self._instances[type_name]:
+            row: Dict[str, Any] = {oid_attr(inst): record["@oid"]}
+            for f in etype.scalar_fields():
+                row[f"{inst}.{f}"] = record[f]
+            for f in etype.entity_fields():
+                ref = record[f]
+                row[f"{inst}.@{f}"] = ref if ref is not NULL else NULL
+            rows.append(Row(row))
+        return Relation(attrs, rows)
+
+    def value_relation(
+        self, owner_type: str, field_name: str, instance: str
+    ) -> Tuple[Relation, FrozenSet[Tuple[str, Any]]]:
+        """``ValueOfField`` for a set-valued field, plus the membership pairs.
+
+        The relation has a single column ``<instance>.<field>`` holding
+        every distinct value appearing in any entity's field; the returned
+        pair set ``{(@r, value)}`` backs the NestedIn predicate.
+        """
+        fdef = self.catalog[owner_type].field_def(field_name)
+        if fdef.kind != "set":
+            raise CatalogError(f"{owner_type}.{field_name} is not set-valued")
+        attr = f"{instance}.{field_name}"
+        pairs: set[Tuple[str, Any]] = set()
+        values: set[Any] = set()
+        for record in self._instances[owner_type]:
+            for value in record[field_name]:
+                values.add(value)
+                pairs.add((record["@oid"], value))
+        rows = [Row({attr: v}) for v in sorted(values, key=repr)]
+        return Relation([attr], rows), frozenset(pairs)
+
+    # -- access predicates ------------------------------------------------------
+
+    @staticmethod
+    def nested_in(
+        owner_instance: str, value_instance: str, field_name: str,
+        membership: FrozenSet[Tuple[str, Any]],
+    ) -> CustomPredicate:
+        """``NestedIn(@r, @value)``: true when the value is in r.Field.
+
+        Strong on both arguments: a null OID (a padded owner) or a null
+        value can never witness membership.
+        """
+        owner_attr = oid_attr(owner_instance)
+        value_attr = f"{value_instance}.{field_name}"
+
+        def fn(row) -> bool:
+            return (row[owner_attr], row[value_attr]) in membership
+
+        return CustomPredicate(
+            name=f"NestedIn[{owner_instance}.{field_name}]",
+            fn=fn,
+            attributes=[owner_attr, value_attr],
+            null_rejecting=[owner_attr, value_attr],
+        )
+
+    @staticmethod
+    def linked_to(owner_instance: str, field_name: str, target_instance: str) -> CustomPredicate:
+        """``LinkedTo(@r, @value)``: true when r.Field points at the value.
+
+        Implemented as OID equality over the reference column; declared
+        null-rejecting on both sides (a null reference links to nothing).
+        """
+        ref_attr = f"{owner_instance}.@{field_name}"
+        target_attr = oid_attr(target_instance)
+
+        def fn(row) -> bool:
+            return row[ref_attr] == row[target_attr]
+
+        return CustomPredicate(
+            name=f"LinkedTo[{owner_instance}.{field_name}]",
+            fn=fn,
+            attributes=[ref_attr, target_attr],
+            null_rejecting=[ref_attr, target_attr],
+        )

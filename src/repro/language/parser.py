@@ -1,0 +1,167 @@
+"""Recursive-descent parser for the Section-5 language.
+
+Grammar (keywords case-insensitive)::
+
+    query      := SELECT select FROM from_list [WHERE condition]
+    select     := ALL | attr {',' attr}
+    from_list  := from_item {',' from_item}
+    from_item  := IDENT { '*' IDENT | '-->' IDENT | '->' IDENT }
+    condition  := or_cond
+    or_cond    := and_cond { OR and_cond }
+    and_cond   := not_cond { AND not_cond }
+    not_cond   := NOT not_cond | primary
+    primary    := '(' condition ')' | operand (cmp operand | IS [NOT] NULL)
+    operand    := attr | NUMBER | STRING
+    attr       := IDENT '.' IDENT
+
+Note the paper's point that "the order of the clauses is not essential":
+field-to-relation association is deferred to the compiler, the parser only
+builds syntax.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.language.ast_nodes import (
+    AndCond,
+    AttrExpr,
+    CompareCond,
+    Condition,
+    ConstExpr,
+    FromItem,
+    FromOp,
+    IsNullCond,
+    NotCond,
+    OrCond,
+    SelectQuery,
+)
+from repro.language.lexer import Token, TokenStream, tokenize
+from repro.util.errors import ParseError
+
+_COMPARISONS = {"=", "<>", "<", "<=", ">", ">="}
+
+
+def parse(text: str) -> SelectQuery:
+    """Parse one query block."""
+    stream = TokenStream(tokenize(text))
+    query = _parse_query(stream)
+    if not stream.at_end():
+        tok = stream.peek()
+        raise ParseError(f"unexpected trailing input {tok.text!r}", tok.line, tok.column)
+    return query
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a bare condition (an enclosing block's restriction).
+
+    Section 5: attributes produced by ``*``/``->`` "may be restricted in
+    an enclosing query block" — this parses such a restriction so
+    :meth:`repro.language.compiler.CompiledQuery.restrict_result` can
+    apply it after the block has been evaluated.
+    """
+    stream = TokenStream(tokenize(text))
+    condition = _parse_or(stream)
+    if not stream.at_end():
+        tok = stream.peek()
+        raise ParseError(f"unexpected trailing input {tok.text!r}", tok.line, tok.column)
+    return condition
+
+
+def _parse_query(s: TokenStream) -> SelectQuery:
+    s.expect("KEYWORD", "SELECT")
+    select_all = False
+    select_list: List[AttrExpr] = []
+    if s.match("KEYWORD", "ALL"):
+        select_all = True
+    else:
+        select_list.append(_parse_attr(s))
+        while s.match("OP", ","):
+            select_list.append(_parse_attr(s))
+    s.expect("KEYWORD", "FROM")
+    from_items = [_parse_from_item(s)]
+    while s.match("OP", ","):
+        from_items.append(_parse_from_item(s))
+    where = None
+    if s.match("KEYWORD", "WHERE"):
+        where = _parse_or(s)
+    return SelectQuery(
+        select_all=select_all, select_list=select_list, from_items=from_items, where=where
+    )
+
+
+def _parse_from_item(s: TokenStream) -> FromItem:
+    base = s.expect("IDENT").text
+    alias = None
+    if s.peek().kind == "IDENT":
+        alias = s.advance().text
+    ops: List[FromOp] = []
+    while True:
+        if s.match("OP", "*"):
+            ops.append(FromOp("unnest", s.expect("IDENT").text))
+        elif s.match("OP", "-->") or s.match("OP", "->"):
+            ops.append(FromOp("link", s.expect("IDENT").text))
+        else:
+            break
+    return FromItem(base=base, ops=tuple(ops), alias=alias)
+
+
+def _parse_attr(s: TokenStream) -> AttrExpr:
+    first = s.expect("IDENT").text
+    s.expect("OP", ".")
+    second = s.expect("IDENT").text
+    return AttrExpr(relation=first, attribute=second)
+
+
+def _parse_or(s: TokenStream) -> Condition:
+    parts = [_parse_and(s)]
+    while s.match("KEYWORD", "OR"):
+        parts.append(_parse_and(s))
+    return parts[0] if len(parts) == 1 else OrCond(tuple(parts))
+
+
+def _parse_and(s: TokenStream) -> Condition:
+    parts = [_parse_not(s)]
+    while s.match("KEYWORD", "AND"):
+        parts.append(_parse_not(s))
+    return parts[0] if len(parts) == 1 else AndCond(tuple(parts))
+
+
+def _parse_not(s: TokenStream) -> Condition:
+    if s.match("KEYWORD", "NOT"):
+        return NotCond(_parse_not(s))
+    return _parse_primary(s)
+
+
+def _parse_primary(s: TokenStream) -> Condition:
+    if s.match("OP", "("):
+        inner = _parse_or(s)
+        s.expect("OP", ")")
+        return inner
+    left = _parse_operand(s)
+    tok = s.peek()
+    if tok.kind == "OP" and tok.text in _COMPARISONS:
+        s.advance()
+        right = _parse_operand(s)
+        return CompareCond(left, tok.text, right)
+    if s.match("KEYWORD", "IS"):
+        negated = bool(s.match("KEYWORD", "NOT"))
+        s.expect("KEYWORD", "NULL")
+        return IsNullCond(left, negated=negated)
+    raise ParseError(
+        f"expected a comparison or IS NULL after {left}", tok.line, tok.column
+    )
+
+
+def _parse_operand(s: TokenStream) -> Condition:
+    tok: Token = s.peek()
+    if tok.kind == "IDENT":
+        return _parse_attr(s)
+    if tok.kind == "NUMBER":
+        s.advance()
+        value = float(tok.text) if "." in tok.text else int(tok.text)
+        return ConstExpr(value)
+    if tok.kind == "STRING":
+        s.advance()
+        return ConstExpr(tok.text)
+    raise ParseError(f"expected an operand, found {tok.text or tok.kind!r}", tok.line, tok.column)

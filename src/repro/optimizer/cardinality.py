@@ -1,0 +1,158 @@
+"""Cardinality estimation for join/outerjoin plans.
+
+A System-R-style estimator: equi-join selectivity ``1 / max(V(a), V(b))``
+over distinct counts, constant selectivities for inequalities and opaque
+predicates, with distinct counts propagated (capped by output cardinality)
+through intermediate results.  Outerjoins estimate as
+``max(join_cardinality, |preserved|)`` — the preserved side never shrinks,
+which is precisely the property that makes outerjoin placement matter so
+much for cost (Example 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet
+
+from repro.algebra.predicates import AttrRef, Comparison, Predicate
+from repro.core.expressions import Expression
+from repro.engine.storage import Storage
+
+#: Default selectivity for non-equality comparisons (System R's 1/3).
+INEQUALITY_SELECTIVITY = 1.0 / 3.0
+#: Default selectivity for predicates the estimator cannot analyze.
+OPAQUE_SELECTIVITY = 0.2
+
+
+@dataclass
+class EstimateInfo:
+    """Cardinality summary of a (sub)plan."""
+
+    nodes: FrozenSet[str]
+    cardinality: float
+    distinct: Dict[str, float] = field(default_factory=dict)
+
+    def distinct_of(self, attribute: str) -> float:
+        return max(1.0, min(self.distinct.get(attribute, self.cardinality), self.cardinality))
+
+
+class CardinalityEstimator:
+    """Estimates over the statistics of a :class:`Storage`."""
+
+    def __init__(self, storage: Storage):
+        self.storage = storage
+
+    def base(self, name: str) -> EstimateInfo:
+        table = self.storage[name]
+        stats = table.stats()
+        distinct = {attr: float(max(1, cs.distinct)) for attr, cs in stats.items()}
+        return EstimateInfo(
+            nodes=frozenset({name}), cardinality=float(len(table)), distinct=distinct
+        )
+
+    # -- selectivities -----------------------------------------------------------
+
+    def conjunct_selectivity(
+        self, conjunct: Predicate, left: EstimateInfo, right: EstimateInfo
+    ) -> float:
+        if isinstance(conjunct, Comparison) and isinstance(conjunct.left, AttrRef) and isinstance(
+            conjunct.right, AttrRef
+        ):
+            a, b = conjunct.left.name, conjunct.right.name
+            side_of_a = left if a in left.distinct else right
+            side_of_b = left if b in left.distinct else right
+            if conjunct.op == "=":
+                return 1.0 / max(side_of_a.distinct_of(a), side_of_b.distinct_of(b))
+            return INEQUALITY_SELECTIVITY
+        return OPAQUE_SELECTIVITY
+
+    def join_selectivity(
+        self, predicate: Predicate, left: EstimateInfo, right: EstimateInfo
+    ) -> float:
+        selectivity = 1.0
+        for conjunct in predicate.conjuncts():
+            selectivity *= self.conjunct_selectivity(conjunct, left, right)
+        return selectivity
+
+    # -- operator estimates ---------------------------------------------------------
+
+    def combine(
+        self, kind: str, predicate: Predicate, left: EstimateInfo, right: EstimateInfo
+    ) -> EstimateInfo:
+        """Estimate the output of a join-like operator.
+
+        ``kind`` is one of ``"join"``, ``"left_outer"`` (left side
+        preserved), ``"semi"``, ``"anti"``.
+        """
+        selectivity = self.join_selectivity(predicate, left, right)
+        join_card = left.cardinality * right.cardinality * selectivity
+        if kind == "join":
+            card = join_card
+        elif kind == "left_outer":
+            card = max(join_card, left.cardinality)
+        elif kind == "semi":
+            card = left.cardinality * min(1.0, right.cardinality * selectivity)
+        elif kind == "anti":
+            card = left.cardinality * max(0.0, 1.0 - right.cardinality * selectivity)
+        else:
+            raise ValueError(f"unknown operator kind {kind!r}")
+        card = max(card, 0.0)
+        distinct: Dict[str, float] = {}
+        for source in (left, right):
+            for attr, v in source.distinct.items():
+                distinct[attr] = min(v, max(card, 1.0))
+        return EstimateInfo(nodes=left.nodes | right.nodes, cardinality=card, distinct=distinct)
+
+    def estimate_expression(self, expr: Expression) -> EstimateInfo:
+        """Estimate any join/outerjoin expression tree bottom-up."""
+        from repro.core.expressions import (
+            Antijoin,
+            Join,
+            LeftOuterJoin,
+            Rel,
+            RightAntijoin,
+            RightOuterJoin,
+            Semijoin,
+        )
+
+        if isinstance(expr, Rel):
+            return self.base(expr.name)
+        if isinstance(expr, Join):
+            return self.combine(
+                "join",
+                expr.predicate,
+                self.estimate_expression(expr.left),
+                self.estimate_expression(expr.right),
+            )
+        if isinstance(expr, LeftOuterJoin):
+            return self.combine(
+                "left_outer",
+                expr.predicate,
+                self.estimate_expression(expr.left),
+                self.estimate_expression(expr.right),
+            )
+        if isinstance(expr, RightOuterJoin):
+            return self.combine(
+                "left_outer",
+                expr.predicate,
+                self.estimate_expression(expr.right),
+                self.estimate_expression(expr.left),
+            )
+        if isinstance(expr, Semijoin):
+            return self.combine(
+                "semi",
+                expr.predicate,
+                self.estimate_expression(expr.left),
+                self.estimate_expression(expr.right),
+            )
+        if isinstance(expr, (Antijoin, RightAntijoin)):
+            left, right = (
+                (expr.left, expr.right) if isinstance(expr, Antijoin) else (expr.right, expr.left)
+            )
+            return self.combine(
+                "anti",
+                expr.predicate,
+                self.estimate_expression(left),
+                self.estimate_expression(right),
+            )
+        raise ValueError(f"cannot estimate {type(expr).__name__}")

@@ -1,0 +1,134 @@
+"""Cost models for join/outerjoin plans.
+
+Two models, matching the two ways the paper talks about cost:
+
+* :class:`CoutCostModel` — the classic ``C_out``: the cost of a plan is
+  the sum of the (estimated) cardinalities of all intermediate results.
+  This is access-path agnostic and is the model used in the optimizer
+  comparison benchmarks.
+
+* :class:`RetrievalCostModel` — Example 1's currency: estimated *base
+  tuples retrieved*, aware of access paths.  A base relation used as the
+  inner of an equi-join with an index costs the expected number of
+  matching probes instead of a full scan, which is exactly why
+  ``(R1 − R2) → R3`` costs 3 retrievals while ``R1 − (R2 → R3)`` costs
+  ``2·10^7 + 1``.
+
+Both models are *monotone* in the DP sense (the cost of a plan only grows
+when a subplan's cost grows), so dynamic programming over connected
+subgraphs is safe with either.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.predicates import Predicate
+from repro.core.expressions import Expression, Rel
+from repro.engine.planner import split_equijoin
+from repro.engine.storage import Storage
+from repro.optimizer.cardinality import CardinalityEstimator, EstimateInfo
+from repro.optimizer.plans import Plan
+
+
+class CostModel:
+    """Interface: incremental cost of combining two subplans."""
+
+    def __init__(self, estimator: CardinalityEstimator):
+        self.estimator = estimator
+
+    def leaf_cost(self, name: str) -> float:
+        raise NotImplementedError
+
+    def combine_cost(
+        self, kind: str, predicate: Predicate, left: Plan, right: Plan, estimate: EstimateInfo
+    ) -> float:
+        """Extra cost the new operator adds on top of its children's costs."""
+        raise NotImplementedError
+
+    def plan_cost(self, expr: Expression) -> float:
+        """Cost an existing expression tree (baselines use this)."""
+        from repro.core.expressions import (
+            Join,
+            LeftOuterJoin,
+            RightOuterJoin,
+        )
+
+        def walk(node: Expression) -> Plan:
+            if isinstance(node, Rel):
+                est = self.estimator.base(node.name)
+                return Plan(node, est, self.leaf_cost(node.name))
+            if isinstance(node, Join):
+                kind, left_node, right_node = "join", node.left, node.right
+            elif isinstance(node, LeftOuterJoin):
+                kind, left_node, right_node = "left_outer", node.left, node.right
+            elif isinstance(node, RightOuterJoin):
+                # Preserved side first, matching the estimator convention.
+                kind, left_node, right_node = "left_outer", node.right, node.left
+            else:
+                raise ValueError(f"cannot cost {type(node).__name__}")
+            left = walk(left_node)
+            right = walk(right_node)
+            est = self.estimator.combine(kind, node.predicate, left.estimate, right.estimate)
+            extra = self.combine_cost(kind, node.predicate, left, right, est)
+            return Plan(node, est, left.cost + right.cost + extra)
+
+        return walk(expr).cost
+
+
+class CoutCostModel(CostModel):
+    """Sum of intermediate-result cardinalities."""
+
+    def leaf_cost(self, name: str) -> float:
+        return 0.0
+
+    def combine_cost(self, kind, predicate, left, right, estimate) -> float:
+        return estimate.cardinality
+
+
+class RetrievalCostModel(CostModel):
+    """Estimated base tuples retrieved, mirroring the planner's access paths.
+
+    Accounting (matches :mod:`repro.engine.iterators`):
+
+    * a base relation consumed as an outer input or as a hash/NL join
+      input is fully scanned — pay its cardinality once, when consumed;
+    * a base relation consumed as the *inner* of an equi-join whose key is
+      indexed pays only the expected matching tuples (the estimated join
+      cardinality);
+    * composite inputs were already paid for in their own subplans.
+    """
+
+    def __init__(self, estimator: CardinalityEstimator, storage: Storage):
+        super().__init__(estimator)
+        self.storage = storage
+
+    def leaf_cost(self, name: str) -> float:
+        # Leaves cost nothing until they are consumed by an operator; the
+        # access path decides the price.
+        return 0.0
+
+    def _scan_cost(self, plan: Plan) -> float:
+        if isinstance(plan.expr, Rel):
+            return float(len(self.storage[plan.expr.name]))
+        return 0.0
+
+    def combine_cost(self, kind, predicate, left, right, estimate) -> float:
+        join_card = min(
+            estimate.cardinality,
+            left.cardinality * right.cardinality
+            * self.estimator.join_selectivity(predicate, left.estimate, right.estimate),
+        )
+        # Outer (preserved/probe) side: base relations are scanned.
+        cost = self._scan_cost(left)
+        # Inner side: index probes if possible, scan otherwise.
+        if isinstance(right.expr, Rel):
+            table = self.storage[right.expr.name]
+            split = split_equijoin(
+                predicate,
+                left.expr.scheme(self.storage.registry),
+                table.schema,
+            )
+            if split is not None and table.index_on(split[1]) is not None:
+                cost += max(join_card, 0.0)  # expected tuples fetched via the index
+            else:
+                cost += float(len(table))
+        return cost

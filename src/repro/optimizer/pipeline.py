@@ -1,0 +1,196 @@
+"""The end-to-end optimization pipeline of Sections 4 + 6.1.
+
+``optimize_query`` strings together everything the paper develops:
+
+1. **Simplify** (Section 4): strong restrictions convert outerjoins on
+   their paths into joins (also 2-sided → 1-sided);
+2. **Push restrictions** (Section 4): every conjunct sinks as deep as the
+   null-supplied barriers allow;
+3. **Abstract** (Section 1.2): the join/outerjoin core becomes a query
+   graph — legal precisely when restrictions reached the leaves, because
+   a filtered base relation is still a ground relation;
+4. **Certify** (Theorem 1): nice + strong means the optimizer may emit
+   *any* implementing tree;
+5. **Optimize** (Section 6.1): DP over connected subgraphs, with
+   cardinalities estimated against the *filtered* relations;
+6. **Execute**: the chosen tree runs on the engine with the pushed
+   filters reattached above the base scans.
+
+When a restriction stays parked above an outerjoin (a genuinely
+order-sensitive one, e.g. an ``IS NULL`` probe), the pipeline degrades
+gracefully: it optimizes nothing and costs the simplified-but-unreordered
+tree, reporting why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.algebra.predicates import Predicate, conjunction
+from repro.core.expressions import Expression, Rel, Restrict
+from repro.core.graph import QueryGraph, graph_of
+from repro.core.pushdown import push_restrictions
+from repro.core.reorderability import ReorderabilityVerdict, theorem1_applies
+from repro.core.simplify import simplify_outerjoins
+from repro.engine.executor import ExecutionResult, execute
+from repro.engine.storage import Storage, Table
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel, CoutCostModel, RetrievalCostModel
+from repro.optimizer.dp import DPOptimizer
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline learned and decided."""
+
+    original: Expression
+    simplified: Expression
+    pushed: Expression
+    chosen: Expression
+    reordered: bool
+    verdict: Optional[ReorderabilityVerdict]
+    conversions: List[str] = field(default_factory=list)
+    placements: List[str] = field(default_factory=list)
+    blocked: List[str] = field(default_factory=list)
+    graph: Optional[QueryGraph] = None
+
+    def explain(self) -> str:
+        lines = [f"original:   {self.original.to_infix()}"]
+        for c in self.conversions:
+            lines.append(f"  simplify: {c}")
+        lines.append(f"simplified: {self.simplified.to_infix()}")
+        for p in self.placements:
+            lines.append(f"  push:     {p}")
+        for b in self.blocked:
+            lines.append(f"  BLOCKED:  {b}")
+        lines.append(f"pushed:     {self.pushed.to_infix()}")
+        if self.verdict is not None:
+            lines.append(
+                "Theorem 1:  "
+                + ("freely reorderable" if self.verdict.freely_reorderable else "NOT freely reorderable")
+            )
+        lines.append(f"chosen:     {self.chosen.to_infix()}")
+        return "\n".join(lines)
+
+
+def _split_leaf_filters(expr: Expression) -> tuple[Expression, Dict[str, List[Predicate]]]:
+    """Replace ``Restrict(Rel)`` leaves by bare leaves, collecting filters."""
+    filters: Dict[str, List[Predicate]] = {}
+
+    def walk(node: Expression) -> Expression:
+        if isinstance(node, Restrict) and isinstance(node.child, Rel):
+            filters.setdefault(node.child.name, []).extend(node.predicate.conjuncts())
+            return node.child
+        if isinstance(node, Rel):
+            return node
+        kids = node.children()
+        if len(kids) == 2:
+            return node.with_parts(walk(kids[0]), walk(kids[1]))  # type: ignore[attr-defined]
+        if isinstance(node, Restrict):
+            return Restrict(walk(node.child), node.predicate)
+        return node
+
+    return walk(expr), filters
+
+
+def _reattach_filters(expr: Expression, filters: Dict[str, List[Predicate]]) -> Expression:
+    def walk(node: Expression) -> Expression:
+        if isinstance(node, Rel):
+            preds = filters.get(node.name)
+            if preds:
+                return Restrict(node, conjunction(preds))
+            return node
+        kids = node.children()
+        if len(kids) == 2:
+            return node.with_parts(walk(kids[0]), walk(kids[1]))  # type: ignore[attr-defined]
+        if isinstance(node, Restrict):
+            return Restrict(walk(node.child), node.predicate)
+        return node
+
+    return walk(expr)
+
+
+def _filtered_storage(storage: Storage, filters: Dict[str, List[Predicate]]) -> Storage:
+    """A statistics view of the storage with leaf filters applied.
+
+    Used only for cardinality estimation and index metadata, never for
+    execution — the real plan filters above the original scans.
+    """
+    from repro.algebra.operators import restrict
+
+    view = Storage()
+    for name in storage:
+        table = storage[name]
+        preds = filters.get(name)
+        if preds:
+            filtered = restrict(table.to_relation(), conjunction(preds))
+            new_table = Table(name, table.schema, list(filtered))
+        else:
+            new_table = Table(name, table.schema, list(table.rows))
+        for attr in table.indexed_attributes:
+            new_table.create_index(attr)
+        view.add_table(new_table)
+    return view
+
+
+def optimize_query(
+    query: Expression,
+    storage: Storage,
+    cost_model: str = "retrieval",
+) -> PipelineResult:
+    """Run the full Section-4 + Section-6.1 pipeline (see module docs)."""
+    registry = storage.registry
+    simplified_report = simplify_outerjoins(query, registry)
+    push_report = push_restrictions(simplified_report.query, registry)
+
+    result = PipelineResult(
+        original=query,
+        simplified=simplified_report.query,
+        pushed=push_report.query,
+        chosen=push_report.query,
+        reordered=False,
+        verdict=None,
+        conversions=list(simplified_report.conversions),
+        placements=list(push_report.placements),
+        blocked=list(push_report.blocked),
+    )
+    if not push_report.fully_pushed:
+        # Order-sensitive restriction: stay with the written order.
+        return result
+
+    core, filters = _split_leaf_filters(push_report.query)
+    # Multi-relation conjuncts parked above inner joins keep the core from
+    # being a pure join/outerjoin tree; fall back in that case too.
+    try:
+        graph = graph_of(core, registry)
+    except Exception:
+        return result
+    result.graph = graph
+    verdict = theorem1_applies(graph, registry)
+    result.verdict = verdict
+    if not verdict.freely_reorderable:
+        return result
+
+    stats_view = _filtered_storage(storage, filters)
+    estimator = CardinalityEstimator(stats_view)
+    model: CostModel
+    if cost_model == "retrieval":
+        model = RetrievalCostModel(estimator, stats_view)
+    elif cost_model == "cout":
+        model = CoutCostModel(estimator)
+    else:
+        raise ValueError(f"unknown cost model {cost_model!r}")
+    plan = DPOptimizer(graph, model).optimize()
+    result.chosen = _reattach_filters(plan.expr, filters)
+    result.reordered = True
+    return result
+
+
+def optimize_and_run(
+    query: Expression, storage: Storage, cost_model: str = "retrieval"
+) -> tuple[PipelineResult, ExecutionResult]:
+    """Optimize, execute the chosen plan, return both records."""
+    result = optimize_query(query, storage, cost_model=cost_model)
+    execution = execute(result.chosen, storage)
+    return result, execution

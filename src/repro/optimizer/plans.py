@@ -1,0 +1,32 @@
+"""Optimizer plan records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.core.expressions import Expression
+from repro.optimizer.cardinality import EstimateInfo
+
+
+@dataclass
+class Plan:
+    """A costed (sub)plan: the expression, its estimate, accumulated cost."""
+
+    expr: Expression
+    estimate: EstimateInfo
+    cost: float
+
+    @property
+    def nodes(self) -> FrozenSet[str]:
+        return self.estimate.nodes
+
+    @property
+    def cardinality(self) -> float:
+        return self.estimate.cardinality
+
+    def __str__(self) -> str:
+        return (
+            f"{self.expr.to_infix()}  "
+            f"(cost={self.cost:.1f}, est. rows={self.cardinality:.1f})"
+        )

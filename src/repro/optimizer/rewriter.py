@@ -1,0 +1,121 @@
+"""A transformation-based optimizer over result-preserving basic transforms.
+
+The DP of :mod:`repro.optimizer.dp` plans from the *graph*.  This module
+is the other classic architecture (Volcano/Cascades style): start from
+the query **as written** and search the space reachable by
+result-preserving basic transforms, keeping the cheapest tree seen.
+
+Why it is interesting here: Theorem 1's proof shows that, on nice+strong
+graphs, the preserving-BT closure of any implementing tree is the *whole*
+IT space — so on freely-reorderable queries this rewriter explores
+exactly the DP's plan space and (run exhaustively) finds the same
+optimum, while on non-reorderable queries it degrades safely: it only
+ever emits trees provably equal to the input, never needing a
+reorderability precheck.  That safety-by-construction is the rewrite
+architecture's classic selling point, and Theorem 1 is what makes it
+*complete* rather than merely safe.
+
+Two search modes:
+
+* ``exhaustive`` — BFS the preserving closure (exact; exponential);
+* ``hill_climb`` — repeatedly apply the best single improving transform
+  (cheap; may stop at a local optimum).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.algebra.schema import SchemaRegistry
+from repro.core.expressions import Expression
+from repro.core.transforms import (
+    applicable_transforms,
+    apply_transform,
+    canonicalize,
+    classify_transform,
+)
+from repro.optimizer.cost import CostModel
+from repro.optimizer.plans import Plan
+
+
+@dataclass
+class RewriteResult:
+    """Outcome of a rewrite search."""
+
+    best: Plan
+    start_cost: float
+    trees_explored: int
+    improved: bool
+
+
+class RewriteOptimizer:
+    """Search the result-preserving BT space from a written query."""
+
+    def __init__(self, registry: SchemaRegistry, cost_model: CostModel):
+        self.registry = registry
+        self.cost_model = cost_model
+
+    def _plan_for(self, expr: Expression) -> Plan:
+        estimate = self.cost_model.estimator.estimate_expression(expr)
+        return Plan(expr, estimate, self.cost_model.plan_cost(expr))
+
+    def optimize_exhaustive(
+        self, query: Expression, max_trees: Optional[int] = 20_000
+    ) -> RewriteResult:
+        """BFS over the preserving closure, tracking the cheapest tree."""
+        start = canonicalize(query)
+        start_plan = self._plan_for(start)
+        best = start_plan
+        seen: Set[Expression] = {start}
+        frontier: deque[Expression] = deque([start])
+        while frontier:
+            tree = frontier.popleft()
+            for transform in applicable_transforms(tree, self.registry):
+                if not classify_transform(tree, transform, self.registry).preserving:
+                    continue
+                successor = canonicalize(apply_transform(tree, transform, self.registry))
+                if successor in seen:
+                    continue
+                seen.add(successor)
+                plan = self._plan_for(successor)
+                if plan.cost < best.cost:
+                    best = plan
+                if max_trees is None or len(seen) < max_trees:
+                    frontier.append(successor)
+        return RewriteResult(
+            best=best,
+            start_cost=start_plan.cost,
+            trees_explored=len(seen),
+            improved=best.cost < start_plan.cost - 1e-9,
+        )
+
+    def optimize_hill_climb(
+        self, query: Expression, max_steps: int = 200
+    ) -> RewriteResult:
+        """Greedy local search: take the best improving transform until none."""
+        current = canonicalize(query)
+        current_plan = self._plan_for(current)
+        start_cost = current_plan.cost
+        explored = 1
+        for _ in range(max_steps):
+            best_neighbor: Optional[Plan] = None
+            for transform in applicable_transforms(current, self.registry):
+                if not classify_transform(current, transform, self.registry).preserving:
+                    continue
+                successor = canonicalize(apply_transform(current, transform, self.registry))
+                plan = self._plan_for(successor)
+                explored += 1
+                if best_neighbor is None or plan.cost < best_neighbor.cost:
+                    best_neighbor = plan
+            if best_neighbor is None or best_neighbor.cost >= current_plan.cost - 1e-9:
+                break
+            current_plan = best_neighbor
+            current = best_neighbor.expr
+        return RewriteResult(
+            best=current_plan,
+            start_cost=start_cost,
+            trees_explored=explored,
+            improved=current_plan.cost < start_cost - 1e-9,
+        )

@@ -1,0 +1,71 @@
+"""Connected-subgraph enumeration for the optimizer's dynamic program.
+
+Standard csg/cmp machinery specialized to join/outerjoin graphs: a pair of
+disjoint connected node sets is *combinable* exactly when the cut between
+them supports a single operator — all crossing edges are join edges, or
+the cut is one outerjoin edge (Section 3.1's cut observation; the same
+rule drives IT enumeration).  On a nice graph this makes the DP search
+space exactly the implementing-tree space, which is the paper's Section
+6.1 point: the optimizer needs *no extra analysis* to stay correct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.core.enumeration import root_operator
+from repro.core.graph import QueryGraph
+
+
+def connected_subsets(graph: QueryGraph) -> List[FrozenSet[str]]:
+    """All connected node subsets, ordered by size (smallest first).
+
+    Enumerated by BFS-expansion from each seed node; exponential in the
+    worst case, intended for the ≤ 12-relation graphs of the benchmarks.
+    """
+    found: set[FrozenSet[str]] = set()
+    frontier: List[FrozenSet[str]] = [frozenset({n}) for n in graph.nodes]
+    found.update(frontier)
+    while frontier:
+        new_frontier: List[FrozenSet[str]] = []
+        for subset in frontier:
+            neighborhood: set[str] = set()
+            for node in subset:
+                neighborhood |= graph.neighbors(node)
+            for nb in neighborhood - subset:
+                bigger = subset | {nb}
+                if bigger not in found:
+                    found.add(bigger)
+                    new_frontier.append(bigger)
+        frontier = new_frontier
+    return sorted(found, key=lambda s: (len(s), sorted(s)))
+
+
+def combinable_pairs(
+    graph: QueryGraph, nodes: FrozenSet[str]
+) -> Iterator[Tuple[FrozenSet[str], FrozenSet[str], str, object]]:
+    """Ordered pairs of connected halves of ``nodes`` with their operator.
+
+    Yields ``(side_a, side_b, kind, predicate)`` where ``kind`` is
+    ``"join"``/``"loj"``/``"roj"`` exactly as in IT enumeration.
+    """
+    members = sorted(nodes)
+    n = len(members)
+    for mask in range(1, (1 << n) - 1):
+        side_a = frozenset(members[i] for i in range(n) if mask & (1 << i))
+        side_b = nodes - side_a
+        if not (graph.is_connected(side_a) and graph.is_connected(side_b)):
+            continue
+        op = root_operator(graph, side_a, side_b)
+        if op is None:
+            continue
+        kind, predicate = op
+        yield side_a, side_b, kind, predicate
+
+
+def count_dp_entries(graph: QueryGraph) -> Dict[int, int]:
+    """How many connected subsets exist per size (DP table shape)."""
+    out: Dict[int, int] = {}
+    for subset in connected_subsets(graph):
+        out[len(subset)] = out.get(len(subset), 0) + 1
+    return out

@@ -1,0 +1,31 @@
+"""Shared utilities: errors, deterministic RNG, pretty-printing."""
+
+from repro.util.errors import (
+    CatalogError,
+    EvaluationError,
+    GraphUndefinedError,
+    NotApplicableError,
+    NotImplementingTreeError,
+    ParseError,
+    PlanningError,
+    PredicateError,
+    ReproError,
+    SchemaError,
+)
+from repro.util.rng import DEFAULT_SEED, make_rng, spawn
+
+__all__ = [
+    "CatalogError",
+    "DEFAULT_SEED",
+    "EvaluationError",
+    "GraphUndefinedError",
+    "NotApplicableError",
+    "NotImplementingTreeError",
+    "ParseError",
+    "PlanningError",
+    "PredicateError",
+    "ReproError",
+    "SchemaError",
+    "make_rng",
+    "spawn",
+]

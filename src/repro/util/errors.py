@@ -1,0 +1,70 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A scheme constraint was violated.
+
+    Raised when schemes that must be disjoint overlap (the paper's database
+    definition requires ground relations to have mutually disjoint schemes),
+    when a tuple is built against the wrong scheme, or when an attribute is
+    referenced that no registered relation owns.
+    """
+
+
+class PredicateError(ReproError):
+    """A predicate is malformed or referenced attributes it does not own."""
+
+
+class GraphUndefinedError(ReproError):
+    """``graph(Q)`` is undefined for the query ``Q``.
+
+    Per Section 1.2 of the paper, the query graph is undefined when a join
+    conjunct references attributes of more or fewer than two ground
+    relations, or when an outerjoin predicate does not reference attributes
+    from exactly two ground relations.
+    """
+
+
+class NotApplicableError(ReproError):
+    """A basic transform was requested at a position where it does not apply.
+
+    Section 3.2 defines applicability conditions for reassociation (the
+    migrating operator's predicate must reference a relation of the middle
+    subtree, and conjuncts may only move between two regular joins).
+    """
+
+
+class NotImplementingTreeError(ReproError):
+    """An expression is not an implementing tree of the expected graph."""
+
+
+class PlanningError(ReproError):
+    """The physical planner or optimizer could not produce a plan."""
+
+
+class ParseError(ReproError):
+    """The Section-5 language front end rejected the query text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class CatalogError(ReproError):
+    """An entity type, field, or relation is missing from the catalog."""
+
+
+class EvaluationError(ReproError):
+    """Evaluation of an expression failed (e.g., unknown relation variable)."""

@@ -1,0 +1,48 @@
+"""ASCII rendering of expression trees and query graphs.
+
+Used by the examples and by error reports; nothing here affects
+semantics.  The tree renderer mirrors the paper's Figure-1 style: operator
+at the top, operands below.
+"""
+
+from __future__ import annotations
+
+from repro.core.expressions import BinaryOp, Expression, Rel
+
+
+def render_tree(expr: Expression, show_predicates: bool = False) -> str:
+    """Multi-line, indentation-based rendering of an operator tree."""
+    lines: list[str] = []
+
+    def walk(node: Expression, prefix: str, connector: str) -> None:
+        if isinstance(node, Rel):
+            label = node.name
+        elif isinstance(node, BinaryOp):
+            label = node.symbol
+            if show_predicates:
+                label += f" [{node.predicate!r}]"
+        else:
+            label = type(node).__name__
+        lines.append(f"{prefix}{connector}{label}")
+        kids = node.children()
+        if kids:
+            child_prefix = prefix + ("   " if not connector else ("│  " if connector == "├─ " else "   "))
+            for i, kid in enumerate(kids):
+                last = i == len(kids) - 1
+                walk(kid, child_prefix, "└─ " if last else "├─ ")
+
+    walk(expr, "", "")
+    return "\n".join(lines)
+
+
+def render_side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Put two multi-line blocks next to each other (for before/after views)."""
+    left_lines = left.splitlines() or [""]
+    right_lines = right.splitlines() or [""]
+    width = max(len(l) for l in left_lines)
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    return "\n".join(
+        f"{l.ljust(width + gap)}{r}" for l, r in zip(left_lines, right_lines)
+    )

@@ -1,0 +1,55 @@
+"""Shared fixtures: the paper's running three-relation setup and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import Database, Relation, SchemaRegistry, eq
+from repro.datagen import random_databases
+
+
+@pytest.fixture
+def xyz_registry() -> SchemaRegistry:
+    """Registry for the X, Y, Z relations used throughout Section 2."""
+    return SchemaRegistry(
+        {"X": ["X.a", "X.b"], "Y": ["Y.a", "Y.b"], "Z": ["Z.a", "Z.b"]}
+    )
+
+
+@pytest.fixture
+def pxy():
+    return eq("X.a", "Y.a")
+
+
+@pytest.fixture
+def pyz():
+    return eq("Y.b", "Z.b")
+
+
+@pytest.fixture
+def xyz_db() -> Database:
+    """A small hand-built database exercising matches, misses, and nulls."""
+    from repro.algebra import NULL
+
+    return Database(
+        {
+            "X": Relation.from_dicts(
+                ["X.a", "X.b"],
+                [{"X.a": 1, "X.b": 10}, {"X.a": 2, "X.b": 20}, {"X.a": NULL, "X.b": 30}],
+            ),
+            "Y": Relation.from_dicts(
+                ["Y.a", "Y.b"],
+                [{"Y.a": 1, "Y.b": 100}, {"Y.a": 1, "Y.b": 200}, {"Y.a": 9, "Y.b": NULL}],
+            ),
+            "Z": Relation.from_dicts(
+                ["Z.a", "Z.b"], [{"Z.a": 7, "Z.b": 100}, {"Z.a": 8, "Z.b": 999}]
+            ),
+        }
+    )
+
+
+@pytest.fixture
+def xyz_random_dbs():
+    """A reproducible batch of randomized X/Y/Z databases."""
+    schemas = {"X": ["X.a", "X.b"], "Y": ["Y.a", "Y.b"], "Z": ["Z.a", "Z.b"]}
+    return random_databases(schemas, count=25, seed=7)

@@ -1,0 +1,97 @@
+"""Tests for grouped counting and its outerjoin dependence ([MURA89])."""
+
+import pytest
+
+from repro.algebra import NULL, Relation, eq
+from repro.algebra.aggregation import group_count
+from repro.core import jn, oj
+from repro.datagen import departments_database
+from repro.util.errors import SchemaError
+
+
+class TestGroupCount:
+    def test_counts_non_null_only(self):
+        rel = Relation.from_dicts(
+            ["g", "v"],
+            [{"g": 1, "v": "a"}, {"g": 1, "v": NULL}, {"g": 2, "v": "b"}],
+        )
+        out = group_count(rel, ["g"], "v")
+        counts = {r["g"]: r["count"] for r in out}
+        assert counts == {1: 1, 2: 1}
+
+    def test_all_null_group_reports_zero(self):
+        rel = Relation.from_dicts(["g", "v"], [{"g": 7, "v": NULL}])
+        out = group_count(rel, ["g"], "v")
+        assert [dict(r) for r in out] == [{"g": 7, "count": 0}]
+
+    def test_multiplicities_counted(self):
+        rel = Relation.from_dicts(
+            ["g", "v"], [{"g": 1, "v": "x"}, {"g": 1, "v": "x"}]
+        )
+        out = group_count(rel, ["g"], "v")
+        assert next(iter(out))["count"] == 2
+
+    def test_missing_attribute(self):
+        rel = Relation.from_dicts(["g"], [{"g": 1}])
+        with pytest.raises(SchemaError):
+            group_count(rel, ["g"], "nope")
+
+    def test_output_name_collision(self):
+        rel = Relation.from_dicts(["g", "v"], [{"g": 1, "v": 2}])
+        with pytest.raises(SchemaError):
+            group_count(rel, ["g"], "v", output_attribute="g")
+
+    def test_custom_output_name(self):
+        rel = Relation.from_dicts(["g", "v"], [{"g": 1, "v": 2}])
+        out = group_count(rel, ["g"], "v", output_attribute="n")
+        assert "n" in out.scheme
+
+
+class TestCountNeedsOuterjoin:
+    """The introduction's [MURA89] point, on the dept/emp workload."""
+
+    def test_outerjoin_reports_zero_counts(self):
+        db = departments_database(n_departments=4, empty_departments=1)
+        q = oj("DEPT", "EMP", eq("DEPT.dno", "EMP.dno"))
+        out = group_count(q.eval(db), ["DEPT.dno"], "EMP.eno")
+        counts = {r["DEPT.dno"]: r["count"] for r in out}
+        assert counts[3] == 0  # the empty department is present, at zero
+        assert len(counts) == 4
+
+    def test_plain_join_loses_the_zero_group(self):
+        db = departments_database(n_departments=4, empty_departments=1)
+        q = jn("DEPT", "EMP", eq("DEPT.dno", "EMP.dno"))
+        out = group_count(q.eval(db), ["DEPT.dno"], "EMP.eno")
+        counts = {r["DEPT.dno"]: r["count"] for r in out}
+        assert 3 not in counts  # silently missing
+        assert len(counts) == 3
+
+    def test_counts_identical_on_nonempty_groups(self):
+        db = departments_database(n_departments=4, empty_departments=1)
+        p = eq("DEPT.dno", "EMP.dno")
+        oj_counts = {
+            r["DEPT.dno"]: r["count"]
+            for r in group_count(oj("DEPT", "EMP", p).eval(db), ["DEPT.dno"], "EMP.eno")
+        }
+        jn_counts = {
+            r["DEPT.dno"]: r["count"]
+            for r in group_count(jn("DEPT", "EMP", p).eval(db), ["DEPT.dno"], "EMP.eno")
+        }
+        for dno, count in jn_counts.items():
+            assert oj_counts[dno] == count
+
+    def test_count_over_any_implementing_tree_is_stable(self):
+        """Free reorderability carries through the aggregation: every IT
+        of a nice count query yields the same counts."""
+        from repro.core import graph_of, implementing_trees
+
+        db = departments_database(n_departments=3, empty_departments=1)
+        q = oj("DEPT", "EMP", eq("DEPT.dno", "EMP.dno"))
+        graph = graph_of(q, db.registry)
+        reference = None
+        for tree in implementing_trees(graph):
+            counts = group_count(tree.eval(db), ["DEPT.dno"], "EMP.eno")
+            if reference is None:
+                reference = counts
+            else:
+                assert counts == reference

@@ -1,0 +1,207 @@
+"""Tests for BT closures and paths — the constructive side of Lemma 3.
+
+Lemma 3: on a nice graph, a sequence of BTs maps any IT to any other IT.
+Machine check: the BFS closure from any seed equals the full enumerated IT
+set, and explicit BT paths exist between random tree pairs.  Theorem 1's
+mechanism is then visible directly: the closure under *result-preserving*
+BTs alone already covers every IT.
+"""
+
+import pytest
+
+from repro.core import (
+    bt_closure,
+    bt_path,
+    apply_transform,
+    canonicalize,
+    implementing_trees,
+    preserving_equivalence_class,
+    sample_implementing_tree,
+)
+from repro.datagen import chain, example2_graph, figure1_graph, random_nice_graph
+from repro.util.rng import make_rng
+
+
+class TestClosureEqualsITSet:
+    @pytest.mark.parametrize(
+        "scenario_factory",
+        [
+            lambda: chain(3),
+            lambda: chain(3, ["out", "join"]),
+            lambda: chain(3, ["out", "out"]),
+            lambda: chain(4, ["join", "out", "join"]),
+            lambda: figure1_graph(),
+        ],
+    )
+    def test_closure_covers_all_its(self, scenario_factory):
+        scenario = scenario_factory()
+        reg = scenario.registry
+        all_trees = {canonicalize(t) for t in implementing_trees(scenario.graph)}
+        seed_tree = next(iter(sorted(all_trees, key=repr)))
+        closure = bt_closure(seed_tree, reg)
+        assert set(closure.trees) == all_trees
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_closure_on_random_nice_graphs(self, seed):
+        scenario = random_nice_graph(2, 2, seed=seed)
+        reg = scenario.registry
+        all_trees = {canonicalize(t) for t in implementing_trees(scenario.graph)}
+        seed_tree = sample_implementing_tree(scenario.graph, make_rng(seed))
+        closure = bt_closure(canonicalize(seed_tree), reg)
+        assert set(closure.trees) == all_trees
+
+    def test_preserving_closure_covers_all_its_when_nice_and_strong(self):
+        """Theorem 1's engine: preserving BTs alone reach every IT."""
+        scenario = chain(4, ["join", "out", "out"])
+        reg = scenario.registry
+        all_trees = {canonicalize(t) for t in implementing_trees(scenario.graph)}
+        seed_tree = next(iter(sorted(all_trees, key=repr)))
+        preserved = preserving_equivalence_class(seed_tree, reg)
+        assert preserved == all_trees
+
+    def test_preserving_closure_fragments_on_non_nice_graph(self):
+        """On Example 2's graph the preserving closure is a strict subset:
+        the non-preserving rotation separates the IT space into classes
+        that really do evaluate differently."""
+        scenario = example2_graph()
+        reg = scenario.registry
+        all_trees = {canonicalize(t) for t in implementing_trees(scenario.graph)}
+        seed_tree = next(iter(sorted(all_trees, key=repr)))
+        preserved = preserving_equivalence_class(seed_tree, reg)
+        assert preserved < all_trees
+
+    def test_full_closure_still_covers_non_nice_graph(self):
+        """All BTs (preserving or not) still span the whole IT space."""
+        scenario = example2_graph()
+        reg = scenario.registry
+        all_trees = {canonicalize(t) for t in implementing_trees(scenario.graph)}
+        seed_tree = next(iter(sorted(all_trees, key=repr)))
+        closure = bt_closure(seed_tree, reg)
+        assert set(closure.trees) == all_trees
+
+
+class TestPaths:
+    def test_path_between_random_pairs(self):
+        scenario = chain(4, ["join", "out", "join"])
+        reg = scenario.registry
+        rng = make_rng(9)
+        trees = list(implementing_trees(scenario.graph))
+        for _ in range(10):
+            a = canonicalize(trees[rng.randrange(len(trees))])
+            b = canonicalize(trees[rng.randrange(len(trees))])
+            path = bt_path(a, b, reg)
+            assert path is not None
+            # Replay the path and confirm it lands on b.
+            cur = a
+            for t in path:
+                cur = canonicalize(apply_transform(cur, t, reg))
+            assert cur == b
+
+    def test_trivial_path(self):
+        scenario = chain(2)
+        reg = scenario.registry
+        tree = next(implementing_trees(scenario.graph))
+        assert bt_path(tree, tree, reg) == []
+
+    def test_path_to_unreachable_is_none(self):
+        """A tree of a different graph is unreachable (max_size guards)."""
+        reg_a = chain(2).registry
+        a = next(implementing_trees(chain(2).graph))
+        other = next(implementing_trees(chain(2, ["out"]).graph))
+        assert bt_path(a, other, reg_a, max_size=50) is None
+
+    def test_closure_path_reconstruction(self):
+        scenario = chain(3, ["out", "out"])
+        reg = scenario.registry
+        trees = list(implementing_trees(scenario.graph))
+        closure = bt_closure(canonicalize(trees[0]), reg)
+        target = canonicalize(trees[-1])
+        steps = closure.path_to(target)
+        cur = canonicalize(trees[0])
+        for t in steps:
+            cur = canonicalize(apply_transform(cur, t, reg))
+        assert cur == target
+
+    def test_path_to_missing_raises(self):
+        scenario = chain(2)
+        reg = scenario.registry
+        trees = list(implementing_trees(scenario.graph))
+        closure = bt_closure(canonicalize(trees[0]), reg)
+        other = next(implementing_trees(chain(2, ["out"]).graph))
+        with pytest.raises(KeyError):
+            closure.path_to(other)
+
+    def test_max_size_truncation(self):
+        scenario = chain(5)
+        reg = scenario.registry
+        tree = canonicalize(next(implementing_trees(scenario.graph)))
+        closure = bt_closure(tree, reg, max_size=10)
+        assert closure.truncated
+        assert len(closure) <= 10
+
+
+class TestEquivalenceClasses:
+    """Partitioning the IT space by provable equality — Theorem 1 gives a
+    single class; ambiguous graphs fracture into the distinct readings."""
+
+    def test_nice_graph_single_class(self):
+        from repro.core import equivalence_classes
+
+        scenario = chain(3, ["join", "out"])
+        classes = equivalence_classes(scenario.graph, scenario.registry)
+        assert [len(c) for c in classes] == [8]
+
+    def test_example2_two_readings(self):
+        """Example 2's 8 trees split into exactly two classes of four —
+        the 'join inside the outerjoin' and 'join after the outerjoin'
+        readings, each internally reorderable."""
+        from repro.core import equivalence_classes, jn, oj
+        from repro.algebra import eq
+
+        scenario = example2_graph()
+        classes = equivalence_classes(scenario.graph, scenario.registry)
+        assert sorted(len(c) for c in classes) == [4, 4]
+        p12, p23 = eq("R1.a", "R2.a"), eq("R2.a", "R3.a")
+        inside = canonicalize(oj("R1", jn("R2", "R3", p23), p12))
+        after = canonicalize(jn(oj("R1", "R2", p12), "R3", p23))
+        containing = lambda t: next(c for c in classes if t in c)
+        assert containing(inside) is not containing(after)
+
+    def test_classes_are_semantically_homogeneous(self):
+        """Within a class all trees agree; across Example 2's classes a
+        witness database separates them."""
+        from repro.algebra import bag_equal
+        from repro.core import equivalence_classes
+        from repro.datagen import random_databases
+
+        scenario = example2_graph()
+        classes = equivalence_classes(scenario.graph, scenario.registry)
+        dbs = random_databases(scenario.schemas, 15, seed=70)
+        for db in dbs:
+            for cls in classes:
+                members = sorted(cls, key=repr)
+                reference = members[0].eval(db)
+                for tree in members[1:]:
+                    assert bag_equal(tree.eval(db), reference)
+        # Some database separates the two classes (they are truly distinct).
+        a = sorted(classes[0], key=repr)[0]
+        b = sorted(classes[1], key=repr)[0]
+        assert any(not bag_equal(a.eval(db), b.eval(db)) for db in dbs)
+
+    def test_weak_chain_also_fractures(self):
+        from repro.core import equivalence_classes
+        from repro.datagen import weaken_oj_edge
+
+        scenario = weaken_oj_edge(chain(3, ["out", "out"]), ("R2", "R3"))
+        classes = equivalence_classes(scenario.graph, scenario.registry)
+        assert len(classes) == 2
+
+
+class TestGraphDot:
+    def test_dot_rendering(self):
+        scenario = example2_graph()
+        dot = scenario.graph.to_dot()
+        assert dot.startswith("graph query_graph {")
+        assert '"R2" -- "R3"' in dot       # join edge
+        assert "dir=forward" in dot          # outerjoin arrow
+        assert dot.rstrip().endswith("}")

@@ -1,0 +1,45 @@
+"""Unit tests for padded relation comparison."""
+
+from repro.algebra import NULL, Relation, bag_equal, explain_difference, set_equal
+
+
+def rel(attrs, *dicts):
+    return Relation.from_dicts(attrs, dicts)
+
+
+class TestBagEqual:
+    def test_identical(self):
+        assert bag_equal(rel(["a"], {"a": 1}), rel(["a"], {"a": 1}))
+
+    def test_padding_convention(self):
+        """A row (1) on scheme {a} equals (1, NULL) on scheme {a, b}."""
+        narrow = rel(["a"], {"a": 1})
+        wide = rel(["a", "b"], {"a": 1, "b": NULL})
+        assert bag_equal(narrow, wide)
+
+    def test_multiplicities_matter(self):
+        assert not bag_equal(rel(["a"], {"a": 1}), rel(["a"], {"a": 1}, {"a": 1}))
+
+    def test_set_equal_ignores_multiplicity(self):
+        assert set_equal(rel(["a"], {"a": 1}), rel(["a"], {"a": 1}, {"a": 1}))
+        assert not set_equal(rel(["a"], {"a": 1}), rel(["a"], {"a": 2}))
+
+
+class TestExplainDifference:
+    def test_equal_reports_equal(self):
+        diff = explain_difference(rel(["a"], {"a": 1}), rel(["a"], {"a": 1}))
+        assert diff.equal
+        assert "bag-equal" in str(diff)
+
+    def test_reports_both_directions(self):
+        diff = explain_difference(
+            rel(["a"], {"a": 1}, {"a": 2}), rel(["a"], {"a": 2}, {"a": 3})
+        )
+        assert not diff.equal
+        assert len(diff.only_left) == 1
+        assert len(diff.only_right) == 1
+        assert "left has" in str(diff) and "right has" in str(diff)
+
+    def test_reports_multiplicity_excess(self):
+        diff = explain_difference(rel(["a"], {"a": 1}, {"a": 1}), rel(["a"], {"a": 1}))
+        assert diff.only_left[0][1] == 1

@@ -1,0 +1,130 @@
+"""Tests for the data/topology generators themselves."""
+
+import pytest
+
+from repro.core import is_nice
+from repro.datagen import (
+    chain,
+    duplicate_free_database,
+    example1_storage,
+    example2_graph,
+    figure1_graph,
+    figure2_graph,
+    join_cycle,
+    random_database,
+    random_databases,
+    random_graph,
+    random_nice_graph,
+    section5_store,
+    star,
+    weaken_oj_edge,
+)
+from repro.util.errors import GraphUndefinedError
+
+
+class TestRandomDatabases:
+    def test_deterministic_by_seed(self):
+        schemas = {"X": ["X.a"], "Y": ["Y.a"]}
+        assert random_database(schemas, seed=5)["X"] == random_database(schemas, seed=5)["X"]
+
+    def test_different_seeds_differ_somewhere(self):
+        schemas = {"X": ["X.a", "X.b"]}
+        batch = random_databases(schemas, 10, seed=1)
+        assert len({db["X"] for db in batch}) > 1
+
+    def test_nulls_and_duplicates_occur(self):
+        from repro.algebra import is_null
+
+        schemas = {"X": ["X.a", "X.b"]}
+        sawnull = sawdup = False
+        for db in random_databases(schemas, 30, seed=2):
+            rel = db["X"]
+            if any(any(is_null(v) for v in row.values()) for row in rel):
+                sawnull = True
+            if not rel.is_duplicate_free():
+                sawdup = True
+        assert sawnull and sawdup
+
+    def test_duplicate_free_generator(self):
+        schemas = {"X": ["X.a"], "Y": ["Y.a"]}
+        for seed in range(10):
+            db = duplicate_free_database(schemas, seed=seed)
+            assert db["X"].is_duplicate_free()
+
+    def test_allow_empty_false(self):
+        schemas = {"X": ["X.a"]}
+        for seed in range(10):
+            db = random_database(schemas, seed=seed, allow_empty=False)
+            assert len(db["X"]) >= 1
+
+
+class TestTopologies:
+    def test_chain_kinds(self):
+        s = chain(4, ["join", "out", "in"])
+        assert len(s.graph.join_edges) == 1
+        assert ("R2", "R3") in s.graph.oj_edges
+        assert ("R4", "R3") in s.graph.oj_edges
+
+    def test_chain_validation(self):
+        with pytest.raises(GraphUndefinedError):
+            chain(3, ["join"])
+        with pytest.raises(GraphUndefinedError):
+            chain(3, ["join", "bogus"])
+
+    def test_star(self):
+        s = star(4, oj_leaves=2)
+        assert len(s.graph.join_edges) == 2
+        assert len(s.graph.oj_edges) == 2
+        assert is_nice(s.graph)
+
+    def test_join_cycle(self):
+        s = join_cycle(4)
+        assert len(s.graph.join_edges) == 4
+        assert is_nice(s.graph)
+
+    def test_figures(self):
+        assert is_nice(figure2_graph().graph)
+        assert is_nice(figure1_graph().graph)
+        assert not is_nice(example2_graph().graph)
+
+    def test_weaken_oj_edge(self):
+        s = chain(3, ["out", "out"])
+        weak = weaken_oj_edge(s, ("R2", "R3"))
+        pred = weak.graph.oj_edges[("R2", "R3")]
+        assert not pred.is_strong(["R2.a"])
+
+    def test_weaken_requires_oj_edge(self):
+        with pytest.raises(GraphUndefinedError):
+            weaken_oj_edge(chain(3), ("R1", "R2"))
+
+    def test_random_nice_graph_is_nice(self):
+        for seed in range(15):
+            s = random_nice_graph(3, 3, seed=seed, extra_join_edges=2)
+            assert is_nice(s.graph), s.graph.describe()
+
+    def test_random_graph_is_connected(self):
+        for seed in range(15):
+            s = random_graph(6, seed=seed)
+            assert s.graph.is_connected()
+
+    def test_registry_matches_schemas(self):
+        s = chain(3)
+        reg = s.registry
+        assert reg.owner("R2.a") == "R2"
+
+
+class TestWorkloads:
+    def test_example1_shape(self):
+        st = example1_storage(20)
+        assert len(st["R1"]) == 1
+        assert len(st["R2"]) == len(st["R3"]) == 20
+        assert st["R3"].index_on("R3.j") is not None
+
+    def test_section5_store_has_padding_cases(self):
+        store = section5_store(n_departments=6, seed=1)
+        employees = store.instances("EMPLOYEE")
+        assert any(not e["ChildName"] for e in employees)  # childless employee
+        departments = store.instances("DEPARTMENT")
+        from repro.algebra import NULL
+
+        assert any(d["Audit"] is NULL for d in departments)  # unaudited dept

@@ -1,0 +1,202 @@
+"""Tests for physical operators: semantics and retrieval accounting."""
+
+import pytest
+
+from repro.algebra import NULL, Comparison, Row, eq, gt
+from repro.engine import (
+    Filter,
+    HashJoin,
+    IndexNestedLoopJoin,
+    Materialize,
+    Metrics,
+    NestedLoopJoin,
+    ProjectOp,
+    SeqScan,
+    Storage,
+)
+from repro.util.errors import PlanningError
+
+
+@pytest.fixture
+def storage():
+    st = Storage()
+    st.create_table(
+        "R", ["R.a", "R.b"], [{"R.a": i, "R.b": i % 2} for i in range(4)]
+    )
+    st.create_table("S", ["S.a"], [{"S.a": 0}, {"S.a": 1}, {"S.a": 1}])
+    st["S"].create_index("S.a")
+    return st
+
+
+class TestScanFilterProject:
+    def test_seqscan_counts_retrievals(self, storage):
+        m = Metrics()
+        rows = list(SeqScan(storage["R"]).execute(m))
+        assert len(rows) == 4
+        assert m.tuples_retrieved["R"] == 4
+
+    def test_filter(self, storage):
+        plan = Filter(SeqScan(storage["R"]), Comparison("R.b", "=", 0))
+        # Comparison against a constant: 0 is coerced to Const.
+        out = plan.run()
+        assert len(out) == 2
+
+    def test_filter_drops_unknown(self):
+        st = Storage()
+        st.create_table("T", ["T.a"], [{"T.a": NULL}, {"T.a": 1}])
+        plan = Filter(SeqScan(st["T"]), Comparison("T.a", "=", 1))
+        assert len(plan.run()) == 1
+
+    def test_project_dedup(self, storage):
+        plan = ProjectOp(SeqScan(storage["R"]), ["R.b"], dedup=True)
+        assert len(plan.run()) == 2
+
+    def test_materialize_pays_once(self, storage):
+        m = Metrics()
+        mat = Materialize(SeqScan(storage["R"]))
+        list(mat.execute(m))
+        list(mat.execute(m))
+        assert m.tuples_retrieved["R"] == 4
+
+
+class TestNestedLoopJoin:
+    def test_inner(self, storage):
+        plan = NestedLoopJoin(
+            SeqScan(storage["R"]), SeqScan(storage["S"]), eq("R.a", "S.a"), "inner"
+        )
+        out = plan.run()
+        assert len(out) == 3  # R.a=0 matches S.a=0; R.a=1 matches two S rows
+
+    def test_left_outer_pads(self, storage):
+        plan = NestedLoopJoin(
+            SeqScan(storage["R"]), SeqScan(storage["S"]), eq("R.a", "S.a"), "left_outer"
+        )
+        out = plan.run()
+        padded = [r for r in out if r["S.a"] is NULL]
+        assert {r["R.a"] for r in padded} == {2, 3}
+
+    def test_semi_and_anti(self, storage):
+        p = eq("R.a", "S.a")
+        semi = NestedLoopJoin(SeqScan(storage["R"]), SeqScan(storage["S"]), p, "semi").run()
+        anti = NestedLoopJoin(SeqScan(storage["R"]), SeqScan(storage["S"]), p, "anti").run()
+        assert {r["R.a"] for r in semi} == {0, 1}
+        assert {r["R.a"] for r in anti} == {2, 3}
+        assert semi.scheme == frozenset({"R.a", "R.b"})
+
+    def test_inner_input_scanned_once(self, storage):
+        m = Metrics()
+        plan = NestedLoopJoin(
+            SeqScan(storage["R"]), SeqScan(storage["S"]), eq("R.a", "S.a"), "inner"
+        )
+        list(plan.execute(m))
+        assert m.tuples_retrieved["S"] == 3  # materialized once, not per outer row
+
+    def test_inequality_predicate(self, storage):
+        plan = NestedLoopJoin(
+            SeqScan(storage["R"]), SeqScan(storage["S"]), gt("R.a", "S.a"), "inner"
+        )
+        out = plan.run()
+        # pairs with R.a > S.a: R1>S0, R2>S0, R2>S1(x2), R3>S0, R3>S1(x2) = 7
+        assert len(out) == 7
+
+    def test_bad_join_type(self, storage):
+        with pytest.raises(PlanningError):
+            NestedLoopJoin(SeqScan(storage["R"]), SeqScan(storage["S"]), eq("R.a", "S.a"), "full")
+
+
+class TestIndexNestedLoopJoin:
+    def test_counts_only_fetched_tuples(self, storage):
+        m = Metrics()
+        plan = IndexNestedLoopJoin(
+            SeqScan(storage["R"]),
+            storage["S"],
+            storage["S"].index_on("S.a"),
+            "R.a",
+            join_type="inner",
+        )
+        out = list(plan.execute(m))
+        assert len(out) == 3
+        assert m.tuples_retrieved["S"] == 3  # only matching entries fetched
+        assert m.tuples_retrieved["R"] == 4
+        assert m.index_probes["S(S.a)"] == 4
+
+    def test_left_outer(self, storage):
+        plan = IndexNestedLoopJoin(
+            SeqScan(storage["R"]),
+            storage["S"],
+            storage["S"].index_on("S.a"),
+            "R.a",
+            join_type="left_outer",
+        )
+        out = plan.run()
+        assert len(out) == 5  # 3 matches + 2 padded
+
+    def test_anti(self, storage):
+        plan = IndexNestedLoopJoin(
+            SeqScan(storage["R"]),
+            storage["S"],
+            storage["S"].index_on("S.a"),
+            "R.a",
+            join_type="anti",
+        )
+        assert {r["R.a"] for r in plan.run()} == {2, 3}
+
+    def test_residual_predicate(self, storage):
+        plan = IndexNestedLoopJoin(
+            SeqScan(storage["R"]),
+            storage["S"],
+            storage["S"].index_on("S.a"),
+            "R.a",
+            residual=Comparison("R.b", "=", 1),
+            join_type="inner",
+        )
+        out = plan.run()
+        assert all(r["R.b"] == 1 for r in out)
+
+
+class TestHashJoin:
+    def test_inner_matches_nlj(self, storage):
+        p = eq("R.a", "S.a")
+        nlj = NestedLoopJoin(SeqScan(storage["R"]), SeqScan(storage["S"]), p, "inner").run()
+        hj = HashJoin(
+            SeqScan(storage["R"]), SeqScan(storage["S"]), "R.a", "S.a", join_type="inner"
+        ).run()
+        assert nlj == hj
+
+    def test_left_outer_matches_nlj(self, storage):
+        p = eq("R.a", "S.a")
+        nlj = NestedLoopJoin(
+            SeqScan(storage["R"]), SeqScan(storage["S"]), p, "left_outer"
+        ).run()
+        hj = HashJoin(
+            SeqScan(storage["R"]), SeqScan(storage["S"]), "R.a", "S.a",
+            join_type="left_outer",
+        ).run()
+        assert nlj == hj
+
+    def test_null_keys_never_match(self):
+        st = Storage()
+        st.create_table("A", ["A.k"], [{"A.k": NULL}])
+        st.create_table("B", ["B.k"], [{"B.k": NULL}])
+        hj = HashJoin(SeqScan(st["A"]), SeqScan(st["B"]), "A.k", "B.k", join_type="inner")
+        assert len(hj.run()) == 0
+        loj = HashJoin(
+            SeqScan(st["A"]), SeqScan(st["B"]), "A.k", "B.k", join_type="left_outer"
+        )
+        assert len(loj.run()) == 1  # padded
+
+    def test_semi_anti(self, storage):
+        semi = HashJoin(
+            SeqScan(storage["R"]), SeqScan(storage["S"]), "R.a", "S.a", join_type="semi"
+        ).run()
+        anti = HashJoin(
+            SeqScan(storage["R"]), SeqScan(storage["S"]), "R.a", "S.a", join_type="anti"
+        ).run()
+        assert len(semi) + len(anti) == 4
+
+    def test_describe_renders_plan_tree(self, storage):
+        plan = HashJoin(
+            SeqScan(storage["R"]), SeqScan(storage["S"]), "R.a", "S.a", join_type="inner"
+        )
+        text = plan.describe()
+        assert "HashJoin" in text and "SeqScan(R)" in text

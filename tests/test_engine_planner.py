@@ -1,0 +1,101 @@
+"""Tests for the physical planner's access-path choices."""
+
+import pytest
+
+from repro.algebra import And, Comparison, Schema, eq, gt
+from repro.core import aj, jn, oj, rel, roj, sj
+from repro.core.expressions import Project, Restrict
+from repro.engine import (
+    HashJoin,
+    IndexNestedLoopJoin,
+    NestedLoopJoin,
+    Planner,
+    SeqScan,
+    Storage,
+    split_equijoin,
+)
+from repro.util.errors import PlanningError
+
+
+@pytest.fixture
+def storage():
+    st = Storage()
+    st.create_table("R", ["R.a", "R.b"], [{"R.a": i, "R.b": i} for i in range(3)])
+    st.create_table("S", ["S.a", "S.b"], [{"S.a": i, "S.b": i} for i in range(3)])
+    st["S"].create_index("S.a")
+    return st
+
+
+class TestSplitEquijoin:
+    def test_basic_split(self):
+        left, right = Schema(["R.a"]), Schema(["S.a"])
+        out = split_equijoin(eq("R.a", "S.a"), left, right)
+        assert out == ("R.a", "S.a", None)
+
+    def test_reversed_sides(self):
+        left, right = Schema(["R.a"]), Schema(["S.a"])
+        out = split_equijoin(eq("S.a", "R.a"), left, right)
+        assert out == ("R.a", "S.a", None)
+
+    def test_residual_collected(self):
+        left, right = Schema(["R.a", "R.b"]), Schema(["S.a", "S.b"])
+        p = And((eq("R.a", "S.a"), gt("R.b", "S.b")))
+        left_key, right_key, residual = split_equijoin(p, left, right)
+        assert (left_key, right_key) == ("R.a", "S.a")
+        assert residual is not None
+
+    def test_no_equi_conjunct(self):
+        left, right = Schema(["R.a"]), Schema(["S.a"])
+        assert split_equijoin(gt("R.a", "S.a"), left, right) is None
+
+    def test_constant_comparison_not_a_key(self):
+        left, right = Schema(["R.a"]), Schema(["S.a"])
+        assert split_equijoin(Comparison("R.a", "=", 5), left, right) is None
+
+
+class TestPlannerChoices:
+    def test_rel_becomes_seqscan(self, storage):
+        plan = Planner(storage).plan(rel("R"))
+        assert isinstance(plan, SeqScan)
+
+    def test_indexed_inner_uses_inlj(self, storage):
+        plan = Planner(storage).plan(jn("R", "S", eq("R.a", "S.a")))
+        assert isinstance(plan, IndexNestedLoopJoin)
+
+    def test_unindexed_equi_uses_hash_join(self, storage):
+        plan = Planner(storage).plan(jn("S", "R", eq("S.b", "R.b")))
+        assert isinstance(plan, HashJoin)
+
+    def test_inequality_uses_nlj(self, storage):
+        plan = Planner(storage).plan(jn("R", "S", gt("R.a", "S.a")))
+        assert isinstance(plan, NestedLoopJoin)
+
+    def test_right_outerjoin_swaps_operands(self, storage):
+        # R ← S : S preserved, so S drives the probe side.
+        plan = Planner(storage).plan(roj("R", "S", eq("R.b", "S.b")))
+        assert isinstance(plan, HashJoin)
+        assert plan.join_type == "left_outer"
+        assert "S.b" == plan.left_key
+
+    def test_antijoin_and_semijoin_types(self, storage):
+        anti = Planner(storage).plan(aj("R", "S", eq("R.a", "S.a")))
+        semi = Planner(storage).plan(sj("R", "S", eq("R.a", "S.a")))
+        assert anti.join_type == "anti"
+        assert semi.join_type == "semi"
+
+    def test_restrict_project(self, storage):
+        plan = Planner(storage).plan(
+            Project(Restrict(rel("R"), Comparison("R.a", "=", 1)), ["R.a"])
+        )
+        out = plan.run()
+        assert len(out) == 1
+
+    def test_outerjoin_direction_preserved(self, storage):
+        plan = Planner(storage).plan(oj("R", "S", eq("R.a", "S.a")))
+        assert plan.join_type == "left_outer"
+
+    def test_unplannable_node(self, storage):
+        from repro.core.expressions import Union
+
+        with pytest.raises(PlanningError):
+            Planner(storage).plan(Union(rel("R"), rel("S")))

@@ -1,0 +1,96 @@
+"""Tests for engine storage, statistics, and hash indexes."""
+
+import pytest
+
+from repro.algebra import NULL, Database, Relation, Row
+from repro.engine import Storage, Table
+from repro.engine.indexes import HashIndex
+from repro.util.errors import PlanningError, SchemaError
+
+
+class TestTable:
+    def test_insert_and_len(self):
+        t = Table("T", ["T.a"], [Row({"T.a": 1}), Row({"T.a": 2})])
+        assert len(t) == 2
+
+    def test_insert_wrong_scheme(self):
+        t = Table("T", ["T.a"])
+        with pytest.raises(SchemaError):
+            t.insert(Row({"T.b": 1}))
+
+    def test_stats(self):
+        t = Table(
+            "T",
+            ["T.a"],
+            [Row({"T.a": 1}), Row({"T.a": 1}), Row({"T.a": 3}), Row({"T.a": NULL})],
+        )
+        s = t.stats()["T.a"]
+        assert s.distinct == 2
+        assert s.nulls == 1
+        assert s.minimum == 1 and s.maximum == 3
+
+    def test_stats_cache_invalidated_on_insert(self):
+        t = Table("T", ["T.a"], [Row({"T.a": 1})])
+        assert t.stats()["T.a"].distinct == 1
+        t.insert(Row({"T.a": 2}))
+        assert t.stats()["T.a"].distinct == 2
+
+    def test_to_relation(self):
+        t = Table("T", ["T.a"], [Row({"T.a": 1}), Row({"T.a": 1})])
+        rel = t.to_relation()
+        assert len(rel) == 2
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        idx = HashIndex("T(a)", "a")
+        idx.insert(Row({"a": 1, "b": "x"}))
+        idx.insert(Row({"a": 1, "b": "y"}))
+        idx.insert(Row({"a": 2, "b": "z"}))
+        assert len(idx.lookup(1)) == 2
+        assert idx.lookup(9) == []
+
+    def test_null_keys_excluded(self):
+        idx = HashIndex("T(a)", "a")
+        idx.insert(Row({"a": NULL}))
+        assert len(idx) == 0
+        assert idx.lookup(NULL) == []
+
+    def test_index_maintained_on_insert(self):
+        t = Table("T", ["T.a"], [Row({"T.a": 1})])
+        idx = t.create_index("T.a")
+        t.insert(Row({"T.a": 1}))
+        assert len(idx.lookup(1)) == 2
+
+    def test_create_index_idempotent(self):
+        t = Table("T", ["T.a"], [Row({"T.a": 1})])
+        assert t.create_index("T.a") is t.create_index("T.a")
+        assert t.indexed_attributes == frozenset({"T.a"})
+
+    def test_create_index_unknown_attr(self):
+        t = Table("T", ["T.a"])
+        with pytest.raises(SchemaError):
+            t.create_index("T.z")
+
+
+class TestStorage:
+    def test_round_trip_with_database(self):
+        db = Database({"R": Relation.from_dicts(["R.a"], [{"R.a": 1}, {"R.a": 1}])})
+        storage = Storage.from_database(db)
+        back = storage.to_database()
+        assert back["R"] == db["R"]
+
+    def test_disjoint_schemes_enforced(self):
+        storage = Storage()
+        storage.create_table("R", ["k"], [])
+        with pytest.raises(SchemaError):
+            storage.create_table("S", ["k"], [])
+
+    def test_unknown_table(self):
+        with pytest.raises(PlanningError):
+            Storage()["missing"]
+
+    def test_registry(self):
+        storage = Storage()
+        storage.create_table("R", ["R.a"], [{"R.a": 1}])
+        assert storage.registry.owner("R.a") == "R"

@@ -1,0 +1,133 @@
+"""Tests for implementing-tree enumeration, counting, and sampling."""
+
+import pytest
+
+from repro.algebra import eq
+from repro.core import (
+    Join,
+    LeftOuterJoin,
+    RightOuterJoin,
+    count_implementing_trees,
+    graph_of,
+    implementing_trees,
+    is_implementing_tree,
+    jn,
+    oj,
+    sample_implementing_tree,
+)
+from repro.core.graph import QueryGraph
+from repro.datagen import chain, example2_graph, figure1_graph, join_cycle
+from repro.util.errors import GraphUndefinedError
+from repro.util.rng import make_rng
+
+
+class TestCounting:
+    def test_single_node(self):
+        assert count_implementing_trees(QueryGraph(["A"])) == 1
+
+    def test_two_nodes_join(self):
+        # A - B: two trees (A-B and B-A).
+        assert count_implementing_trees(chain(2).graph) == 2
+
+    def test_two_nodes_outerjoin(self):
+        # A → B and B ← A.
+        assert count_implementing_trees(chain(2, ["out"]).graph) == 2
+
+    def test_join_chain_of_three(self):
+        # Chain R1-R2-R3: cuts {R1}|{R2,R3} and {R1,R2}|{R3}, both orders,
+        # sub-trees 2 ways each: 2*(1*2) + 2*(2*1) = 8.
+        assert count_implementing_trees(chain(3).graph) == 8
+
+    def test_counts_match_enumeration(self):
+        for scenario in (chain(3), chain(4), chain(3, ["out", "join"]), figure1_graph()):
+            trees = list(implementing_trees(scenario.graph))
+            assert len(trees) == count_implementing_trees(scenario.graph)
+            assert len(set(trees)) == len(trees)  # no duplicates
+
+    def test_oj_direction_restricts_trees(self):
+        """An OJ cut is only legal in the edge's direction, halving options."""
+        join_count = count_implementing_trees(chain(2).graph)
+        oj_count = count_implementing_trees(chain(2, ["out"]).graph)
+        assert join_count == oj_count == 2  # reversal gives the second tree
+
+    def test_disconnected_graph_has_no_trees(self):
+        g = QueryGraph.from_edges(join=[("A", "B", eq("A.a", "B.a"))], isolated=["C"])
+        assert count_implementing_trees(g) == 0
+        with pytest.raises(GraphUndefinedError):
+            list(implementing_trees(g))
+
+    def test_growth_with_chain_length(self):
+        counts = [count_implementing_trees(chain(n).graph) for n in (2, 3, 4, 5)]
+        assert counts == sorted(counts)
+        assert counts[-1] > 10 * counts[-2] / 2  # super-linear growth
+
+
+class TestEnumerationCorrectness:
+    def test_every_tree_implements_the_graph(self):
+        scenario = chain(3, ["join", "out"])
+        reg = scenario.registry
+        for tree in implementing_trees(scenario.graph):
+            assert is_implementing_tree(tree, scenario.graph, reg)
+
+    def test_mixed_cut_skipped(self):
+        """Example 2's graph: no tree may cut both the OJ and join edge at once."""
+        g = example2_graph().graph
+        for tree in implementing_trees(g):
+            # Every root operator is a single-edge OJ or pure-join cut.
+            assert isinstance(tree, (Join, LeftOuterJoin, RightOuterJoin))
+
+    def test_no_cartesian_products(self):
+        """Figure 1's point: no IT ever joins R and T directly."""
+        scenario = figure1_graph()
+        for tree in implementing_trees(scenario.graph):
+            for _path, node in tree.nodes():
+                if isinstance(node, Join):
+                    left, right = node.left.relations(), node.right.relations()
+                    assert not (left == {"R"} and right == {"T"})
+                    assert not (left == {"T"} and right == {"R"})
+
+    def test_cycle_graph_moves_conjuncts(self):
+        """On a join cycle some cut carries two conjuncts (a general cutset)."""
+        g = join_cycle(3).graph
+        trees = list(implementing_trees(g))
+        assert trees
+        two_conjunct_roots = [
+            t for t in trees if len(t.predicate.conjuncts()) == 2
+        ]
+        assert two_conjunct_roots  # the cycle must be broken by a 2-edge cut
+
+
+class TestSampling:
+    def test_sample_is_a_valid_tree(self):
+        scenario = chain(4, ["join", "out", "join"])
+        rng = make_rng(3)
+        universe = set(implementing_trees(scenario.graph))
+        for _ in range(20):
+            tree = sample_implementing_tree(scenario.graph, rng)
+            assert tree in universe
+
+    def test_sampling_covers_the_space(self):
+        scenario = chain(3)
+        rng = make_rng(5)
+        seen = {sample_implementing_tree(scenario.graph, rng) for _ in range(200)}
+        assert len(seen) == 8  # all trees of the 3-chain
+
+    def test_sample_single_node(self):
+        g = QueryGraph(["A"])
+        tree = sample_implementing_tree(g, make_rng(1))
+        assert tree.relations() == frozenset({"A"})
+
+
+class TestGraphRoundTrip:
+    def test_graph_of_enumerated_tree_round_trips(self):
+        scenario = chain(4, ["out", "join", "out"])
+        reg = scenario.registry
+        for tree in implementing_trees(scenario.graph):
+            assert graph_of(tree, reg) == scenario.graph
+
+    def test_handwritten_trees_in_enumeration(self):
+        scenario = chain(3, ["join", "out"])
+        p12 = eq("R1.a", "R2.a")
+        p23 = eq("R2.a", "R3.a")
+        q = oj(jn("R1", "R2", p12), "R3", p23)
+        assert q in set(implementing_trees(scenario.graph))

@@ -1,0 +1,73 @@
+"""Tests for EXPLAIN / EXPLAIN ANALYZE."""
+
+import pytest
+
+from repro.algebra import eq
+from repro.core import jn, oj
+from repro.datagen import example1_storage
+from repro.engine import Planner
+from repro.engine.explain import explain, explain_analyze
+
+
+@pytest.fixture
+def setup():
+    storage = example1_storage(100)
+    query = oj(jn("R1", "R2", eq("R1.k", "R2.k")), "R3", eq("R2.j", "R3.j"))
+    plan = Planner(storage).plan(query)
+    return storage, query, plan
+
+
+class TestExplain:
+    def test_leaf_estimates_from_statistics(self, setup):
+        storage, query, plan = setup
+        node = explain(plan, storage)
+        rendered = node.render()
+        assert "SeqScan(R1)" in rendered
+        assert "est=1.0" in rendered  # |R1| = 1
+
+    def test_root_estimate_with_logical_expr(self, setup):
+        storage, query, plan = setup
+        node = explain(plan, storage, expr=query)
+        assert node.estimated_rows == pytest.approx(1.0)
+
+    def test_no_execution_no_actuals(self, setup):
+        storage, query, plan = setup
+        node = explain(plan, storage)
+        assert node.actual_rows is None
+
+
+class TestExplainAnalyze:
+    def test_actual_rows_recorded(self, setup):
+        storage, query, plan = setup
+        node = explain_analyze(plan, storage, expr=query)
+        assert node.actual_rows == 1  # one R1 row drives everything
+        rendered = node.render()
+        assert "actual=1" in rendered
+
+    def test_q_error_near_one_on_example1(self, setup):
+        storage, query, plan = setup
+        node = explain_analyze(plan, storage, expr=query)
+        assert node.worst_q_error() < 1.5
+
+    def test_children_counted(self, setup):
+        storage, query, plan = setup
+        node = explain_analyze(plan, storage)
+        # The driving scan emits its single row.
+        def find(n, text):
+            if text in n.label:
+                return n
+            for c in n.children:
+                hit = find(c, text)
+                if hit is not None:
+                    return hit
+            return None
+
+        scan = find(node, "SeqScan(R1)")
+        assert scan is not None and scan.actual_rows == 1
+
+    def test_render_tree_shape(self, setup):
+        storage, query, plan = setup
+        node = explain_analyze(plan, storage)
+        rendered = node.render()
+        assert rendered.count("->") >= 2
+        assert rendered.splitlines()[0].startswith("->")

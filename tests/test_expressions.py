@@ -1,0 +1,147 @@
+"""Unit tests for expression trees: evaluation, schemes, tree surgery."""
+
+import pytest
+
+from repro.algebra import Database, NULL, Relation, SchemaRegistry, eq
+from repro.core import (
+    Join,
+    LeftOuterJoin,
+    Rel,
+    Restrict,
+    RightOuterJoin,
+    aj,
+    jn,
+    oj,
+    rel,
+    replace_at,
+    roj,
+    sj,
+    subtree_at,
+)
+from repro.core.expressions import Project, Union
+from repro.util.errors import EvaluationError
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "X": Relation.from_dicts(["X.a"], [{"X.a": 1}, {"X.a": 2}]),
+            "Y": Relation.from_dicts(["Y.a"], [{"Y.a": 1}]),
+            "Z": Relation.from_dicts(["Z.a"], [{"Z.a": 1}, {"Z.a": 3}]),
+        }
+    )
+
+
+class TestLeavesAndBuilders:
+    def test_rel_eval(self, db):
+        assert len(rel("X").eval(db)) == 2
+
+    def test_rel_unknown(self, db):
+        with pytest.raises(EvaluationError):
+            rel("missing").eval(db)
+
+    def test_builders_coerce_strings(self):
+        q = jn("X", "Y", eq("X.a", "Y.a"))
+        assert isinstance(q.left, Rel) and q.left.name == "X"
+
+    def test_relations(self):
+        q = jn(oj("X", "Y", eq("X.a", "Y.a")), "Z", eq("Y.a", "Z.a"))
+        assert q.relations() == frozenset({"X", "Y", "Z"})
+
+    def test_reuse_of_relation_rejected(self):
+        with pytest.raises(EvaluationError):
+            jn("X", "X", eq("X.a", "X.a"))
+
+
+class TestEvaluation:
+    def test_join(self, db):
+        out = jn("X", "Y", eq("X.a", "Y.a")).eval(db)
+        assert len(out) == 1
+
+    def test_left_outerjoin_preserves_left(self, db):
+        out = oj("X", "Y", eq("X.a", "Y.a")).eval(db)
+        assert len(out) == 2
+        padded = [r for r in out if r["Y.a"] is NULL]
+        assert len(padded) == 1 and padded[0]["X.a"] == 2
+
+    def test_right_outerjoin_preserves_right(self, db):
+        # X ← Y : Y preserved, X null-supplied.
+        out = roj("X", "Y", eq("X.a", "Y.a")).eval(db)
+        assert len(out) == 1  # the single Y row, matched
+        out2 = roj("Y", "X", eq("X.a", "Y.a")).eval(db)
+        assert len(out2) == 2  # X preserved now
+
+    def test_reversal_pair_equivalence(self, db):
+        """X → Y and Y ← X evaluate identically (Section 2.1 convention)."""
+        p = eq("X.a", "Y.a")
+        assert oj("X", "Y", p).eval(db) == roj("Y", "X", p).eval(db)
+
+    def test_antijoin_and_semijoin(self, db):
+        p = eq("X.a", "Y.a")
+        assert {r["X.a"] for r in aj("X", "Y", p).eval(db)} == {2}
+        assert {r["X.a"] for r in sj("X", "Y", p).eval(db)} == {1}
+
+    def test_restrict_and_project(self, db):
+        q = Project(Restrict(rel("X"), eq("X.a", "X.a")), ["X.a"])
+        assert len(q.eval(db)) == 2
+
+    def test_union(self, db):
+        q = Union(rel("X"), rel("Y"))
+        assert len(q.eval(db)) == 3
+
+
+class TestSchemes:
+    def test_binary_scheme(self, db):
+        reg = db.registry
+        q = jn("X", "Y", eq("X.a", "Y.a"))
+        assert q.scheme(reg).attributes == frozenset({"X.a", "Y.a"})
+
+    def test_antijoin_scheme_is_left(self, db):
+        q = aj("X", "Y", eq("X.a", "Y.a"))
+        assert q.scheme(db.registry).attributes == frozenset({"X.a"})
+
+
+class TestTreeSurgery:
+    def test_nodes_paths(self):
+        q = jn(oj("X", "Y", eq("X.a", "Y.a")), "Z", eq("Y.a", "Z.a"))
+        paths = dict(q.nodes())
+        assert paths[()] is q
+        assert isinstance(paths[("L",)], LeftOuterJoin)
+        assert paths[("L", "R")] == Rel("Y")
+
+    def test_size_and_height(self):
+        q = jn(oj("X", "Y", eq("X.a", "Y.a")), "Z", eq("Y.a", "Z.a"))
+        assert q.size() == 5
+        assert q.height() == 2
+
+    def test_subtree_at(self):
+        q = jn(oj("X", "Y", eq("X.a", "Y.a")), "Z", eq("Y.a", "Z.a"))
+        assert subtree_at(q, ("L", "L")) == Rel("X")
+
+    def test_replace_at(self):
+        q = jn(oj("X", "Y", eq("X.a", "Y.a")), "Z", eq("Y.a", "Z.a"))
+        q2 = replace_at(q, ("L",), Rel("W"))
+        assert subtree_at(q2, ("L",)) == Rel("W")
+        # original untouched
+        assert isinstance(subtree_at(q, ("L",)), LeftOuterJoin)
+
+    def test_structural_equality_and_hash(self):
+        p = eq("X.a", "Y.a")
+        assert oj("X", "Y", p) == oj("X", "Y", p)
+        assert oj("X", "Y", p) != roj("X", "Y", p)
+        assert jn("X", "Y", p) != jn("Y", "X", p)  # operand order is meaningful
+        assert len({oj("X", "Y", p), oj("X", "Y", p)}) == 1
+
+    def test_to_infix(self):
+        p = eq("X.a", "Y.a")
+        q = jn(oj("X", "Y", p), "Z", eq("Y.a", "Z.a"))
+        assert q.to_infix() == "((X → Y) - Z)"
+        assert "[" in q.to_infix(show_predicates=True)
+
+    def test_with_parts_preserves_type(self):
+        p = eq("X.a", "Y.a")
+        node = roj("X", "Y", p)
+        rebuilt = node.with_parts(Rel("X"), Rel("Y"))
+        assert isinstance(rebuilt, RightOuterJoin)
+        assert rebuilt.predicate == p

@@ -1,0 +1,133 @@
+"""Tests for the two-sided outerjoin and Section 4's conversion argument."""
+
+import pytest
+
+from repro.algebra import (
+    NULL,
+    Comparison,
+    Const,
+    Relation,
+    bag_equal,
+    eq,
+    full_outerjoin,
+    join,
+    outerjoin,
+    union_padded,
+)
+from repro.core import Restrict, simplify_outerjoins
+from repro.core.expressions import FullOuterJoin, Join, LeftOuterJoin, RightOuterJoin, foj
+from repro.datagen import random_databases
+
+
+@pytest.fixture
+def r1():
+    return Relation.from_dicts(
+        ["R1.a", "R1.b"], [{"R1.a": 1, "R1.b": 10}, {"R1.a": 2, "R1.b": 20}]
+    )
+
+
+@pytest.fixture
+def r2():
+    return Relation.from_dicts(
+        ["R2.a", "R2.b"], [{"R2.a": 1, "R2.b": 99}, {"R2.a": 5, "R2.b": 88}]
+    )
+
+
+class TestOperator:
+    def test_preserves_both_sides(self, r1, r2):
+        out = full_outerjoin(r1, r2, eq("R1.a", "R2.a"))
+        # 1 match + 1 unmatched left + 1 unmatched right.
+        assert len(out) == 3
+
+    def test_decomposes_into_one_sided_pieces(self, r1, r2):
+        """FOJ = LOJ ∪ (right antijoin part), checked via padded union."""
+        from repro.algebra import antijoin
+
+        p = eq("R1.a", "R2.a")
+        lhs = full_outerjoin(r1, r2, p)
+        rhs = union_padded(outerjoin(r1, r2, p), antijoin(r2, r1, p))
+        assert bag_equal(lhs, rhs)
+
+    def test_symmetric(self, r1, r2):
+        p = eq("R1.a", "R2.a")
+        assert bag_equal(full_outerjoin(r1, r2, p), full_outerjoin(r2, r1, p))
+
+    def test_empty_sides(self, r1):
+        empty = Relation(["R2.a", "R2.b"])
+        out = full_outerjoin(r1, empty, eq("R1.a", "R2.a"))
+        assert len(out) == len(r1)
+        assert all(row["R2.a"] is NULL for row in out)
+        mirrored = full_outerjoin(empty, r1, eq("R1.a", "R2.a"))
+        assert len(mirrored) == len(r1)
+        assert all(row["R2.a"] is NULL for row in mirrored)
+
+    def test_multiplicities(self):
+        a = Relation.from_dicts(["a"], [{"a": 9}, {"a": 9}])
+        b = Relation.from_dicts(["b"], [{"b": 1}])
+        out = full_outerjoin(a, b, eq("a", "b"))
+        # 2 padded copies of a's row + 1 padded b row.
+        assert len(out) == 3
+
+
+class TestExpressionNode:
+    def test_eval(self, r1, r2):
+        from repro.algebra import Database
+
+        db = Database({"R1": r1, "R2": r2})
+        q = foj("R1", "R2", eq("R1.a", "R2.a"))
+        assert len(q.eval(db)) == 3
+        assert q.symbol == "⟷"
+
+    def test_structural_equality(self):
+        p = eq("R1.a", "R2.a")
+        assert foj("R1", "R2", p) == foj("R1", "R2", p)
+        assert foj("R1", "R2", p) != foj("R2", "R1", p)
+
+
+class TestSection4Conversion:
+    """Section 4: "A similar argument can be used to convert 2-sided
+    outerjoin to one-sided outerjoin"."""
+
+    REG_SCHEMAS = {"R1": ["R1.a", "R1.b"], "R2": ["R2.a", "R2.b"]}
+
+    @pytest.fixture
+    def reg(self):
+        from repro.algebra import SchemaRegistry
+
+        return SchemaRegistry(self.REG_SCHEMAS)
+
+    def test_strong_on_left_gives_left_outerjoin(self, reg):
+        q = Restrict(foj("R1", "R2", eq("R1.a", "R2.a")), Comparison("R1.b", "=", Const(10)))
+        report = simplify_outerjoins(q, reg)
+        assert isinstance(report.query.child, LeftOuterJoin)
+        assert any("full outerjoin ⇒ left outerjoin" in c for c in report.conversions)
+
+    def test_strong_on_right_gives_right_outerjoin(self, reg):
+        q = Restrict(foj("R1", "R2", eq("R1.a", "R2.a")), Comparison("R2.b", "=", Const(99)))
+        report = simplify_outerjoins(q, reg)
+        assert isinstance(report.query.child, RightOuterJoin)
+
+    def test_strong_on_both_gives_join(self, reg):
+        from repro.algebra import And
+
+        predicate = And(
+            (Comparison("R1.b", "=", Const(10)), Comparison("R2.b", "=", Const(99)))
+        )
+        q = Restrict(foj("R1", "R2", eq("R1.a", "R2.a")), predicate)
+        report = simplify_outerjoins(q, reg)
+        assert isinstance(report.query.child, Join)
+
+    def test_nonstrong_keeps_full_outerjoin(self, reg):
+        from repro.algebra import IsNull
+
+        q = Restrict(foj("R1", "R2", eq("R1.a", "R2.a")), IsNull("R2.b"))
+        report = simplify_outerjoins(q, reg)
+        assert isinstance(report.query.child, FullOuterJoin)
+        assert not report.changed
+
+    @pytest.mark.parametrize("attr,expected_rows", [("R1.b", "left"), ("R2.b", "right")])
+    def test_conversion_preserves_semantics(self, reg, attr, expected_rows):
+        q = Restrict(foj("R1", "R2", eq("R1.a", "R2.a")), Comparison(attr, "=", Const(1)))
+        report = simplify_outerjoins(q, reg)
+        for db in random_databases(self.REG_SCHEMAS, 25, seed=hash(attr) % 1000, domain=3):
+            assert bag_equal(q.eval(db), report.query.eval(db))

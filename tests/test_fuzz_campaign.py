@@ -1,0 +1,93 @@
+"""A cross-cutting randomized campaign tying every subsystem together.
+
+Each iteration draws a random graph scenario and database, then runs the
+whole gauntlet: graph analysis, tree sampling, transform application,
+engine execution, optimizer planning — asserting the global invariants
+that must hold regardless of the draw:
+
+* engine == algebra on every sampled implementing tree;
+* Theorem-1 verdicts match brute-force evaluation;
+* optimizer plans are implementing trees and evaluate to the reference;
+* classified-preserving transforms preserve on the drawn database.
+
+Kept at a modest iteration count for CI speed; crank ``CAMPAIGN`` up for
+a soak run.
+"""
+
+import pytest
+
+from repro.algebra import bag_equal
+from repro.core import (
+    applicable_transforms,
+    apply_transform,
+    brute_force_check,
+    classify_transform,
+    graph_of,
+    sample_implementing_tree,
+    theorem1_applies,
+)
+from repro.datagen import random_databases, random_graph, random_nice_graph
+from repro.engine import Storage, execute
+from repro.optimizer import CardinalityEstimator, CoutCostModel, DPOptimizer
+from repro.util.rng import make_rng
+
+CAMPAIGN = 12
+
+
+@pytest.mark.parametrize("iteration", range(CAMPAIGN))
+def test_nice_graph_gauntlet(iteration):
+    rng = make_rng(iteration * 31 + 5)
+    scenario = random_nice_graph(
+        rng.randint(1, 3), rng.randint(1, 3), seed=rng, extra_join_edges=rng.randint(0, 1)
+    )
+    graph, registry = scenario.graph, scenario.registry
+    db = random_databases(scenario.schemas, 1, seed=rng, max_rows=4)[0]
+    storage = Storage.from_database(db)
+
+    # 1. Certification must hold by construction.
+    assert theorem1_applies(graph, registry).freely_reorderable
+
+    # 2. Sampled trees: engine == algebra == each other.
+    reference = None
+    for _ in range(3):
+        tree = sample_implementing_tree(graph, rng)
+        oracle = tree.eval(db)
+        assert bag_equal(execute(tree, storage).relation, oracle), tree.to_infix()
+        if reference is None:
+            reference = oracle
+        else:
+            assert bag_equal(reference, oracle), tree.to_infix()
+
+    # 3. The optimizer's plan is one more implementing tree of the graph.
+    plan = DPOptimizer(graph, CoutCostModel(CardinalityEstimator(storage))).optimize()
+    assert graph_of(plan.expr, registry) == graph
+    assert bag_equal(plan.expr.eval(db), reference)
+
+    # 4. Every preserving transform preserves on this database.
+    tree = sample_implementing_tree(graph, rng)
+    for transform in applicable_transforms(tree, registry):
+        verdict = classify_transform(tree, transform, registry)
+        if verdict.preserving:
+            out = apply_transform(tree, transform, registry)
+            assert bag_equal(tree.eval(db), out.eval(db)), f"{tree!r} {transform}"
+
+
+@pytest.mark.parametrize("iteration", range(CAMPAIGN))
+def test_arbitrary_graph_gauntlet(iteration):
+    """Random (possibly non-nice) graphs: the theorem and brute force must
+    never contradict each other in the dangerous direction."""
+    rng = make_rng(iteration * 77 + 3)
+    scenario = random_graph(4, seed=rng, oj_probability=0.5, extra_edges=1)
+    graph, registry = scenario.graph, scenario.registry
+    from repro.core import count_implementing_trees
+
+    if count_implementing_trees(graph) == 0:
+        return
+    dbs = random_databases(scenario.schemas, 6, seed=rng)
+    verdict = theorem1_applies(graph, registry)
+    result = brute_force_check(graph, dbs)
+    if verdict.freely_reorderable:
+        # Theorem says safe => no database may expose a disagreement.
+        assert result.consistent, graph.describe()
+    # (not freely_reorderable ∧ consistent) is fine: the theorem is
+    # sufficient, not necessary, and 6 random databases may miss a witness.

@@ -1,0 +1,126 @@
+"""Tests for generalized-outerjoin identities 15 and 16 (Section 6.2)."""
+
+import pytest
+
+from repro.algebra import Database, NULL, Relation, bag_equal, eq
+from repro.core import (
+    GojSetting,
+    check_identity15,
+    check_identity16,
+    jn,
+    oj,
+    reassociate_outerjoin_of_join,
+)
+from repro.datagen import duplicate_free_database
+from repro.util.errors import NotApplicableError, PredicateError
+
+SCHEMAS = {"X": ["X.a", "X.b"], "Y": ["Y.a", "Y.b"], "Z": ["Z.a", "Z.b"]}
+PXY = eq("X.a", "Y.a")
+PYZ = eq("Y.b", "Z.b")
+
+
+def goj_settings(count=25, seed=900):
+    from repro.util.rng import make_rng
+
+    rng = make_rng(seed)
+    for _ in range(count):
+        db = duplicate_free_database(SCHEMAS, seed=rng)
+        yield GojSetting(x=db["X"], y=db["Y"], z=db["Z"], pxy=PXY, pyz=PYZ)
+
+
+class TestIdentity15:
+    def test_holds_on_duplicate_free_data(self):
+        for setting in goj_settings():
+            ok, diff = check_identity15(setting)
+            assert ok, f"identity 15 failed:\n{diff}"
+
+    def test_rejects_duplicates(self):
+        x = Relation.from_dicts(["X.a", "X.b"], [{"X.a": 1, "X.b": 1}] * 2)
+        y = Relation.from_dicts(["Y.a", "Y.b"], [{"Y.a": 1, "Y.b": 1}])
+        z = Relation.from_dicts(["Z.a", "Z.b"], [{"Z.a": 1, "Z.b": 1}])
+        setting = GojSetting(x=x, y=y, z=z, pxy=PXY, pyz=PYZ)
+        with pytest.raises(PredicateError):
+            check_identity15(setting)
+
+    def test_rejects_nonstrong_predicate(self):
+        from repro.algebra import IsNull, Or
+
+        weak = Or((eq("Y.b", "Z.b"), IsNull("Y.b")))
+        db = duplicate_free_database(SCHEMAS, seed=1)
+        setting = GojSetting(x=db["X"], y=db["Y"], z=db["Z"], pxy=PXY, pyz=weak)
+        with pytest.raises(PredicateError):
+            check_identity15(setting)
+
+    def test_manual_example2_rescue(self):
+        """Identity 15 right-to-left reassociates Example 2's query."""
+        x = Relation.from_dicts(["X.a", "X.b"], [{"X.a": 1, "X.b": 9}])
+        y = Relation.from_dicts(["Y.a", "Y.b"], [{"Y.a": 1, "Y.b": 5}])
+        z = Relation.from_dicts(["Z.a", "Z.b"], [{"Z.a": 0, "Z.b": 7}])  # no match
+        setting = GojSetting(x=x, y=y, z=z, pxy=PXY, pyz=PYZ)
+        ok, diff = check_identity15(setting)
+        assert ok, str(diff)
+        # Both sides pad X entirely (the join Y-Z is empty).
+        lhs, _ = (setting.x, None)
+
+
+class TestIdentity16:
+    def test_holds_with_valid_projection(self):
+        for setting in goj_settings(seed=901):
+            # S must contain the X-Y join attribute from Y: Y.a.
+            ok, diff = check_identity16(setting, ["Y.a"])
+            assert ok, f"identity 16 failed:\n{diff}"
+
+    def test_holds_with_full_y_scheme(self):
+        for setting in goj_settings(count=10, seed=902):
+            ok, diff = check_identity16(setting, ["Y.a", "Y.b"])
+            assert ok, f"identity 16 failed:\n{diff}"
+
+    def test_projection_must_cover_join_attrs(self):
+        setting = next(iter(goj_settings(count=1)))
+        with pytest.raises(PredicateError):
+            check_identity16(setting, ["Y.b"])  # misses Y.a
+
+    def test_projection_must_be_within_y(self):
+        setting = next(iter(goj_settings(count=1)))
+        with pytest.raises(PredicateError):
+            check_identity16(setting, ["X.a"])
+
+
+class TestExample2Rescue:
+    def test_rewrite_matches_original_semantics(self):
+        """X → (Y − Z) = (X → Y) GOJ[sch(X)] Z on duplicate-free data."""
+        for seed in range(15):
+            db = duplicate_free_database(SCHEMAS, seed=seed)
+            original = oj("X", jn("Y", "Z", PYZ), PXY)
+            rewritten = reassociate_outerjoin_of_join(original)
+            assert bag_equal(original.eval(db), rewritten.eval(db)), f"seed {seed}"
+
+    def test_rewrite_shape(self):
+        original = oj("X", jn("Y", "Z", PYZ), PXY)
+        rewritten = reassociate_outerjoin_of_join(original)
+        assert "GOJ" in rewritten.to_infix()
+        # Left-deep: the outerjoin is now the left child.
+        assert rewritten.left.to_infix() == "(X → Y)"
+
+    def test_rewrite_requires_oj_over_join(self):
+        with pytest.raises(NotApplicableError):
+            reassociate_outerjoin_of_join(jn("X", "Y", PXY))
+        with pytest.raises(NotApplicableError):
+            reassociate_outerjoin_of_join(oj("X", "Y", PXY))
+
+    def test_rescued_query_on_example2_data(self):
+        """Example 2's literal database, with the GOJ evaluation."""
+        db = Database(
+            {
+                "X": Relation.from_dicts(["X.a", "X.b"], [{"X.a": 1, "X.b": 0}]),
+                "Y": Relation.from_dicts(["Y.a", "Y.b"], [{"Y.a": 1, "Y.b": 1}]),
+                "Z": Relation.from_dicts(["Z.a", "Z.b"], [{"Z.a": 0, "Z.b": 2}]),
+            }
+        )
+        original = oj("X", jn("Y", "Z", PYZ), PXY)
+        rewritten = reassociate_outerjoin_of_join(original)
+        out = original.eval(db)
+        assert len(out) == 1  # X padded
+        row = next(iter(out))
+        assert row["Y.a"] is NULL and row["Z.a"] is NULL
+        assert bag_equal(out, rewritten.eval(db))

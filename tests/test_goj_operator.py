@@ -1,0 +1,86 @@
+"""Unit tests for the generalized outerjoin (equation 14)."""
+
+import pytest
+
+from repro.algebra import (
+    NULL,
+    Relation,
+    bag_equal,
+    eq,
+    generalized_outerjoin,
+    join,
+    outerjoin,
+)
+from repro.util.errors import SchemaError
+
+
+@pytest.fixture
+def r1():
+    return Relation.from_dicts(
+        ["R1.k", "R1.v"],
+        [{"R1.k": 1, "R1.v": "a"}, {"R1.k": 1, "R1.v": "b"}, {"R1.k": 2, "R1.v": "c"}],
+    )
+
+
+@pytest.fixture
+def r2():
+    return Relation.from_dicts(["R2.k"], [{"R2.k": 1}])
+
+
+class TestGeneralizedOuterjoin:
+    def test_contains_the_join(self, r1, r2):
+        p = eq("R1.k", "R2.k")
+        out = generalized_outerjoin(r1, r2, p, ["R1.k"])
+        j = join(r1, r2, p)
+        for row in j.distinct_rows():
+            assert row in out
+
+    def test_unmatched_projections_padded_once(self, r1, r2):
+        p = eq("R1.k", "R2.k")
+        out = generalized_outerjoin(r1, r2, p, ["R1.k"])
+        padded = [row for row in out if row["R2.k"] is NULL]
+        # Only the S-projection {R1.k: 2} is unmatched; it appears once,
+        # padded with nulls outside S (including R1.v!).
+        assert len(padded) == 1
+        assert padded[0]["R1.k"] == 2
+        assert padded[0]["R1.v"] is NULL
+
+    def test_matched_projection_suppresses_padding(self):
+        """The refinement over Dayal's Generalized-Join: an unmatched tuple
+        whose S-projection appeared in the join adds no padded row."""
+        r1 = Relation.from_dicts(
+            ["R1.k", "R1.v"], [{"R1.k": 1, "R1.v": "hit"}, {"R1.k": 1, "R1.v": "miss"}]
+        )
+        r2 = Relation.from_dicts(["R2.k", "R2.v"], [{"R2.k": 1, "R2.v": "hit"}])
+        from repro.algebra import And, Comparison
+
+        p = And((eq("R1.k", "R2.k"), Comparison("R1.v", "=", "R2.v")))
+        out = generalized_outerjoin(r1, r2, p, ["R1.k"])
+        # "miss" fails the join but its projection {k:1} matched via "hit".
+        assert len(out) == 1
+
+    def test_full_scheme_projection_equals_outerjoin_on_duplicate_free(self, r2):
+        r1 = Relation.from_dicts(["R1.k", "R1.v"], [{"R1.k": 1, "R1.v": "a"},
+                                                     {"R1.k": 2, "R1.v": "c"}])
+        p = eq("R1.k", "R2.k")
+        goj = generalized_outerjoin(r1, r2, p, ["R1.k", "R1.v"])
+        oj = outerjoin(r1, r2, p)
+        assert bag_equal(goj, oj)
+
+    def test_projection_must_be_subset_of_left(self, r1, r2):
+        with pytest.raises(SchemaError):
+            generalized_outerjoin(r1, r2, eq("R1.k", "R2.k"), ["R2.k"])
+
+    def test_empty_right(self, r1):
+        out = generalized_outerjoin(
+            r1, Relation(["R2.k"]), eq("R1.k", "R2.k"), ["R1.k"]
+        )
+        # Two distinct projections, each padded once.
+        assert len(out) == 2
+        assert all(row["R2.k"] is NULL for row in out)
+
+    def test_empty_left(self, r2):
+        out = generalized_outerjoin(
+            Relation(["R1.k", "R1.v"]), r2, eq("R1.k", "R2.k"), ["R1.k"]
+        )
+        assert out.is_empty()

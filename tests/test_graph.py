@@ -1,0 +1,162 @@
+"""Unit tests for query graphs and the graph(Q) construction (Section 1.2)."""
+
+import pytest
+
+from repro.algebra import And, SchemaRegistry, conjunction, eq
+from repro.core import QueryGraph, aj, graph_of, jn, oj, rel, roj
+from repro.util.errors import GraphUndefinedError
+
+
+@pytest.fixture
+def reg():
+    return SchemaRegistry(
+        {
+            "R1": ["R1.a", "R1.b"],
+            "R2": ["R2.a", "R2.b"],
+            "R3": ["R3.a", "R3.b"],
+            "R4": ["R4.a"],
+        }
+    )
+
+
+class TestGraphConstruction:
+    def test_join_adds_undirected_edge(self, reg):
+        g = graph_of(jn("R1", "R2", eq("R1.a", "R2.a")), reg)
+        assert frozenset({"R1", "R2"}) in g.join_edges
+        assert not g.oj_edges
+
+    def test_outerjoin_adds_directed_edge(self, reg):
+        g = graph_of(oj("R1", "R2", eq("R1.a", "R2.a")), reg)
+        assert ("R1", "R2") in g.oj_edges
+
+    def test_right_outerjoin_direction(self, reg):
+        # R1 ← R2: R2 preserved, arrow points at R1.
+        g = graph_of(roj("R1", "R2", eq("R1.a", "R2.a")), reg)
+        assert ("R2", "R1") in g.oj_edges
+
+    def test_conjuncts_become_separate_edges(self, reg):
+        # The top join's predicate has two conjuncts, each crossing the cut
+        # to a different relation: they become two distinct graph edges
+        # (a "general cutset" in the paper's terms).
+        p = And((eq("R1.b", "R3.b"), eq("R2.b", "R3.a")))
+        g = graph_of(jn(jn("R1", "R2", eq("R1.a", "R2.a")), "R3", p), reg)
+        assert frozenset({"R1", "R2"}) in g.join_edges
+        assert frozenset({"R1", "R3"}) in g.join_edges
+        assert frozenset({"R2", "R3"}) in g.join_edges
+        assert g.edge_count() == 3
+
+    def test_conjunct_not_crossing_the_cut_is_undefined(self, reg):
+        # A conjunct whose two relations sit on the same side belongs to a
+        # deeper operator; the paper's construction rejects it here.
+        p = And((eq("R1.a", "R2.a"), eq("R2.b", "R3.b")))
+        with pytest.raises(GraphUndefinedError):
+            graph_of(jn(jn("R1", "R2", eq("R1.b", "R2.b")), "R3", p), reg)
+
+    def test_parallel_edges_collapse(self, reg):
+        p = And((eq("R1.a", "R2.a"), eq("R1.b", "R2.b")))
+        g = graph_of(jn("R1", "R2", p), reg)
+        assert g.edge_count() == 1
+        merged = g.join_edges[frozenset({"R1", "R2"})]
+        assert len(merged.conjuncts()) == 2
+
+    def test_same_graph_for_different_associations(self, reg):
+        """Example 2's premise: both associations have the same graph."""
+        p12, p23 = eq("R1.a", "R2.a"), eq("R2.b", "R3.b")
+        g1 = graph_of(oj("R1", jn("R2", "R3", p23), p12), reg)
+        g2 = graph_of(jn(oj("R1", "R2", p12), "R3", p23), reg)
+        assert g1 == g2
+
+    def test_conjunct_spanning_three_relations_undefined(self, reg):
+        from repro.algebra import Or
+
+        bad = Or((eq("R1.a", "R2.a"), eq("R1.b", "R3.b")))  # references 3 relations
+        with pytest.raises(GraphUndefinedError):
+            graph_of(jn(jn("R1", "R2", eq("R1.a", "R2.a")), "R3", bad), reg)
+
+    def test_single_relation_conjunct_undefined(self, reg):
+        from repro.algebra import Comparison, Const
+
+        with pytest.raises(GraphUndefinedError):
+            graph_of(jn("R1", "R2", Comparison("R1.a", "=", Const(3))), reg)
+
+    def test_outerjoin_predicate_must_span_exactly_two(self, reg):
+        from repro.algebra import Or
+
+        bad = Or((eq("R1.a", "R2.a"), eq("R1.b", "R3.b")))
+        with pytest.raises(GraphUndefinedError):
+            graph_of(oj("R1", jn("R2", "R3", eq("R2.a", "R3.a")), bad), reg)
+
+    def test_antijoin_queries_have_no_graph(self, reg):
+        with pytest.raises(GraphUndefinedError):
+            graph_of(aj("R1", "R2", eq("R1.a", "R2.a")), reg)
+
+    def test_unregistered_relation(self):
+        with pytest.raises(GraphUndefinedError):
+            graph_of(rel("Q"), SchemaRegistry())
+
+
+class TestQueryGraphStructure:
+    def test_from_edges_collapses_parallel_joins(self):
+        g = QueryGraph.from_edges(
+            join=[("A", "B", eq("A.x", "B.x")), ("A", "B", eq("A.y", "B.y"))],
+        )
+        assert g.edge_count() == 1
+
+    def test_duplicate_oj_edge_rejected(self):
+        with pytest.raises(GraphUndefinedError):
+            QueryGraph.from_edges(
+                oj=[("A", "B", eq("A.x", "B.x")), ("A", "B", eq("A.y", "B.y"))]
+            )
+
+    def test_parallel_join_and_oj_rejected(self):
+        with pytest.raises(GraphUndefinedError):
+            QueryGraph.from_edges(
+                join=[("A", "B", eq("A.x", "B.x"))], oj=[("A", "B", eq("A.y", "B.y"))]
+            )
+
+    def test_neighbors(self):
+        g = QueryGraph.from_edges(
+            join=[("A", "B", eq("A.x", "B.x"))], oj=[("B", "C", eq("B.x", "C.x"))]
+        )
+        assert g.neighbors("B") == frozenset({"A", "C"})
+        assert g.join_neighbors("B") == frozenset({"A"})
+        assert g.oj_in_edges("C") == [("B", "C")]
+        assert g.oj_out_edges("B") == [("B", "C")]
+
+    def test_connectivity(self):
+        g = QueryGraph.from_edges(
+            join=[("A", "B", eq("A.x", "B.x"))], isolated=["A", "B", "C"]
+        )
+        assert not g.is_connected()
+        assert g.is_connected(frozenset({"A", "B"}))
+        assert len(g.connected_components()) == 2
+
+    def test_induced_subgraph(self):
+        g = QueryGraph.from_edges(
+            join=[("A", "B", eq("A.x", "B.x"))], oj=[("B", "C", eq("B.x", "C.x"))]
+        )
+        sub = g.induced({"A", "B"})
+        assert sub.edge_count() == 1 and not sub.oj_edges
+        with pytest.raises(GraphUndefinedError):
+            g.induced({"A", "Q"})
+
+    def test_cut(self):
+        g = QueryGraph.from_edges(
+            join=[("A", "B", eq("A.x", "B.x"))], oj=[("B", "C", eq("B.x", "C.x"))]
+        )
+        joins, ojs = g.cut(frozenset({"A", "B"}), frozenset({"C"}))
+        assert not joins and len(ojs) == 1
+        joins, ojs = g.cut(frozenset({"A"}), frozenset({"B", "C"}))
+        assert len(joins) == 1 and not ojs
+
+    def test_equality_and_hash(self):
+        p = eq("A.x", "B.x")
+        g1 = QueryGraph.from_edges(join=[("A", "B", p)])
+        g2 = QueryGraph.from_edges(join=[("B", "A", p)])
+        assert g1 == g2
+        assert len({g1, g2}) == 1
+
+    def test_describe(self):
+        g = QueryGraph.from_edges(oj=[("A", "B", eq("A.x", "B.x"))])
+        text = g.describe()
+        assert "A → B" in text

@@ -1,0 +1,175 @@
+"""Randomized verification of identities 1-13 and the Figure-3 proof.
+
+Each identity is checked over a batch of randomized databases (with nulls,
+duplicates, and empty relations); identities with strongness preconditions
+(8, 9, 12) are additionally shown to FAIL when the precondition is
+deliberately violated — the preconditions are necessary, not decorative.
+"""
+
+import pytest
+
+from repro.algebra import (
+    Comparison,
+    Const,
+    And,
+    IsNull,
+    Or,
+    bag_equal,
+    eq,
+)
+from repro.core import IDENTITIES, TriSetting, check_identity, identity12_proof_steps
+from repro.datagen import random_databases
+from repro.util.errors import PredicateError
+
+SCHEMAS = {"X": ["X.a", "X.b"], "Y": ["Y.a", "Y.b"], "Z": ["Z.a", "Z.b"]}
+PXY = eq("X.a", "Y.a")
+PYZ = eq("Y.b", "Z.b")
+PXZ = eq("X.b", "Z.a")
+#: Example 3's shape: not strong w.r.t. Y.
+WEAK_PYZ = Or((eq("Y.b", "Z.b"), IsNull("Y.b")))
+
+
+def settings(count=30, seed=101, pyz=PYZ, pxz=None):
+    for db in random_databases(SCHEMAS, count, seed=seed):
+        yield TriSetting(x=db["X"], y=db["Y"], z=db["Z"], pxy=PXY, pyz=pyz, pxz=pxz)
+
+
+class TestUnconditionalIdentities:
+    @pytest.mark.parametrize("number", ["1", "2", "3", "4", "5", "6", "7", "10", "11", "13"])
+    def test_identity_holds_on_random_data(self, number):
+        for setting in settings():
+            ok, diff = check_identity(number, setting)
+            assert ok, f"identity {number} failed:\n{diff}"
+
+    def test_identity1_with_cycle_conjunct(self):
+        """Identity 1's optional P_xz: the conjunct moves between operators."""
+        for setting in settings(pxz=PXZ):
+            ok, diff = check_identity("1", setting)
+            assert ok, f"identity 1 (with P_xz) failed:\n{diff}"
+
+    def test_identity_catalog_complete(self):
+        expected = {str(i) for i in range(1, 14)} | {"11m", "12m"}
+        assert set(IDENTITIES) == expected
+        for identity in IDENTITIES.values():
+            assert identity.title
+
+    def test_mirror_identity_11m(self):
+        for setting in settings():
+            ok, diff = check_identity("11m", setting)
+            assert ok, f"identity 11m failed:\n{diff}"
+
+    def test_mirror_identity_12m_with_strong_pxy(self):
+        for setting in settings():
+            ok, diff = check_identity("12m", setting)
+            assert ok, f"identity 12m failed:\n{diff}"
+
+    def test_mirror_identity_12m_fails_without_strong_pxy(self):
+        """The mirror's strongness condition sits on P_xy (the *inner*
+        predicate), not P_yz — the classifier's (RightOJ, RightOJ) case."""
+        weak_pxy = Or((eq("X.a", "Y.a"), IsNull("Y.a")))
+        identity = IDENTITIES["12m"]
+        failures = 0
+        for db in random_databases(SCHEMAS, 60, seed=404):
+            setting = TriSetting(
+                x=db["X"], y=db["Y"], z=db["Z"], pxy=weak_pxy, pyz=PYZ
+            )
+            ok, _ = identity.check(setting)
+            failures += not ok
+        assert failures > 0
+
+
+class TestStrongnessPreconditions:
+    @pytest.mark.parametrize("number", ["8", "9", "12"])
+    def test_identity_holds_with_strong_predicate(self, number):
+        for setting in settings():
+            ok, diff = check_identity(number, setting)
+            assert ok, f"identity {number} failed:\n{diff}"
+
+    @pytest.mark.parametrize("number", ["8", "9", "12"])
+    def test_check_identity_refuses_violated_precondition(self, number):
+        setting = next(iter(settings(count=1, pyz=WEAK_PYZ)))
+        with pytest.raises(PredicateError):
+            check_identity(number, setting)
+
+    @pytest.mark.parametrize("number", ["8", "9", "12"])
+    def test_identity_fails_without_strong_predicate(self, number):
+        """The preconditions are necessary: dropping them yields witnesses."""
+        identity = IDENTITIES[number]
+        failures = 0
+        for setting in settings(count=60, seed=202, pyz=WEAK_PYZ):
+            ok, _diff = identity.check(setting)
+            if not ok:
+                failures += 1
+        assert failures > 0, f"no counterexample found for weakened identity {number}"
+
+    def test_example3_exact_counterexample(self):
+        """The paper's Example 3, verbatim: A={(a)}, B={(b,-)}, C={(c)}."""
+        from repro.algebra import NULL, Relation
+
+        a = Relation.from_dicts(["A.attr1"], [{"A.attr1": "a"}])
+        b = Relation.from_dicts(
+            ["B.attr1", "B.attr2"], [{"B.attr1": "b", "B.attr2": NULL}]
+        )
+        c = Relation.from_dicts(["C.attr1"], [{"C.attr1": "c"}])
+        pab = eq("A.attr1", "B.attr1")
+        pbc = Or((eq("B.attr2", "C.attr1"), IsNull("B.attr2")))
+        setting = TriSetting(x=a, y=b, z=c, pxy=pab, pyz=pbc)
+        identity = IDENTITIES["12"]
+        assert not identity.precondition(setting)
+        ok, diff = identity.check(setting)
+        assert not ok
+        # LHS = (A→B)→C pads B then matches C via IS NULL; RHS does not.
+        lhs = identity.lhs(setting)
+        rhs = identity.rhs(setting)
+        assert len(lhs) == 1 and len(rhs) == 1
+        assert not bag_equal(lhs, rhs)
+
+
+class TestFigure3ProofReplay:
+    def test_all_steps_equal_with_strong_predicate(self):
+        for setting in settings(count=20, seed=303):
+            steps = identity12_proof_steps(setting)
+            assert len(steps) == 8
+            reference = steps[0][1]
+            for label, relation in steps[1:]:
+                assert bag_equal(reference, relation), f"step broke: {label}"
+
+    def test_proof_first_and_last_are_identity12(self):
+        for setting in settings(count=5, seed=404):
+            steps = identity12_proof_steps(setting)
+            assert bag_equal(steps[0][1], IDENTITIES["12"].lhs(setting))
+            assert bag_equal(steps[-1][1], IDENTITIES["12"].rhs(setting))
+
+    def test_strongness_sensitive_step_breaks_without_precondition(self):
+        """With a weak P_yz the chain must break exactly at the step that
+        invokes identities 8 and 9."""
+        broke = False
+        for setting in settings(count=60, seed=505, pyz=WEAK_PYZ):
+            steps = identity12_proof_steps(setting)
+            if not bag_equal(steps[2][1], steps[3][1]):
+                broke = True
+                # Everything before the strongness step still agrees.
+                assert bag_equal(steps[0][1], steps[1][1])
+                assert bag_equal(steps[1][1], steps[2][1])
+                break
+        assert broke
+
+
+class TestAsymmetricStrongness:
+    def test_identity12_needs_strong_wrt_y_not_z(self):
+        """Strong w.r.t. Z (null-supplied) alone does NOT rescue identity 12."""
+        tricky = Or(
+            (
+                eq("Y.b", "Z.b"),
+                And((Comparison("Z.b", "=", Const(2)), IsNull("Y.b"))),
+            )
+        )
+        assert tricky.is_strong(["Z.b"])
+        assert not tricky.is_strong(["Y.b"])
+        identity = IDENTITIES["12"]
+        failures = 0
+        for setting in settings(count=80, seed=606, pyz=tricky):
+            ok, _ = identity.check(setting)
+            if not ok:
+                failures += 1
+        assert failures > 0

@@ -1,0 +1,150 @@
+"""End-to-end integration tests across all subsystems.
+
+Each test is a small story tying several packages together, the way a
+downstream user of the library would: graph → theorem → optimizer →
+engine → equality with the algebra oracle.
+"""
+
+import pytest
+
+from repro.algebra import NULL, bag_equal, eq
+from repro.core import (
+    brute_force_check,
+    bt_path,
+    canonicalize,
+    graph_of,
+    implementing_trees,
+    jn,
+    oj,
+    theorem1_applies,
+)
+from repro.datagen import (
+    departments_database,
+    example1_storage,
+    figure2_graph,
+    random_databases,
+    section5_store,
+)
+from repro.engine import Storage, execute
+from repro.language import compile_query
+from repro.optimizer import (
+    CardinalityEstimator,
+    CoutCostModel,
+    DPOptimizer,
+    RetrievalCostModel,
+)
+
+
+class TestMotivatingWorkload:
+    """The introduction's departments/employees listing."""
+
+    def test_outerjoin_lists_empty_departments(self):
+        db = departments_database(n_departments=4, empty_departments=1)
+        q = oj("DEPT", "EMP", eq("DEPT.dno", "EMP.dno"))
+        out = q.eval(db)
+        # All 3 staffed departments x 2 employees + 1 padded empty dept.
+        assert len(out) == 7
+        padded = [r for r in out if r["EMP.eno"] is NULL]
+        assert len(padded) == 1
+
+    def test_join_silently_drops_them(self):
+        db = departments_database(n_departments=4, empty_departments=1)
+        q = jn("DEPT", "EMP", eq("DEPT.dno", "EMP.dno"))
+        assert len(q.eval(db)) == 6
+
+
+class TestFullPipeline:
+    def test_written_query_to_optimal_plan(self):
+        """Parse nothing, just algebra: written tree → graph → Theorem 1 →
+        DP plan → engine, asserting semantics and the cost win."""
+        storage = example1_storage(500)
+        p12, p23 = eq("R1.k", "R2.k"), eq("R2.j", "R3.j")
+        written = jn("R1", oj("R2", "R3", p23), p12)
+
+        graph = graph_of(written, storage.registry)
+        verdict = theorem1_applies(graph, storage.registry)
+        assert verdict.freely_reorderable
+
+        model = RetrievalCostModel(CardinalityEstimator(storage), storage)
+        best = DPOptimizer(graph, model).optimize()
+
+        written_run = execute(written, storage)
+        best_run = execute(best.expr, storage)
+        assert bag_equal(written_run.relation, best_run.relation)
+        assert best_run.tuples_retrieved < written_run.tuples_retrieved / 100
+
+    def test_transform_path_realizes_the_optimizer_choice(self):
+        """Lemma 3 in anger: the optimizer's plan is reachable from the
+        written tree by explicit result-preserving BTs."""
+        storage = example1_storage(50)
+        p12, p23 = eq("R1.k", "R2.k"), eq("R2.j", "R3.j")
+        written = jn("R1", oj("R2", "R3", p23), p12)
+        graph = graph_of(written, storage.registry)
+        model = RetrievalCostModel(CardinalityEstimator(storage), storage)
+        best = DPOptimizer(graph, model).optimize()
+        path = bt_path(
+            canonicalize(written), canonicalize(best.expr), storage.registry,
+            preserving_only=True,
+        )
+        assert path is not None and len(path) >= 1
+
+    def test_figure2_graph_fully_consistent(self):
+        """Figure 2's nice topology: all ITs agree on random databases and
+        the DP picks one of them."""
+        scenario = figure2_graph()
+        dbs = random_databases(scenario.schemas, 5, seed=42)
+        report = brute_force_check(scenario.graph, dbs, max_trees=500)
+        assert report.consistent
+
+        storage = Storage.from_database(dbs[0])
+        model = CoutCostModel(CardinalityEstimator(storage))
+        plan = DPOptimizer(scenario.graph, model).optimize()
+        oracle = plan.expr.eval(dbs[0])
+        engine = execute(plan.expr, storage).relation
+        assert bag_equal(oracle, engine)
+
+
+class TestLanguageToEngine:
+    def test_compiled_block_through_physical_engine(self):
+        """A Section-5 query block executed by the physical engine matches
+        the algebra evaluation of any IT."""
+        store = section5_store(n_departments=4, employees_per_department=2, seed=21)
+        cq = compile_query(
+            "Select All From DEPARTMENT-->Manager, EMPLOYEE "
+            "Where EMPLOYEE.D# = DEPARTMENT.D#",
+            store,
+        )
+        storage = Storage.from_database(cq.database)
+        algebra_result = cq.initial_tree.eval(cq.database)
+        engine_result = execute(cq.initial_tree, storage).relation
+        assert bag_equal(algebra_result, engine_result)
+
+    def test_unnest_link_roundtrip_counts(self):
+        """UnNest semantics: one row per child, or one padded row."""
+        store = section5_store(n_departments=2, employees_per_department=4, seed=22)
+        cq = compile_query("Select All From EMPLOYEE*ChildName", store)
+        rows = list(cq.run())
+        expected = 0
+        for emp in store.instances("EMPLOYEE"):
+            expected += max(1, len(emp["ChildName"]))
+        assert len(rows) == expected
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_its_engine_and_algebra_agree(self, seed):
+        """For every IT of a mixed chain: engine == algebra, pairwise equal."""
+        from repro.datagen import chain
+
+        scenario = chain(3, ["join", "out"])
+        dbs = random_databases(scenario.schemas, 3, seed=seed)
+        for db in dbs:
+            storage = Storage.from_database(db)
+            results = []
+            for tree in implementing_trees(scenario.graph):
+                oracle = tree.eval(db)
+                engine = execute(tree, storage).relation
+                assert bag_equal(oracle, engine), tree.to_infix()
+                results.append(oracle)
+            for other in results[1:]:
+                assert bag_equal(results[0], other)

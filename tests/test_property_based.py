@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategies build small random relations with nulls and duplicates, random
+predicates, and random graph scenarios; the properties are the paper's
+claims themselves:
+
+* equation 10 decomposition, semijoin/antijoin partition;
+* identities 2, 11, 13 unconditionally; identity 12 under strongness;
+* graph preservation of every basic transform;
+* Theorem 1 (nice + strong  ⇒  all ITs evaluate equal) end to end;
+* padding-comparison laws used throughout the proofs.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algebra import (
+    NULL,
+    Relation,
+    Row,
+    antijoin,
+    bag_equal,
+    eq,
+    join,
+    outerjoin,
+    semijoin,
+    union_padded,
+)
+from repro.core import (
+    IDENTITIES,
+    TriSetting,
+    applicable_transforms,
+    apply_transform,
+    canonicalize,
+    graph_of,
+    implementing_trees,
+    sample_implementing_tree,
+    theorem1_applies,
+)
+from repro.datagen import GraphScenario, chain, random_nice_graph
+from repro.util.rng import make_rng
+
+# -- strategies ---------------------------------------------------------------
+
+values = st.one_of(st.integers(min_value=0, max_value=3), st.just(NULL))
+
+
+def relation_strategy(attrs: tuple[str, ...], max_rows: int = 4):
+    row = st.fixed_dictionaries({a: values for a in attrs})
+    return st.lists(row, min_size=0, max_size=max_rows).map(
+        lambda dicts: Relation(list(attrs), [Row(d) for d in dicts])
+    )
+
+
+xs = relation_strategy(("X.a", "X.b"))
+ys = relation_strategy(("Y.a", "Y.b"))
+zs = relation_strategy(("Z.a", "Z.b"))
+
+PXY = eq("X.a", "Y.a")
+PYZ = eq("Y.b", "Z.b")
+
+
+class TestAlgebraProperties:
+    @given(x=xs, y=ys)
+    @settings(max_examples=60, deadline=None)
+    def test_equation10_decomposition(self, x, y):
+        lhs = outerjoin(x, y, PXY)
+        rhs = union_padded(join(x, y, PXY), antijoin(x, y, PXY))
+        assert bag_equal(lhs, rhs)
+
+    @given(x=xs, y=ys)
+    @settings(max_examples=60, deadline=None)
+    def test_semijoin_antijoin_partition(self, x, y):
+        assert len(semijoin(x, y, PXY)) + len(antijoin(x, y, PXY)) == len(x)
+
+    @given(x=xs, y=ys)
+    @settings(max_examples=60, deadline=None)
+    def test_outerjoin_cardinality_at_least_preserved(self, x, y):
+        assert len(outerjoin(x, y, PXY)) >= len(x)
+
+    @given(x=xs, y=ys)
+    @settings(max_examples=60, deadline=None)
+    def test_join_commutes(self, x, y):
+        assert bag_equal(join(x, y, PXY), join(y, x, PXY))
+
+    @given(x=xs)
+    @settings(max_examples=30, deadline=None)
+    def test_padding_is_idempotent_for_comparison(self, x):
+        wider = x.pad_to(x.schema.union(["W.q"]))
+        assert bag_equal(x, wider)
+
+
+class TestIdentityProperties:
+    @given(x=xs, y=ys, z=zs)
+    @settings(max_examples=40, deadline=None)
+    def test_identity2(self, x, y, z):
+        setting = TriSetting(x=x, y=y, z=z, pxy=PXY, pyz=PYZ)
+        ok, diff = IDENTITIES["2"].check(setting)
+        assert ok, str(diff)
+
+    @given(x=xs, y=ys, z=zs)
+    @settings(max_examples=40, deadline=None)
+    def test_identity11(self, x, y, z):
+        setting = TriSetting(x=x, y=y, z=z, pxy=PXY, pyz=PYZ)
+        ok, diff = IDENTITIES["11"].check(setting)
+        assert ok, str(diff)
+
+    @given(x=xs, y=ys, z=zs)
+    @settings(max_examples=40, deadline=None)
+    def test_identity12_under_strongness(self, x, y, z):
+        setting = TriSetting(x=x, y=y, z=z, pxy=PXY, pyz=PYZ)
+        ok, diff = IDENTITIES["12"].check(setting)
+        assert ok, str(diff)
+
+    @given(x=xs, y=ys, z=zs)
+    @settings(max_examples=40, deadline=None)
+    def test_identity13(self, x, y, z):
+        setting = TriSetting(x=x, y=y, z=z, pxy=PXY, pyz=PYZ)
+        ok, diff = IDENTITIES["13"].check(setting)
+        assert ok, str(diff)
+
+
+def _db_for(scenario: GraphScenario, draw_rows) -> "Database":
+    from repro.algebra import Database
+
+    relations = {}
+    for name, attrs in sorted(scenario.schemas.items()):
+        relations[name] = draw_rows(tuple(sorted(attrs)))
+    return Database(relations)
+
+
+scenario_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestTransformProperties:
+    @given(seed=scenario_seeds, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_bts_preserve_graph(self, seed, data):
+        rng = make_rng(seed)
+        scenario = random_nice_graph(2, 2, seed=rng)
+        reg = scenario.registry
+        tree = sample_implementing_tree(scenario.graph, rng)
+        transforms = list(applicable_transforms(tree, reg))
+        if not transforms:
+            return
+        t = transforms[rng.randrange(len(transforms))]
+        out = apply_transform(tree, t, reg)
+        assert graph_of(out, reg) == scenario.graph
+
+    @given(seed=scenario_seeds, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_theorem1_on_random_nice_graphs(self, seed, data):
+        """nice + strong  ⇒  two random ITs evaluate identically."""
+        rng = make_rng(seed)
+        scenario = random_nice_graph(2, 2, seed=rng)
+        reg = scenario.registry
+        assert theorem1_applies(scenario.graph, reg).freely_reorderable
+        t1 = sample_implementing_tree(scenario.graph, rng)
+        t2 = sample_implementing_tree(scenario.graph, rng)
+        db = _db_for(
+            scenario,
+            lambda attrs: data.draw(relation_strategy(attrs, max_rows=3)),
+        )
+        assert bag_equal(t1.eval(db), t2.eval(db)), f"{t1!r} vs {t2!r}"
+
+    @given(seed=scenario_seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_canonicalize_idempotent(self, seed):
+        rng = make_rng(seed)
+        scenario = chain(4, ["join", "out", "join"])
+        tree = sample_implementing_tree(scenario.graph, rng)
+        once = canonicalize(tree)
+        assert canonicalize(once) == once
+
+    @given(seed=scenario_seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_enumeration_has_no_duplicates(self, seed):
+        rng = make_rng(seed)
+        scenario = random_nice_graph(2, 2, seed=rng)
+        trees = list(implementing_trees(scenario.graph))
+        assert len(trees) == len(set(trees))

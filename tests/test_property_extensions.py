@@ -1,0 +1,146 @@
+"""Additional property-based tests for the extension modules.
+
+Hypothesis strategies drive: pushdown semantics preservation, witness
+shrinking invariants, graph-law properties (induced subgraphs, cuts), and
+schema/tuple algebraic laws used silently throughout the proofs.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algebra import (
+    NULL,
+    Comparison,
+    Const,
+    Relation,
+    Row,
+    Schema,
+    bag_equal,
+    eq,
+)
+from repro.core import (
+    Restrict,
+    graph_of,
+    jn,
+    oj,
+    push_restrictions,
+    sample_implementing_tree,
+)
+from repro.datagen import chain, random_nice_graph
+from repro.util.rng import make_rng
+
+values = st.one_of(st.integers(min_value=0, max_value=3), st.just(NULL))
+
+
+def relation_strategy(attrs, max_rows=4):
+    row = st.fixed_dictionaries({a: values for a in attrs})
+    return st.lists(row, min_size=0, max_size=max_rows).map(
+        lambda dicts: Relation(list(attrs), [Row(d) for d in dicts])
+    )
+
+
+class TestTupleLaws:
+    @given(
+        a=st.dictionaries(st.sampled_from(["x", "y"]), values, min_size=1),
+        b=st.dictionaries(st.sampled_from(["p", "q"]), values, min_size=1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_concat_project_inverse(self, a, b):
+        ra, rb = Row(a), Row(b)
+        merged = ra.concat(rb)
+        assert merged.project(sorted(ra.scheme)) == ra
+        assert merged.project(sorted(rb.scheme)) == rb
+
+    @given(a=st.dictionaries(st.sampled_from(["x", "y"]), values, min_size=1))
+    @settings(max_examples=40, deadline=None)
+    def test_pad_then_project_is_identity(self, a):
+        row = Row(a)
+        wide = row.pad_to(Schema(sorted(row.scheme | {"extra1", "extra2"})))
+        assert wide.project(sorted(row.scheme)) == row
+
+    @given(
+        a=st.dictionaries(st.sampled_from(["x"]), values, min_size=1),
+        b=st.dictionaries(st.sampled_from(["y"]), values, min_size=1),
+        c=st.dictionaries(st.sampled_from(["z"]), values, min_size=1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_concat_associative(self, a, b, c):
+        ra, rb, rc = Row(a), Row(b), Row(c)
+        assert ra.concat(rb).concat(rc) == ra.concat(rb.concat(rc))
+
+
+class TestPushdownProperties:
+    @given(
+        x=relation_strategy(("R1.a", "R1.b")),
+        y=relation_strategy(("R2.a", "R2.b")),
+        z=relation_strategy(("R3.a", "R3.b")),
+        constant=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pushdown_preserves_semantics(self, x, y, z, constant):
+        from repro.algebra import Database
+
+        db = Database({"R1": x, "R2": y, "R3": z})
+        registry = chain(3).registry
+        q = Restrict(
+            oj(jn("R1", "R2", eq("R1.a", "R2.a")), "R3", eq("R2.a", "R3.a")),
+            Comparison("R1.b", "=", Const(constant)),
+        )
+        report = push_restrictions(q, registry)
+        assert bag_equal(q.eval(db), report.query.eval(db))
+
+    @given(constant=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_pushdown_idempotent_placement(self, constant):
+        registry = chain(3).registry
+        q = Restrict(
+            jn(jn("R1", "R2", eq("R1.a", "R2.a")), "R3", eq("R2.a", "R3.a")),
+            Comparison("R1.b", "=", Const(constant)),
+        )
+        once = push_restrictions(q, registry)
+        twice = push_restrictions(once.query, registry)
+        assert once.query == twice.query
+
+
+class TestGraphLaws:
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_induced_subgraph_edges_subset(self, seed):
+        scenario = random_nice_graph(3, 2, seed=seed)
+        g = scenario.graph
+        rng = make_rng(seed)
+        nodes = sorted(g.nodes)
+        keep = frozenset(rng.sample(nodes, rng.randint(1, len(nodes))))
+        sub = g.induced(keep)
+        assert set(sub.join_edges) <= set(g.join_edges)
+        assert set(sub.oj_edges) <= set(g.oj_edges)
+        assert sub.nodes == keep
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_cut_partitions_crossing_edges(self, seed):
+        scenario = random_nice_graph(2, 3, seed=seed)
+        g = scenario.graph
+        rng = make_rng(seed)
+        nodes = sorted(g.nodes)
+        k = rng.randint(1, len(nodes) - 1)
+        side_a = frozenset(nodes[:k])
+        side_b = frozenset(nodes[k:])
+        joins, ojs = g.cut(side_a, side_b)
+        total_edges = len(g.join_edges) + len(g.oj_edges)
+        within_a = g.induced(side_a)
+        within_b = g.induced(side_b)
+        inside = (
+            len(within_a.join_edges) + len(within_a.oj_edges)
+            + len(within_b.join_edges) + len(within_b.oj_edges)
+        )
+        assert inside + len(joins) + len(ojs) == total_edges
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_graph_roundtrip_from_sampled_tree(self, seed):
+        scenario = random_nice_graph(2, 2, seed=seed)
+        tree = sample_implementing_tree(scenario.graph, make_rng(seed))
+        assert graph_of(tree, scenario.registry) == scenario.graph

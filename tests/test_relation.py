@@ -1,0 +1,106 @@
+"""Unit tests for bag relations and databases."""
+
+import pytest
+
+from repro.algebra import Database, NULL, Relation, Row, Schema
+from repro.util.errors import SchemaError
+
+
+def rel(*dicts):
+    attrs = sorted(dicts[0]) if dicts else ["a"]
+    return Relation.from_dicts(attrs, dicts)
+
+
+class TestRelationConstruction:
+    def test_bag_multiplicity(self):
+        r = rel({"a": 1}, {"a": 1}, {"a": 2})
+        assert len(r) == 3
+        assert r.distinct_count() == 2
+        assert r.multiplicity(Row({"a": 1})) == 2
+
+    def test_iteration_with_multiplicity(self):
+        r = rel({"a": 1}, {"a": 1})
+        assert len(list(r)) == 2
+
+    def test_row_scheme_checked(self):
+        with pytest.raises(SchemaError):
+            Relation(["a"], [Row({"b": 1})])
+
+    def test_from_counts(self):
+        r = Relation.from_counts(["a"], {Row({"a": 1}): 3})
+        assert len(r) == 3
+        with pytest.raises(SchemaError):
+            Relation.from_counts(["a"], {Row({"a": 1}): -1})
+
+    def test_empty(self):
+        r = Relation(["a"])
+        assert r.is_empty() and len(r) == 0
+
+    def test_contains(self):
+        r = rel({"a": 1})
+        assert Row({"a": 1}) in r
+        assert Row({"a": 9}) not in r
+
+
+class TestRelationOperations:
+    def test_distinct(self):
+        r = rel({"a": 1}, {"a": 1}, {"a": 2}).distinct()
+        assert len(r) == 2
+        assert r.is_duplicate_free()
+
+    def test_pad_to(self):
+        r = rel({"a": 1}).pad_to(Schema(["a", "b"]))
+        row = next(iter(r))
+        assert row["b"] is NULL
+
+    def test_pad_preserves_multiplicity(self):
+        r = rel({"a": 1}, {"a": 1}).pad_to(["a", "b"])
+        assert len(r) == 2
+
+    def test_rename(self):
+        r = rel({"a": 1, "b": 2}).rename({"a": "x"})
+        assert r.scheme == frozenset({"x", "b"})
+        assert next(iter(r))["x"] == 1
+
+    def test_rename_missing_attr(self):
+        with pytest.raises(SchemaError):
+            rel({"a": 1}).rename({"q": "x"})
+
+    def test_rename_collision(self):
+        with pytest.raises(SchemaError):
+            rel({"a": 1, "b": 2}).rename({"a": "b"})
+
+    def test_equality_same_scheme(self):
+        assert rel({"a": 1}, {"a": 2}) == rel({"a": 2}, {"a": 1})
+        assert rel({"a": 1}) != rel({"a": 1}, {"a": 1})
+
+    def test_hash(self):
+        assert len({rel({"a": 1}), rel({"a": 1})}) == 1
+
+    def test_map_rows(self):
+        r = rel({"a": 1}, {"a": 2}).map_rows(lambda row: Row({"a": row["a"] * 10}))
+        assert sorted(row["a"] for row in r) == [10, 20]
+
+
+class TestDatabase:
+    def test_registry_tracks_ownership(self):
+        db = Database({"R": rel({"R.a": 1}), "S": rel({"S.a": 2})})
+        assert db.registry.owner("S.a") == "S"
+
+    def test_disjoint_schemes_enforced(self):
+        with pytest.raises(SchemaError):
+            Database({"R": rel({"k": 1}), "S": rel({"k": 2})})
+
+    def test_lookup_unknown(self):
+        with pytest.raises(SchemaError):
+            Database()["missing"]
+
+    def test_with_relation_replaces(self):
+        db = Database({"R": rel({"R.a": 1})})
+        db2 = db.with_relation("R", rel({"R.a": 7}))
+        assert next(iter(db2["R"]))["R.a"] == 7
+        assert next(iter(db["R"]))["R.a"] == 1  # original untouched
+
+    def test_relations_tuple(self):
+        db = Database({"R": rel({"R.a": 1}), "S": rel({"S.a": 1})})
+        assert set(db.relations()) == {"R", "S"}

@@ -1,0 +1,153 @@
+"""Tests for Theorem 1 and the brute-force reorderability checker.
+
+Includes the reproduction's most interesting finding: the paper states the
+strongness condition two ways ("preserved" in Section 1.3, "null-supplied"
+in Section 3.2), and only the preserved-side reading is correct — a
+concrete nice graph whose predicates are strong w.r.t. every null-supplied
+relation, but not w.r.t. a preserved one, is NOT freely reorderable.
+"""
+
+import pytest
+
+from repro.algebra import And, Comparison, Const, IsNull, Or, eq
+from repro.core import (
+    QueryGraph,
+    brute_force_check,
+    graph_of,
+    is_freely_reorderable,
+    jn,
+    oj,
+    strongness_requirements,
+    theorem1_applies,
+)
+from repro.datagen import (
+    chain,
+    example2_graph,
+    figure2_graph,
+    random_databases,
+    random_nice_graph,
+    weaken_oj_edge,
+)
+
+
+class TestTheorem1Checker:
+    def test_nice_strong_graph_passes(self):
+        scenario = chain(3, ["join", "out"])
+        verdict = theorem1_applies(scenario.graph, scenario.registry)
+        assert verdict.freely_reorderable and verdict.nice
+
+    def test_non_nice_graph_fails(self):
+        scenario = example2_graph()
+        verdict = theorem1_applies(scenario.graph, scenario.registry)
+        assert not verdict.freely_reorderable
+        assert not verdict.nice
+        assert verdict.niceness_violations
+
+    def test_weak_predicate_fails_blanket_check(self):
+        scenario = weaken_oj_edge(chain(3, ["out", "out"]), ("R2", "R3"))
+        verdict = theorem1_applies(scenario.graph, scenario.registry)
+        assert verdict.nice
+        assert not verdict.freely_reorderable
+
+    def test_minimal_mode_only_requires_chained_edges(self):
+        """A weak predicate on a root-attached OJ edge is harmless: its
+        preserved endpoint can never be null-padded."""
+        scenario = weaken_oj_edge(chain(3, ["join", "out"]), ("R2", "R3"))
+        blanket = theorem1_applies(scenario.graph, scenario.registry, minimal=False)
+        minimal = theorem1_applies(scenario.graph, scenario.registry, minimal=True)
+        assert not blanket.freely_reorderable
+        assert minimal.freely_reorderable
+        # And brute force agrees with the minimal verdict:
+        dbs = random_databases(scenario.schemas, 30, seed=23)
+        assert brute_force_check(scenario.graph, dbs).consistent
+
+    def test_expression_level_helper(self):
+        scenario = chain(3, ["join", "out"])
+        q = oj(jn("R1", "R2", eq("R1.a", "R2.a")), "R3", eq("R2.a", "R3.a"))
+        assert is_freely_reorderable(q, scenario.registry)
+
+    def test_figure2_certified(self):
+        scenario = figure2_graph()
+        assert theorem1_applies(scenario.graph, scenario.registry).freely_reorderable
+
+    def test_strongness_requirements_report(self):
+        scenario = chain(3, ["out", "out"])
+        reqs = strongness_requirements(scenario.graph, scenario.registry)
+        by_edge = {r.edge: r for r in reqs}
+        assert by_edge[("R1", "R2")].needed_minimally is False  # R1 never padded
+        assert by_edge[("R2", "R3")].needed_minimally is True  # R2 can be padded
+        assert all(r.satisfied for r in reqs)
+
+
+class TestBruteForce:
+    def test_nice_graph_consistent(self):
+        scenario = chain(3, ["join", "out"])
+        dbs = random_databases(scenario.schemas, 15, seed=3)
+        report = brute_force_check(scenario.graph, dbs)
+        assert report.consistent
+        assert report.trees_checked == 8
+
+    def test_example2_witness_found(self):
+        scenario = example2_graph()
+        dbs = random_databases(scenario.schemas, 40, seed=5)
+        report = brute_force_check(scenario.graph, dbs)
+        assert not report.consistent
+        assert report.witness is not None
+        q1, q2, diff = report.witness
+        assert "differ" in diff
+
+    def test_example3_weak_predicate_witness(self):
+        """Non-strong predicate on a chained OJ edge breaks reorderability."""
+        scenario = weaken_oj_edge(chain(3, ["out", "out"]), ("R2", "R3"))
+        dbs = random_databases(scenario.schemas, 60, seed=6)
+        report = brute_force_check(scenario.graph, dbs)
+        assert not report.consistent
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_theorem_matches_brute_force_on_random_nice(self, seed):
+        scenario = random_nice_graph(2, 2, seed=seed)
+        assert theorem1_applies(scenario.graph, scenario.registry).freely_reorderable
+        dbs = random_databases(scenario.schemas, 10, seed=seed + 50)
+        assert brute_force_check(scenario.graph, dbs).consistent
+
+    def test_max_trees_bound(self):
+        scenario = chain(4)
+        dbs = random_databases(scenario.schemas, 2, seed=8)
+        report = brute_force_check(scenario.graph, dbs, max_trees=5)
+        assert report.trees_checked == 5
+
+
+class TestStrongnessErratum:
+    """Lemma 2's 'null-supplied' phrasing is an erratum; Section 1.3's
+    'preserved' phrasing is the operative condition."""
+
+    def _erratum_scenario(self):
+        # Chain R1 → R2 → R3.  P_23 is strong w.r.t. R3 (the null-supplied
+        # side) but NOT w.r.t. R2 (the preserved side):
+        #   (R2.a = R3.a) OR (R3.a = 5 AND R2.a IS NULL)
+        scenario = chain(3, ["out", "out"])
+        weak = Or(
+            (
+                eq("R2.a", "R3.a"),
+                And((Comparison("R3.a", "=", Const(5)), IsNull("R2.a"))),
+            )
+        )
+        oj_edges = dict(scenario.graph.oj_edges)
+        oj_edges[("R2", "R3")] = weak
+        graph = QueryGraph(scenario.graph.nodes, dict(scenario.graph.join_edges), oj_edges)
+        return scenario, graph, weak
+
+    def test_predicate_strong_wrt_null_supplied_only(self):
+        _scenario, _graph, weak = self._erratum_scenario()
+        assert weak.is_strong(["R3.a"])  # null-supplied side: strong
+        assert not weak.is_strong(["R2.a"])  # preserved side: NOT strong
+
+    def test_not_freely_reorderable_despite_null_supplied_strongness(self):
+        scenario, graph, _weak = self._erratum_scenario()
+        # The preserved-side checker correctly refuses to certify:
+        assert not theorem1_applies(graph, scenario.registry).freely_reorderable
+        # ... and brute force confirms the graph is genuinely not freely
+        # reorderable, so the 'null-supplied' reading would be unsound.
+        dbs = random_databases(scenario.schemas, 80, seed=17, domain=6)
+        report = brute_force_check(graph, dbs)
+        assert not report.consistent

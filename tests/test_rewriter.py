@@ -1,0 +1,86 @@
+"""Tests for the transformation-based (rewrite) optimizer."""
+
+import pytest
+
+from repro.algebra import bag_equal, eq
+from repro.core import graph_of, jn, oj
+from repro.datagen import example1_storage, example2_graph, random_databases
+from repro.engine import Storage, execute
+from repro.optimizer import CardinalityEstimator, CoutCostModel, DPOptimizer, RetrievalCostModel
+from repro.optimizer.rewriter import RewriteOptimizer
+
+
+@pytest.fixture
+def ex1():
+    storage = example1_storage(300)
+    written = jn("R1", oj("R2", "R3", eq("R2.j", "R3.j")), eq("R1.k", "R2.k"))
+    model = RetrievalCostModel(CardinalityEstimator(storage), storage)
+    return storage, written, model
+
+
+class TestExhaustive:
+    def test_matches_dp_optimum_on_nice_graph(self, ex1):
+        """Theorem 1 makes the rewriter complete: its exhaustive search
+        over preserving BTs reaches the DP's optimum."""
+        storage, written, model = ex1
+        rewriter = RewriteOptimizer(storage.registry, model)
+        result = rewriter.optimize_exhaustive(written)
+        graph = graph_of(written, storage.registry)
+        dp = DPOptimizer(graph, model).optimize()
+        assert result.best.cost == pytest.approx(dp.cost)
+        assert result.improved
+
+    def test_explores_the_full_it_space(self, ex1):
+        storage, written, model = ex1
+        from repro.core import count_implementing_trees
+
+        rewriter = RewriteOptimizer(storage.registry, model)
+        result = rewriter.optimize_exhaustive(written)
+        graph = graph_of(written, storage.registry)
+        assert result.trees_explored == count_implementing_trees(graph)
+
+    def test_result_is_semantically_equal(self, ex1):
+        storage, written, model = ex1
+        rewriter = RewriteOptimizer(storage.registry, model)
+        result = rewriter.optimize_exhaustive(written)
+        assert bag_equal(
+            execute(result.best.expr, storage).relation,
+            execute(written, storage).relation,
+        )
+
+    def test_safe_on_non_reorderable_queries(self):
+        """On Example 2's graph the rewriter only reaches the preserving
+        equivalence class — every tree it costs is a correct plan."""
+        scenario = example2_graph()
+        dbs = random_databases(scenario.schemas, 10, seed=3, allow_empty=False)
+        storage = Storage.from_database(dbs[0])
+        model = CoutCostModel(CardinalityEstimator(storage))
+        written = oj("R1", jn("R2", "R3", eq("R2.a", "R3.a")), eq("R1.a", "R2.a"))
+        rewriter = RewriteOptimizer(storage.registry, model)
+        result = rewriter.optimize_exhaustive(written)
+        for db in dbs:
+            assert bag_equal(written.eval(db), result.best.expr.eval(db))
+
+
+class TestHillClimb:
+    def test_improves_example1(self, ex1):
+        storage, written, model = ex1
+        rewriter = RewriteOptimizer(storage.registry, model)
+        result = rewriter.optimize_hill_climb(written)
+        assert result.improved
+        measured = execute(result.best.expr, storage)
+        assert measured.tuples_retrieved == 3
+
+    def test_never_worse_than_start(self, ex1):
+        storage, written, model = ex1
+        rewriter = RewriteOptimizer(storage.registry, model)
+        result = rewriter.optimize_hill_climb(written)
+        assert result.best.cost <= result.start_cost + 1e-9
+
+    def test_explores_fewer_trees_than_exhaustive(self, ex1):
+        storage, written, model = ex1
+        rewriter = RewriteOptimizer(storage.registry, model)
+        climb = rewriter.optimize_hill_climb(written)
+        full = rewriter.optimize_exhaustive(written)
+        assert climb.trees_explored <= full.trees_explored * 3  # neighbor recounts
+        assert climb.best.cost >= full.best.cost - 1e-9

@@ -1,0 +1,128 @@
+"""Robustness and stress tests: deep trees, wide graphs, big closures.
+
+Nothing here changes behaviour; these tests pin the library's operational
+envelope so regressions (quadratic blowups, recursion-limit crashes,
+memory explosions in closures) surface as failures rather than as user
+pain.
+"""
+
+import pytest
+
+from repro.algebra import bag_equal, eq
+from repro.core import (
+    bt_closure,
+    canonicalize,
+    count_implementing_trees,
+    graph_of,
+    implementing_trees,
+    sample_implementing_tree,
+    theorem1_applies,
+)
+from repro.datagen import chain, random_databases, star
+from repro.engine import Storage, execute
+from repro.util.rng import make_rng
+
+
+class TestDeepTrees:
+    def test_long_chain_evaluates(self):
+        """A 10-relation chain: deep recursion through eval and graph_of."""
+        scenario = chain(10, ["join", "out"] * 4 + ["join"])
+        db = random_databases(scenario.schemas, 1, seed=1, max_rows=3,
+                              allow_empty=False)[0]
+        tree = sample_implementing_tree(scenario.graph, make_rng(2))
+        result = tree.eval(db)
+        assert result.scheme  # evaluated without recursion errors
+        assert graph_of(tree, scenario.registry) == scenario.graph
+
+    def test_long_chain_certification(self):
+        scenario = chain(12, ["join"] * 5 + ["out"] * 6)
+        verdict = theorem1_applies(scenario.graph, scenario.registry)
+        assert verdict.freely_reorderable
+
+    def test_left_deep_vs_right_deep_same_result(self):
+        scenario = chain(8)
+        reg = scenario.registry
+        db = random_databases(scenario.schemas, 1, seed=3, max_rows=3,
+                              allow_empty=False)[0]
+        rng = make_rng(4)
+        trees = [sample_implementing_tree(scenario.graph, rng) for _ in range(4)]
+        reference = trees[0].eval(db)
+        for tree in trees[1:]:
+            assert bag_equal(tree.eval(db), reference)
+
+
+class TestEnumerationBounds:
+    def test_chain7_count_fast(self):
+        assert count_implementing_trees(chain(7).graph) == 8448
+
+    def test_star6_count(self):
+        count = count_implementing_trees(star(6, oj_leaves=3).graph)
+        assert count > 0
+
+    def test_closure_max_size_respected_on_big_space(self):
+        scenario = chain(6)
+        tree = canonicalize(next(implementing_trees(scenario.graph)))
+        closure = bt_closure(tree, scenario.registry, max_size=100)
+        assert closure.truncated and len(closure) <= 100
+
+    def test_generator_is_lazy(self):
+        """Taking a few trees from a large space must not enumerate it."""
+        from itertools import islice
+
+        scenario = chain(8)
+        first_five = list(islice(implementing_trees(scenario.graph), 5))
+        assert len(first_five) == 5
+
+
+class TestEngineStress:
+    def test_wide_fanout_join(self):
+        """One build key matching many probe rows (quadratic danger zone)."""
+        storage = Storage()
+        storage.create_table("A", ["A.k"], [{"A.k": 1}] * 200)
+        storage.create_table("B", ["B.k"], [{"B.k": 1}] * 200)
+        from repro.core import jn
+
+        result = execute(jn("A", "B", eq("A.k", "B.k")), storage)
+        assert len(result.relation) == 40_000
+
+    def test_many_distinct_groups(self):
+        storage = Storage()
+        storage.create_table("A", ["A.k"], [{"A.k": i} for i in range(5_000)])
+        storage.create_table("B", ["B.k"], [{"B.k": i} for i in range(0, 5_000, 2)])
+        from repro.core import oj
+
+        result = execute(oj("A", "B", eq("A.k", "B.k")), storage)
+        assert len(result.relation) == 5_000
+
+    def test_empty_everything(self):
+        storage = Storage()
+        storage.create_table("A", ["A.k"], [])
+        storage.create_table("B", ["B.k"], [])
+        from repro.core import jn, oj
+
+        assert len(execute(jn("A", "B", eq("A.k", "B.k")), storage).relation) == 0
+        assert len(execute(oj("A", "B", eq("A.k", "B.k")), storage).relation) == 0
+
+
+class TestDeterminism:
+    """Everything seeded must be bit-for-bit repeatable."""
+
+    def test_sampling_deterministic(self):
+        scenario = chain(5, ["join", "out", "join", "out"])
+        a = [sample_implementing_tree(scenario.graph, make_rng(9)) for _ in range(5)]
+        b = [sample_implementing_tree(scenario.graph, make_rng(9)) for _ in range(5)]
+        assert a == b
+
+    def test_random_database_deterministic(self):
+        scenario = chain(3)
+        one = random_databases(scenario.schemas, 3, seed=11)
+        two = random_databases(scenario.schemas, 3, seed=11)
+        for db1, db2 in zip(one, two):
+            for name in db1:
+                assert db1[name] == db2[name]
+
+    def test_enumeration_order_stable(self):
+        scenario = chain(4, ["out", "join", "out"])
+        first = [t.to_infix() for t in implementing_trees(scenario.graph)]
+        second = [t.to_infix() for t in implementing_trees(scenario.graph)]
+        assert first == second

@@ -1,0 +1,92 @@
+"""Unit tests for schemes and the schema registry."""
+
+import pytest
+
+from repro.algebra import Schema, SchemaRegistry, qualify
+from repro.util.errors import SchemaError
+
+
+class TestSchema:
+    def test_basic_membership(self):
+        s = Schema(["R.a", "R.b"])
+        assert "R.a" in s and "R.c" not in s
+        assert len(s) == 2
+
+    def test_iteration_is_sorted(self):
+        assert list(Schema(["R.b", "R.a"])) == ["R.a", "R.b"]
+
+    def test_rejects_bad_attribute_names(self):
+        with pytest.raises(SchemaError):
+            Schema([""])
+        with pytest.raises(SchemaError):
+            Schema([42])  # type: ignore[list-item]
+
+    def test_union_difference_intersection(self):
+        a = Schema(["x", "y"])
+        b = Schema(["y", "z"])
+        assert a.union(b) == Schema(["x", "y", "z"])
+        assert a.difference(b) == Schema(["x"])
+        assert a.intersection(b) == Schema(["y"])
+
+    def test_disjointness(self):
+        a = Schema(["x"])
+        assert a.is_disjoint(Schema(["y"]))
+        assert not a.is_disjoint(["x", "q"])
+        with pytest.raises(SchemaError):
+            a.require_disjoint(["x"])
+
+    def test_subset(self):
+        assert Schema(["x"]).is_subset(Schema(["x", "y"]))
+        assert not Schema(["x", "q"]).is_subset(Schema(["x"]))
+
+    def test_equality_with_frozenset(self):
+        assert Schema(["x", "y"]) == frozenset({"x", "y"})
+
+    def test_hashable(self):
+        assert len({Schema(["a"]), Schema(["a"]), Schema(["b"])}) == 2
+
+    def test_qualify(self):
+        assert qualify("EMP", "dno") == "EMP.dno"
+
+
+class TestSchemaRegistry:
+    def test_register_and_lookup(self):
+        reg = SchemaRegistry({"R": ["R.a"], "S": ["S.a"]})
+        assert reg["R"] == Schema(["R.a"])
+        assert set(reg) == {"R", "S"}
+
+    def test_owner(self):
+        reg = SchemaRegistry({"R": ["R.a", "R.b"], "S": ["S.a"]})
+        assert reg.owner("R.b") == "R"
+        assert reg.owners(["R.a", "S.a"]) == frozenset({"R", "S"})
+
+    def test_owner_unknown_attribute(self):
+        reg = SchemaRegistry({"R": ["R.a"]})
+        with pytest.raises(SchemaError):
+            reg.owner("Q.a")
+
+    def test_duplicate_relation_rejected(self):
+        reg = SchemaRegistry({"R": ["R.a"]})
+        with pytest.raises(SchemaError):
+            reg.register("R", ["R.z"])
+
+    def test_overlapping_schemes_rejected(self):
+        """Ground relations must have mutually disjoint schemes (Section 1.2)."""
+        reg = SchemaRegistry({"R": ["k"]})
+        with pytest.raises(SchemaError):
+            reg.register("S", ["k"])
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            SchemaRegistry()["nope"]
+
+    def test_scheme_of_union(self):
+        reg = SchemaRegistry({"R": ["R.a"], "S": ["S.a", "S.b"]})
+        assert reg.scheme_of(["R", "S"]) == Schema(["R.a", "S.a", "S.b"])
+
+    def test_restricted_to(self):
+        reg = SchemaRegistry({"R": ["R.a"], "S": ["S.a"]})
+        sub = reg.restricted_to(["R"])
+        assert set(sub) == {"R"}
+        with pytest.raises(SchemaError):
+            sub["S"]

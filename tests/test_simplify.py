@@ -1,0 +1,167 @@
+"""Tests for the Section-4 simplification rule and the RI cautionary tale."""
+
+import pytest
+
+from repro.algebra import (
+    Comparison,
+    Const,
+    Database,
+    IsNull,
+    Relation,
+    SchemaRegistry,
+    bag_equal,
+    eq,
+)
+from repro.core import (
+    Join,
+    LeftOuterJoin,
+    Restrict,
+    apply_referential_integrity,
+    graph_of,
+    is_nice,
+    jn,
+    oj,
+    roj,
+    simplify_outerjoins,
+)
+from repro.datagen import chain, random_databases
+from repro.util.errors import NotApplicableError
+
+
+@pytest.fixture
+def reg():
+    return SchemaRegistry(
+        {"R1": ["R1.a", "R1.b"], "R2": ["R2.a", "R2.b"], "R3": ["R3.a", "R3.b"]}
+    )
+
+
+P12 = eq("R1.a", "R2.a")
+P23 = eq("R2.b", "R3.b")
+
+
+class TestStrongRestrictionSimplification:
+    def test_restriction_on_null_supplied_side_converts_oj(self, reg):
+        # σ[R2.b = 5](R1 → R2): the restriction is strong on R2.
+        q = Restrict(oj("R1", "R2", P12), Comparison("R2.b", "=", Const(5)))
+        report = simplify_outerjoins(q, reg)
+        assert report.changed
+        inner = report.query.child
+        assert isinstance(inner, Join)
+
+    def test_restriction_on_preserved_side_keeps_oj(self, reg):
+        q = Restrict(oj("R1", "R2", P12), Comparison("R1.b", "=", Const(5)))
+        report = simplify_outerjoins(q, reg)
+        assert not report.changed
+        assert isinstance(report.query.child, LeftOuterJoin)
+
+    def test_nonstrong_restriction_keeps_oj(self, reg):
+        # R2.b IS NULL is satisfied by padded tuples: must NOT convert.
+        q = Restrict(oj("R1", "R2", P12), IsNull("R2.b"))
+        report = simplify_outerjoins(q, reg)
+        assert not report.changed
+
+    def test_join_predicate_counts_as_strong_context(self, reg):
+        # (R1 → R2) joined with R3 on P23 (strong on R2.b): per the paper,
+        # a *regular join* predicate also triggers the simplification.
+        q = jn(oj("R1", "R2", P12), "R3", P23)
+        report = simplify_outerjoins(q, reg)
+        assert report.changed
+        assert isinstance(report.query, Join)
+        assert isinstance(report.query.left, Join)
+
+    def test_right_outerjoin_handled(self, reg):
+        # R2 ← R1: R2 is null-supplied; a strong restriction on R2 converts.
+        q = Restrict(roj("R2", "R1", P12), Comparison("R2.b", "=", Const(5)))
+        report = simplify_outerjoins(q, reg)
+        assert report.changed
+        assert isinstance(report.query.child, Join)
+
+    def test_deep_chain_conversion_cascades(self, reg):
+        # σ[R3.b = 5]((R1 → R2) → R3) with P23 between R2 and R3: the
+        # restriction protects R3, converting the outer OJ to a join — and
+        # the converted join's P23 is itself strong on R2.b, so the inner
+        # outerjoin converts too (the rule re-applies to new join
+        # predicates, exactly as Section 4 describes).
+        q = Restrict(
+            oj(oj("R1", "R2", P12), "R3", P23), Comparison("R3.b", "=", Const(5))
+        )
+        report = simplify_outerjoins(q, reg)
+        outer = report.query.child
+        assert isinstance(outer, Join)
+        assert isinstance(outer.left, Join)
+        assert len(report.conversions) == 2
+
+    def test_inner_oj_kept_when_outer_predicate_spares_it(self, reg):
+        # σ[R3.b = 5]((R1 → R2) → R3) where the outer OJ predicate links
+        # R1-R3 instead of R2-R3: the outer OJ converts, but the new join
+        # predicate is strong only on R1/R3, so R1 → R2 survives.
+        p13 = eq("R1.b", "R3.b")
+        q = Restrict(
+            oj(oj("R1", "R2", P12), "R3", p13), Comparison("R3.b", "=", Const(5))
+        )
+        report = simplify_outerjoins(q, reg)
+        outer = report.query.child
+        assert isinstance(outer, Join)
+        assert isinstance(outer.left, LeftOuterJoin)
+        assert len(report.conversions) == 1
+
+    def test_simplification_preserves_semantics(self, reg):
+        """The rewrite never changes results (randomized)."""
+        schemas = {"R1": ["R1.a", "R1.b"], "R2": ["R2.a", "R2.b"], "R3": ["R3.a", "R3.b"]}
+        q = Restrict(
+            oj(oj("R1", "R2", P12), "R3", P23), Comparison("R3.b", "=", Const(1))
+        )
+        report = simplify_outerjoins(q, reg)
+        assert report.changed
+        for db in random_databases(schemas, 25, seed=77, domain=3):
+            assert bag_equal(q.eval(db), report.query.eval(db))
+
+    def test_join_context_simplification_preserves_semantics(self, reg):
+        schemas = {"R1": ["R1.a", "R1.b"], "R2": ["R2.a", "R2.b"], "R3": ["R3.a", "R3.b"]}
+        q = jn(oj("R1", "R2", P12), "R3", P23)
+        report = simplify_outerjoins(q, reg)
+        for db in random_databases(schemas, 25, seed=78, domain=3):
+            assert bag_equal(q.eval(db), report.query.eval(db))
+
+    def test_conversion_report_text(self, reg):
+        q = Restrict(oj("R1", "R2", P12), Comparison("R2.b", "=", Const(5)))
+        report = simplify_outerjoins(q, reg)
+        assert any("outerjoin ⇒ join" in c for c in report.conversions)
+
+
+class TestReferentialIntegrityCaution:
+    def test_replacing_oj_edge_can_break_niceness(self):
+        """R1 → R2 → R3 is nice; converting R2→R3 to a join gives Example 2."""
+        scenario = chain(3, ["out", "out"])
+        assert is_nice(scenario.graph)
+        revised = apply_referential_integrity(scenario.graph, ("R2", "R3"))
+        assert not is_nice(revised)
+
+    def test_replacing_root_edge_stays_nice(self):
+        scenario = chain(3, ["out", "out"])
+        revised = apply_referential_integrity(scenario.graph, ("R1", "R2"))
+        # R1 - R2 → R3 is still nice.
+        assert is_nice(revised)
+
+    def test_unknown_edge_rejected(self):
+        scenario = chain(3, ["out", "out"])
+        with pytest.raises(NotApplicableError):
+            apply_referential_integrity(scenario.graph, ("R3", "R1"))
+
+    def test_rewrite_is_semantically_valid_under_ri(self, reg):
+        """When the constraint truly holds (every R2 matches some R3), the
+        conversion is an equivalence on that database."""
+        db = Database(
+            {
+                "R1": Relation.from_dicts(["R1.a", "R1.b"], [{"R1.a": 1, "R1.b": 0}]),
+                "R2": Relation.from_dicts(
+                    ["R2.a", "R2.b"], [{"R2.a": 1, "R2.b": 7}, {"R2.a": 9, "R2.b": 8}]
+                ),
+                "R3": Relation.from_dicts(
+                    ["R3.a", "R3.b"], [{"R3.a": 0, "R3.b": 7}, {"R3.a": 0, "R3.b": 8}]
+                ),
+            }
+        )
+        with_oj = oj("R1", oj("R2", "R3", P23), P12)
+        with_join = oj("R1", jn("R2", "R3", P23), P12)
+        assert bag_equal(with_oj.eval(db), with_join.eval(db))

@@ -1,0 +1,149 @@
+"""Semantic validation of the strongness analyzer.
+
+``Predicate.is_strong`` is decided by abstract evaluation; these tests
+compare it against the *definition* — brute-force enumeration of every
+tuple over a small domain (nulls included): p is strong w.r.t. S iff no
+tuple that is null on all of S evaluates to True.
+
+Soundness (analysis says strong ⟹ semantically strong) must hold for
+every predicate; completeness holds for the repetition-free predicates
+the analyzer is documented to be exact on, and the one documented source
+of conservatism (correlated repeated attributes) is pinned by a test.
+"""
+
+from itertools import product
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algebra import (
+    NULL,
+    And,
+    Comparison,
+    Const,
+    IsNull,
+    Not,
+    Or,
+    Row,
+)
+
+ATTRS = ("a", "b", "c")
+# The domain must contain values strictly below and above every constant
+# the generator emits (0 and 1), or the oracle under-approximates
+# satisfiability (e.g. "NOT (a >= 0)" would look unsatisfiable).
+DOMAIN = (NULL, -1, 0, 1, 2)
+
+
+def semantically_strong(predicate, null_attrs, attrs=ATTRS, domain=DOMAIN) -> bool:
+    """The Section-2.1 definition, by exhaustive enumeration."""
+    free = [x for x in attrs if x not in null_attrs]
+    for values in product(domain, repeat=len(free)):
+        assignment = dict(zip(free, values))
+        assignment.update({x: NULL for x in null_attrs})
+        if predicate.evaluate(Row(assignment)) is True:
+            return False
+    return True
+
+
+# -- a random predicate generator ---------------------------------------------
+
+comparisons = st.builds(
+    Comparison,
+    st.sampled_from(ATTRS),
+    st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+    st.one_of(st.sampled_from(ATTRS), st.builds(Const, st.integers(0, 1))),
+)
+atoms = st.one_of(comparisons, st.builds(IsNull, st.sampled_from(ATTRS)))
+
+
+def predicates(depth=2):
+    return st.recursive(
+        atoms,
+        lambda inner: st.one_of(
+            st.builds(lambda a, b: And((a, b)), inner, inner),
+            st.builds(lambda a, b: Or((a, b)), inner, inner),
+            st.builds(Not, inner),
+        ),
+        max_leaves=4,
+    )
+
+
+class TestSoundness:
+    @given(pred=predicates(), probe=st.sets(st.sampled_from(ATTRS), min_size=1))
+    @settings(max_examples=200, deadline=None)
+    def test_analysis_strong_implies_semantically_strong(self, pred, probe):
+        if pred.is_strong(probe):
+            assert semantically_strong(pred, frozenset(probe)), (
+                f"{pred!r} claimed strong w.r.t. {sorted(probe)} but a witness exists"
+            )
+
+    @given(pred=predicates(), probe=st.sets(st.sampled_from(ATTRS), min_size=1))
+    @settings(max_examples=200, deadline=None)
+    def test_comparisons_without_repetition_are_exact(self, pred, probe):
+        # For predicates where each attribute occurs at most once the
+        # independence assumption is vacuous and the analysis is exact.
+        seen: list[str] = []
+        for attr in _attr_occurrences(pred):
+            seen.append(attr)
+        if len(seen) != len(set(seen)):
+            return
+        assert pred.is_strong(probe) == semantically_strong(pred, frozenset(probe))
+
+
+def _attr_occurrences(pred):
+    from repro.algebra.predicates import AttrRef, Comparison as Cmp, IsNull as IsN
+
+    if isinstance(pred, Cmp):
+        for term in (pred.left, pred.right):
+            if isinstance(term, AttrRef):
+                yield term.name
+    elif isinstance(pred, IsN):
+        if isinstance(pred.term, AttrRef):
+            yield pred.term.name
+    elif isinstance(pred, Not):
+        yield from _attr_occurrences(pred.child)
+    elif isinstance(pred, (And, Or)):
+        for child in pred.children:
+            yield from _attr_occurrences(child)
+
+
+class TestDocumentedConservatism:
+    def test_correlated_repetition_may_be_conservative(self):
+        """(a = b OR a IS NULL) AND a = 1 — can this be true with b null?
+        Semantically no comparison survives b=NULL... let's pin one known
+        conservative case: (a < b OR a >= b) is a tautology on non-null
+        pairs, so NOT strong w.r.t. the empty probe, and the analysis must
+        also refuse to call it unsatisfiable."""
+        taut = Or((Comparison("a", "<", "b"), Comparison("a", ">=", "b")))
+        assert not taut.is_strong([])  # analysis: satisfiable (correct)
+
+    def test_conservative_direction_only(self):
+        """A contrived correlated predicate where the analysis is allowed
+        to say 'not strong' even though no witness exists — but never the
+        reverse.  (a = 1 AND a = 0) is unsatisfiable; the analysis treats
+        the two occurrences of `a` independently so it reports 'could be
+        true', i.e. not strong: the safe direction."""
+        contradiction = And((Comparison("a", "=", Const(1)), Comparison("a", "=", Const(0))))
+        assert semantically_strong(contradiction, frozenset({"b"}))
+        # The analysis may (and does) decline to certify: that is sound.
+        assert contradiction.is_strong(["a"])  # null 'a' kills both conjuncts
+        assert not contradiction.is_strong(["b"])  # conservative, documented
+
+
+class TestStrongnessEdgeCases:
+    def test_null_constant_comparison(self):
+        pred = Comparison("a", "=", Const(NULL))
+        # = NULL is never true: strong w.r.t. anything.
+        assert pred.is_strong(["a"])
+        assert pred.is_strong(["b"])
+        assert semantically_strong(pred, frozenset({"b"}))
+
+    def test_nested_not_not(self):
+        pred = Not(Not(Comparison("a", "=", "b")))
+        assert pred.is_strong(["a"])
+        assert semantically_strong(pred, frozenset({"a"}))
+
+    def test_or_of_isnulls(self):
+        pred = Or((IsNull("a"), IsNull("b")))
+        assert not pred.is_strong(["a"])
+        assert not semantically_strong(pred, frozenset({"a"}))

@@ -1,0 +1,65 @@
+"""Tests for the command-line analyzer."""
+
+import io
+
+import pytest
+
+from repro.tools.analyze import SCENARIOS, analyze_scenario, analyze_sql, main
+
+
+class TestAnalyzeScenario:
+    def test_freely_reorderable_scenario_returns_zero(self):
+        out = io.StringIO()
+        rc = analyze_scenario("example1", out=out)
+        assert rc == 0
+        text = out.getvalue()
+        assert "FREELY REORDERABLE" in text
+        assert "implementing trees: 8" in text
+
+    def test_example2_returns_nonzero_with_violation(self):
+        out = io.StringIO()
+        rc = analyze_scenario("example2", out=out)
+        assert rc == 1
+        assert "oj-into-join" in out.getvalue()
+
+    def test_weak_chain_reports_strongness_violation(self):
+        out = io.StringIO()
+        rc = analyze_scenario("weak-chain", out=out)
+        assert rc == 1
+        assert "VIOLATED" in out.getvalue()
+
+    def test_unknown_scenario(self):
+        out = io.StringIO()
+        assert analyze_scenario("nope", out=out) == 2
+
+    def test_all_scenarios_run(self):
+        for name in SCENARIOS:
+            rc = analyze_scenario(name, out=io.StringIO())
+            assert rc in (0, 1)
+
+
+class TestAnalyzeSql:
+    def test_section5_block(self):
+        out = io.StringIO()
+        rc = analyze_sql("Select All From DEPARTMENT-->Manager", out=out)
+        assert rc == 0
+        text = out.getvalue()
+        assert "FREELY REORDERABLE" in text
+        assert "optimized tree" in text
+
+    def test_bad_sql_raises(self):
+        from repro.util.errors import ParseError
+
+        with pytest.raises(ParseError):
+            analyze_sql("From nothing", out=io.StringIO())
+
+
+class TestMain:
+    def test_main_scenario(self, capsys):
+        rc = main(["--scenario", "figure2"])
+        assert rc == 0
+        assert "FREELY REORDERABLE" in capsys.readouterr().out
+
+    def test_main_requires_a_mode(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,244 @@
+"""Tests for basic transforms (Section 3.2) and their classification.
+
+The key empirical checks: every BT preserves the graph; the classifier's
+"preserving" verdicts are confirmed by evaluation on randomized databases;
+and Lemma 2 holds — on nice+strong trees every applicable BT preserves the
+result.
+"""
+
+import pytest
+
+from repro.algebra import bag_equal, eq
+from repro.core import (
+    BasicTransform,
+    Join,
+    LeftOuterJoin,
+    RightOuterJoin,
+    applicable_transforms,
+    apply_transform,
+    canonicalize,
+    classify_transform,
+    graph_of,
+    jn,
+    oj,
+    rel,
+    reverse_node,
+    roj,
+    rotate_left,
+    rotate_right,
+    sample_implementing_tree,
+)
+from repro.datagen import chain, example2_graph, random_databases, random_nice_graph
+from repro.util.errors import NotApplicableError
+from repro.util.rng import make_rng
+
+P12 = eq("R1.a", "R2.a")
+P23 = eq("R2.a", "R3.a")
+P13 = eq("R1.a", "R3.a")
+
+
+@pytest.fixture
+def reg():
+    return chain(3).registry
+
+
+class TestReversal:
+    def test_join_reversal(self):
+        node = jn("R1", "R2", P12)
+        rev = reverse_node(node)
+        assert isinstance(rev, Join)
+        assert rev.left == rel("R2") and rev.right == rel("R1")
+
+    def test_outerjoin_reversal_switches_class(self):
+        node = oj("R1", "R2", P12)
+        rev = reverse_node(node)
+        assert isinstance(rev, RightOuterJoin)
+        assert rev.left == rel("R2")
+        # and back again
+        assert reverse_node(rev) == node
+
+    def test_reversal_preserves_semantics(self, reg):
+        dbs = random_databases({"R1": ["R1.a", "R1.b"], "R2": ["R2.a", "R2.b"]}, 10, seed=2)
+        node = oj("R1", "R2", P12)
+        rev = reverse_node(node)
+        for db in dbs:
+            assert bag_equal(node.eval(db), rev.eval(db))
+
+
+class TestRotations:
+    def test_rotate_right_shape(self, reg):
+        q = oj(jn("R1", "R2", P12), "R3", P23)
+        out = rotate_right(q, reg)
+        assert isinstance(out, Join)
+        assert isinstance(out.right, LeftOuterJoin)
+        assert out.to_infix() == "(R1 - (R2 → R3))"
+
+    def test_rotate_left_is_inverse(self, reg):
+        q = oj(jn("R1", "R2", P12), "R3", P23)
+        there = rotate_right(q, reg)
+        back = rotate_left(there, reg)
+        assert back == q
+
+    def test_rotation_preserves_graph(self, reg):
+        q = oj(jn("R1", "R2", P12), "R3", P23)
+        assert graph_of(rotate_right(q, reg), reg) == graph_of(q, reg)
+
+    def test_not_applicable_when_predicate_misses_middle(self, reg):
+        # Outer predicate references R1 (not the middle R2): rotation would
+        # strand the operator without a supporting edge.
+        q = jn(jn("R1", "R2", P12), "R3", P13)
+        with pytest.raises(NotApplicableError):
+            rotate_right(q, reg)
+
+    def test_conjunct_migration_on_cycle(self):
+        """Identity 1's P_xz: the cycle conjunct moves between join operators."""
+        from repro.algebra import And
+        from repro.datagen import join_cycle
+
+        scenario = join_cycle(3)
+        reg = scenario.registry
+        q = jn(
+            jn("R1", "R2", eq("R1.a", "R2.a")),
+            "R3",
+            And((eq("R2.a", "R3.a"), eq("R1.a", "R3.a"))),
+        )
+        out = rotate_right(q, reg)
+        # The R1-R3 conjunct must now live at the outer operator.
+        assert "R3.a" in repr(out.predicate)
+        assert graph_of(out, reg) == graph_of(q, reg)
+
+    def test_conjunct_migration_requires_joins(self, reg):
+        from repro.algebra import And
+
+        # Outer operator is an outerjoin whose predicate would need to split.
+        q = oj(jn("R1", "R2", P12), "R3", And((P23, P13)))
+        with pytest.raises(NotApplicableError):
+            rotate_right(q, reg)
+
+    def test_rotation_on_leaf_child_not_applicable(self, reg):
+        q = jn("R1", "R2", P12)
+        with pytest.raises(NotApplicableError):
+            rotate_right(q, reg)
+
+
+class TestApplicableTransforms:
+    def test_reversals_everywhere(self, reg):
+        q = oj(jn("R1", "R2", P12), "R3", P23)
+        kinds = [(t.kind, t.path) for t in applicable_transforms(q, reg)]
+        assert ("reversal", ()) in kinds
+        assert ("reversal", ("L",)) in kinds
+        assert ("rotate_right", ()) in kinds
+
+    def test_apply_transform_round_trip(self, reg):
+        q = oj(jn("R1", "R2", P12), "R3", P23)
+        for t in applicable_transforms(q, reg):
+            out = apply_transform(q, t, reg)
+            assert graph_of(out, reg) == graph_of(q, reg)
+
+    def test_apply_at_bad_path(self, reg):
+        q = jn("R1", "R2", P12)
+        with pytest.raises(NotApplicableError):
+            apply_transform(q, BasicTransform("reversal", ("L",)), reg)
+
+
+class TestClassification:
+    def classify(self, q, kind, path, reg):
+        return classify_transform(q, BasicTransform(kind, path), reg)
+
+    def test_identity11_preserving(self, reg):
+        q = oj(jn("R1", "R2", P12), "R3", P23)  # (X − Y) → Z
+        verdict = self.classify(q, "rotate_right", (), reg)
+        assert verdict.preserving and verdict.identity == "identity 11"
+
+    def test_identity12_preserving_with_strong(self, reg):
+        q = oj(oj("R1", "R2", P12), "R3", P23)
+        verdict = self.classify(q, "rotate_right", (), reg)
+        assert verdict.preserving and verdict.identity == "identity 12"
+
+    def test_identity12_blocked_without_strong(self, reg):
+        from repro.algebra import IsNull, Or
+
+        weak = Or((eq("R2.a", "R3.a"), IsNull("R2.a")))
+        q = oj(oj("R1", "R2", P12), "R3", weak)
+        verdict = self.classify(q, "rotate_right", (), reg)
+        assert not verdict.preserving
+        assert "strong" in verdict.reason
+
+    def test_identity13_preserving(self, reg):
+        q = oj(roj("R1", "R2", P12), "R3", P23)  # (X ← Y) → Z
+        verdict = self.classify(q, "rotate_right", (), reg)
+        assert verdict.preserving and verdict.identity == "identity 13"
+
+    def test_forbidden_oj_into_join(self, reg):
+        q = jn(oj("R1", "R2", P12), "R3", P23)  # [X → Y − Z]
+        verdict = self.classify(q, "rotate_right", (), reg)
+        assert not verdict.preserving
+
+    def test_forbidden_two_arrows(self, reg):
+        q = roj(oj("R1", "R2", P12), "R3", P23)  # [X → Y ← Z]
+        verdict = self.classify(q, "rotate_right", (), reg)
+        assert not verdict.preserving
+
+    def test_reversal_always_preserving(self, reg):
+        q = oj("R1", "R2", P12)
+        verdict = self.classify(q, "reversal", (), reg)
+        assert verdict.preserving
+
+    def test_preserving_verdicts_hold_on_random_data(self):
+        """Classifier soundness: 'preserving' implies equal evaluation."""
+        scenario = chain(3, ["out", "out"])
+        reg = scenario.registry
+        dbs = random_databases(scenario.schemas, 12, seed=11)
+        rng = make_rng(4)
+        for _ in range(15):
+            q = sample_implementing_tree(scenario.graph, rng)
+            for t in applicable_transforms(q, reg):
+                verdict = classify_transform(q, t, reg)
+                if not verdict.preserving:
+                    continue
+                q2 = apply_transform(q, t, reg)
+                for db in dbs:
+                    assert bag_equal(q.eval(db), q2.eval(db)), (
+                        f"{q!r} --{t}--> {q2!r} ({verdict.identity})"
+                    )
+
+    def test_lemma2_all_applicable_bts_preserve_on_nice_graphs(self):
+        """Lemma 2, empirically, over random nice graphs and random ITs."""
+        for seed in range(6):
+            scenario = random_nice_graph(2, 3, seed=seed)
+            reg = scenario.registry
+            dbs = random_databases(scenario.schemas, 6, seed=seed + 100)
+            rng = make_rng(seed)
+            q = sample_implementing_tree(scenario.graph, rng)
+            for t in applicable_transforms(q, reg):
+                verdict = classify_transform(q, t, reg)
+                assert verdict.preserving, f"{q!r} {t} -> {verdict.reason}"
+                q2 = apply_transform(q, t, reg)
+                for db in dbs:
+                    assert bag_equal(q.eval(db), q2.eval(db))
+
+    def test_nonpreserving_bt_has_a_witness(self):
+        """Example 2 again, through the BT machinery: the rotation at the
+        root of (R1 → R2) − R3 is not preserving, and data shows it."""
+        scenario = example2_graph()
+        reg = scenario.registry
+        q = jn(oj("R1", "R2", eq("R1.a", "R2.a")), "R3", eq("R2.a", "R3.a"))
+        t = BasicTransform("rotate_right", ())
+        assert not classify_transform(q, t, reg).preserving
+        q2 = apply_transform(q, t, reg)
+        dbs = random_databases(scenario.schemas, 40, seed=13)
+        assert any(not bag_equal(q.eval(db), q2.eval(db)) for db in dbs)
+
+
+class TestCanonicalize:
+    def test_canonical_conjunct_order(self, reg):
+        from repro.algebra import And
+
+        a, b = eq("R1.a", "R2.a"), eq("R1.b", "R2.b")
+        q1 = jn("R1", "R2", And((a, b)))
+        q2 = jn("R1", "R2", And((b, a)))
+        assert q1 != q2
+        assert canonicalize(q1) == canonicalize(q2)
+
+    def test_leaves_unchanged(self):
+        assert canonicalize(rel("R1")) == rel("R1")

@@ -1,0 +1,138 @@
+"""Tests for the Section-6.3 tree-level reorderability conditions.
+
+The centerpiece is the machine check of the paper's conjecture: for
+join/outerjoin implementing trees, the tree-level conditions (T1: padded
+relations are never joined; T2: padded at most once) hold exactly when
+graph(Q) is nice.
+"""
+
+import pytest
+
+from repro.algebra import eq
+from repro.core import (
+    count_implementing_trees,
+    graph_of,
+    implementing_trees,
+    is_nice,
+    jn,
+    oj,
+    roj,
+    sample_implementing_tree,
+)
+from repro.core.tree_conditions import (
+    padded_target,
+    satisfies_tree_conditions,
+    tree_violations,
+)
+from repro.datagen import chain, example2_graph, figure2_graph, random_graph, random_nice_graph
+from repro.util.rng import make_rng
+
+P12 = eq("R1.a", "R2.a")
+P23 = eq("R2.a", "R3.a")
+
+
+@pytest.fixture
+def reg():
+    return chain(3).registry
+
+
+class TestPaddedTarget:
+    def test_left_outerjoin(self, reg):
+        assert padded_target(oj("R1", "R2", P12), reg) == "R2"
+
+    def test_right_outerjoin(self, reg):
+        assert padded_target(roj("R1", "R2", P12), reg) == "R1"
+
+    def test_nested(self, reg):
+        node = oj(jn("R1", "R2", P12), "R3", P23)
+        assert padded_target(node, reg) == "R3"
+
+
+class TestIndividualConditions:
+    def test_join_below_padding_detected(self, reg):
+        # R1 → (R2 − R3): the padded relation R2 is "created by" a join.
+        q = oj("R1", jn("R2", "R3", P23), P12)
+        kinds = {v.kind for v in tree_violations(q, reg)}
+        assert kinds == {"padded-relation-joined"}
+
+    def test_join_above_padding_detected(self, reg):
+        # (R1 → R2) − R3: R2 is "involved later as an operand of a join".
+        q = jn(oj("R1", "R2", P12), "R3", P23)
+        kinds = {v.kind for v in tree_violations(q, reg)}
+        assert kinds == {"padded-relation-joined"}
+
+    def test_double_padding_detected(self, reg):
+        # ((R1 → R2) ← R3) with the outer predicate targeting R2 again.
+        q = roj(oj("R1", "R2", P12), "R3", P23)
+        violations_found = tree_violations(q, reg)
+        assert any(v.kind == "double-padding" and v.relation == "R2" for v in violations_found)
+
+    def test_nice_chain_clean(self, reg):
+        assert satisfies_tree_conditions(oj(jn("R1", "R2", P12), "R3", P23), reg)
+
+    def test_oj_chain_clean(self, reg):
+        assert satisfies_tree_conditions(oj(oj("R1", "R2", P12), "R3", P23), reg)
+
+    def test_pure_join_tree_clean(self, reg):
+        assert satisfies_tree_conditions(jn(jn("R1", "R2", P12), "R3", P23), reg)
+
+    def test_violation_str(self, reg):
+        q = jn(oj("R1", "R2", P12), "R3", P23)
+        text = str(tree_violations(q, reg)[0])
+        assert "padded-relation-joined" in text and "R2" in text
+
+
+class TestConjectureEquivalence:
+    """Tree conditions <=> graph niceness, over the IT spaces of many graphs."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_graphs(self, seed):
+        scenario = random_graph(5, seed=seed, oj_probability=0.5, extra_edges=1)
+        graph = scenario.graph
+        reg = scenario.registry
+        nice = is_nice(graph)
+        if count_implementing_trees(graph) == 0:
+            # Outerjoin cycles (and other unreachable shapes) have no ITs;
+            # such graphs are never nice, consistent with the vacuous case.
+            assert not nice
+            return
+        rng = make_rng(seed + 1)
+        for _ in range(6):
+            tree = sample_implementing_tree(graph, rng)
+            assert satisfies_tree_conditions(tree, reg) == nice, (
+                f"nice={nice} but tree {tree.to_infix()} verdict differs: "
+                f"{[str(v) for v in tree_violations(tree, reg)]}"
+            )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_nice_graph_trees_always_clean(self, seed):
+        scenario = random_nice_graph(2, 3, seed=seed)
+        rng = make_rng(seed)
+        for _ in range(5):
+            tree = sample_implementing_tree(scenario.graph, rng)
+            assert satisfies_tree_conditions(tree, scenario.registry)
+
+    def test_every_tree_of_example2_graph_violates(self):
+        scenario = example2_graph()
+        for tree in implementing_trees(scenario.graph):
+            assert not satisfies_tree_conditions(tree, scenario.registry), tree.to_infix()
+
+    def test_every_tree_of_figure2_graph_clean(self):
+        from itertools import islice
+
+        scenario = figure2_graph()
+        for tree in islice(implementing_trees(scenario.graph), 200):
+            assert satisfies_tree_conditions(tree, scenario.registry), tree.to_infix()
+
+    def test_verdict_is_tree_invariant(self):
+        """All ITs of one graph get the same verdict (it is a graph
+        property in disguise — the conjecture's content)."""
+        for seed in range(8):
+            scenario = random_graph(4, seed=seed + 100, oj_probability=0.6)
+            if count_implementing_trees(scenario.graph) == 0:
+                continue
+            verdicts = {
+                satisfies_tree_conditions(t, scenario.registry)
+                for t in implementing_trees(scenario.graph)
+            }
+            assert len(verdicts) == 1, scenario.graph.describe()

@@ -1,0 +1,81 @@
+"""Unit tests for tuples: concatenation, padding, projection (Section 1.2)."""
+
+import pytest
+
+from repro.algebra import NULL, Row, Schema, concat_rows, null_row
+from repro.util.errors import SchemaError
+
+
+class TestRowBasics:
+    def test_mapping_interface(self):
+        r = Row({"a": 1, "b": 2})
+        assert r["a"] == 1
+        assert set(r) == {"a", "b"}
+        assert len(r) == 2
+
+    def test_scheme(self):
+        assert Row({"a": 1}).scheme == frozenset({"a"})
+
+    def test_equality_and_hash(self):
+        assert Row({"a": 1, "b": 2}) == Row({"b": 2, "a": 1})
+        assert hash(Row({"a": 1})) == hash(Row({"a": 1}))
+
+    def test_rows_with_nulls_hash(self):
+        assert Row({"a": NULL}) == Row({"a": NULL})
+        assert Row({"a": NULL}) != Row({"a": 0})
+
+    def test_rejects_bad_attribute_names(self):
+        with pytest.raises(SchemaError):
+            Row({"": 1})
+
+
+class TestConcat:
+    def test_concatenation(self):
+        t = Row({"a": 1}).concat(Row({"b": 2}))
+        assert t == Row({"a": 1, "b": 2})
+
+    def test_function_form(self):
+        assert concat_rows(Row({"a": 1}), Row({"b": 2})) == Row({"a": 1, "b": 2})
+
+    def test_requires_disjoint_schemes(self):
+        with pytest.raises(SchemaError):
+            Row({"a": 1}).concat(Row({"a": 2}))
+
+
+class TestPadding:
+    def test_pad_adds_nulls(self):
+        padded = Row({"a": 1}).pad_to(Schema(["a", "b", "c"]))
+        assert padded["b"] is NULL and padded["c"] is NULL
+
+    def test_pad_to_same_scheme_is_identity(self):
+        r = Row({"a": 1})
+        assert r.pad_to(["a"]) is r
+
+    def test_pad_cannot_drop_attributes(self):
+        with pytest.raises(SchemaError):
+            Row({"a": 1, "b": 2}).pad_to(["a"])
+
+    def test_null_row(self):
+        nr = null_row(["a", "b"])
+        assert nr.is_all_null()
+        assert nr.scheme == frozenset({"a", "b"})
+
+
+class TestProjectAndPredicates:
+    def test_project(self):
+        assert Row({"a": 1, "b": 2}).project(["a"]) == Row({"a": 1})
+
+    def test_project_missing_attribute(self):
+        with pytest.raises(SchemaError):
+            Row({"a": 1}).project(["z"])
+
+    def test_is_all_null_subset(self):
+        r = Row({"a": NULL, "b": 2})
+        assert r.is_all_null(["a"])
+        assert not r.is_all_null(["b"])
+        assert not r.is_all_null()
+
+    def test_with_value(self):
+        assert Row({"a": 1}).with_value("a", 9) == Row({"a": 9})
+        with pytest.raises(SchemaError):
+            Row({"a": 1}).with_value("b", 9)

@@ -1,0 +1,93 @@
+"""Tests for the utility modules (rng, pretty, errors) and planner options."""
+
+import pytest
+
+from repro.algebra import eq
+from repro.core import jn, oj, rel
+from repro.util.errors import ParseError, ReproError, SchemaError
+from repro.util.pretty import render_side_by_side, render_tree
+from repro.util.rng import DEFAULT_SEED, make_rng, spawn
+
+
+class TestRng:
+    def test_default_seed_deterministic(self):
+        assert make_rng().random() == make_rng(DEFAULT_SEED).random()
+
+    def test_explicit_seed(self):
+        assert make_rng(5).random() == make_rng(5).random()
+        assert make_rng(5).random() != make_rng(6).random()
+
+    def test_passthrough(self):
+        rng = make_rng(1)
+        assert make_rng(rng) is rng
+
+    def test_spawn_independent(self):
+        rng = make_rng(2)
+        child = spawn(rng)
+        # The child stream differs from the parent's continuation.
+        assert child.random() != rng.random()
+
+
+class TestPretty:
+    def test_render_tree(self):
+        q = jn(oj("R1", "R2", eq("R1.a", "R2.a")), "R3", eq("R2.a", "R3.a"))
+        art = render_tree(q)
+        assert "R1" in art and "→" in art and "└─" in art
+
+    def test_render_tree_with_predicates(self):
+        q = oj("R1", "R2", eq("R1.a", "R2.a"))
+        assert "R1.a" in render_tree(q, show_predicates=True)
+
+    def test_render_leaf(self):
+        assert render_tree(rel("R1")) == "R1"
+
+    def test_side_by_side(self):
+        merged = render_side_by_side("a\nbb", "XX\nY\nZ")
+        lines = merged.splitlines()
+        assert len(lines) == 3
+        assert "XX" in lines[0] and lines[0].startswith("a")
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(SchemaError, ReproError)
+        assert issubclass(ParseError, ReproError)
+
+    def test_parse_error_location(self):
+        err = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_parse_error_without_location(self):
+        assert str(ParseError("oops")) == "oops"
+
+
+class TestPlannerMergeOption:
+    def test_merge_planner_matches_hash_planner(self):
+        from repro.algebra import bag_equal
+        from repro.datagen import random_databases
+        from repro.engine import Planner, Storage
+
+        schemas = {"X": ["X.k", "X.v"], "Y": ["Y.k", "Y.w"]}
+        query = oj("X", "Y", eq("X.k", "Y.k"))
+        for db in random_databases(schemas, 8, seed=31):
+            storage = Storage.from_database(db)
+            hash_result = Planner(storage, equi_join="hash").plan(query).run()
+            merge_result = Planner(storage, equi_join="merge").plan(query).run()
+            assert bag_equal(hash_result, merge_result)
+
+    def test_merge_planner_emits_merge_join(self):
+        from repro.engine import MergeJoin, Planner, Storage
+
+        storage = Storage()
+        storage.create_table("X", ["X.k"], [{"X.k": 1}])
+        storage.create_table("Y", ["Y.k"], [{"Y.k": 1}])
+        plan = Planner(storage, equi_join="merge").plan(jn("X", "Y", eq("X.k", "Y.k")))
+        assert isinstance(plan, MergeJoin)
+
+    def test_unknown_algorithm_rejected(self):
+        from repro.engine import Planner, Storage
+        from repro.util.errors import PlanningError
+
+        with pytest.raises(PlanningError):
+            Planner(Storage(), equi_join="quantum")
