@@ -82,12 +82,14 @@ def test_dp_vs_baselines_measured(benchmark, report, cards):
     report.dump("Section 6.1: optimizer comparison (measured retrievals)")
 
 
-def test_planning_cost_dp_vs_greedy(benchmark, report):
+def test_planning_cost_dp_vs_greedy(benchmark, report, bench_seed):
     """Greedy's selling point: far fewer cost evaluations on wide graphs."""
     from repro.datagen import star, random_databases
 
     scenario = star(6, oj_leaves=3)
-    dbs = random_databases(scenario.schemas, 1, seed=5, max_rows=9, allow_empty=False)
+    dbs = random_databases(
+        scenario.schemas, 1, seed=bench_seed + 5, max_rows=9, allow_empty=False
+    )
     storage = Storage.from_database(dbs[0])
     model = CoutCostModel(CardinalityEstimator(storage))
 

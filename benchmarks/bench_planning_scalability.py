@@ -27,10 +27,10 @@ def _storage_for(scenario, seed=0):
 
 
 @pytest.mark.parametrize("n", [4, 6, 8, 10])
-def test_dp_planning_time_chain(benchmark, report, n):
+def test_dp_planning_time_chain(benchmark, report, bench_seed, n):
     kinds = ["join" if i % 2 == 0 else "out" for i in range(n - 1)]
     scenario = chain(n, kinds)
-    storage = _storage_for(scenario, seed=n)
+    storage = _storage_for(scenario, seed=bench_seed + n)
     model = CoutCostModel(CardinalityEstimator(storage))
 
     plan = benchmark(lambda: DPOptimizer(scenario.graph, model).optimize())
@@ -41,9 +41,9 @@ def test_dp_planning_time_chain(benchmark, report, n):
 
 
 @pytest.mark.parametrize("leaves", [4, 6, 8])
-def test_dp_planning_time_star(benchmark, report, leaves):
+def test_dp_planning_time_star(benchmark, report, bench_seed, leaves):
     scenario = star(leaves, oj_leaves=leaves // 2)
-    storage = _storage_for(scenario, seed=leaves)
+    storage = _storage_for(scenario, seed=bench_seed + leaves)
     model = CoutCostModel(CardinalityEstimator(storage))
 
     plan = benchmark(lambda: DPOptimizer(scenario.graph, model).optimize())
@@ -54,13 +54,13 @@ def test_dp_planning_time_star(benchmark, report, leaves):
 
 
 @pytest.mark.parametrize("leaves", [6, 8])
-def test_greedy_optimality_gap(benchmark, report, leaves):
+def test_greedy_optimality_gap(benchmark, report, bench_seed, leaves):
     """Greedy never beats the DP, and on stars it can miss by a wide
     margin (cheapest-merge-first commits to locally attractive pairs) —
     the classic argument for paying the DP's exponential table when the
     query is small enough."""
     scenario = star(leaves, oj_leaves=2)
-    storage = _storage_for(scenario, seed=leaves + 50)
+    storage = _storage_for(scenario, seed=bench_seed + leaves + 50)
     model = CoutCostModel(CardinalityEstimator(storage))
     dp_cost = DPOptimizer(scenario.graph, model).optimize().cost
 

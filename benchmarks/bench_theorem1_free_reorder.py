@@ -60,13 +60,13 @@ def test_theorem1_preserving_bts_suffice(benchmark, report):
     report.dump("Theorem 1: preserving BTs suffice")
 
 
-def test_theorem1_exhaustive_evaluation(benchmark, report):
+def test_theorem1_exhaustive_evaluation(benchmark, report, bench_seed):
     def sweep():
         results = []
         for seed in range(4):
             scenario = random_nice_graph(2, 2, seed=seed + 10)
             assert theorem1_applies(scenario.graph, scenario.registry).freely_reorderable
-            dbs = random_databases(scenario.schemas, 5, seed=seed + 400)
+            dbs = random_databases(scenario.schemas, 5, seed=bench_seed + seed + 400)
             rep = brute_force_check(scenario.graph, dbs)
             assert rep.consistent
             results.append(rep.trees_checked)
@@ -77,15 +77,15 @@ def test_theorem1_exhaustive_evaluation(benchmark, report):
     report.dump("Theorem 1: exhaustive evaluation")
 
 
-def test_theorem1_hypotheses_necessary(benchmark, report):
+def test_theorem1_hypotheses_necessary(benchmark, report, bench_seed):
     def sweep():
         # Drop niceness: Example 2.
         e2 = example2_graph()
-        dbs = random_databases(e2.schemas, 40, seed=41)
+        dbs = random_databases(e2.schemas, 40, seed=bench_seed + 41)
         non_nice = brute_force_check(e2.graph, dbs)
         # Drop strongness: weakened chained OJ edge.
         weak = weaken_oj_edge(chain(3, ["out", "out"]), ("R2", "R3"))
-        dbs2 = random_databases(weak.schemas, 60, seed=42)
+        dbs2 = random_databases(weak.schemas, 60, seed=bench_seed + 42)
         non_strong = brute_force_check(weak.graph, dbs2)
         return non_nice.consistent, non_strong.consistent
 

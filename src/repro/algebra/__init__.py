@@ -9,6 +9,7 @@ predicates with strongness analysis, and the join-like operators
 from repro.algebra.aggregation import group_count
 from repro.algebra.comparison import bag_equal, explain_difference, set_equal
 from repro.algebra.goj import generalized_outerjoin
+from repro.algebra.kernels import decompose_join_predicate
 from repro.algebra.nulls import NULL, is_null, satisfied, tv_and, tv_not, tv_or
 from repro.algebra.operators import (
     antijoin,
@@ -16,6 +17,11 @@ from repro.algebra.operators import (
     cross,
     difference,
     join,
+    naive_antijoin,
+    naive_full_outerjoin,
+    naive_join,
+    naive_outerjoin,
+    naive_semijoin,
     outerjoin,
     project,
     restrict,
@@ -67,6 +73,7 @@ __all__ = [
     "concat_rows",
     "conjunction",
     "cross",
+    "decompose_join_predicate",
     "difference",
     "eq",
     "full_outerjoin",
@@ -77,6 +84,11 @@ __all__ = [
     "is_null",
     "join",
     "lt",
+    "naive_antijoin",
+    "naive_full_outerjoin",
+    "naive_join",
+    "naive_outerjoin",
+    "naive_semijoin",
     "null_row",
     "outerjoin",
     "project",

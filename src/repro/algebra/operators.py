@@ -21,6 +21,14 @@ matches and add through union):
 
 Every binary operator validates the paper's standing convention that
 operand schemes are disjoint.
+
+Each join-like operator exists in two forms: the naive nested-loop
+transcription of the paper (``naive_join`` & co., the semantic oracle)
+and a hash-partitioned fast path (:mod:`repro.algebra.kernels`) that the
+public names dispatch to whenever the predicate has an equality conjunct
+across the schemes and :func:`repro.util.fastpath.fast_enabled` is on.
+The two are property-tested bag-equal on randomized null-bearing
+databases (``tests/test_kernel_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -28,12 +36,14 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterable
 
+from repro.algebra import kernels
 from repro.algebra.predicates import PairView, Predicate
 from repro.algebra.nulls import satisfied
 from repro.algebra.relation import Relation
 from repro.algebra.schema import Schema
 from repro.algebra.tuples import Row, null_row
 from repro.util.errors import SchemaError
+from repro.util.fastpath import fast_enabled
 
 
 def _require_disjoint(left: Relation, right: Relation, op: str) -> None:
@@ -89,6 +99,16 @@ def join(left: Relation, right: Relation, predicate: Predicate) -> Relation:
     predicate p" (Section 1.2).
     """
     _require_disjoint(left, right, "join")
+    if fast_enabled():
+        out = kernels.join_counts(left, right, predicate)
+        if out is not None:
+            return Relation.from_counts(_output_schema(left, right), out)
+    return naive_join(left, right, predicate)
+
+
+def naive_join(left: Relation, right: Relation, predicate: Predicate) -> Relation:
+    """Nested-loop reference implementation of :func:`join` (the oracle)."""
+    _require_disjoint(left, right, "join")
     out: Counter[Row] = Counter()
     for r1, n1 in left.counts().items():
         for r2, n2 in right.counts().items():
@@ -105,6 +125,16 @@ def outerjoin(left: Relation, right: Relation, predicate: Predicate) -> Relation
     paper's infix notation points at the null-supplied relation, i.e. at
     ``right`` here.
     """
+    _require_disjoint(left, right, "outerjoin")
+    if fast_enabled():
+        out = kernels.outerjoin_counts(left, right, predicate)
+        if out is not None:
+            return Relation.from_counts(_output_schema(left, right), out)
+    return naive_outerjoin(left, right, predicate)
+
+
+def naive_outerjoin(left: Relation, right: Relation, predicate: Predicate) -> Relation:
+    """Nested-loop reference implementation of :func:`outerjoin`."""
     _require_disjoint(left, right, "outerjoin")
     schema = _output_schema(left, right)
     padding = null_row(right.schema)
@@ -133,6 +163,18 @@ def full_outerjoin(left: Relation, right: Relation, predicate: Predicate) -> Rel
     ``JN(R1,R2) ∪ (unmatched R1 padded) ∪ (unmatched R2 padded)``.
     """
     _require_disjoint(left, right, "full_outerjoin")
+    if fast_enabled():
+        out = kernels.full_outerjoin_counts(left, right, predicate)
+        if out is not None:
+            return Relation.from_counts(_output_schema(left, right), out)
+    return naive_full_outerjoin(left, right, predicate)
+
+
+def naive_full_outerjoin(
+    left: Relation, right: Relation, predicate: Predicate
+) -> Relation:
+    """Nested-loop reference implementation of :func:`full_outerjoin`."""
+    _require_disjoint(left, right, "full_outerjoin")
     schema = _output_schema(left, right)
     left_padding = null_row(right.schema)
     right_padding = null_row(left.schema)
@@ -160,9 +202,22 @@ def antijoin(left: Relation, right: Relation, predicate: Predicate) -> Relation:
     The output scheme is ``sch(R1)``.
     """
     _require_disjoint(left, right, "antijoin")
+    if fast_enabled():
+        out = kernels.antijoin_counts(left, right, predicate)
+        if out is not None:
+            return Relation.from_counts(left.schema, out)
+    return naive_antijoin(left, right, predicate)
+
+
+def naive_antijoin(left: Relation, right: Relation, predicate: Predicate) -> Relation:
+    """Nested-loop reference implementation of :func:`antijoin`."""
+    _require_disjoint(left, right, "antijoin")
     out: Counter[Row] = Counter()
+    # Materialize the probe side once; re-walking right.distinct_rows()
+    # per left row was the suite's hottest loop.
+    right_rows = tuple(right.distinct_rows())
     for r1, n1 in left.counts().items():
-        if not _has_match(r1, right, predicate):
+        if not _has_match(r1, right_rows, predicate):
             out[r1] += n1
     return Relation.from_counts(left.schema, out)
 
@@ -170,15 +225,27 @@ def antijoin(left: Relation, right: Relation, predicate: Predicate) -> Relation:
 def semijoin(left: Relation, right: Relation, predicate: Predicate) -> Relation:
     """Semijoin: the tuples of ``R1`` that do have a match in ``R2``."""
     _require_disjoint(left, right, "semijoin")
+    if fast_enabled():
+        out = kernels.semijoin_counts(left, right, predicate)
+        if out is not None:
+            return Relation.from_counts(left.schema, out)
+    return naive_semijoin(left, right, predicate)
+
+
+def naive_semijoin(left: Relation, right: Relation, predicate: Predicate) -> Relation:
+    """Nested-loop reference implementation of :func:`semijoin`."""
+    _require_disjoint(left, right, "semijoin")
     out: Counter[Row] = Counter()
+    right_rows = tuple(right.distinct_rows())
     for r1, n1 in left.counts().items():
-        if _has_match(r1, right, predicate):
+        if _has_match(r1, right_rows, predicate):
             out[r1] += n1
     return Relation.from_counts(left.schema, out)
 
 
-def _has_match(r1: Row, right: Relation, predicate: Predicate) -> bool:
-    for r2 in right.distinct_rows():
+def _has_match(r1: Row, right_rows: Iterable[Row], predicate: Predicate) -> bool:
+    """Does any (pre-materialized) right row satisfy the predicate with r1?"""
+    for r2 in right_rows:
         if satisfied(predicate.evaluate(PairView(r1, r2))):
             return True
     return False

@@ -34,7 +34,9 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.algebra.predicates import Predicate, conjunction
 from repro.core.expressions import Expression, Join, LeftOuterJoin, Rel, RightOuterJoin
 from repro.core.graph import QueryGraph
+from repro.tools import instrumentation
 from repro.util.errors import GraphUndefinedError
+from repro.util.fastpath import fast_enabled
 
 
 def _root_operator(
@@ -45,6 +47,9 @@ def _root_operator(
     Returns ``(kind, predicate)`` with kind in {"join", "loj", "roj"}, or
     ``None`` when the cut supports no operator.
     """
+    if fast_enabled():
+        index = graph.bitset_index()
+        return index.cut_operator(index.mask_of(side_a), index.mask_of(side_b))
     join_cut, oj_cut = graph.cut(side_a, side_b)
     if oj_cut and join_cut:
         return None
@@ -70,7 +75,18 @@ def root_operator(graph, side_a, side_b):
 def _ordered_partitions(
     graph: QueryGraph, nodes: FrozenSet[str]
 ) -> Iterator[Tuple[FrozenSet[str], FrozenSet[str]]]:
-    """All ordered partitions of ``nodes`` into two connected halves."""
+    """All ordered partitions of ``nodes`` into two connected halves.
+
+    The bitset fast path yields the same pairs in the same order as the
+    naive bitmask loop (ascending submasks; bit order = sorted node
+    order), so enumeration results and tie-breaking downstream are
+    identical on both paths.
+    """
+    if fast_enabled():
+        index = graph.bitset_index()
+        for sub, complement in index.ordered_partitions(index.mask_of(nodes)):
+            yield index.set_of(sub), index.set_of(complement)
+        return
     members = sorted(nodes)
     n = len(members)
     # Enumerate non-empty proper subsets by bitmask; each ordered pair
@@ -95,7 +111,9 @@ def implementing_trees(graph: QueryGraph) -> Iterator[Expression]:
             "disconnected graphs have no implementing trees (Cartesian products "
             "are excluded from ITs)"
         )
-    yield from _trees_for(graph, graph.nodes, cache={})
+    trees = _trees_for(graph, graph.nodes, cache={})
+    instrumentation.bump("trees_enumerated", len(trees))
+    yield from trees
 
 
 def _trees_for(

@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.algebra.predicates import Predicate, conjunction
 from repro.algebra.schema import SchemaRegistry
+from repro.core.bitset import BitsetIndex
 from repro.core.expressions import (
     Expression,
     Join,
@@ -48,7 +49,7 @@ class QueryGraph:
     ``(preserved, null_supplied)`` to the outerjoin predicate.
     """
 
-    __slots__ = ("_nodes", "_join_edges", "_oj_edges")
+    __slots__ = ("_nodes", "_join_edges", "_oj_edges", "_bits")
 
     def __init__(
         self,
@@ -59,6 +60,7 @@ class QueryGraph:
         self._nodes = frozenset(nodes)
         self._join_edges: Dict[NodePair, Predicate] = dict(join_edges or {})
         self._oj_edges: Dict[Arrow, Predicate] = dict(oj_edges or {})
+        self._bits: Optional["BitsetIndex"] = None
         for pair in self._join_edges:
             if len(pair) != 2 or not pair <= self._nodes:
                 raise GraphUndefinedError(f"bad join edge {sorted(pair)}")
@@ -159,6 +161,19 @@ class QueryGraph:
         for (u, v), p in sorted(self._oj_edges.items()):
             lines.append(f"  {u} → {v}   [{p!r}]")
         return "\n".join(lines)
+
+    # -- bitset acceleration ------------------------------------------------------
+
+    def bitset_index(self) -> BitsetIndex:
+        """The node<->bit table for this graph (built once, cached).
+
+        All subset-exponential machinery (connected-subset enumeration,
+        IT/DP partition enumeration, cut legality) runs on the integer
+        masks of this index; frozensets only appear at API boundaries.
+        """
+        if self._bits is None:
+            self._bits = BitsetIndex(self)
+        return self._bits
 
     # -- adjacency ---------------------------------------------------------------
 

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict
+
+from repro.tools import instrumentation
 
 
 @dataclass
@@ -22,11 +23,12 @@ class Metrics:
     tuples_retrieved: Counter = field(default_factory=Counter)
     index_probes: Counter = field(default_factory=Counter)
     predicate_evaluations: int = 0
-    rows_emitted: Dict[str, int] = field(default_factory=dict)
+    rows_emitted: Counter = field(default_factory=Counter)
 
     def retrieved(self, table: str, count: int = 1) -> None:
         """Record base-table tuples handed to the query (Example 1's metric)."""
         self.tuples_retrieved[table] += count
+        instrumentation.STATS["tuples_retrieved"] += count
 
     def probed(self, index: str, count: int = 1) -> None:
         self.index_probes[index] += count
@@ -35,7 +37,7 @@ class Metrics:
         self.predicate_evaluations += count
 
     def emitted(self, operator: str, count: int = 1) -> None:
-        self.rows_emitted[operator] = self.rows_emitted.get(operator, 0) + count
+        self.rows_emitted[operator] += count
 
     @property
     def total_retrieved(self) -> int:
@@ -49,4 +51,8 @@ class Metrics:
         if self.index_probes:
             lines.append(f"index probes: {sum(self.index_probes.values())}")
         lines.append(f"predicate evaluations: {self.predicate_evaluations}")
+        if self.rows_emitted:
+            lines.append(f"rows emitted: {sum(self.rows_emitted.values())}")
+            for operator in sorted(self.rows_emitted):
+                lines.append(f"  {operator}: {self.rows_emitted[operator]}")
         return "\n".join(lines)

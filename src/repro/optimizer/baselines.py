@@ -181,6 +181,9 @@ class _PlaceholderEstimator:
         self.inner = inner
         self.placeholder = placeholder
 
+    def memo_scope(self, index=None):
+        return self.inner.memo_scope(index)
+
     def base(self, name: str):
         expr = self.placeholder[name]
         est = self.inner.estimate_expression(expr)

@@ -11,8 +11,9 @@ much for cost (Example 1).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional
 
 from repro.algebra.predicates import AttrRef, Comparison, Predicate
 from repro.core.expressions import Expression
@@ -37,18 +38,60 @@ class EstimateInfo:
 
 
 class CardinalityEstimator:
-    """Estimates over the statistics of a :class:`Storage`."""
+    """Estimates over the statistics of a :class:`Storage`.
+
+    Within a :meth:`memo_scope`, :meth:`base` and :meth:`combine` results
+    are memoized — keyed by the operand subsets' *bitset masks* when the
+    scope was opened with a :class:`~repro.core.bitset.BitsetIndex` (the
+    optimizers pass their graph's index), by the node frozensets
+    otherwise.  Estimates are pure functions of those keys as long as the
+    storage statistics do not change, which is why the memo is scoped to
+    one optimizer run instead of living on the estimator.
+    """
 
     def __init__(self, storage: Storage):
         self.storage = storage
+        self._memo: Optional[Dict[tuple, EstimateInfo]] = None
+        self._memo_index = None
+
+    @contextmanager
+    def memo_scope(self, index=None):
+        """Memoize estimates for the duration of one optimizer run."""
+        previous = (self._memo, self._memo_index)
+        self._memo = {}
+        self._memo_index = index
+        try:
+            yield
+        finally:
+            self._memo, self._memo_index = previous
+
+    def _subset_key(self, nodes: FrozenSet[str]):
+        if self._memo_index is not None:
+            try:
+                return self._memo_index.mask_of(nodes)
+            except KeyError:
+                # Nodes outside the scope's graph (e.g. real relations seen
+                # while a placeholder-graph scope is active): frozenset keys
+                # still memoize correctly, they just skip the mask encoding.
+                return nodes
+        return nodes
 
     def base(self, name: str) -> EstimateInfo:
+        memo = self._memo
+        if memo is not None:
+            key = ("base", name)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
         table = self.storage[name]
         stats = table.stats()
         distinct = {attr: float(max(1, cs.distinct)) for attr, cs in stats.items()}
-        return EstimateInfo(
+        info = EstimateInfo(
             nodes=frozenset({name}), cardinality=float(len(table)), distinct=distinct
         )
+        if memo is not None:
+            memo[key] = info
+        return info
 
     # -- selectivities -----------------------------------------------------------
 
@@ -84,6 +127,22 @@ class CardinalityEstimator:
         ``kind`` is one of ``"join"``, ``"left_outer"`` (left side
         preserved), ``"semi"``, ``"anti"``.
         """
+        memo = self._memo
+        key = None
+        if memo is not None:
+            lk, rk = self._subset_key(left.nodes), self._subset_key(right.nodes)
+            if kind == "join" and isinstance(lk, int):
+                # Join estimates are symmetric in the operands (the
+                # cardinality product and the distinct merge both are), so
+                # both orientations of a pair share one memo entry.  Masks
+                # are totally ordered; frozensets are not, so the naive
+                # path keeps orientation-specific entries.
+                key = (kind, predicate, min(lk, rk), max(lk, rk))
+            else:
+                key = (kind, predicate, lk, rk)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
         selectivity = self.join_selectivity(predicate, left, right)
         join_card = left.cardinality * right.cardinality * selectivity
         if kind == "join":
@@ -101,7 +160,12 @@ class CardinalityEstimator:
         for source in (left, right):
             for attr, v in source.distinct.items():
                 distinct[attr] = min(v, max(card, 1.0))
-        return EstimateInfo(nodes=left.nodes | right.nodes, cardinality=card, distinct=distinct)
+        info = EstimateInfo(
+            nodes=left.nodes | right.nodes, cardinality=card, distinct=distinct
+        )
+        if memo is not None:
+            memo[key] = info
+        return info
 
     def estimate_expression(self, expr: Expression) -> EstimateInfo:
         """Estimate any join/outerjoin expression tree bottom-up."""

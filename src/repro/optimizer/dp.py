@@ -21,7 +21,9 @@ from repro.core.graph import QueryGraph
 from repro.optimizer.cost import CostModel
 from repro.optimizer.plans import Plan
 from repro.optimizer.subgraphs import combinable_pairs, connected_subsets
+from repro.tools import instrumentation
 from repro.util.errors import PlanningError
+from repro.util.fastpath import fast_enabled
 
 _KIND_TO_ESTIMATOR = {"join": "join", "loj": "left_outer", "roj": "left_outer"}
 
@@ -37,8 +39,15 @@ class DPOptimizer:
         """The cheapest implementing tree of the graph under the cost model."""
         if not self.graph.is_connected():
             raise PlanningError("cannot optimize a disconnected query graph")
-        best: Dict[FrozenSet[str], Plan] = {}
         estimator = self.cost_model.estimator
+        index = self.graph.bitset_index() if fast_enabled() else None
+        with estimator.memo_scope(index):
+            plan = self._optimize_table(estimator)
+        instrumentation.bump("plans_optimized")
+        return plan
+
+    def _optimize_table(self, estimator) -> Plan:
+        best: Dict[FrozenSet[str], Plan] = {}
         for subset in connected_subsets(self.graph):
             if len(subset) == 1:
                 name = next(iter(subset))
@@ -81,6 +90,7 @@ class DPOptimizer:
                 "the query graph has no implementing trees (no legal cut "
                 "decomposition exists)"
             )
+        instrumentation.bump("dp_subsets", len(best))
         return final
 
 

@@ -18,7 +18,9 @@ from repro.core.expressions import Join, LeftOuterJoin, Rel, RightOuterJoin
 from repro.core.graph import QueryGraph
 from repro.optimizer.cost import CostModel
 from repro.optimizer.plans import Plan
+from repro.tools import instrumentation
 from repro.util.errors import PlanningError
+from repro.util.fastpath import fast_enabled
 
 _KIND_TO_ESTIMATOR = {"join": "join", "loj": "left_outer", "roj": "left_outer"}
 
@@ -65,6 +67,13 @@ class GreedyOptimizer:
         if not self.graph.is_connected():
             raise PlanningError("cannot optimize a disconnected query graph")
         estimator = self.cost_model.estimator
+        index = self.graph.bitset_index() if fast_enabled() else None
+        with estimator.memo_scope(index):
+            plan = self._optimize_merges(estimator)
+        instrumentation.bump("plans_optimized")
+        return plan
+
+    def _optimize_merges(self, estimator) -> Plan:
         components: Dict[FrozenSet[str], Plan] = {
             frozenset({n}): Plan(Rel(n), estimator.base(n), self.cost_model.leaf_cost(n))
             for n in self.graph.nodes

@@ -15,14 +15,21 @@ from typing import Dict, FrozenSet, Iterator, List, Tuple
 
 from repro.core.enumeration import root_operator
 from repro.core.graph import QueryGraph
+from repro.util.fastpath import fast_enabled
 
 
 def connected_subsets(graph: QueryGraph) -> List[FrozenSet[str]]:
     """All connected node subsets, ordered by size (smallest first).
 
     Enumerated by BFS-expansion from each seed node; exponential in the
-    worst case, intended for the ≤ 12-relation graphs of the benchmarks.
+    worst case.  The default bitset path enumerates masks on machine
+    ints (memoized on the graph's :class:`~repro.core.bitset.BitsetIndex`)
+    and converts to frozensets only here, at the API boundary.
     """
+    if fast_enabled():
+        index = graph.bitset_index()
+        subsets = [index.set_of(mask) for mask in index.connected_subset_masks()]
+        return sorted(subsets, key=lambda s: (len(s), sorted(s)))
     found: set[FrozenSet[str]] = set()
     frontier: List[FrozenSet[str]] = [frozenset({n}) for n in graph.nodes]
     found.update(frontier)
@@ -49,6 +56,14 @@ def combinable_pairs(
     Yields ``(side_a, side_b, kind, predicate)`` where ``kind`` is
     ``"join"``/``"loj"``/``"roj"`` exactly as in IT enumeration.
     """
+    if fast_enabled():
+        index = graph.bitset_index()
+        for sub, complement in index.ordered_partitions(index.mask_of(nodes)):
+            op = index.cut_operator(sub, complement)
+            if op is None:
+                continue
+            yield index.set_of(sub), index.set_of(complement), op[0], op[1]
+        return
     members = sorted(nodes)
     n = len(members)
     for mask in range(1, (1 << n) - 1):

@@ -1,0 +1,219 @@
+"""Persistent benchmark harness: run the bench suite, record a JSON report.
+
+``benchmarks/run_all.py`` (a thin CLI over :func:`main`) executes every
+``bench_*.py`` scenario in its own pytest subprocess and writes one report
+(default ``BENCH_PR1.json`` at the repo root) containing, per scenario:
+
+* wall-clock of the whole scenario run,
+* per-test timings (pytest-benchmark means) when timing is enabled,
+* the work counters from :mod:`repro.tools.instrumentation` — tuples
+  retrieved from base tables, optimizer plans built, DP subsets filled,
+  implementing trees enumerated.
+
+For the headline scenarios (planning scalability, Theorem 1 free
+reordering, optimizer comparison) the default mode *also* reruns with
+``REPRO_NAIVE_KERNELS=1`` — the pre-optimization operators and
+enumerators — and records per-test speedups, so the report doubles as the
+before/after evidence for the hash-kernel and bitset fast paths.
+
+Modes:
+
+* default        — all scenarios timed (fast path), naive reruns +
+                   comparisons for the headline scenarios;
+* ``--naive``    — run everything on the naive path instead (no
+                   comparisons); useful for an explicit before snapshot;
+* ``--smoke``    — headline scenarios only, single pass, timing disabled:
+                   the CI health check;
+* ``--seed N``   — forwarded as ``--bench-seed`` to the suite (offsets
+                   random-database generation in seed-aware scenarios);
+* ``--only S``   — filter scenarios by substring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR1.json"
+
+#: Scenarios that get a naive-path rerun and a speedup comparison.
+HEADLINE = (
+    "bench_planning_scalability.py",
+    "bench_theorem1_free_reorder.py",
+    "bench_optimizer_comparison.py",
+)
+
+#: Instrumentation keys copied into each scenario record.
+STAT_KEYS = ("tuples_retrieved", "plans_optimized", "dp_subsets", "trees_enumerated")
+
+
+def discover_scenarios(bench_dir: Path = BENCH_DIR, only: Optional[str] = None) -> List[Path]:
+    """All bench_*.py files, sorted; optionally filtered by substring."""
+    scenarios = sorted(bench_dir.glob("bench_*.py"))
+    if only:
+        scenarios = [p for p in scenarios if only in p.name]
+    return scenarios
+
+
+def run_scenario(
+    path: Path,
+    *,
+    naive: bool = False,
+    seed: int = 0,
+    timings: bool = True,
+) -> Dict[str, object]:
+    """Run one scenario in a pytest subprocess; return its record."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    env["REPRO_NAIVE_KERNELS"] = "1" if naive else ""
+
+    cmd = [sys.executable, "-m", "pytest", str(path), "-q", "-p", "no:cacheprovider"]
+    cmd += ["--bench-seed", str(seed)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        stats_file = Path(tmp) / "stats.json"
+        env["REPRO_BENCH_STATS_FILE"] = str(stats_file)
+        bench_json = Path(tmp) / "bench.json"
+        if timings:
+            cmd += [f"--benchmark-json={bench_json}"]
+        else:
+            cmd += ["--benchmark-disable"]
+
+        start = time.perf_counter()
+        proc = subprocess.run(cmd, env=env, cwd=REPO_ROOT, capture_output=True, text=True)
+        wall = time.perf_counter() - start
+
+        record: Dict[str, object] = {
+            "scenario": path.name,
+            "mode": "naive" if naive else "fast",
+            "ok": proc.returncode == 0,
+            "returncode": proc.returncode,
+            "wall_clock_s": round(wall, 4),
+        }
+        if proc.returncode != 0:
+            record["tail"] = proc.stdout.splitlines()[-15:]
+        if stats_file.exists():
+            stats = json.loads(stats_file.read_text())
+            for key in STAT_KEYS:
+                record[key] = stats.get(key, 0)
+        if timings and bench_json.exists():
+            data = json.loads(bench_json.read_text())
+            record["timings"] = {
+                b["name"]: round(b["stats"]["mean"], 6) for b in data.get("benchmarks", [])
+            }
+    return record
+
+
+def compare_records(fast: Dict[str, object], naive: Dict[str, object]) -> Dict[str, object]:
+    """Per-test and wall-clock speedups of a fast/naive record pair."""
+    tests: Dict[str, Dict[str, float]] = {}
+    fast_t = fast.get("timings") or {}
+    naive_t = naive.get("timings") or {}
+    for name in sorted(set(fast_t) & set(naive_t)):
+        f, n = fast_t[name], naive_t[name]
+        tests[name] = {
+            "fast_s": f,
+            "naive_s": n,
+            "speedup": round(n / f, 2) if f > 0 else None,
+        }
+    return {
+        "tests": tests,
+        "wall_clock": {
+            "fast_s": fast["wall_clock_s"],
+            "naive_s": naive["wall_clock_s"],
+        },
+        "tuples_retrieved": {
+            "fast": fast.get("tuples_retrieved", 0),
+            "naive": naive.get("tuples_retrieved", 0),
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_all.py", description="Run the benchmark suite and write a JSON report."
+    )
+    parser.add_argument("--naive", action="store_true", help="run on the naive kernels")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="headline scenarios only, timing disabled (CI health check)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="forwarded as --bench-seed")
+    parser.add_argument("--only", help="substring filter on scenario file names")
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="report path (default BENCH_PR1.json)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scenarios = [BENCH_DIR / name for name in HEADLINE]
+        if args.only:
+            scenarios = [p for p in scenarios if args.only in p.name]
+    else:
+        scenarios = discover_scenarios(only=args.only)
+    if not scenarios:
+        print("no scenarios matched", file=sys.stderr)
+        return 2
+
+    timings = not args.smoke
+    records: List[Dict[str, object]] = []
+    comparisons: Dict[str, object] = {}
+    failures = 0
+    for path in scenarios:
+        record = run_scenario(path, naive=args.naive, seed=args.seed, timings=timings)
+        records.append(record)
+        status = "ok" if record["ok"] else "FAIL"
+        print(f"[{record['mode']}] {path.name:40s} {status}  {record['wall_clock_s']:.2f}s")
+        if not record["ok"]:
+            failures += 1
+            for line in record.get("tail", []):
+                print(f"    {line}")
+        elif not args.naive and not args.smoke and path.name in HEADLINE:
+            naive_record = run_scenario(path, naive=True, seed=args.seed, timings=True)
+            records.append(naive_record)
+            status = "ok" if naive_record["ok"] else "FAIL"
+            print(
+                f"[naive] {path.name:40s} {status}  {naive_record['wall_clock_s']:.2f}s"
+            )
+            if not naive_record["ok"]:
+                failures += 1
+            else:
+                comparisons[path.name] = compare_records(record, naive_record)
+
+    report = {
+        "meta": {
+            "generated_by": "benchmarks/run_all.py",
+            "seed": args.seed,
+            "smoke": args.smoke,
+            "mode": "naive" if args.naive else "fast",
+            "python": sys.version.split()[0],
+        },
+        "scenarios": records,
+        "comparisons": comparisons,
+    }
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+
+    for name, cmp in comparisons.items():
+        speedups = [t["speedup"] for t in cmp["tests"].values() if t["speedup"]]
+        if speedups:
+            print(
+                f"  {name}: per-test speedup min {min(speedups):.2f}x / "
+                f"max {max(speedups):.2f}x over naive"
+            )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Process-wide counters for the benchmark harness.
+
+The benchmark runner (:mod:`repro.tools.benchrunner`) wants per-scenario
+work metrics — base tuples retrieved, optimizer plans built, implementing
+trees enumerated — without threading a metrics object through every API.
+This module is the cheap global sink those code paths bump; the runner
+snapshots it around each bench run, and ``benchmarks/conftest.py`` dumps
+it at session end when ``REPRO_BENCH_STATS_FILE`` is set.
+
+Counters are advisory telemetry only: nothing in the library reads them
+back, so a stale or zeroed counter can never change results.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+#: The global counter sink.  Keys in use:
+#: ``tuples_retrieved`` (engine base-table accesses),
+#: ``plans_optimized``  (optimizer optimize() calls),
+#: ``dp_subsets``       (DP table entries filled),
+#: ``trees_enumerated`` (implementing trees materialized).
+STATS: Counter = Counter()
+
+
+def bump(key: str, count: int = 1) -> None:
+    """Add to one counter."""
+    STATS[key] += count
+
+
+def snapshot() -> Dict[str, int]:
+    """A plain-dict copy of the current counters."""
+    return dict(STATS)
+
+
+def reset() -> None:
+    """Zero all counters (the bench runner calls this between scenarios)."""
+    STATS.clear()
+
+
+def delta(before: Dict[str, int]) -> Dict[str, int]:
+    """Counters accumulated since a prior :func:`snapshot`."""
+    now = snapshot()
+    keys = set(now) | set(before)
+    return {k: now.get(k, 0) - before.get(k, 0) for k in sorted(keys)}

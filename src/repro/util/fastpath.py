@@ -1,0 +1,47 @@
+"""Global switch between the fast kernels and the naive reference code.
+
+The algebra operators and the subgraph machinery each exist twice: a
+naive transcription of the paper's definitions (the semantic oracle) and
+a hash/bitset fast path that must be bag-equal to it.  This module holds
+the process-wide dispatch switch so the benchmark runner can reproduce
+the naive baseline (``--naive``) and the property tests can compare the
+two paths in one process.
+
+The default is the fast path; set the environment variable
+``REPRO_NAIVE_KERNELS=1`` (before import) or call
+:func:`set_fast_kernels` / :func:`kernel_mode` to flip it.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_enabled: bool = os.environ.get("REPRO_NAIVE_KERNELS", "").lower() not in (
+    "1",
+    "true",
+    "yes",
+)
+
+
+def fast_enabled() -> bool:
+    """Is the fast-kernel dispatch currently on?"""
+    return _enabled
+
+
+def set_fast_kernels(enabled: bool) -> bool:
+    """Turn the fast path on or off; returns the previous setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def kernel_mode(enabled: bool):
+    """Temporarily force the fast path on (True) or off (False)."""
+    previous = set_fast_kernels(enabled)
+    try:
+        yield
+    finally:
+        set_fast_kernels(previous)

@@ -1,0 +1,115 @@
+"""The bitset fast paths reproduce the naive enumeration *exactly*.
+
+Stronger than set equality: the fast connected-subset, ordered-partition,
+and combinable-pair enumerators must yield the same sequences in the same
+order as the frozenset code (bit order equals sorted node order, so
+ascending submasks match the naive bitmask loop).  That ordering identity
+is what keeps DP tie-breaking, IT enumeration order, and uniform IT
+sampling byte-identical across both paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    canonicalize,
+    count_implementing_trees,
+    implementing_trees,
+    sample_implementing_tree,
+)
+from repro.core.enumeration import _ordered_partitions, root_operator
+from repro.datagen import chain, random_databases, random_nice_graph, star
+from repro.engine import Storage
+from repro.optimizer import (
+    CardinalityEstimator,
+    CoutCostModel,
+    DPOptimizer,
+    combinable_pairs,
+    connected_subsets,
+)
+from repro.util.fastpath import kernel_mode
+
+SCENARIOS = [
+    chain(4, ["join", "out", "out"]),
+    chain(5, ["out", "join", "out", "join"]),
+    star(5, oj_leaves=2),
+    random_nice_graph(2, 2, seed=7),
+    random_nice_graph(3, 1, seed=8),
+]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: ",".join(sorted(s.graph.nodes)))
+class TestEnumerationIdentical:
+    def test_connected_subsets_identical(self, scenario):
+        with kernel_mode(True):
+            fast = connected_subsets(scenario.graph)
+        with kernel_mode(False):
+            naive = connected_subsets(scenario.graph)
+        assert fast == naive
+
+    def test_ordered_partitions_identical(self, scenario):
+        graph = scenario.graph
+        for subset in connected_subsets(graph):
+            if len(subset) < 2:
+                continue
+            with kernel_mode(True):
+                fast = list(_ordered_partitions(graph, subset))
+            with kernel_mode(False):
+                naive = list(_ordered_partitions(graph, subset))
+            assert fast == naive
+
+    def test_combinable_pairs_identical(self, scenario):
+        graph = scenario.graph
+        with kernel_mode(True):
+            fast = list(combinable_pairs(graph, graph.nodes))
+        with kernel_mode(False):
+            naive = list(combinable_pairs(graph, graph.nodes))
+        assert fast == naive
+
+    def test_cut_operator_identical(self, scenario):
+        graph = scenario.graph
+        for subset in connected_subsets(graph):
+            if len(subset) < 2:
+                continue
+            for side_a, side_b in _ordered_partitions(graph, subset):
+                with kernel_mode(True):
+                    fast = root_operator(graph, side_a, side_b)
+                with kernel_mode(False):
+                    naive = root_operator(graph, side_a, side_b)
+                assert fast == naive
+
+    def test_implementing_trees_identical(self, scenario):
+        with kernel_mode(True):
+            fast = [canonicalize(t) for t in implementing_trees(scenario.graph)]
+        with kernel_mode(False):
+            naive = [canonicalize(t) for t in implementing_trees(scenario.graph)]
+        assert fast == naive
+        assert len(fast) == count_implementing_trees(scenario.graph)
+
+    def test_it_sampling_identical(self, scenario):
+        """Same RNG stream -> same sampled tree on both paths."""
+        with kernel_mode(True):
+            fast = [
+                canonicalize(sample_implementing_tree(scenario.graph, random.Random(s)))
+                for s in range(5)
+            ]
+        with kernel_mode(False):
+            naive = [
+                canonicalize(sample_implementing_tree(scenario.graph, random.Random(s)))
+                for s in range(5)
+            ]
+        assert fast == naive
+
+    def test_dp_plan_identical(self, scenario):
+        dbs = random_databases(scenario.schemas, 1, seed=3, max_rows=7, allow_empty=False)
+        storage = Storage.from_database(dbs[0])
+        model = CoutCostModel(CardinalityEstimator(storage))
+        with kernel_mode(True):
+            fast = DPOptimizer(scenario.graph, model).optimize()
+        with kernel_mode(False):
+            naive = DPOptimizer(scenario.graph, model).optimize()
+        assert repr(fast.expr) == repr(naive.expr)
+        assert fast.cost == pytest.approx(naive.cost)

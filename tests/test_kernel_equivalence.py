@@ -1,0 +1,150 @@
+"""Property tests: every hash fast-path operator is bag-equal to its
+naive counterpart.
+
+The hash kernels (:mod:`repro.algebra.kernels`) are only an execution
+strategy — the naive nested-loop operators define the semantics (3VL
+predicate evaluation, bag multiplicities, null padding).  These tests
+randomize relations (duplicates, nulls), key/residual predicate mixes,
+and degenerate cases (all-null key columns, pure non-equi predicates that
+must fall back to the nested loop) and require exact bag equality.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import (
+    NULL,
+    Relation,
+    Row,
+    antijoin,
+    bag_equal,
+    conjunction,
+    decompose_join_predicate,
+    eq,
+    full_outerjoin,
+    gt,
+    join,
+    lt,
+    naive_antijoin,
+    naive_full_outerjoin,
+    naive_join,
+    naive_outerjoin,
+    naive_semijoin,
+    outerjoin,
+    semijoin,
+)
+from repro.algebra import kernels
+from repro.util.fastpath import kernel_mode
+
+
+@pytest.fixture(scope="module", autouse=True)
+def force_hash_path():
+    """Drop the small-input gate so tiny randomized relations still
+    exercise the hash kernels instead of falling back."""
+    old = kernels._SMALL_INPUT_LIMIT
+    kernels._SMALL_INPUT_LIMIT = 0
+    yield
+    kernels._SMALL_INPUT_LIMIT = old
+
+
+L_ATTRS = ("L.a", "L.b")
+R_ATTRS = ("R.a", "R.b")
+
+values = st.one_of(st.integers(min_value=0, max_value=3), st.just(NULL))
+
+
+def relation_strategy(attrs, max_rows=5):
+    row = st.fixed_dictionaries({a: values for a in attrs})
+    return st.lists(row, min_size=0, max_size=max_rows).map(
+        lambda dicts: Relation(list(attrs), [Row(d) for d in dicts])
+    )
+
+
+lefts = relation_strategy(L_ATTRS)
+rights = relation_strategy(R_ATTRS)
+
+#: Conjunct pool mixing hashable equalities with non-equi residuals.
+CONJUNCTS = [
+    eq("L.a", "R.a"),
+    eq("L.b", "R.b"),
+    lt("L.a", "R.b"),
+    gt("L.b", "R.a"),
+    eq("L.a", 1),
+]
+
+predicates = st.lists(
+    st.sampled_from(CONJUNCTS), min_size=1, max_size=3, unique_by=id
+).map(conjunction)
+
+PAIRS = [
+    (join, naive_join),
+    (outerjoin, naive_outerjoin),
+    (full_outerjoin, naive_full_outerjoin),
+    (semijoin, naive_semijoin),
+    (antijoin, naive_antijoin),
+]
+
+
+@pytest.mark.parametrize("fast_op,naive_op", PAIRS, ids=lambda f: f.__name__)
+class TestKernelEquivalence:
+    @given(left=lefts, right=rights, predicate=predicates)
+    @settings(max_examples=120, deadline=None)
+    def test_random_mix(self, fast_op, naive_op, left, right, predicate):
+        with kernel_mode(True):
+            fast = fast_op(left, right, predicate)
+        assert bag_equal(fast, naive_op(left, right, predicate))
+
+    @given(left=lefts, right=rights)
+    @settings(max_examples=60, deadline=None)
+    def test_all_null_key_column(self, fast_op, naive_op, left, right):
+        """Null keys never match: the hash table must not bucket NULLs."""
+        from collections import Counter
+
+        nulled_counts: Counter = Counter()
+        for r, n in right.counts().items():
+            nulled_counts[Row({"R.a": NULL, "R.b": r["R.b"]})] += n
+        nulled = Relation.from_counts(list(R_ATTRS), nulled_counts)
+        predicate = eq("L.a", "R.a")
+        with kernel_mode(True):
+            fast = fast_op(left, nulled, predicate)
+        assert bag_equal(fast, naive_op(left, nulled, predicate))
+
+    @given(left=lefts, right=rights)
+    @settings(max_examples=60, deadline=None)
+    def test_pure_non_equi_falls_back(self, fast_op, naive_op, left, right):
+        """No equality conjunct -> kernels decline, nested loop decides."""
+        predicate = conjunction([lt("L.a", "R.b"), gt("L.b", "R.a")])
+        keys_l, keys_r, _residual = decompose_join_predicate(
+            predicate, frozenset(L_ATTRS), frozenset(R_ATTRS)
+        )
+        assert not keys_l and not keys_r
+        with kernel_mode(True):
+            fast = fast_op(left, right, predicate)
+        assert bag_equal(fast, naive_op(left, right, predicate))
+
+
+class TestDecomposition:
+    def test_splits_equalities_from_residual(self):
+        predicate = conjunction([eq("L.a", "R.a"), lt("L.b", "R.b")])
+        keys_l, keys_r, residual = decompose_join_predicate(
+            predicate, frozenset(L_ATTRS), frozenset(R_ATTRS)
+        )
+        assert keys_l == ("L.a",) and keys_r == ("R.a",)
+        assert [type(c).__name__ for c in residual] == ["Comparison"]
+
+    def test_orientation_is_normalized(self):
+        """R.a = L.a decomposes the same way as L.a = R.a."""
+        for predicate in (eq("R.a", "L.a"), eq("L.a", "R.a")):
+            keys_l, keys_r, residual = decompose_join_predicate(
+                predicate, frozenset(L_ATTRS), frozenset(R_ATTRS)
+            )
+            assert keys_l == ("L.a",) and keys_r == ("R.a",) and not residual
+
+    def test_constant_comparison_is_residual(self):
+        keys_l, keys_r, residual = decompose_join_predicate(
+            eq("L.a", 1), frozenset(L_ATTRS), frozenset(R_ATTRS)
+        )
+        assert not keys_l and not keys_r and len(residual) == 1
