@@ -48,6 +48,7 @@ from repro.algebra.predicates import (
 )
 from repro.algebra.relation import Database, Relation
 from repro.algebra.schema import Schema, SchemaRegistry, qualify
+from repro.algebra.sqlrender import SQLRenderError, sql_identifier, sql_literal
 from repro.algebra.tuples import Row, concat_rows, null_row
 
 __all__ = [
@@ -65,6 +66,7 @@ __all__ = [
     "Predicate",
     "Relation",
     "Row",
+    "SQLRenderError",
     "Schema",
     "SchemaRegistry",
     "TruePredicate",
@@ -98,6 +100,8 @@ __all__ = [
     "satisfied",
     "semijoin",
     "set_equal",
+    "sql_identifier",
+    "sql_literal",
     "tv_and",
     "tv_not",
     "tv_or",

@@ -39,6 +39,7 @@ naive operators over randomized null-bearing databases.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 from repro.algebra.nulls import is_null
@@ -61,6 +62,23 @@ _SMALL_INPUT_LIMIT = 32
 
 def _too_small(left: Relation, right: Relation) -> bool:
     return len(left.counts()) * len(right.counts()) < _SMALL_INPUT_LIMIT
+
+
+@contextmanager
+def small_input_limit(limit: int):
+    """Temporarily override the small-input fallback threshold.
+
+    The conformance harness sets it to 0 so the ``kernels`` executor tier
+    really runs the hash kernels on tiny fuzz relations instead of
+    silently falling back to the nested loop.
+    """
+    global _SMALL_INPUT_LIMIT
+    previous = _SMALL_INPUT_LIMIT
+    _SMALL_INPUT_LIMIT = limit
+    try:
+        yield
+    finally:
+        _SMALL_INPUT_LIMIT = previous
 
 
 def decompose_join_predicate(

@@ -47,6 +47,10 @@ class Term:
     def value(self, row: Mapping[str, Any]) -> Any:
         raise NotImplementedError
 
+    def to_sql(self) -> str:
+        """Render as a SQLite scalar expression (see :mod:`repro.algebra.sqlrender`)."""
+        raise NotImplementedError
+
 
 class AttrRef(Term):
     """Reference to an attribute by (qualified) name."""
@@ -66,6 +70,11 @@ class AttrRef(Term):
             return row[self.name]
         except KeyError:
             raise PredicateError(f"row has no attribute {self.name!r}") from None
+
+    def to_sql(self) -> str:
+        from repro.algebra.sqlrender import sql_identifier
+
+        return sql_identifier(self.name)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, AttrRef) and other.name == self.name
@@ -90,6 +99,11 @@ class Const(Term):
 
     def value(self, row: Mapping[str, Any]) -> Any:
         return self.const
+
+    def to_sql(self) -> str:
+        from repro.algebra.sqlrender import sql_literal
+
+        return sql_literal(self.const)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Const) and other.const == self.const
@@ -172,6 +186,17 @@ class Predicate:
         """
         return (self,)
 
+    def to_sql(self) -> str:
+        """Render as a SQLite boolean expression.
+
+        Sound because the library's 3VL was modeled on SQL's: unknown
+        propagates through NOT/AND/OR identically, and the consumer
+        (``WHERE``/``ON``) keeps rows only on definite truth.  Predicates
+        with no SQL counterpart (:class:`CustomPredicate`) raise
+        :class:`~repro.algebra.sqlrender.SQLRenderError`.
+        """
+        raise NotImplementedError
+
     def is_strong(self, attributes: Iterable[str]) -> bool:
         """Strongness test (Section 2.1).
 
@@ -213,6 +238,9 @@ class TruePredicate(Predicate):
 
     def conjuncts(self) -> Tuple[Predicate, ...]:
         return ()
+
+    def to_sql(self) -> str:
+        return "(1 = 1)"
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, TruePredicate)
@@ -274,6 +302,9 @@ class Comparison(Predicate):
         # Both constants: exact evaluation.
         return frozenset({bool(_COMPARATORS[self.op](lv, rv))})
 
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Comparison)
@@ -316,6 +347,9 @@ class IsNull(Predicate):
             return frozenset({True, False})
         return _ONLY_FALSE
 
+    def to_sql(self) -> str:
+        return f"({self.term.to_sql()} IS NULL)"
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, IsNull) and other.term == self.term
 
@@ -342,6 +376,9 @@ class Not(Predicate):
 
     def possible_truths(self, null_attrs: FrozenSet[str]) -> PossibleTruths:
         return frozenset(tv_not(v) for v in self.child.possible_truths(null_attrs))
+
+    def to_sql(self) -> str:
+        return f"(NOT {self.child.to_sql()})"
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Not) and other.child == self.child
@@ -394,6 +431,9 @@ class And(Predicate):
             out.add(None)
         return frozenset(out)
 
+    def to_sql(self) -> str:
+        return "(" + " AND ".join(c.to_sql() for c in self.children) + ")"
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, And) and other.children == self.children
 
@@ -438,6 +478,9 @@ class Or(Predicate):
         if all(s - {True} for s in sets) and any(None in s for s in sets):
             out.add(None)
         return frozenset(out)
+
+    def to_sql(self) -> str:
+        return "(" + " OR ".join(c.to_sql() for c in self.children) + ")"
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Or) and other.children == self.children
@@ -492,6 +535,14 @@ class CustomPredicate(Predicate):
         if null_attrs & self.null_rejecting:
             return _ONLY_FALSE
         return _ANYTHING
+
+    def to_sql(self) -> str:
+        from repro.algebra.sqlrender import SQLRenderError
+
+        raise SQLRenderError(
+            f"opaque predicate {self.name!r} has no SQL rendering; conformance "
+            "checks against SQLite must exclude queries that use it"
+        )
 
     def __eq__(self, other: object) -> bool:
         return (

@@ -1,0 +1,62 @@
+"""SQL-compatible rendering of identifiers, literals, and predicates.
+
+The conformance subsystem (:mod:`repro.conformance`) lowers query
+expressions to SQLite SQL so that a completely independent engine can act
+as a semantic oracle.  That lowering is only sound because the library's
+null and three-valued-logic model was copied from SQL in the first place
+(:mod:`repro.algebra.nulls`): ``NULL`` renders to SQL ``NULL``,
+comparisons with a null operand become *unknown* on both sides, and
+``WHERE``/``ON`` keep a row only when the predicate is definitely true —
+exactly :func:`repro.algebra.nulls.satisfied`.
+
+This module owns the value-level rendering rules; predicate rendering
+lives on the :class:`~repro.algebra.predicates.Predicate` classes as
+``to_sql`` (structured like the paper's grammar, one method per node),
+built on these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algebra.nulls import is_null
+from repro.util.errors import PredicateError
+
+
+class SQLRenderError(PredicateError):
+    """A value or predicate has no faithful SQL rendering."""
+
+
+def sql_identifier(name: str) -> str:
+    """Quote an attribute/table name for SQLite.
+
+    The library's conventional attribute names contain a dot
+    (``"X.a"``), so every identifier is double-quoted; embedded quotes
+    are doubled per the SQL standard.
+    """
+    if not isinstance(name, str) or not name:
+        raise SQLRenderError(f"cannot render {name!r} as an SQL identifier")
+    return '"' + name.replace('"', '""') + '"'
+
+
+def sql_literal(value: Any) -> str:
+    """Render a Python-side constant as a SQLite literal.
+
+    Supported: the :data:`~repro.algebra.nulls.NULL` marker, ``bool``
+    (SQLite has no boolean type; rendered as 1/0), ``int``, ``float``,
+    and ``str``.  Anything else raises — an unsupported constant must
+    fail loudly rather than silently diverge from the Python evaluator.
+    """
+    if is_null(value):
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise SQLRenderError(f"non-finite float {value!r} has no SQL literal")
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise SQLRenderError(f"no SQL literal for {type(value).__name__} value {value!r}")

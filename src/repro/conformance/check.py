@@ -1,0 +1,182 @@
+"""Executor tiers and the differential cross-checker.
+
+One logical query, many evaluators.  Each *tier* is an independent route
+from an expression tree to a bag of rows:
+
+======================  =====================================================
+tier                    route
+======================  =====================================================
+``"naive"``             algebra operators with the fast kernels forced OFF —
+                        the nested-loop transcription of the paper (oracle)
+``"kernels"``           algebra operators with the fast kernels forced ON
+``"algebra"``           algebra operators in whatever mode is active
+``"engine"``            physical planner + iterators, hash equi-joins
+``"engine-merge"``      physical planner + iterators, merge equi-joins
+``"sqlite"``            transpiled SQL on stdlib sqlite3 (external oracle)
+======================  =====================================================
+
+:func:`cross_check` runs a query through any subset of tiers and demands
+pairwise bag-equality of the results (pairwise equality is checked
+against the first tier that ran; equality is transitive).  Tiers that
+*cannot* run a query — the planner has no physical operator for
+``FullOuterJoin``/``Union``, the transpiler refuses opaque predicates —
+are recorded as skipped rather than failed, unless ``strict=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.comparison import RelationDiff, bag_equal, explain_difference
+from repro.algebra.relation import Database, Relation
+from repro.core.expressions import Expression, FullOuterJoin, GeneralizedOuterJoin, Union
+from repro.tools import instrumentation
+from repro.util.errors import PlanningError, ReproError
+from repro.util.fastpath import kernel_mode
+
+#: Every known tier, in oracle-first order (the first tier that runs
+#: becomes the comparison baseline, so the semantic oracle leads).
+EXECUTOR_TIERS: Tuple[str, ...] = (
+    "naive",
+    "kernels",
+    "algebra",
+    "engine",
+    "engine-merge",
+    "sqlite",
+)
+
+_ENGINE_TIERS = frozenset({"engine", "engine-merge"})
+
+
+def supported_executors(
+    expr: Expression, executors: Tuple[str, ...] = EXECUTOR_TIERS
+) -> Tuple[str, ...]:
+    """Drop tiers that statically cannot run this expression.
+
+    The physical planner has no operator for the two-sided outerjoin or
+    the padded union, so the engine tiers are excluded when either
+    appears.  (GOJ *is* plannable, but only with an equi-join conjunct;
+    that case is caught dynamically and reported as a skip.)
+    """
+    has_unplannable = any(
+        isinstance(node, (FullOuterJoin, Union)) for _path, node in expr.nodes()
+    )
+    if not has_unplannable:
+        return tuple(executors)
+    return tuple(e for e in executors if e not in _ENGINE_TIERS)
+
+
+def run_executor(
+    name: str,
+    expr: Expression,
+    db: Database,
+    storage=None,
+    oracle=None,
+) -> Relation:
+    """Evaluate ``expr`` on one tier.
+
+    ``storage`` (for the engine tiers) and ``oracle`` (a live
+    :class:`~repro.conformance.sqlite_oracle.SQLiteOracle`) may be passed
+    in to amortize setup across many calls; both are derived from ``db``
+    on demand otherwise.
+    """
+    if name == "naive":
+        with kernel_mode(False):
+            return expr.eval(db)
+    if name == "kernels":
+        from repro.algebra.kernels import small_input_limit
+
+        # Zero the cutoff: on the tiny relations the fuzzer generates the
+        # kernels would otherwise decline and fall back to the naive path,
+        # making this tier a silent duplicate of "naive".
+        with kernel_mode(True), small_input_limit(0):
+            return expr.eval(db)
+    if name == "algebra":
+        return expr.eval(db)
+    if name in _ENGINE_TIERS:
+        from repro.engine.executor import execute_plan
+        from repro.engine.planner import Planner
+        from repro.engine.storage import Storage
+
+        if storage is None:
+            storage = Storage.from_database(db)
+        algo = "merge" if name == "engine-merge" else "hash"
+        plan = Planner(storage, equi_join=algo).plan(expr)
+        return execute_plan(plan).relation
+    if name == "sqlite":
+        from repro.conformance.sqlite_oracle import SQLiteOracle
+
+        if oracle is not None:
+            return oracle.evaluate(expr)
+        with SQLiteOracle(db) as own:
+            return own.evaluate(expr)
+    raise PlanningError(f"unknown executor tier {name!r}")
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one differential check across executor tiers."""
+
+    expr: Expression
+    baseline: Optional[str] = None
+    results: Dict[str, Relation] = field(default_factory=dict)
+    skipped: Dict[str, str] = field(default_factory=dict)
+    mismatches: List[Tuple[str, str, RelationDiff]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        if self.ok:
+            ran = ", ".join(sorted(self.results))
+            skip = f" (skipped: {', '.join(sorted(self.skipped))})" if self.skipped else ""
+            return f"agree across [{ran}]{skip}"
+        lines = [f"{len(self.mismatches)} tier disagreement(s) on {self.expr!r}:"]
+        for a, b, diff in self.mismatches:
+            lines.append(f"  {a} vs {b}: {diff}")
+        return "\n".join(lines)
+
+
+def cross_check(
+    expr: Expression,
+    db: Database,
+    executors: Tuple[str, ...] = EXECUTOR_TIERS,
+    storage=None,
+    oracle=None,
+    strict: bool = False,
+) -> CheckResult:
+    """Run ``expr`` through every tier and compare results pairwise.
+
+    The first tier that produces a result is the baseline; every later
+    result is compared to it with :func:`bag_equal` (under the padding
+    convention), which by transitivity establishes pairwise equality.
+    A tier raising :class:`ReproError` (no physical plan, no SQL
+    lowering, ...) is recorded in ``skipped`` unless ``strict``.
+    """
+    instrumentation.bump("conformance_checks")
+    result = CheckResult(expr=expr)
+    if storage is None and any(e in _ENGINE_TIERS for e in executors):
+        from repro.engine.storage import Storage
+
+        storage = Storage.from_database(db)
+    for name in executors:
+        try:
+            relation = run_executor(name, expr, db, storage=storage, oracle=oracle)
+        except ReproError as exc:
+            if strict:
+                raise
+            result.skipped[name] = str(exc)
+            continue
+        result.results[name] = relation
+        if result.baseline is None:
+            result.baseline = name
+            continue
+        base = result.results[result.baseline]
+        if not bag_equal(base, relation):
+            instrumentation.bump("conformance_mismatches")
+            result.mismatches.append(
+                (result.baseline, name, explain_difference(base, relation))
+            )
+    return result

@@ -1,0 +1,116 @@
+"""Greedy delta-debugging of failing fuzz cases.
+
+A raw fuzzer counterexample is rarely readable: five relations, nested
+decorations, dozens of rows.  :func:`shrink_case` reduces it while the
+executor tiers still disagree, using three move kinds iterated to a
+fixpoint:
+
+1. **subtree replacement** — swap the whole query for one of its proper
+   subtrees (restricting the database to the relations that remain);
+2. **decoration collapse** — splice out an interior Restrict/Project;
+3. **row removal** — greedily delete distinct rows (then single
+   duplicates) from the ground relations.
+
+Each candidate is accepted iff the differential check still fails, so
+the final case provably reproduces a disagreement.  The checks run
+against the case's own executor list; a tier that stops applying after a
+move (or newly applies) is handled by the skip machinery in
+:func:`~repro.conformance.check.cross_check`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import replace
+from typing import Iterator, List, Tuple
+
+from repro.algebra.relation import Database, Relation
+from repro.conformance.check import cross_check
+from repro.core.expressions import Expression, Project, Rel, Restrict, replace_at
+from repro.tools import instrumentation
+
+#: Hard ceiling on differential checks per shrink (a failing check costs
+#: one evaluation per tier; runaway shrinks would dwarf the campaign).
+MAX_CHECKS = 400
+
+
+def _restrict_database(db: Database, expr: Expression) -> Database:
+    """Drop ground relations the expression no longer references."""
+    needed = expr.relations()
+    return Database({name: db[name] for name in db if name in needed})
+
+
+def _fails(case, budget: List[int]) -> bool:
+    if budget[0] <= 0:
+        return False
+    budget[0] -= 1
+    return not cross_check(
+        case.expression, case.database, executors=case.executors
+    ).ok
+
+
+def _expression_moves(expr: Expression) -> Iterator[Expression]:
+    """Candidate smaller expressions, most aggressive first."""
+    # Whole-query replacement by each proper subtree (skip bare leaves:
+    # a single table scan cannot disagree in interesting ways, and the
+    # minimal counterexamples we want keep at least one operator).
+    for path, node in expr.nodes():
+        if path and not isinstance(node, Rel):
+            yield node
+    # Interior decoration collapse.
+    for path, node in expr.nodes():
+        if isinstance(node, (Restrict, Project)):
+            yield replace_at(expr, path, node.child)
+
+
+def _row_moves(db: Database) -> Iterator[Tuple[str, Relation]]:
+    """Candidate databases with one distinct row removed or de-duplicated."""
+    for name in sorted(db):
+        relation = db[name]
+        for row in sorted(relation.distinct_rows(), key=repr):
+            counts = Counter(relation.counts())
+            del counts[row]
+            yield name, Relation.from_counts(relation.schema, counts)
+        for row in sorted(relation.distinct_rows(), key=repr):
+            if relation.multiplicity(row) > 1:
+                counts = Counter(relation.counts())
+                counts[row] -= 1
+                yield name, Relation.from_counts(relation.schema, counts)
+
+
+def shrink_case(case, max_checks: int = MAX_CHECKS):
+    """Minimize a failing :class:`~repro.conformance.fuzz.FuzzCase`.
+
+    Returns a new case (the input is never mutated) that still fails its
+    differential check, or the input unchanged if it does not fail to
+    begin with.
+    """
+    budget = [max_checks]
+    if not _fails(case, budget):
+        return case
+    instrumentation.bump("shrink_runs")
+
+    improved = True
+    while improved and budget[0] > 0:
+        improved = False
+        # Pass 1: shrink the expression tree.
+        for candidate_expr in _expression_moves(case.expression):
+            candidate = replace(
+                case,
+                expression=candidate_expr,
+                database=_restrict_database(case.database, candidate_expr),
+            )
+            if _fails(candidate, budget):
+                case = candidate
+                improved = True
+                break
+        if improved:
+            continue
+        # Pass 2: shrink the data.
+        for name, smaller in _row_moves(case.database):
+            candidate = replace(case, database=case.database.with_relation(name, smaller))
+            if _fails(candidate, budget):
+                case = candidate
+                improved = True
+                break
+    return case

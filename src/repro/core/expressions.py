@@ -40,6 +40,29 @@ class Expression:
 
     __slots__ = ()
 
+    #: Name of the visitor method :meth:`accept` dispatches to.  Set per
+    #: concrete class; the SQL transpiler and the reproducer serializer
+    #: (:mod:`repro.conformance`) are the in-tree visitors.
+    visit_method = ""
+
+    def accept(self, visitor):
+        """Single-dispatch on the node kind: call ``visitor.visit_<kind>``.
+
+        Falls back to ``visitor.generic_visit(node)`` when the specific
+        method is absent, so visitors may handle only the operator subset
+        they support and fail uniformly on the rest.
+        """
+        method = getattr(visitor, self.visit_method, None)
+        if method is not None:
+            return method(self)
+        generic = getattr(visitor, "generic_visit", None)
+        if generic is not None:
+            return generic(self)
+        raise EvaluationError(
+            f"{type(visitor).__name__} handles neither {self.visit_method!r} "
+            "nor 'generic_visit'"
+        )
+
     def eval(self, db: Database) -> Relation:
         """Bottom-up evaluation against a database of ground relations."""
         raise NotImplementedError
@@ -88,6 +111,7 @@ class Rel(Expression):
     """A leaf: a relation variable."""
 
     __slots__ = ("name",)
+    visit_method = "visit_rel"
 
     def __init__(self, name: str):
         self.name = name
@@ -172,6 +196,7 @@ class Join(BinaryOp):
     """Regular join, drawn as an undirected edge (``X − Y``)."""
 
     __slots__ = ()
+    visit_method = "visit_join"
     symbol = "-"
 
     def eval(self, db: Database) -> Relation:
@@ -182,6 +207,7 @@ class LeftOuterJoin(BinaryOp):
     """``X → Y``: left operand preserved, right operand null-supplied."""
 
     __slots__ = ()
+    visit_method = "visit_left_outer_join"
     symbol = "→"
 
     def eval(self, db: Database) -> Relation:
@@ -203,6 +229,7 @@ class RightOuterJoin(BinaryOp):
 
     __slots__ = ()
     symbol = "←"
+    visit_method = "visit_right_outer_join"
 
     def eval(self, db: Database) -> Relation:
         return ops.outerjoin(self.right.eval(db), self.left.eval(db), self.predicate)
@@ -224,6 +251,7 @@ class FullOuterJoin(BinaryOp):
 
     __slots__ = ()
     symbol = "⟷"
+    visit_method = "visit_full_outer_join"
 
     def eval(self, db: Database) -> Relation:
         return ops.full_outerjoin(self.left.eval(db), self.right.eval(db), self.predicate)
@@ -234,6 +262,7 @@ class Antijoin(BinaryOp):
 
     __slots__ = ()
     symbol = "▷"
+    visit_method = "visit_antijoin"
 
     def eval(self, db: Database) -> Relation:
         return ops.antijoin(self.left.eval(db), self.right.eval(db), self.predicate)
@@ -247,6 +276,7 @@ class RightAntijoin(BinaryOp):
 
     __slots__ = ()
     symbol = "◁"
+    visit_method = "visit_right_antijoin"
 
     def eval(self, db: Database) -> Relation:
         return ops.antijoin(self.right.eval(db), self.left.eval(db), self.predicate)
@@ -260,6 +290,7 @@ class Semijoin(BinaryOp):
 
     __slots__ = ()
     symbol = "⋉"
+    visit_method = "visit_semijoin"
 
     def eval(self, db: Database) -> Relation:
         return ops.semijoin(self.left.eval(db), self.right.eval(db), self.predicate)
@@ -273,6 +304,7 @@ class GeneralizedOuterJoin(BinaryOp):
 
     __slots__ = ("projection",)
     symbol = "GOJ"
+    visit_method = "visit_generalized_outerjoin"
 
     def __init__(
         self,
@@ -333,6 +365,7 @@ class Restrict(UnaryOp):
     """Selection (Section 4's Restriction)."""
 
     __slots__ = ("predicate",)
+    visit_method = "visit_restrict"
 
     def __init__(self, child: Expression, predicate: Predicate):
         super().__init__(child)
@@ -363,6 +396,7 @@ class Project(UnaryOp):
     """Projection; ``dedup=True`` is the paper's duplicate-removing π."""
 
     __slots__ = ("attributes", "dedup")
+    visit_method = "visit_project"
 
     def __init__(self, child: Expression, attributes, dedup: bool = True):
         super().__init__(child)
@@ -394,6 +428,7 @@ class Union(Expression):
     """Padded bag union (Section 2.1 convention); used by proof replays."""
 
     __slots__ = ("left", "right")
+    visit_method = "visit_union"
 
     def __init__(self, left: Expression, right: Expression):
         self.left = left

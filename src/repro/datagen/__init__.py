@@ -6,6 +6,15 @@ from repro.datagen.random_db import (
     random_databases,
     random_relation,
 )
+from repro.datagen.queries import (
+    EXTENDED_OPS,
+    TOPOLOGY_KINDS,
+    decorate,
+    extend_root,
+    random_query,
+    random_restriction,
+    random_scenario,
+)
 from repro.datagen.topologies import (
     GraphScenario,
     chain,
@@ -28,8 +37,12 @@ from repro.datagen.workloads import (
 )
 
 __all__ = [
+    "EXTENDED_OPS",
     "GraphScenario",
+    "TOPOLOGY_KINDS",
     "chain",
+    "decorate",
+    "extend_root",
     "departments_database",
     "duplicate_free_database",
     "example1_storage",
@@ -42,7 +55,10 @@ __all__ = [
     "random_databases",
     "random_graph",
     "random_nice_graph",
+    "random_query",
     "random_relation",
+    "random_restriction",
+    "random_scenario",
     "sales_storage",
     "section5_catalog",
     "section5_store",

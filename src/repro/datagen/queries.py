@@ -1,0 +1,186 @@
+"""Seeded random query generation over random graph scenarios.
+
+The differential fuzzer (:mod:`repro.conformance.fuzz`) needs whole
+*cases*: a random scenario, a random implementing tree of its graph, and
+optional decorations that push the query outside the core IT space
+(restrictions, projections, the extended operators of Sections 4 and 6).
+Those generators live here, next to the other data generators, because
+they are useful beyond the fuzzer — the determinism tests replay them,
+and ad-hoc exploration from the CLI uses them directly.
+
+Everything is driven by an explicit :class:`random.Random` so that one
+seed determines the full sequence of (scenario, database, query) triples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.algebra.predicates import (
+    Comparison,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    eq,
+)
+from repro.algebra.schema import SchemaRegistry
+from repro.core.expressions import (
+    Antijoin,
+    BinaryOp,
+    Expression,
+    FullOuterJoin,
+    GeneralizedOuterJoin,
+    Project,
+    Restrict,
+    RightAntijoin,
+    Semijoin,
+    Union,
+)
+from repro.core.enumeration import sample_implementing_tree
+from repro.datagen.topologies import (
+    GraphScenario,
+    chain,
+    join_cycle,
+    random_graph,
+    random_nice_graph,
+    star,
+)
+from repro.util.rng import make_rng
+
+#: Topology families the scenario generator can draw from.
+TOPOLOGY_KINDS: Sequence[str] = ("chain", "star", "cycle", "nice", "random")
+
+#: Root-operator rewrites that leave the core IT space.
+EXTENDED_OPS: Sequence[str] = ("none", "foj", "sj", "aj", "raj", "goj", "union")
+
+
+def random_scenario(
+    rng: random.Random,
+    kind: Optional[str] = None,
+    min_relations: int = 2,
+    max_relations: int = 5,
+) -> GraphScenario:
+    """One random :class:`GraphScenario` of the requested topology family."""
+    rng = make_rng(rng)
+    if kind is None:
+        kind = rng.choice(list(TOPOLOGY_KINDS))
+    n = rng.randint(max(min_relations, 2), max_relations)
+    if kind == "chain":
+        kinds = [rng.choice(("join", "out", "in")) for _ in range(n - 1)]
+        return chain(n, kinds, name=f"fuzz-chain{n}")
+    if kind == "star":
+        leaves = max(n - 1, 1)
+        return star(leaves, oj_leaves=rng.randint(0, leaves), name=f"fuzz-star{leaves}")
+    if kind == "cycle":
+        return join_cycle(max(n, 3), name=f"fuzz-cycle{max(n, 3)}")
+    if kind == "nice":
+        core = rng.randint(1, max(n - 1, 1))
+        return random_nice_graph(core, n - core, seed=rng)
+    if kind == "random":
+        return random_graph(n, seed=rng, extra_edges=rng.randint(0, 2))
+    raise ValueError(f"unknown topology kind {kind!r}")
+
+
+def random_restriction(
+    scheme: Sequence[str], rng: random.Random, domain: int = 4
+) -> Predicate:
+    """A random simple predicate over the given (sorted) attributes."""
+    attr = rng.choice(list(scheme))
+    roll = rng.random()
+    if roll < 0.4:
+        op = rng.choice(("=", "<>", "<", "<=", ">", ">="))
+        return Comparison(attr, op, rng.randrange(domain))
+    if roll < 0.6:
+        return IsNull(attr)
+    if roll < 0.8:
+        return Not(IsNull(attr))
+    return Or((Comparison(attr, "=", rng.randrange(domain)), IsNull(attr)))
+
+
+def decorate(
+    expr: Expression,
+    registry: SchemaRegistry,
+    rng: random.Random,
+    restrict_probability: float = 0.4,
+    project_probability: float = 0.3,
+) -> Expression:
+    """Optionally wrap a query in Restrict and/or Project."""
+    scheme = sorted(expr.scheme(registry).attributes)
+    if scheme and rng.random() < restrict_probability:
+        expr = Restrict(expr, random_restriction(scheme, rng))
+    if len(scheme) > 1 and rng.random() < project_probability:
+        k = rng.randint(1, len(scheme) - 1)
+        attrs = rng.sample(scheme, k)
+        expr = Project(expr, frozenset(attrs), dedup=rng.random() < 0.5)
+    return expr
+
+
+def extend_root(
+    expr: Expression,
+    registry: SchemaRegistry,
+    rng: random.Random,
+    extended: str,
+) -> Expression:
+    """Rewrite the root into one of the extended operators.
+
+    The IT sampler only emits joins and one-sided outerjoins; the full
+    outerjoin, semijoin, antijoins, GOJ, and padded union live outside
+    that space, so the fuzzer grafts them on at the root.  Falls back to
+    the unmodified tree when the rewrite does not apply (e.g. a
+    single-relation query has no binary root).
+    """
+    if extended in ("none", ""):
+        return expr
+    if extended == "union":
+        # Self-union under independent restrictions: exercises padding
+        # and bag addition without needing a second scenario.
+        scheme = sorted(expr.scheme(registry).attributes)
+        left = Restrict(expr, random_restriction(scheme, rng)) if scheme else expr
+        right = Restrict(expr, random_restriction(scheme, rng)) if scheme else expr
+        return Union(left, right)
+    if not isinstance(expr, BinaryOp):
+        return expr
+    left, right, predicate = expr.left, expr.right, expr.predicate
+    if extended == "foj":
+        return FullOuterJoin(left, right, predicate)
+    if extended == "sj":
+        return Semijoin(left, right, predicate)
+    if extended == "aj":
+        return Antijoin(left, right, predicate)
+    if extended == "raj":
+        return RightAntijoin(left, right, predicate)
+    if extended == "goj":
+        left_scheme = sorted(left.scheme(registry).attributes)
+        if not left_scheme:
+            return expr
+        k = rng.randint(1, len(left_scheme))
+        projection = frozenset(rng.sample(left_scheme, k))
+        return GeneralizedOuterJoin(left, right, predicate, projection)
+    raise ValueError(f"unknown extended operator {extended!r}")
+
+
+def random_query(
+    scenario: GraphScenario,
+    rng: random.Random,
+    extended: str = "none",
+    restrict_probability: float = 0.4,
+    project_probability: float = 0.3,
+) -> Expression:
+    """A random query over the scenario's graph.
+
+    Samples one implementing tree uniformly, optionally rewrites its root
+    into an extended operator, then optionally decorates with a
+    restriction and/or a projection.
+    """
+    registry = scenario.registry
+    expr = sample_implementing_tree(scenario.graph, rng)
+    expr = extend_root(expr, registry, rng, extended)
+    return decorate(
+        expr,
+        registry,
+        rng,
+        restrict_probability=restrict_probability,
+        project_probability=project_probability,
+    )

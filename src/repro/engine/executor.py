@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.algebra.comparison import bag_equal
 from repro.algebra.relation import Relation
 from repro.core.expressions import Expression
 from repro.engine.iterators import PhysicalOp
@@ -57,7 +56,18 @@ def verify_against_algebra(expr: Expression, storage: Storage) -> bool:
     The algebra operators are the semantic oracle (they transcribe the
     paper's definitions directly); the engine must agree with them on
     every plan it produces.  Used throughout the integration tests.
+
+    Routed through the conformance harness so the comparison, its skip
+    rules, and its instrumentation live in one place; the storage's
+    cached oracle view makes repeated checks cheap.
     """
-    engine_result = execute(expr, storage).relation
-    oracle = expr.eval(storage.to_database())
-    return bag_equal(engine_result, oracle)
+    from repro.conformance.check import cross_check
+
+    result = cross_check(
+        expr,
+        storage.to_database(),
+        executors=("algebra", "engine"),
+        storage=storage,
+        strict=True,
+    )
+    return result.ok

@@ -40,8 +40,18 @@ class Table:
         self._rows: List[Row] = []
         self._indexes: Dict[str, HashIndex] = {}
         self._stats: Optional[Dict[str, ColumnStats]] = None
+        self._version = 0
         for row in rows:
             self.insert(row)
+
+    @property
+    def version(self) -> int:
+        """Monotonic data-modification counter (bumped by every insert).
+
+        Derived snapshots — :meth:`Storage.to_database`'s cached oracle
+        view in particular — key their validity on it.
+        """
+        return self._version
 
     def insert(self, row: Row) -> None:
         if row.scheme != self.schema.attributes:
@@ -53,6 +63,7 @@ class Table:
         for index in self._indexes.values():
             index.insert(row)
         self._stats = None
+        self._version += 1
 
     @property
     def rows(self) -> List[Row]:
@@ -113,6 +124,8 @@ class Storage(Mapping[str, Table]):
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._registry = SchemaRegistry()
+        self._db_cache: Optional[Database] = None
+        self._db_cache_key: Optional[tuple] = None
 
     @classmethod
     def from_database(cls, db: Database) -> "Storage":
@@ -150,5 +163,22 @@ class Storage(Mapping[str, Table]):
         return len(self._tables)
 
     def to_database(self) -> Database:
-        """View the storage as an algebra-level database (for oracles)."""
-        return Database({name: table.to_relation() for name, table in self._tables.items()})
+        """View the storage as an algebra-level database (for oracles).
+
+        The view is rebuilt only when the storage generation changes —
+        the cache key is the (name, version) vector of all tables — so
+        repeated oracle checks against unchanged data (the conformance
+        harness runs many per storage) do not re-materialize every
+        relation.  Relations are immutable; callers share the snapshot
+        and must not ``add`` to it.
+        """
+        key = tuple((name, table.version) for name, table in sorted(self._tables.items()))
+        if self._db_cache is None or key != self._db_cache_key:
+            from repro.tools import instrumentation
+
+            instrumentation.bump("storage_to_database_builds")
+            self._db_cache = Database(
+                {name: table.to_relation() for name, table in self._tables.items()}
+            )
+            self._db_cache_key = key
+        return self._db_cache

@@ -202,6 +202,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scenarios": records,
         "comparisons": comparisons,
     }
+    from repro.tools.benchschema import validate_report
+
+    validate_report(report)
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.output}")
 

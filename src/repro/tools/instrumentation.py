@@ -17,10 +17,19 @@ from collections import Counter
 from typing import Dict
 
 #: The global counter sink.  Keys in use:
-#: ``tuples_retrieved`` (engine base-table accesses),
-#: ``plans_optimized``  (optimizer optimize() calls),
-#: ``dp_subsets``       (DP table entries filled),
-#: ``trees_enumerated`` (implementing trees materialized).
+#: ``tuples_retrieved``        (engine base-table accesses),
+#: ``plans_optimized``         (optimizer optimize() calls),
+#: ``dp_subsets``              (DP table entries filled),
+#: ``trees_enumerated``        (implementing trees materialized),
+#: ``sqlite_oracle_queries``   (statements run on the SQLite oracle),
+#: ``conformance_checks``      (differential cross_check() calls),
+#: ``conformance_mismatches``  (tier disagreements observed),
+#: ``fuzz_cases``              (fuzz cases executed),
+#: ``fuzz_failures``           (fuzz cases that disagreed),
+#: ``shrink_runs``             (counterexample minimizations),
+#: ``planspace_checks``        (plan-space equivalence sweeps),
+#: ``planspace_mismatches``    (non-equivalent trees found),
+#: ``storage_to_database_builds`` (oracle-view cache misses).
 STATS: Counter = Counter()
 
 
