@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.algebra.comparison import RelationDiff, bag_equal, explain_difference
 from repro.algebra.relation import Database, Relation
 from repro.core.expressions import Expression, FullOuterJoin, GeneralizedOuterJoin, Union
+from repro.observability.spans import maybe_span
 from repro.tools import instrumentation
 from repro.util.errors import PlanningError, ReproError
 from repro.util.fastpath import kernel_mode
@@ -161,22 +162,37 @@ def cross_check(
         from repro.engine.storage import Storage
 
         storage = Storage.from_database(db)
-    for name in executors:
-        try:
-            relation = run_executor(name, expr, db, storage=storage, oracle=oracle)
-        except ReproError as exc:
-            if strict:
-                raise
-            result.skipped[name] = str(exc)
-            continue
-        result.results[name] = relation
-        if result.baseline is None:
-            result.baseline = name
-            continue
-        base = result.results[result.baseline]
-        if not bag_equal(base, relation):
-            instrumentation.bump("conformance_mismatches")
-            result.mismatches.append(
-                (result.baseline, name, explain_difference(base, relation))
-            )
+    with maybe_span("conformance.cross_check", category="conformance") as check_span:
+        for name in executors:
+            with maybe_span(
+                f"conformance.tier.{name}", category="conformance.tier", tier=name
+            ) as tier_span:
+                try:
+                    relation = run_executor(name, expr, db, storage=storage, oracle=oracle)
+                except ReproError as exc:
+                    if strict:
+                        raise
+                    result.skipped[name] = str(exc)
+                    if tier_span is not None:
+                        tier_span.set(outcome="skipped", reason=str(exc)[:200])
+                    continue
+                result.results[name] = relation
+                if tier_span is not None:
+                    tier_span.counters["rows"] = len(relation)
+                    tier_span.set(outcome="ok")
+                if result.baseline is None:
+                    result.baseline = name
+                    continue
+                base = result.results[result.baseline]
+                if not bag_equal(base, relation):
+                    instrumentation.bump("conformance_mismatches")
+                    result.mismatches.append(
+                        (result.baseline, name, explain_difference(base, relation))
+                    )
+                    if tier_span is not None:
+                        tier_span.set(outcome="mismatch", against=result.baseline)
+        if check_span is not None:
+            check_span.counters["tiers_ran"] = len(result.results)
+            check_span.counters["tiers_skipped"] = len(result.skipped)
+            check_span.counters["mismatches"] = len(result.mismatches)
     return result

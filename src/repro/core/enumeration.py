@@ -113,6 +113,11 @@ def implementing_trees(graph: QueryGraph) -> Iterator[Expression]:
         )
     trees = _trees_for(graph, graph.nodes, cache={})
     instrumentation.bump("trees_enumerated", len(trees))
+    from repro.observability.spans import active_span
+
+    span = active_span()
+    if span is not None:
+        span.counters["trees_enumerated"] += len(trees)
     yield from trees
 
 

@@ -5,18 +5,31 @@ expression (possibly reordered by :mod:`repro.optimizer`) is planned,
 drained, and returned together with the metered costs — which is exactly
 how the Example-1 benchmark compares ``R1 − (R2 → R3)`` against
 ``(R1 − R2) → R3``.
+
+When tracing is active (see :mod:`repro.observability`), every execution
+produces a ``query.execute`` span carrying the query's metric totals; at
+*full* detail (``REPRO_TRACE=1`` or a forced tracer, e.g. EXPLAIN
+ANALYZE) the span's children additionally mirror the physical plan:
+per-operator rows in/out, wall time, build/probe timings, index hits,
+and a memory high-water estimate.  The ambient default (``REPRO_TRACE``
+unset) records phase-level spans only, so tracing adds no per-row work.
+The trace is observational either way — plans, results, and Metrics are
+bit-identical with tracing off (``REPRO_TRACE=0``), which
+``tests/test_explain.py`` asserts byte-level.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.algebra.relation import Relation
 from repro.core.expressions import Expression
-from repro.engine.iterators import PhysicalOp
+from repro.engine.iterators import PhysicalOp, trace_plan, untrace_plan
 from repro.engine.metrics import Metrics
 from repro.engine.planner import Planner
 from repro.engine.storage import Storage
+from repro.observability.spans import Span, current_tracer, maybe_span
 
 
 @dataclass
@@ -26,6 +39,8 @@ class ExecutionResult:
     relation: Relation
     metrics: Metrics
     plan: PhysicalOp
+    #: Root span of the traced execution (None when tracing is off).
+    trace: Optional[Span] = field(default=None, repr=False)
 
     @property
     def tuples_retrieved(self) -> int:
@@ -38,15 +53,37 @@ class ExecutionResult:
 
 
 def execute_plan(plan: PhysicalOp) -> ExecutionResult:
-    """Drain a physical plan with a fresh metrics sink."""
+    """Drain a physical plan with a fresh metrics sink.
+
+    Traced when a tracer is active: the plan tree is transparently
+    wrapped for per-operator metering and restored afterwards.
+    """
     metrics = Metrics()
-    relation = Relation(plan.schema, plan.execute(metrics))
-    return ExecutionResult(relation=relation, metrics=metrics, plan=plan)
+    tracer = current_tracer()
+    if tracer is None:
+        relation = Relation(plan.schema, plan.execute(metrics))
+        return ExecutionResult(relation=relation, metrics=metrics, plan=plan)
+
+    with tracer.span("query.execute", category="engine") as root:
+        if tracer.trace_operators:
+            wrapped, undo = trace_plan(plan, root)
+            try:
+                relation = Relation(plan.schema, wrapped.execute(metrics))
+            finally:
+                untrace_plan(undo)
+        else:
+            relation = Relation(plan.schema, plan.execute(metrics))
+        metrics.flush_to_span(root)
+        root.set(rows=len(relation))
+    return ExecutionResult(relation=relation, metrics=metrics, plan=plan, trace=root)
 
 
 def execute(expr: Expression, storage: Storage) -> ExecutionResult:
     """Plan and run a logical expression against the storage."""
-    plan = Planner(storage).plan(expr)
+    with maybe_span("query.plan", category="engine") as span:
+        plan = Planner(storage).plan(expr)
+        if span is not None:
+            span.set(plan=plan.span_label())
     return execute_plan(plan)
 
 

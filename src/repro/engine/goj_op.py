@@ -10,6 +10,7 @@ witness per unmatched projection at the end.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from time import perf_counter_ns
 from typing import List, Optional
 
 from repro.algebra.nulls import is_null, satisfied
@@ -49,12 +50,20 @@ class GeneralizedOuterJoinOp(PhysicalOp):
         return (self.left, self.right)
 
     def execute(self, metrics: Metrics) -> Iterator[Row]:
+        span = self._span
+        build_started = perf_counter_ns() if span is not None else 0
         buckets: dict = {}
+        build_rows = 0
         for row in self.right.execute(metrics):
             key = row[self.right_key]
             if is_null(key):
                 continue
             buckets.setdefault(key, []).append(row)
+            build_rows += 1
+        if span is not None:
+            span.counters["build_ns"] = perf_counter_ns() - build_started
+            span.counters["mem_rows"] = build_rows
+            span.counters["build_buckets"] = len(buckets)
 
         label = "GOJ"
         seen_projections: set[Row] = set()

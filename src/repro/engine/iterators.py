@@ -11,12 +11,24 @@ Retrieval metering follows Example 1's accounting:
 * a sequential scan retrieves every row of its table;
 * an index nested-loop join retrieves exactly the rows its probes return;
 * intermediate results live in memory and are never re-counted.
+
+Tracing: when an execution is traced, :func:`trace_plan` wraps every
+operator in a transparent :class:`TracedOp` that meters its open/next/
+close lifecycle — ``rows_out`` (rows it yielded), ``rows_in`` credited to
+its consumer, and wall-time per operator — into a span tree mirroring the
+plan (category ``engine.op``).  Operators additionally report their own
+internals (hash-build time, index hits, materialized row counts) through
+``self._span``, which the wrapper assigns; untraced runs leave ``_span``
+None and skip all accounting.
 """
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from collections.abc import Iterator
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+from repro.observability.spans import Span
 
 from repro.algebra.nulls import satisfied
 from repro.algebra.predicates import PairView, Predicate, TruePredicate
@@ -37,8 +49,16 @@ class PhysicalOp:
 
     schema: Schema
 
+    #: Span assigned by :func:`trace_plan` for fine-grained accounting
+    #: (build timings, index hits, materialized rows); None when untraced.
+    _span: Optional[Span] = None
+
     def execute(self, metrics: Metrics) -> Iterator[Row]:
         raise NotImplementedError
+
+    def span_label(self) -> str:
+        """One-line operator label used for spans and EXPLAIN output."""
+        return self.describe().splitlines()[0].strip()
 
     def describe(self, indent: int = 0) -> str:
         """Multi-line plan rendering (EXPLAIN-style)."""
@@ -137,6 +157,8 @@ class Materialize(PhysicalOp):
     def execute(self, metrics: Metrics) -> Iterator[Row]:
         if self._cache is None:
             self._cache = list(self.child.execute(metrics))
+            if self._span is not None:
+                self._span.counters["mem_rows"] = len(self._cache)
         return iter(self._cache)
 
     def describe(self, indent: int = 0) -> str:
@@ -170,6 +192,8 @@ class NestedLoopJoin(PhysicalOp):
 
     def execute(self, metrics: Metrics) -> Iterator[Row]:
         inner_rows = list(self.right.execute(metrics))
+        if self._span is not None:
+            self._span.counters["mem_rows"] = len(inner_rows)
         padding = null_row(self.right.schema)
         label = f"NLJ[{self.join_type}]"
         for outer_row in self.left.execute(metrics):
@@ -236,9 +260,13 @@ class IndexNestedLoopJoin(PhysicalOp):
     def execute(self, metrics: Metrics) -> Iterator[Row]:
         padding = null_row(self.table.schema)
         label = f"INLJ[{self.join_type}]"
+        span = self._span
         for outer_row in self.left.execute(metrics):
             metrics.probed(self.index.name)
             matches = self.index.lookup(outer_row[self.outer_key])
+            if span is not None:
+                span.counters["index_probes"] += 1
+                span.counters["index_hits"] += len(matches)
             matched = False
             for inner_row in matches:
                 metrics.retrieved(self.table.name)
@@ -303,12 +331,20 @@ class HashJoin(PhysicalOp):
     def execute(self, metrics: Metrics) -> Iterator[Row]:
         from repro.algebra.nulls import is_null
 
+        span = self._span
+        build_started = perf_counter_ns() if span is not None else 0
         buckets: dict = {}
+        build_rows = 0
         for row in self.right.execute(metrics):
             key = row[self.right_key]
             if is_null(key):
                 continue
             buckets.setdefault(key, []).append(row)
+            build_rows += 1
+        if span is not None:
+            span.counters["build_ns"] = perf_counter_ns() - build_started
+            span.counters["mem_rows"] = build_rows
+            span.counters["build_buckets"] = len(buckets)
         padding = null_row(self.right.schema)
         label = f"HashJoin[{self.join_type}]"
         for outer_row in self.left.execute(metrics):
@@ -340,3 +376,108 @@ class HashJoin(PhysicalOp):
             f"{pad}HashJoin[{self.join_type}, {self.left_key} = {self.right_key}]\n"
             f"{self.left.describe(indent + 2)}\n{self.right.describe(indent + 2)}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Tracing wrappers
+# ---------------------------------------------------------------------------
+
+#: Attributes through which operators hold child operators.
+_CHILD_ATTRS = ("left", "right", "child")
+
+
+class TracedOp(PhysicalOp):
+    """Transparent wrapper metering one operator's open/next/close cycle.
+
+    The wrapper owns the operator's span: it begins it on open (first
+    pull), counts every yielded row (``rows_out``), credits the consumer's
+    ``rows_in``, and finishes the span on close.  Before closing it force-
+    closes any still-live child generators so that abandoned subtrees
+    (semi/anti short-circuits) finalize *inside* the parent's interval —
+    the nesting half of the metrics contract depends on this ordering.
+    """
+
+    def __init__(self, inner: PhysicalOp, span: Span, parent_span: Optional[Span]):
+        self.inner = inner
+        self.span = span
+        self.parent_span = parent_span
+        self.schema = inner.schema
+        self.child_wrappers: List["TracedOp"] = []
+        self._live: List[Iterator[Row]] = []
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return self.inner.children()
+
+    def describe(self, indent: int = 0) -> str:
+        return self.inner.describe(indent)
+
+    def span_label(self) -> str:
+        return self.inner.span_label()
+
+    def execute(self, metrics: Metrics) -> Iterator[Row]:
+        gen = self._meter(metrics)
+        self._live.append(gen)
+        return gen
+
+    def _meter(self, metrics: Metrics) -> Iterator[Row]:
+        span = self.span
+        span.begin()
+        rows = 0
+        try:
+            for row in self.inner.execute(metrics):
+                rows += 1
+                yield row
+        finally:
+            for wrapper in self.child_wrappers:
+                wrapper.close_live()
+            span.counters["rows_out"] += rows
+            if self.parent_span is not None:
+                self.parent_span.counters["rows_in"] += rows
+            span.finish()
+
+    def close_live(self) -> None:
+        """Close any generators still open on this wrapper (and, through
+        their ``finally`` blocks, on the whole subtree beneath it)."""
+        live, self._live = self._live, []
+        for gen in live:
+            gen.close()
+
+
+def trace_plan(plan: PhysicalOp, parent_span: Span) -> Tuple[PhysicalOp, "list"]:
+    """Wrap every operator of ``plan`` in a :class:`TracedOp`.
+
+    Builds a span tree mirroring the plan under ``parent_span`` and
+    returns ``(wrapped_root, undo_log)``; pass the undo log to
+    :func:`untrace_plan` to restore the original tree afterwards (plans
+    are reusable objects — tracing must not permanently rewire them).
+    """
+    undo: List[Tuple[PhysicalOp, str, PhysicalOp]] = []
+
+    def wrap(op: PhysicalOp, parent: Span) -> TracedOp:
+        span = parent.child(op.span_label(), category="engine.op")
+        span.set(op=type(op).__name__)
+        wrapper = TracedOp(op, span, parent)
+        undo.append((op, "_span", op._span))
+        op._span = span
+        for attr in _CHILD_ATTRS:
+            child = getattr(op, attr, None)
+            if isinstance(child, PhysicalOp):
+                child_wrapper = wrap(child, span)
+                child_wrapper.parent_span = span
+                wrapper.child_wrappers.append(child_wrapper)
+                undo.append((op, attr, child))
+                setattr(op, attr, child_wrapper)
+        return wrapper
+
+    return wrap(plan, parent_span), undo
+
+
+def untrace_plan(undo: "list") -> None:
+    """Undo the rewiring performed by :func:`trace_plan`."""
+    for op, attr, value in reversed(undo):
+        if attr == "_span":
+            if value is None and "_span" not in op.__dict__:
+                continue
+            op._span = value
+        else:
+            setattr(op, attr, value)

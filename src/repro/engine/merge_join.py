@@ -11,6 +11,7 @@ never match and — for ``left_outer``/``anti`` — surface as preserved rows.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from time import perf_counter_ns
 from typing import List, Optional
 
 from repro.algebra.nulls import is_null, satisfied
@@ -54,6 +55,8 @@ class MergeJoin(PhysicalOp):
         )
 
     def execute(self, metrics: Metrics) -> Iterator[Row]:
+        span = self._span
+        sort_started = perf_counter_ns() if span is not None else 0
         left_rows = list(self.left.execute(metrics))
         right_rows = list(self.right.execute(metrics))
         # Null-keyed left rows never match: for the preserved variants they
@@ -61,6 +64,9 @@ class MergeJoin(PhysicalOp):
         left_null_keyed = [r for r in left_rows if is_null(r[self.left_key])]
         left_sorted = self._sorted_non_null(left_rows, self.left_key)
         right_sorted = self._sorted_non_null(right_rows, self.right_key)
+        if span is not None:
+            span.counters["build_ns"] = perf_counter_ns() - sort_started
+            span.counters["mem_rows"] = len(left_rows) + len(right_rows)
         padding = null_row(self.right.schema)
         label = f"MergeJoin[{self.join_type}]"
 

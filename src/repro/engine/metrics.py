@@ -6,6 +6,16 @@ instruments every base-table access method with a retrieval counter, per
 table and in total, plus auxiliary counters (predicate evaluations, index
 probes, rows emitted per operator) that the optimizer's cost model and the
 benchmark harness report alongside.
+
+Scoping: every counter lives on the :class:`Metrics` instance of one
+execution; when the query runs traced, the executor flushes the totals
+into the execution's root span *once* at the end
+(:meth:`Metrics.flush_to_span`), so per-query numbers travel with the
+trace without any per-row tracing branch in the hot counters.  The only
+process-global sink is the advisory
+:data:`repro.tools.instrumentation.STATS` counter the benchmark harness
+snapshots; the test suite zeroes it between tests (autouse fixture in
+``tests/conftest.py``) so it cannot leak across tests.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.observability.spans import Span
 from repro.tools import instrumentation
 
 
@@ -38,6 +49,16 @@ class Metrics:
 
     def emitted(self, operator: str, count: int = 1) -> None:
         self.rows_emitted[operator] += count
+
+    def flush_to_span(self, span: Span) -> None:
+        """Copy the totals into a span's counters (once, at query end)."""
+        counters = span.counters
+        counters["tuples_retrieved"] += self.total_retrieved
+        counters["predicate_evaluations"] += self.predicate_evaluations
+        if self.index_probes:
+            counters["index_probes"] += sum(self.index_probes.values())
+        if self.rows_emitted:
+            counters["rows_emitted"] += sum(self.rows_emitted.values())
 
     @property
     def total_retrieved(self) -> int:

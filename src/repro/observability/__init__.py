@@ -1,0 +1,78 @@
+"""Query-lifecycle observability: spans, exporters, and the metrics contract.
+
+The substrate every perf claim in this repository reports through: a
+zero-dependency hierarchical span tracer (:mod:`repro.observability.spans`)
+instrumenting the optimizer, the execution engine, and the conformance
+tiers; exporters to canonical JSON and Chrome trace-event format
+(:mod:`repro.observability.export`); and the test-enforced metrics
+contract (:mod:`repro.observability.contract`).
+
+Quick start::
+
+    from repro.observability import tracing
+
+    with tracing(enabled=True) as tracer:
+        result = execute(query, storage)
+    root = tracer.roots[0]               # the query-lifecycle span tree
+    root.find("SeqScan").counters        # per-operator rows/timings
+
+``REPRO_TRACE`` contract: unset — ambient phase-level tracing (no
+per-row cost); ``1`` — full per-operator metering; ``0`` — tracing off.
+Results are bit-identical in every mode (the tracer observes, never
+steers).  An explicit ``tracing(enabled=True)`` always records full
+detail.
+"""
+
+from repro.observability.contract import (
+    ENGINE_OP_CATEGORY,
+    memory_high_water,
+    operator_spans,
+    validate_span_tree,
+    validate_trace_document,
+)
+from repro.observability.export import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    load_trace,
+    records_to_spans,
+    spans_to_records,
+    to_chrome_trace,
+    trace_document,
+    write_trace,
+)
+from repro.observability.spans import (
+    Span,
+    Tracer,
+    active_span,
+    current_tracer,
+    default_tracer,
+    env_detail,
+    env_enabled,
+    maybe_span,
+    tracing,
+)
+
+__all__ = [
+    "ENGINE_OP_CATEGORY",
+    "Span",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Tracer",
+    "active_span",
+    "current_tracer",
+    "default_tracer",
+    "env_detail",
+    "env_enabled",
+    "load_trace",
+    "maybe_span",
+    "memory_high_water",
+    "operator_spans",
+    "records_to_spans",
+    "spans_to_records",
+    "to_chrome_trace",
+    "trace_document",
+    "tracing",
+    "validate_span_tree",
+    "validate_trace_document",
+    "write_trace",
+]

@@ -1,0 +1,150 @@
+"""Trace exporters: canonical flat JSON and Chrome trace-event format.
+
+The canonical on-disk form (``docs/trace.schema.json``) is a *flat* list
+of span records with integer ids and parent references — deliberately
+non-recursive so the dependency-free draft-07 subset implemented by
+:mod:`repro.tools.benchschema` can validate it.  The Chrome form is the
+``traceEvents`` array understood by ``chrome://tracing`` and Perfetto
+(one complete ``"ph": "X"`` event per finished span, microsecond
+timestamps), for eyeballing a query's timeline interactively.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.observability.spans import Span
+from repro.util.errors import ReproError
+
+#: Format tag stamped into every canonical trace document.
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+def _attr_value(value: Any) -> Any:
+    """Attrs must stay JSON scalars; anything else is stringified."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def spans_to_records(roots: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Flatten span trees into id/parent records, pre-order."""
+    records: List[Dict[str, Any]] = []
+    ids: Dict[int, int] = {}
+    for root in roots:
+        for parent, span in root.walk():
+            sid = len(records)
+            ids[id(span)] = sid
+            records.append(
+                {
+                    "id": sid,
+                    "parent": ids[id(parent)] if parent is not None else None,
+                    "name": span.name,
+                    "category": span.category,
+                    "start_ns": span.start_ns,
+                    "end_ns": span.end_ns,
+                    "tid": span.tid,
+                    "counters": {k: int(v) for k, v in sorted(span.counters.items())},
+                    "attrs": {k: _attr_value(v) for k, v in sorted(span.attrs.items())},
+                }
+            )
+    return records
+
+
+def trace_document(roots: Sequence[Span], meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The canonical trace document for a set of root spans."""
+    doc_meta: Dict[str, Any] = {"format": TRACE_FORMAT, "version": TRACE_VERSION}
+    if meta:
+        doc_meta.update({k: _attr_value(v) for k, v in meta.items()})
+    return {"meta": doc_meta, "spans": spans_to_records(roots)}
+
+
+def records_to_spans(records: Sequence[Dict[str, Any]]) -> List[Span]:
+    """Rebuild span trees from flat records (inverse of
+    :func:`spans_to_records`); returns the roots."""
+    by_id: Dict[int, Span] = {}
+    roots: List[Span] = []
+    for rec in records:
+        span = Span(rec["name"], rec.get("category", "span"))
+        span.start_ns = rec.get("start_ns")
+        span.end_ns = rec.get("end_ns")
+        span.tid = rec.get("tid", 0)
+        span.counters.update(rec.get("counters", {}))
+        span.attrs.update(rec.get("attrs", {}))
+        by_id[rec["id"]] = span
+        parent = rec.get("parent")
+        if parent is None:
+            roots.append(span)
+        else:
+            if parent not in by_id:
+                raise ReproError(f"trace record {rec['id']} references unknown parent {parent}")
+            by_id[parent].children.append(span)
+    return roots
+
+
+def to_chrome_trace(roots: Sequence[Span], process_name: str = "repro") -> Dict[str, Any]:
+    """Chrome trace-event JSON (open in chrome://tracing or Perfetto)."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    base = min(
+        (s.start_ns for root in roots for _p, s in root.walk() if s.started),
+        default=0,
+    )
+    for root in roots:
+        for _parent, span in root.walk():
+            if not span.finished:
+                continue
+            args: Dict[str, Any] = {k: int(v) for k, v in sorted(span.counters.items())}
+            args.update({k: _attr_value(v) for k, v in sorted(span.attrs.items())})
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": span.tid % 1_000_000,
+                    "ts": (span.start_ns - base) / 1e3,
+                    "dur": (span.end_ns - span.start_ns) / 1e3,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(
+    path: str | Path,
+    roots: Sequence[Span],
+    meta: Optional[Dict[str, Any]] = None,
+    form: str = "json",
+) -> Path:
+    """Serialize a trace to disk in the requested form and return the path."""
+    path = Path(path)
+    if form == "json":
+        doc: Dict[str, Any] = trace_document(roots, meta=meta)
+    elif form == "chrome":
+        doc = to_chrome_trace(roots)
+    else:
+        raise ReproError(f"unknown trace form {form!r}; expected 'json' or 'chrome'")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> Dict[str, Any]:
+    """Load a canonical trace document, sanity-checking its format tag."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or "spans" not in doc:
+        raise ReproError(f"{path} is not a repro trace document")
+    if doc.get("meta", {}).get("format") not in (TRACE_FORMAT, None):
+        raise ReproError(f"{path} has unknown trace format {doc['meta'].get('format')!r}")
+    return doc

@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, Optional
 
 from repro.core.expressions import Join, LeftOuterJoin, Rel, RightOuterJoin
 from repro.core.graph import QueryGraph
+from repro.observability.spans import maybe_span
 from repro.optimizer.cost import CostModel
 from repro.optimizer.plans import Plan
 from repro.optimizer.subgraphs import combinable_pairs, connected_subsets
@@ -41,12 +42,18 @@ class DPOptimizer:
             raise PlanningError("cannot optimize a disconnected query graph")
         estimator = self.cost_model.estimator
         index = self.graph.bitset_index() if fast_enabled() else None
-        with estimator.memo_scope(index):
-            plan = self._optimize_table(estimator)
+        with maybe_span(
+            "optimizer.dp",
+            category="optimizer",
+            relations=len(self.graph.nodes),
+            fast_kernels=fast_enabled(),
+        ) as span:
+            with estimator.memo_scope(index):
+                plan = self._optimize_table(estimator, span)
         instrumentation.bump("plans_optimized")
         return plan
 
-    def _optimize_table(self, estimator) -> Plan:
+    def _optimize_table(self, estimator, span=None) -> Plan:
         best: Dict[FrozenSet[str], Plan] = {}
         for subset in connected_subsets(self.graph):
             if len(subset) == 1:
@@ -91,6 +98,9 @@ class DPOptimizer:
                 "decomposition exists)"
             )
         instrumentation.bump("dp_subsets", len(best))
+        if span is not None:
+            span.counters["dp_subsets"] = len(best)
+            span.set(cost=final.cost)
         return final
 
 

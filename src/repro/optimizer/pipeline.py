@@ -35,6 +35,7 @@ from repro.core.reorderability import ReorderabilityVerdict, theorem1_applies
 from repro.core.simplify import simplify_outerjoins
 from repro.engine.executor import ExecutionResult, execute
 from repro.engine.storage import Storage, Table
+from repro.observability.spans import maybe_span
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost import CostModel, CoutCostModel, RetrievalCostModel
 from repro.optimizer.dp import DPOptimizer
@@ -140,9 +141,25 @@ def optimize_query(
     cost_model: str = "retrieval",
 ) -> PipelineResult:
     """Run the full Section-4 + Section-6.1 pipeline (see module docs)."""
+    with maybe_span("optimizer.pipeline", category="optimizer", cost_model=cost_model):
+        return _optimize_query(query, storage, cost_model)
+
+
+def _optimize_query(
+    query: Expression,
+    storage: Storage,
+    cost_model: str,
+) -> PipelineResult:
     registry = storage.registry
-    simplified_report = simplify_outerjoins(query, registry)
-    push_report = push_restrictions(simplified_report.query, registry)
+    with maybe_span("optimizer.simplify", category="optimizer") as span:
+        simplified_report = simplify_outerjoins(query, registry)
+        if span is not None:
+            span.counters["conversions"] = len(simplified_report.conversions)
+    with maybe_span("optimizer.pushdown", category="optimizer") as span:
+        push_report = push_restrictions(simplified_report.query, registry)
+        if span is not None:
+            span.counters["placements"] = len(push_report.placements)
+            span.counters["blocked"] = len(push_report.blocked)
 
     result = PipelineResult(
         original=query,
@@ -167,7 +184,13 @@ def optimize_query(
     except Exception:
         return result
     result.graph = graph
-    verdict = theorem1_applies(graph, registry)
+    with maybe_span("optimizer.niceness", category="optimizer") as span:
+        verdict = theorem1_applies(graph, registry)
+        if span is not None:
+            span.set(
+                nice=verdict.nice,
+                freely_reorderable=verdict.freely_reorderable,
+            )
     result.verdict = verdict
     if not verdict.freely_reorderable:
         return result

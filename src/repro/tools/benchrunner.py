@@ -26,7 +26,14 @@ Modes:
                    the CI health check;
 * ``--seed N``   — forwarded as ``--bench-seed`` to the suite (offsets
                    random-database generation in seed-aware scenarios);
-* ``--only S``   — filter scenarios by substring.
+* ``--only S``   — filter scenarios by substring;
+* ``--trace-overhead`` — additionally rerun the headline scenarios with
+                   ambient tracing on (``REPRO_TRACE`` unset) and off
+                   (``REPRO_TRACE=0``) and record per-scenario overhead
+                   under a ``trace_overhead`` report key.  The acceptance
+                   bar is overhead below 5%; per-test benchmark means are
+                   summed (min across repeats) so pytest startup cost
+                   cannot mask a real per-query regression.
 """
 
 from __future__ import annotations
@@ -70,12 +77,21 @@ def run_scenario(
     naive: bool = False,
     seed: int = 0,
     timings: bool = True,
+    trace: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run one scenario in a pytest subprocess; return its record."""
+    """Run one scenario in a pytest subprocess; return its record.
+
+    ``trace`` pins the child's ``REPRO_TRACE``: ``"on"`` removes the
+    variable (ambient tracing), ``"off"`` sets ``0``; None inherits.
+    """
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
     env["REPRO_NAIVE_KERNELS"] = "1" if naive else ""
+    if trace == "on":
+        env.pop("REPRO_TRACE", None)
+    elif trace == "off":
+        env["REPRO_TRACE"] = "0"
 
     cmd = [sys.executable, "-m", "pytest", str(path), "-q", "-p", "no:cacheprovider"]
     cmd += ["--bench-seed", str(seed)]
@@ -139,6 +155,51 @@ def compare_records(fast: Dict[str, object], naive: Dict[str, object]) -> Dict[s
     }
 
 
+def measure_trace_overhead(
+    scenarios: Sequence[Path], seed: int = 0, repeats: int = 4
+) -> Dict[str, Dict[str, object]]:
+    """Ambient-tracing overhead per scenario (and overall).
+
+    Each scenario runs ``repeats`` times with ``REPRO_TRACE`` unset and
+    ``repeats`` times with ``REPRO_TRACE=0``; per-test benchmark means
+    are reduced by min across repeats (pytest-benchmark calibration is
+    noisy on microsecond-scale tests) and summed over the tests both
+    modes ran.  Overhead is the percentage the traced sum exceeds the
+    untraced sum.
+    """
+    overhead: Dict[str, Dict[str, object]] = {}
+    total_on = total_off = 0.0
+    for path in scenarios:
+        best: Dict[str, Dict[str, float]] = {"on": {}, "off": {}}
+        for mode in ("on", "off"):
+            for _ in range(repeats):
+                record = run_scenario(path, seed=seed, timings=True, trace=mode)
+                if not record["ok"]:
+                    raise RuntimeError(f"{path.name} failed during overhead run ({mode})")
+                for name, mean in (record.get("timings") or {}).items():
+                    prior = best[mode].get(name)
+                    best[mode][name] = mean if prior is None else min(prior, mean)
+        shared = sorted(set(best["on"]) & set(best["off"]))
+        traced_s = round(sum(best["on"][n] for n in shared), 6)
+        untraced_s = round(sum(best["off"][n] for n in shared), 6)
+        pct = round(100.0 * (traced_s - untraced_s) / untraced_s, 2) if untraced_s > 0 else None
+        overhead[path.name] = {
+            "traced_s": traced_s,
+            "untraced_s": untraced_s,
+            "overhead_pct": pct,
+        }
+        total_on += traced_s
+        total_off += untraced_s
+    overhead["overall"] = {
+        "traced_s": round(total_on, 6),
+        "untraced_s": round(total_off, 6),
+        "overhead_pct": round(100.0 * (total_on - total_off) / total_off, 2)
+        if total_off > 0
+        else None,
+    }
+    return overhead
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="run_all.py", description="Run the benchmark suite and write a JSON report."
@@ -151,6 +212,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="forwarded as --bench-seed")
     parser.add_argument("--only", help="substring filter on scenario file names")
+    parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="also measure ambient-tracing overhead on the headline scenarios",
+    )
     parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="report path (default BENCH_PR1.json)"
     )
@@ -202,6 +268,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scenarios": records,
         "comparisons": comparisons,
     }
+    if args.trace_overhead:
+        headline = [BENCH_DIR / name for name in HEADLINE]
+        if args.only:
+            headline = [p for p in headline if args.only in p.name]
+        print("\nmeasuring ambient-tracing overhead on the headline scenarios...")
+        overhead = measure_trace_overhead(headline, seed=args.seed)
+        report["trace_overhead"] = overhead
+        for name, entry in overhead.items():
+            print(
+                f"  {name:40s} traced {entry['traced_s']:.4f}s / "
+                f"untraced {entry['untraced_s']:.4f}s  ({entry['overhead_pct']:+.2f}%)"
+            )
     from repro.tools.benchschema import validate_report
 
     validate_report(report)

@@ -21,8 +21,11 @@ from typing import Any, Dict, List
 
 from repro.util.errors import ReproError
 
-#: Path of the checked-in schema, relative to the repository root.
+#: Path of the checked-in benchmark-report schema, relative to the repo root.
 SCHEMA_RELPATH = Path("docs") / "bench_report.schema.json"
+
+#: Path of the checked-in trace-document schema (see repro.observability).
+TRACE_SCHEMA_RELPATH = Path("docs") / "trace.schema.json"
 
 #: Schema keywords the validator understands.  Annotation-only keywords are
 #: accepted and skipped; anything unknown is an error.
@@ -105,19 +108,30 @@ def validate(document: Any, schema: Dict[str, Any]) -> List[str]:
     return errors
 
 
-def load_schema(root: Path | None = None) -> Dict[str, Any]:
-    """Load the checked-in benchmark-report schema.
+def load_schema(root: Path | None = None, relpath: Path | str = SCHEMA_RELPATH) -> Dict[str, Any]:
+    """Load a checked-in schema (the benchmark report's by default).
 
     ``root`` is the repository root; by default it is located relative to
-    this file (``src/repro/tools`` → three parents up).
+    this file (``src/repro/tools`` → three parents up).  ``relpath``
+    selects which schema — e.g. :data:`TRACE_SCHEMA_RELPATH` for trace
+    documents.
     """
     if root is None:
         root = Path(__file__).resolve().parents[3]
-    return json.loads((root / SCHEMA_RELPATH).read_text())
+    return json.loads((root / Path(relpath)).read_text())
 
 
 def validate_report(document: Any, root: Path | None = None) -> None:
-    """Raise :class:`SchemaValidationError` unless ``document`` conforms."""
+    """Raise :class:`SchemaValidationError` unless ``document`` is a valid
+    benchmark report."""
     errors = validate(document, load_schema(root))
+    if errors:
+        raise SchemaValidationError(errors)
+
+
+def validate_trace(document: Any, root: Path | None = None) -> None:
+    """Raise :class:`SchemaValidationError` unless ``document`` is a valid
+    trace document (``docs/trace.schema.json``)."""
+    errors = validate(document, load_schema(root, TRACE_SCHEMA_RELPATH))
     if errors:
         raise SchemaValidationError(errors)

@@ -1,0 +1,95 @@
+"""Run a worked example under the tracer and export its trace.
+
+``python -m repro.tools.traceexport`` executes Example 1 of the paper
+(R1 ⋈ R2 on keys, then a left outerjoin to R3) on the physical engine
+with tracing forced on, and writes the resulting span tree either in the
+canonical flat-JSON form (``docs/trace.schema.json``) or as a Chrome
+trace-event file for chrome://tracing / Perfetto.
+
+``--validate`` re-reads the canonical document and checks it against the
+checked-in schema with the dependency-free validator in
+:mod:`repro.tools.benchschema`, exiting non-zero on any violation — this
+is the CI trace-schema gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.algebra.predicates import eq
+from repro.core.expressions import Expression, Join, LeftOuterJoin, Rel
+from repro.datagen.workloads import example1_storage
+from repro.engine.executor import execute
+from repro.observability.export import load_trace, trace_document, write_trace
+from repro.observability.spans import tracing
+from repro.tools.benchschema import SchemaValidationError, validate_trace
+
+DEFAULT_OUTPUT = Path("TRACE_EXAMPLE1.json")
+
+
+def example1_query() -> Expression:
+    """Example 1's expression: (R1 join R2 on keys) left-outerjoin R3."""
+    return LeftOuterJoin(
+        Join(Rel("R1"), Rel("R2"), eq("R1.k", "R2.k")),
+        Rel("R3"),
+        eq("R2.j", "R3.j"),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.traceexport",
+        description="Trace Example 1 on the engine and export the span tree.",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="output file path"
+    )
+    parser.add_argument(
+        "--form",
+        choices=("json", "chrome"),
+        default="json",
+        help="canonical flat JSON (default) or Chrome trace-event format",
+    )
+    parser.add_argument(
+        "--n", type=int, default=1000, help="|R2| = |R3| table size (default 1000)"
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="check the canonical document against docs/trace.schema.json",
+    )
+    args = parser.parse_args(argv)
+
+    storage = example1_storage(args.n)
+    with tracing(enabled=True):
+        result = execute(example1_query(), storage)
+    if result.trace is None:
+        print("tracing produced no span tree", file=sys.stderr)
+        return 2
+    roots = [result.trace]
+    meta = {"example": "example1", "n": args.n, "rows": len(result.relation)}
+
+    write_trace(args.output, roots, meta=meta, form=args.form)
+    print(f"wrote {args.output} ({args.form}; {len(result.relation)} result rows)")
+
+    if args.validate:
+        doc = (
+            load_trace(args.output)
+            if args.form == "json"
+            else trace_document(roots, meta=meta)
+        )
+        try:
+            validate_trace(doc)
+        except SchemaValidationError as exc:
+            for err in exc.errors:
+                print(f"schema violation: {err}", file=sys.stderr)
+            return 1
+        print(f"validated against docs/trace.schema.json ({len(doc['spans'])} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

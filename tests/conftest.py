@@ -6,6 +6,24 @@ import pytest
 
 from repro.algebra import Database, Relation, SchemaRegistry, eq
 from repro.datagen import random_databases
+from repro.observability.spans import default_tracer
+from repro.tools import instrumentation
+
+
+@pytest.fixture(autouse=True)
+def _reset_process_counters():
+    """Isolate every test from process-global observability state.
+
+    The advisory :data:`repro.tools.instrumentation.STATS` counter and the
+    default tracer's retained roots are the only process-global sinks; a
+    test must never see counts left behind by an earlier test (see
+    ``tests/test_metrics_isolation.py``, which asserts this contract).
+    """
+    instrumentation.reset()
+    default_tracer().clear()
+    yield
+    instrumentation.reset()
+    default_tracer().clear()
 
 
 @pytest.fixture

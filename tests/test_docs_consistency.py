@@ -29,7 +29,17 @@ class TestReadmeSnippet:
 
 class TestLayoutMatchesDocs:
     def test_documented_packages_exist(self):
-        for pkg in ("algebra", "core", "engine", "optimizer", "language", "datagen", "util", "tools"):
+        for pkg in (
+            "algebra",
+            "core",
+            "engine",
+            "optimizer",
+            "language",
+            "datagen",
+            "util",
+            "tools",
+            "observability",
+        ):
             assert (ROOT / "src" / "repro" / pkg / "__init__.py").exists(), pkg
 
     def test_documented_top_level_files_exist(self):

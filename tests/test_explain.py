@@ -1,12 +1,18 @@
 """Tests for EXPLAIN / EXPLAIN ANALYZE."""
 
+import json
+
 import pytest
 
 from repro.algebra import eq
+from repro.conformance.serialize import value_to_json
 from repro.core import jn, oj
 from repro.datagen import example1_storage
 from repro.engine import Planner
+from repro.engine.executor import execute
 from repro.engine.explain import explain, explain_analyze
+from repro.engine.storage import Storage
+from repro.observability import tracing
 
 
 @pytest.fixture
@@ -71,3 +77,89 @@ class TestExplainAnalyze:
         rendered = node.render()
         assert rendered.count("->") >= 2
         assert rendered.splitlines()[0].startswith("->")
+
+
+class TestExplainAnalyzeKnownAnswers:
+    """EXPLAIN ANALYZE reproduces the paper's worked examples."""
+
+    def test_example1_per_operator_actuals(self, setup):
+        # Example 1, good order: the single R1 tuple drives one index
+        # probe into R2 and one into R3 — each probe hits exactly once.
+        storage, query, plan = setup
+        node = explain_analyze(plan, storage, expr=query)
+        assert node.actual_rows == 1
+        scan = node.find("SeqScan(R1)")
+        assert scan is not None and scan.actual_rows == 1
+        for fragment in ("R2(R2.k)", "R3(R3.j)"):
+            join_node = node.find(fragment)
+            assert join_node is not None, f"no operator matching {fragment}"
+            assert join_node.actual_rows == 1
+            assert join_node.details.get("index_probes") == 1
+            assert join_node.details.get("index_hits") == 1
+            assert join_node.details.get("dispatch") == "index-kernel"
+        rendered = node.render()
+        assert "time=" in rendered and "actual=1" in rendered
+        assert node.details.get("kernels") in ("fast", "naive")
+        assert "mem_high_water_rows" in node.details
+
+    def test_example1_tuple_accounting(self, setup):
+        # The paper's headline: 3 tuples retrieved in the good order
+        # (versus 2N+1 for the bad order) — on the trace's root span.
+        storage, query, _plan = setup
+        with tracing(enabled=True):
+            result = execute(query, storage)
+        assert result.metrics.total_retrieved == 3
+        assert result.trace.counters["tuples_retrieved"] == 3
+
+    def test_example2_written_order(self):
+        # Example 2's graph R1 → R2 − R3 is not nice; the engine runs the
+        # written order R1 → (R2 ⋈ R3).  Known answer: R2 ⋈ R3 keeps the
+        # single matching pair, the outerjoin preserves both R1 rows.
+        storage = Storage()
+        storage.create_table(
+            "R1", ["R1.a", "R1.b"], [{"R1.a": 1, "R1.b": 10}, {"R1.a": 2, "R1.b": 20}]
+        )
+        storage.create_table("R2", ["R2.a", "R2.b"], [{"R2.a": 1, "R2.b": 1}])
+        storage.create_table("R3", ["R3.a", "R3.b"], [{"R3.a": 1, "R3.b": 5}])
+        query = oj("R1", jn("R2", "R3", eq("R2.a", "R3.a")), eq("R1.a", "R2.a"))
+        plan = Planner(storage).plan(query)
+        node = explain_analyze(plan, storage, expr=query)
+        oracle = query.eval(storage.to_database())
+        assert len(oracle) == 2
+        assert node.actual_rows == 2
+        inner = node.find("R2.a = R3.a")
+        assert inner is not None and inner.actual_rows == 1
+        assert node.worst_q_error() >= 1.0
+
+
+def _canonical_bytes(relation) -> bytes:
+    """A canonical byte encoding of a relation (order-independent)."""
+    scheme = sorted(relation.scheme)
+    rows = sorted(
+        json.dumps({a: value_to_json(row[a]) for a in scheme}, sort_keys=True)
+        for row in relation
+    )
+    return "\n".join([",".join(scheme)] + rows).encode()
+
+
+class TestTracingTransparency:
+    def test_repro_trace_0_is_byte_identical(self, setup, monkeypatch):
+        """The tracer observes, never steers: results agree byte-for-byte
+        across ambient tracing, forced full tracing, and REPRO_TRACE=0."""
+        storage, query, _plan = setup
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        ambient = execute(query, storage)
+        with tracing(enabled=True):
+            full = execute(query, storage)
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        off = execute(query, storage)
+        assert ambient.trace is not None and full.trace is not None
+        assert off.trace is None
+        baseline = _canonical_bytes(off.relation)
+        assert _canonical_bytes(ambient.relation) == baseline
+        assert _canonical_bytes(full.relation) == baseline
+        assert (
+            ambient.metrics.total_retrieved
+            == full.metrics.total_retrieved
+            == off.metrics.total_retrieved
+        )

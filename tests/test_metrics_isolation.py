@@ -1,0 +1,81 @@
+"""Metric scoping: counters must not leak between queries or tests.
+
+The regression this guards: per-query counters routed through a
+process-global sink accumulate across queries, so the second query's
+report includes the first query's work.  Counters now live on the
+:class:`~repro.engine.metrics.Metrics` instance of one execution and are
+flushed into that execution's own root span; the only process-global
+counter (``repro.tools.instrumentation.STATS``) is zeroed between tests
+by the autouse fixture in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import eq
+from repro.core import jn, oj
+from repro.datagen import example1_storage
+from repro.engine.executor import execute
+from repro.observability import tracing
+from repro.tools import instrumentation
+
+
+def _example1_query():
+    return oj(jn("R1", "R2", eq("R1.k", "R2.k")), "R3", eq("R2.j", "R3.j"))
+
+
+def test_back_to_back_queries_report_independent_counts():
+    storage = example1_storage(50)
+    query = _example1_query()
+    with tracing(enabled=True):
+        first = execute(query, storage)
+    with tracing(enabled=True):
+        second = execute(query, storage)
+    # Example 1's good order retrieves exactly 3 tuples — both times.
+    # A leak would make the second query report 6.
+    assert first.metrics.total_retrieved == 3
+    assert second.metrics.total_retrieved == 3
+    assert first.trace.counters["tuples_retrieved"] == 3
+    assert second.trace.counters["tuples_retrieved"] == 3
+
+
+def test_one_tracer_two_queries_separate_roots():
+    storage = example1_storage(50)
+    query = _example1_query()
+    with tracing(enabled=True) as tracer:
+        execute(query, storage)
+        execute(query, storage)
+    roots = [r for r in tracer.roots if r.name == "query.execute"]
+    assert len(roots) == 2
+    assert [r.counters["tuples_retrieved"] for r in roots] == [3, 3]
+
+
+def test_differently_sized_queries_do_not_cross_pollinate():
+    small = example1_storage(10)
+    large = example1_storage(200)
+    query = _example1_query()
+    with tracing(enabled=True):
+        a = execute(query, large)
+    with tracing(enabled=True):
+        b = execute(query, small)
+    # Same plan shape, same accounting: 3 tuples regardless of N — and
+    # b's trace must not have inherited a's operator spans.
+    assert a.metrics.total_retrieved == b.metrics.total_retrieved == 3
+    assert a.trace is not b.trace
+    a_ops = a.trace.find_all("engine.op")
+    b_ops = b.trace.find_all("engine.op")
+    assert len(a_ops) == len(b_ops)
+    assert all(x is not y for x, y in zip(a_ops, b_ops))
+
+
+def test_global_stats_bumped_here_part1():
+    """Deliberately dirty the process-global counter..."""
+    storage = example1_storage(20)
+    execute(_example1_query(), storage)
+    instrumentation.bump("tuples_retrieved", 1000)
+    assert instrumentation.STATS["tuples_retrieved"] >= 1000
+
+
+def test_global_stats_clean_again_part2():
+    """...and the very next test must observe it zeroed (autouse fixture)."""
+    assert instrumentation.STATS["tuples_retrieved"] == 0
+    assert instrumentation.snapshot() == {}
