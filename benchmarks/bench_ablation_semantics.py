@@ -105,7 +105,7 @@ def test_example3_needs_nulls_in_data(benchmark, report):
 
 def test_set_semantics_masks_some_bag_differences(benchmark, report):
     """Bag-vs-set ablation on a multiplicity-sensitive equality."""
-    from repro.algebra import join, outerjoin, set_equal, union_padded
+    from repro.algebra import join, set_equal, union_padded
 
     x = Relation.from_dicts(["X.a"], [{"X.a": 1}, {"X.a": 1}])
     y = Relation.from_dicts(["Y.a"], [{"Y.a": 1}])

@@ -37,7 +37,9 @@ def test_pipeline_beats_written_order(benchmark, report, n):
     query = strong_query()
 
     def run_pipeline():
-        return optimize_and_run(query, storage)
+        # use_cache=False: this scenario times the full pipeline (simplify,
+        # push, certify, DP); cached-plan latency is servicebench's subject.
+        return optimize_and_run(query, storage, use_cache=False)
 
     result, run = benchmark(run_pipeline)
     baseline = execute(query, storage)
@@ -57,7 +59,7 @@ def test_pipeline_blocks_on_isnull(benchmark, report):
     query = isnull_query()
 
     def run_pipeline():
-        return optimize_and_run(query, storage)
+        return optimize_and_run(query, storage, use_cache=False)
 
     result, run = benchmark(run_pipeline)
     baseline = execute(query, storage)
@@ -72,7 +74,7 @@ def test_pipeline_explanation_trace(benchmark, report):
     storage = example1_storage(200)
 
     def explain():
-        result, _run = optimize_and_run(strong_query(), storage)
+        result, _run = optimize_and_run(strong_query(), storage, use_cache=False)
         return result.explain()
 
     text = benchmark(explain)

@@ -11,14 +11,13 @@ from repro.algebra import Comparison, Const, bag_equal, eq
 from repro.core import (
     Restrict,
     apply_referential_integrity,
-    graph_of,
     is_nice,
     oj,
     simplify_outerjoins,
     theorem1_applies,
 )
 from repro.datagen import chain, random_databases
-from repro.engine import Storage, execute
+from repro.engine import Storage
 from repro.optimizer import CardinalityEstimator, CoutCostModel, DPOptimizer
 
 P12 = eq("R1.a", "R2.a")

@@ -7,7 +7,6 @@ patterns fail robustly, not just on adversarial data, and a tool for
 studying new operator classes (Section 6.3's programme).
 """
 
-from repro.core import QueryGraph
 from repro.core.witness import find_witness, minimal_witness
 from repro.datagen import chain, example2_graph, weaken_oj_edge
 

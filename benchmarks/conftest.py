@@ -25,7 +25,21 @@ import os
 
 import pytest
 
+from repro.optimizer.plancache import reset_default_plan_cache
 from repro.tools import instrumentation
+
+
+@pytest.fixture(autouse=True)
+def _reset_plan_cache():
+    """Keep the process-wide plan cache from leaking across scenarios.
+
+    Timed closures that want to measure the *uncached* pipeline pass
+    ``use_cache=False`` explicitly; this fixture only guarantees one
+    scenario's cached plans never warm another's measurements.
+    """
+    reset_default_plan_cache()
+    yield
+    reset_default_plan_cache()
 
 
 def pytest_addoption(parser):

@@ -27,7 +27,6 @@ from repro.core import (
     TriSetting,
     graph_of,
     identity12_proof_steps,
-    is_nice,
     jn,
     oj,
     reassociate_outerjoin_of_join,

@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Mapping
 from typing import Any, FrozenSet, Tuple
 
-from repro.algebra.nulls import NULL, TruthValue, is_null, tv_and, tv_not, tv_or
+from repro.algebra.nulls import TruthValue, is_null, tv_and, tv_not, tv_or
 from repro.util.errors import PredicateError
 
 # ---------------------------------------------------------------------------

@@ -36,6 +36,7 @@ from repro.conformance.fuzz import (
     run_campaign,
     run_case,
 )
+from repro.conformance.plancache_check import PlanCacheReport, check_plan_cache
 from repro.conformance.serialize import (
     case_dumps,
     case_from_json,
@@ -57,12 +58,14 @@ __all__ = [
     "CheckResult",
     "EXECUTOR_TIERS",
     "FuzzCase",
+    "PlanCacheReport",
     "PlanSpaceReport",
     "SQLiteOracle",
     "TranspileError",
     "case_dumps",
     "case_from_json",
     "case_to_json",
+    "check_plan_cache",
     "check_plan_space",
     "cross_check",
     "database_from_json",

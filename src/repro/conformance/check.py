@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.algebra.comparison import RelationDiff, bag_equal, explain_difference
 from repro.algebra.relation import Database, Relation
-from repro.core.expressions import Expression, FullOuterJoin, GeneralizedOuterJoin, Union
+from repro.core.expressions import Expression, FullOuterJoin, Union
 from repro.observability.spans import maybe_span
 from repro.tools import instrumentation
 from repro.util.errors import PlanningError, ReproError

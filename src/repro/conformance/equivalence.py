@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.algebra.comparison import RelationDiff, bag_equal, explain_difference
 from repro.algebra.relation import Database, Relation

@@ -23,7 +23,6 @@ from repro.algebra.predicates import (
     Not,
     Or,
     Predicate,
-    eq,
 )
 from repro.algebra.schema import SchemaRegistry
 from repro.core.expressions import (

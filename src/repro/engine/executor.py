@@ -20,16 +20,23 @@ bit-identical with tracing off (``REPRO_TRACE=0``), which
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.algebra.relation import Relation
+from repro.algebra.tuples import Row
 from repro.core.expressions import Expression
 from repro.engine.iterators import PhysicalOp, trace_plan, untrace_plan
 from repro.engine.metrics import Metrics
 from repro.engine.planner import Planner
 from repro.engine.storage import Storage
 from repro.observability.spans import Span, current_tracer, maybe_span
+from repro.util.cancel import CancelToken
+
+#: Poll the cancel token once per this many rows drained at the plan root
+#: (in addition to the denser evaluation-count polling inside Metrics).
+CANCEL_ROW_MASK = 0x3F  # every 64 rows
 
 
 @dataclass
@@ -52,39 +59,70 @@ class ExecutionResult:
         )
 
 
-def execute_plan(plan: PhysicalOp) -> ExecutionResult:
+def _drain(rows: Iterator[Row], cancel: Optional[CancelToken]) -> Iterator[Row]:
+    """Pass rows through, polling the cancel token every few rows.
+
+    Cancellation is cooperative: the raise unwinds through the operator
+    generators' ``finally`` blocks, so traced spans still finish and no
+    operator is left mid-step.  Build-heavy phases that emit no rows for
+    a long time are covered by the denser poll in ``Metrics.evaluated``.
+    """
+    if cancel is None:
+        yield from rows
+        return
+    cancel.check()
+    n = 0
+    for row in rows:
+        n += 1
+        if not (n & CANCEL_ROW_MASK):
+            cancel.check()
+        yield row
+    cancel.check()
+
+
+def execute_plan(plan: PhysicalOp, cancel: Optional[CancelToken] = None) -> ExecutionResult:
     """Drain a physical plan with a fresh metrics sink.
 
     Traced when a tracer is active: the plan tree is transparently
-    wrapped for per-operator metering and restored afterwards.
+    wrapped for per-operator metering and restored afterwards.  When a
+    ``cancel`` token is given, the drain loop (and the per-query metrics
+    sink) polls it and raises its ``CancellationError`` cooperatively.
     """
-    metrics = Metrics()
+    metrics = Metrics(cancel=cancel)
     tracer = current_tracer()
     if tracer is None:
-        relation = Relation(plan.schema, plan.execute(metrics))
+        relation = Relation(plan.schema, _drain(plan.execute(metrics), cancel))
         return ExecutionResult(relation=relation, metrics=metrics, plan=plan)
 
     with tracer.span("query.execute", category="engine") as root:
         if tracer.trace_operators:
             wrapped, undo = trace_plan(plan, root)
             try:
-                relation = Relation(plan.schema, wrapped.execute(metrics))
+                relation = Relation(plan.schema, _drain(wrapped.execute(metrics), cancel))
             finally:
                 untrace_plan(undo)
         else:
-            relation = Relation(plan.schema, plan.execute(metrics))
+            relation = Relation(plan.schema, _drain(plan.execute(metrics), cancel))
         metrics.flush_to_span(root)
         root.set(rows=len(relation))
     return ExecutionResult(relation=relation, metrics=metrics, plan=plan, trace=root)
 
 
-def execute(expr: Expression, storage: Storage) -> ExecutionResult:
-    """Plan and run a logical expression against the storage."""
+def execute(
+    expr: Expression, storage: Storage, cancel: Optional[CancelToken] = None
+) -> ExecutionResult:
+    """Plan and run a logical expression against the storage.
+
+    Planning is reentrant (the planner is stateless over an immutable
+    expression) and every execution gets its own plan tree and metrics
+    sink, so concurrent ``execute`` calls over one storage share no
+    mutable state — the property :mod:`repro.service` builds on.
+    """
     with maybe_span("query.plan", category="engine") as span:
         plan = Planner(storage).plan(expr)
         if span is not None:
             span.set(plan=plan.span_label())
-    return execute_plan(plan)
+    return execute_plan(plan, cancel=cancel)
 
 
 def verify_against_algebra(expr: Expression, storage: Storage) -> bool:

@@ -22,30 +22,50 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.observability.spans import Span
 from repro.tools import instrumentation
+from repro.util.cancel import CancelToken
+
+#: Poll the cancel token once per this many predicate evaluations — the
+#: densest per-row code path, so deadlines fire inside long operator
+#: builds (hash build, nested-loop inner sweeps), not just between rows
+#: at the plan root.  A power of two keeps the check a cheap mask.
+CANCEL_EVAL_MASK = 0x3FF  # every 1024 evaluations
 
 
 @dataclass
 class Metrics:
-    """Mutable counters shared by the physical operators of one execution."""
+    """Mutable counters shared by the physical operators of one execution.
+
+    A Metrics instance belongs to exactly one query; it is the one object
+    every physical operator touches, which makes it the natural channel
+    for *cooperative cancellation*: when ``cancel`` is set, the hot
+    counters poll it periodically and raise the token's
+    :class:`~repro.util.errors.CancellationError` out of whatever loop
+    the query is in.  Queries without a token pay one attribute test.
+    """
 
     tuples_retrieved: Counter = field(default_factory=Counter)
     index_probes: Counter = field(default_factory=Counter)
     predicate_evaluations: int = 0
     rows_emitted: Counter = field(default_factory=Counter)
+    #: Optional cooperative-cancellation token for this query.
+    cancel: Optional[CancelToken] = None
 
     def retrieved(self, table: str, count: int = 1) -> None:
         """Record base-table tuples handed to the query (Example 1's metric)."""
         self.tuples_retrieved[table] += count
-        instrumentation.STATS["tuples_retrieved"] += count
+        instrumentation.bump("tuples_retrieved", count)
 
     def probed(self, index: str, count: int = 1) -> None:
         self.index_probes[index] += count
 
     def evaluated(self, count: int = 1) -> None:
         self.predicate_evaluations += count
+        if self.cancel is not None and (self.predicate_evaluations & CANCEL_EVAL_MASK) < count:
+            self.cancel.check()
 
     def emitted(self, operator: str, count: int = 1) -> None:
         self.rows_emitted[operator] += count

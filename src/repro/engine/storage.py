@@ -9,9 +9,11 @@ operators so that every base-tuple retrieval is metered.
 
 from __future__ import annotations
 
+import itertools
+import threading
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.algebra.nulls import is_null
 from repro.algebra.relation import Database, Relation
@@ -99,7 +101,13 @@ class Table:
     # -- statistics ------------------------------------------------------------
 
     def stats(self) -> Dict[str, ColumnStats]:
-        """Per-column statistics, computed lazily and cached."""
+        """Per-column statistics, computed lazily and cached.
+
+        The computation takes no lock: concurrent first callers may both
+        compute, but they compute identical immutable dicts and the
+        single attribute store is atomic, so readers always see either
+        None (and compute) or a complete result — never a partial one.
+        """
         if self._stats is None:
             out: Dict[str, ColumnStats] = {}
             for attr in self.schema:
@@ -118,6 +126,12 @@ class Table:
         return Relation(self.schema, self._rows)
 
 
+#: Process-unique identity tokens for Storage instances, so that two
+#: different storages can never present the same generation (even if
+#: their tables happen to share names and version counters).
+_storage_ids = itertools.count(1)
+
+
 class Storage(Mapping[str, Table]):
     """A physical database: tables with disjoint schemes, plus a registry."""
 
@@ -126,6 +140,8 @@ class Storage(Mapping[str, Table]):
         self._registry = SchemaRegistry()
         self._db_cache: Optional[Database] = None
         self._db_cache_key: Optional[tuple] = None
+        self._db_cache_lock = threading.Lock()
+        self._storage_id = next(_storage_ids)
 
     @classmethod
     def from_database(cls, db: Database) -> "Storage":
@@ -162,6 +178,24 @@ class Storage(Mapping[str, Table]):
     def __len__(self) -> int:
         return len(self._tables)
 
+    @property
+    def generation(self) -> Tuple[int, Tuple[Tuple[str, int], ...]]:
+        """A hashable token identifying this storage *instance and state*.
+
+        Composed of the instance's process-unique id and the sorted
+        ``(table, version)`` vector, so the token changes whenever a
+        table is added or any table's data is modified — and two
+        distinct storages never share a token even when their contents
+        coincide.  The plan cache (:mod:`repro.optimizer.plancache`)
+        stamps every entry with it: a generation mismatch invalidates
+        the entry instead of replaying a plan chosen for other
+        statistics.
+        """
+        return (
+            self._storage_id,
+            tuple((name, table.version) for name, table in sorted(self._tables.items())),
+        )
+
     def to_database(self) -> Database:
         """View the storage as an algebra-level database (for oracles).
 
@@ -170,15 +204,17 @@ class Storage(Mapping[str, Table]):
         repeated oracle checks against unchanged data (the conformance
         harness runs many per storage) do not re-materialize every
         relation.  Relations are immutable; callers share the snapshot
-        and must not ``add`` to it.
+        and must not ``add`` to it.  The rebuild is lock-guarded so
+        concurrent queries over one storage share a single snapshot.
         """
         key = tuple((name, table.version) for name, table in sorted(self._tables.items()))
-        if self._db_cache is None or key != self._db_cache_key:
-            from repro.tools import instrumentation
+        with self._db_cache_lock:
+            if self._db_cache is None or key != self._db_cache_key:
+                from repro.tools import instrumentation
 
-            instrumentation.bump("storage_to_database_builds")
-            self._db_cache = Database(
-                {name: table.to_relation() for name, table in self._tables.items()}
-            )
-            self._db_cache_key = key
-        return self._db_cache
+                instrumentation.bump("storage_to_database_builds")
+                self._db_cache = Database(
+                    {name: table.to_relation() for name, table in self._tables.items()}
+                )
+                self._db_cache_key = key
+            return self._db_cache

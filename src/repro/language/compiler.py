@@ -34,7 +34,6 @@ from repro.algebra.predicates import (
     IsNull,
     Not,
     Or,
-    And,
     Predicate,
     conjunction,
 )
@@ -54,7 +53,7 @@ from repro.language.ast_nodes import (
     SelectQuery,
 )
 from repro.language.catalog import Catalog
-from repro.language.objectstore import ObjectStore, oid_attr
+from repro.language.objectstore import ObjectStore
 from repro.language.parser import parse
 from repro.util.errors import CatalogError, GraphUndefinedError, ParseError
 

@@ -25,7 +25,7 @@ the last precondition of Section 5.3's free-reorderability proof.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.algebra.nulls import NULL
 from repro.algebra.predicates import CustomPredicate

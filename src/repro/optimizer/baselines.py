@@ -27,7 +27,6 @@ from repro.core.expressions import (
     Rel,
     RightOuterJoin,
 )
-from repro.core.graph import graph_of
 from repro.optimizer.cost import CostModel
 from repro.optimizer.dp import DPOptimizer
 from repro.optimizer.plans import Plan

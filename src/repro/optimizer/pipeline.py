@@ -39,6 +39,8 @@ from repro.observability.spans import maybe_span
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost import CostModel, CoutCostModel, RetrievalCostModel
 from repro.optimizer.dp import DPOptimizer
+from repro.optimizer.fingerprint import plan_cache_key
+from repro.optimizer.plancache import PlanCache, active_plan_cache
 
 
 @dataclass
@@ -55,6 +57,11 @@ class PipelineResult:
     placements: List[str] = field(default_factory=list)
     blocked: List[str] = field(default_factory=list)
     graph: Optional[QueryGraph] = None
+    #: Canonical plan-cache key (graph + pushed filters + cost model);
+    #: None when the query never reached the graph stage.
+    fingerprint: Optional[str] = None
+    #: True when the chosen plan (or verdict) was replayed from the cache.
+    cache_hit: bool = False
 
     def explain(self) -> str:
         lines = [f"original:   {self.original.to_infix()}"]
@@ -139,16 +146,35 @@ def optimize_query(
     query: Expression,
     storage: Storage,
     cost_model: str = "retrieval",
+    cache: Optional[PlanCache] = None,
+    use_cache: bool = True,
 ) -> PipelineResult:
-    """Run the full Section-4 + Section-6.1 pipeline (see module docs)."""
-    with maybe_span("optimizer.pipeline", category="optimizer", cost_model=cost_model):
-        return _optimize_query(query, storage, cost_model)
+    """Run the full Section-4 + Section-6.1 pipeline (see module docs).
+
+    Plan caching: once the query's graph and pushed leaf filters are
+    known, their canonical fingerprint is looked up in ``cache`` (the
+    process default when None; pass ``use_cache=False`` to bypass
+    entirely).  A hit stamped with the storage's current generation
+    skips the niceness certificate, the statistics view, and the DP —
+    replaying the cached implementing tree, which Theorem 1 makes
+    interchangeable with any other valid tree of the same (nice, strong)
+    graph.  A generation mismatch invalidates the entry instead.
+    """
+    if use_cache and cache is None:
+        cache = active_plan_cache()
+    with maybe_span("optimizer.pipeline", category="optimizer", cost_model=cost_model) as span:
+        result = _optimize_query(query, storage, cost_model, cache if use_cache else None)
+        if span is not None and result.fingerprint is not None:
+            span.set(fingerprint=result.fingerprint)
+            span.counters["plan_cache_hit" if result.cache_hit else "plan_cache_miss"] += 1
+        return result
 
 
 def _optimize_query(
     query: Expression,
     storage: Storage,
     cost_model: str,
+    cache: Optional[PlanCache],
 ) -> PipelineResult:
     registry = storage.registry
     with maybe_span("optimizer.simplify", category="optimizer") as span:
@@ -184,6 +210,26 @@ def _optimize_query(
     except Exception:
         return result
     result.graph = graph
+    result.fingerprint = plan_cache_key(graph, filters, cost_model)
+
+    generation = storage.generation
+    if cache is not None:
+        hit = cache.lookup(result.fingerprint, generation)
+        if hit is not None:
+            # Replay: the fingerprint pins graph, filters, and cost
+            # model; the generation stamp pins the statistics.  For a
+            # freely-reorderable graph the cached entry carries the
+            # chosen tree; otherwise only the (graph-determined)
+            # verdict, because non-nice trees are NOT interchangeable
+            # and the written order must stand.
+            verdict, chosen = hit
+            result.verdict = verdict
+            result.cache_hit = True
+            if chosen is not None:
+                result.chosen = chosen
+                result.reordered = True
+            return result
+
     with maybe_span("optimizer.niceness", category="optimizer") as span:
         verdict = theorem1_applies(graph, registry)
         if span is not None:
@@ -193,6 +239,8 @@ def _optimize_query(
             )
     result.verdict = verdict
     if not verdict.freely_reorderable:
+        if cache is not None:
+            cache.store(result.fingerprint, generation, (verdict, None))
         return result
 
     stats_view = _filtered_storage(storage, filters)
@@ -207,13 +255,21 @@ def _optimize_query(
     plan = DPOptimizer(graph, model).optimize()
     result.chosen = _reattach_filters(plan.expr, filters)
     result.reordered = True
+    if cache is not None:
+        cache.store(result.fingerprint, generation, (verdict, result.chosen))
     return result
 
 
 def optimize_and_run(
-    query: Expression, storage: Storage, cost_model: str = "retrieval"
+    query: Expression,
+    storage: Storage,
+    cost_model: str = "retrieval",
+    cache: Optional[PlanCache] = None,
+    use_cache: bool = True,
 ) -> tuple[PipelineResult, ExecutionResult]:
     """Optimize, execute the chosen plan, return both records."""
-    result = optimize_query(query, storage, cost_model=cost_model)
+    result = optimize_query(
+        query, storage, cost_model=cost_model, cache=cache, use_cache=use_cache
+    )
     execution = execute(result.chosen, storage)
     return result, execution

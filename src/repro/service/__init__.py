@@ -1,0 +1,15 @@
+"""Concurrent query serving: worker pool, plan caching, deadlines, shedding."""
+
+from repro.service.service import (
+    STATUSES,
+    QueryOutcome,
+    QueryService,
+    QueryTicket,
+)
+
+__all__ = [
+    "STATUSES",
+    "QueryOutcome",
+    "QueryService",
+    "QueryTicket",
+]

@@ -27,6 +27,10 @@ SCHEMA_RELPATH = Path("docs") / "bench_report.schema.json"
 #: Path of the checked-in trace-document schema (see repro.observability).
 TRACE_SCHEMA_RELPATH = Path("docs") / "trace.schema.json"
 
+#: Path of the checked-in service-benchmark schema (BENCH_PR4 artifacts,
+#: written by :mod:`repro.tools.servicebench`).
+SERVICEBENCH_SCHEMA_RELPATH = Path("docs") / "servicebench.schema.json"
+
 #: Schema keywords the validator understands.  Annotation-only keywords are
 #: accepted and skipped; anything unknown is an error.
 _ANNOTATIONS = {"$schema", "title", "description"}
@@ -135,3 +139,20 @@ def validate_trace(document: Any, root: Path | None = None) -> None:
     errors = validate(document, load_schema(root, TRACE_SCHEMA_RELPATH))
     if errors:
         raise SchemaValidationError(errors)
+
+
+def validate_servicebench_report(document: Any, root: Path | None = None) -> None:
+    """Raise :class:`SchemaValidationError` unless ``document`` is a valid
+    service-benchmark artifact (``docs/servicebench.schema.json``)."""
+    errors = validate(document, load_schema(root, SERVICEBENCH_SCHEMA_RELPATH))
+    if errors:
+        raise SchemaValidationError(errors)
+
+
+def is_servicebench_report(document: Any) -> bool:
+    """Dispatch helper: does this look like a BENCH_PR4 service artifact?"""
+    return (
+        isinstance(document, dict)
+        and isinstance(document.get("meta"), dict)
+        and document["meta"].get("artifact") == "BENCH_PR4"
+    )

@@ -1,17 +1,20 @@
 """Command-line front end for the differential conformance harness.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro.tools.conformance fuzz --cases 1000 --seed 0
     python -m repro.tools.conformance replay artifacts/repros/repro-123.json
     python -m repro.tools.conformance planspace --scenario figure2 --seed 3
+    python -m repro.tools.conformance plancache --cases 200 --seed 0
 
 ``fuzz`` runs a fixed-seed differential campaign across the executor
 tiers, shrinking any disagreement to a minimal reproducer JSON under
 ``--artifacts`` (default ``artifacts/repros``).  ``replay`` re-runs one
 such artifact and prints the per-tier verdict.  ``planspace`` checks
 Theorem 1 executably: every implementing tree of the chosen scenario and
-every optimizer's output must agree on a random database.
+every optimizer's output must agree on a random database.  ``plancache``
+checks the plan cache the same way: replayed (cached) plans must be
+bag-equal to the naive oracle on randomized queries.
 
 Exit status is 0 iff every check agreed — CI wires the fuzz smoke
 directly to this.
@@ -25,6 +28,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro.conformance import (
     EXECUTOR_TIERS,
+    check_plan_cache,
     check_plan_space,
     replay_artifact,
     run_campaign,
@@ -110,6 +114,12 @@ def cmd_planspace(args: argparse.Namespace, out) -> int:
     return status
 
 
+def cmd_plancache(args: argparse.Namespace, out) -> int:
+    report = check_plan_cache(cases=args.cases, seed=args.seed)
+    print(report.summary(), file=out)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = argparse.ArgumentParser(
@@ -152,6 +162,13 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "--max-trees", type=int, default=2000, help="enumeration cap per graph (default 2000)"
     )
     planspace.set_defaults(func=cmd_planspace)
+
+    plancache = sub.add_parser(
+        "plancache", help="check cached-plan replay is bag-equal to the naive oracle"
+    )
+    plancache.add_argument("--cases", type=int, default=200, help="number of cases (default 200)")
+    plancache.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    plancache.set_defaults(func=cmd_plancache)
 
     args = parser.parse_args(argv)
     return args.func(args, out)

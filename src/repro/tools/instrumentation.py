@@ -9,10 +9,21 @@ it at session end when ``REPRO_BENCH_STATS_FILE`` is set.
 
 Counters are advisory telemetry only: nothing in the library reads them
 back, so a stale or zeroed counter can never change results.
+
+Thread safety: the sink is shared by every in-flight query, and
+``Counter.__iadd__`` on an item is a read-modify-write that the GIL does
+*not* make atomic — two racing queries could lose increments.  All
+mutation therefore goes through :func:`bump` (and :func:`reset`), which
+serialize under one lock; ``tests/test_stats_threadsafety.py`` hammers
+the contract.  Reads (:func:`snapshot`, :func:`delta`) take the same
+lock so they never observe a torn multi-key update.  Direct subscript
+*reads* of :data:`STATS` remain fine; direct subscript *writes* are the
+bug this module's lock exists to prevent — use :func:`bump`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Dict
 
@@ -29,23 +40,37 @@ from typing import Dict
 #: ``shrink_runs``             (counterexample minimizations),
 #: ``planspace_checks``        (plan-space equivalence sweeps),
 #: ``planspace_mismatches``    (non-equivalent trees found),
-#: ``storage_to_database_builds`` (oracle-view cache misses).
+#: ``storage_to_database_builds`` (oracle-view cache misses),
+#: ``plan_cache_hits``         (optimizer plan-cache hits),
+#: ``plan_cache_misses``       (optimizer plan-cache misses),
+#: ``plan_cache_invalidations`` (entries dropped on generation change),
+#: ``plan_cache_evictions``    (entries dropped by LRU pressure),
+#: ``service_queries``         (queries admitted by a QueryService),
+#: ``service_rejected``        (queries shed at admission),
+#: ``service_timeouts``        (queries cancelled by deadline),
+#: ``service_cancelled``       (queries cancelled by the caller).
 STATS: Counter = Counter()
+
+#: One lock serializes every mutation of :data:`STATS`; see module docs.
+_lock = threading.Lock()
 
 
 def bump(key: str, count: int = 1) -> None:
-    """Add to one counter."""
-    STATS[key] += count
+    """Add to one counter (thread-safe)."""
+    with _lock:
+        STATS[key] += count
 
 
 def snapshot() -> Dict[str, int]:
-    """A plain-dict copy of the current counters."""
-    return dict(STATS)
+    """A plain-dict copy of the current counters (thread-safe)."""
+    with _lock:
+        return dict(STATS)
 
 
 def reset() -> None:
     """Zero all counters (the bench runner calls this between scenarios)."""
-    STATS.clear()
+    with _lock:
+        STATS.clear()
 
 
 def delta(before: Dict[str, int]) -> Dict[str, int]:

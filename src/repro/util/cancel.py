@@ -1,0 +1,71 @@
+"""Cooperative cancellation tokens for query execution.
+
+A :class:`CancelToken` carries two stop conditions: an explicit
+:meth:`cancel` flag (set by any thread) and an optional monotonic
+deadline.  Execution code *polls* the token at safe points — the
+engine's iterator loop checks it between row batches, and the per-query
+:class:`~repro.engine.metrics.Metrics` sink checks it deep inside
+operator build phases — and raises the appropriate
+:class:`~repro.util.errors.CancellationError` subclass.  Cancellation is
+therefore cooperative and loses no invariants: generators unwind through
+their ``finally`` blocks, traced spans finish, and no partial result
+escapes.
+
+The token is intentionally tiny and lock-free: ``cancel()`` writes one
+attribute (atomic under the GIL) and polling reads two.  ``Event`` is
+avoided because a poll must never block.
+"""
+
+from __future__ import annotations
+
+from time import monotonic
+from typing import Optional
+
+from repro.util.errors import QueryCancelledError, QueryTimeoutError
+
+
+class CancelToken:
+    """A poll-based stop signal with an optional deadline.
+
+    ``timeout_s`` arms a deadline ``timeout_s`` seconds from construction
+    (monotonic clock).  ``check()`` raises; ``should_stop()`` just
+    answers.  Both are safe to call from any thread, any number of times.
+    """
+
+    __slots__ = ("_cancelled", "deadline")
+
+    def __init__(self, timeout_s: Optional[float] = None):
+        self._cancelled = False
+        self.deadline: Optional[float] = None if timeout_s is None else monotonic() + timeout_s
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (idempotent)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and monotonic() >= self.deadline
+
+    def remaining_s(self) -> Optional[float]:
+        """Seconds until the deadline (never negative), or None."""
+        if self.deadline is None:
+            return None
+        return max(self.deadline - monotonic(), 0.0)
+
+    def should_stop(self) -> bool:
+        return self._cancelled or self.expired
+
+    def check(self) -> None:
+        """Raise if the token demands a stop; otherwise return cheaply.
+
+        Explicit cancellation wins over an expired deadline when both
+        hold, because the caller's intent is the more specific signal.
+        """
+        if self._cancelled:
+            raise QueryCancelledError("query cancelled")
+        if self.expired:
+            raise QueryTimeoutError("query deadline exceeded")

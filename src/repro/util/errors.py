@@ -66,5 +66,29 @@ class CatalogError(ReproError):
     """An entity type, field, or relation is missing from the catalog."""
 
 
+class CancellationError(ReproError):
+    """A query stopped before completion (base of timeout/cancel)."""
+
+
+class QueryCancelledError(CancellationError):
+    """A query was cooperatively cancelled by its caller."""
+
+
+class QueryTimeoutError(CancellationError):
+    """A query exceeded its deadline and was cooperatively stopped."""
+
+
+class ServiceError(ReproError):
+    """Base class for query-service failures (admission, lifecycle)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded admission queue was full; the query was shed."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shut down and accepts no further queries."""
+
+
 class EvaluationError(ReproError):
     """Evaluation of an expression failed (e.g., unknown relation variable)."""

@@ -7,6 +7,7 @@ import pytest
 from repro.algebra import Database, Relation, SchemaRegistry, eq
 from repro.datagen import random_databases
 from repro.observability.spans import default_tracer
+from repro.optimizer.plancache import reset_default_plan_cache
 from repro.tools import instrumentation
 
 
@@ -14,16 +15,19 @@ from repro.tools import instrumentation
 def _reset_process_counters():
     """Isolate every test from process-global observability state.
 
-    The advisory :data:`repro.tools.instrumentation.STATS` counter and the
-    default tracer's retained roots are the only process-global sinks; a
-    test must never see counts left behind by an earlier test (see
+    The advisory :data:`repro.tools.instrumentation.STATS` counter, the
+    default tracer's retained roots, and the process-wide plan cache are
+    the only process-global sinks; a test must never see counts (or
+    cached plans) left behind by an earlier test (see
     ``tests/test_metrics_isolation.py``, which asserts this contract).
     """
     instrumentation.reset()
     default_tracer().clear()
+    reset_default_plan_cache()
     yield
     instrumentation.reset()
     default_tracer().clear()
+    reset_default_plan_cache()
 
 
 @pytest.fixture

@@ -8,9 +8,11 @@ import pytest
 
 from repro.tools.benchschema import (
     SchemaValidationError,
+    is_servicebench_report,
     load_schema,
     validate,
     validate_report,
+    validate_servicebench_report,
 )
 from repro.util.errors import ReproError
 
@@ -64,10 +66,24 @@ def test_null_speedup_is_allowed():
 
 
 def test_checked_in_bench_report_validates():
+    """Every checked-in artifact validates against its own schema.
+
+    ``meta.artifact == "BENCH_PR4"`` marks a service-benchmark artifact
+    (``docs/servicebench.schema.json``); everything else is a benchrunner
+    report (``docs/bench_report.schema.json``).
+    """
     candidates = sorted(ROOT.glob("BENCH_*.json"))
     assert candidates, "expected a checked-in BENCH_*.json report"
+    kinds = set()
     for path in candidates:
-        validate_report(json.loads(path.read_text()), root=ROOT)
+        document = json.loads(path.read_text())
+        if is_servicebench_report(document):
+            validate_servicebench_report(document, root=ROOT)
+            kinds.add("service")
+        else:
+            validate_report(document, root=ROOT)
+            kinds.add("benchrunner")
+    assert kinds == {"service", "benchrunner"}
 
 
 @pytest.mark.parametrize(

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra import NULL, Comparison, Row, eq, gt
+from repro.algebra import NULL, Comparison, eq, gt
 from repro.engine import (
     Filter,
     HashJoin,

@@ -7,7 +7,6 @@ stdout captured, and a few landmark strings are asserted.
 
 import importlib.util
 import io
-import sys
 from contextlib import redirect_stdout
 from pathlib import Path
 

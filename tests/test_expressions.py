@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.algebra import Database, NULL, Relation, SchemaRegistry, eq
+from repro.algebra import Database, NULL, Relation, eq
 from repro.core import (
-    Join,
     LeftOuterJoin,
     Rel,
     Restrict,

@@ -1,0 +1,162 @@
+"""Canonical fingerprints: order-insensitive, structure-sensitive.
+
+The cache key must collapse every accident of how a query was *written*
+(operand order, conjunct order, edge listing order) while separating
+every difference that *matters* (edge kind, direction, predicate
+structure, node set, pushed filters, cost model).  These tests pin both
+directions, with a hypothesis sweep over random graph scenarios for the
+invariance half.
+"""
+
+from __future__ import annotations
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import eq
+from repro.algebra.predicates import Comparison
+from repro.core import graph_of, sample_implementing_tree
+from repro.core.graph import QueryGraph
+from repro.datagen import chain, figure2_graph, random_nice_graph, random_scenario
+from repro.optimizer import graph_fingerprint, plan_cache_key, predicate_signature
+from repro.optimizer.fingerprint import canonical_lines
+from repro.util.rng import make_rng
+
+P12 = eq("R1.a", "R2.a")
+P23 = eq("R2.a", "R3.a")
+P13 = eq("R1.b", "R3.b")
+
+
+def shuffled_copy(graph: QueryGraph, rng: random.Random) -> QueryGraph:
+    """The same graph rebuilt with every edge list order permuted."""
+    joins = [(*sorted(pair), p) for pair, p in graph.join_edges.items()]
+    ojs = [(u, v, p) for (u, v), p in graph.oj_edges.items()]
+    rng.shuffle(joins)
+    rng.shuffle(ojs)
+    isolated = list(graph.nodes)
+    rng.shuffle(isolated)
+    return QueryGraph.from_edges(join=joins, oj=ojs, isolated=isolated)
+
+
+# -- invariance ---------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_fingerprint_invariant_under_edge_and_node_reordering(seed):
+    rng = make_rng(seed)
+    scenario = random_scenario(rng)
+    baseline = graph_fingerprint(scenario.graph)
+    for _ in range(3):
+        assert graph_fingerprint(shuffled_copy(scenario.graph, rng)) == baseline
+
+
+def test_fingerprint_invariant_under_conjunct_reordering():
+    forward = QueryGraph.from_edges(join=[("R1", "R2", P12), ("R1", "R2", P13)])
+    backward = QueryGraph.from_edges(join=[("R1", "R2", P13), ("R1", "R2", P12)])
+    assert graph_fingerprint(forward) == graph_fingerprint(backward)
+    # The collapsed-edge signature itself sorts its conjuncts.
+    (pred,) = forward.join_edges.values()
+    (pred_rev,) = backward.join_edges.values()
+    assert predicate_signature(pred) == predicate_signature(pred_rev)
+
+
+def test_fingerprint_invariant_under_filter_dict_order():
+    graph = chain(3, ["join", "out"]).graph
+    f1 = Comparison("R1.a", "<=", 1)
+    f2 = Comparison("R2.b", "=", 0)
+    a = graph_fingerprint(graph, {"R1": [f1], "R2": [f2]})
+    b = graph_fingerprint(graph, {"R2": [f2], "R1": [f1]})
+    assert a == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_implementing_trees_of_one_nice_graph_share_a_fingerprint(seed):
+    """Written operator order leaves no trace: graph(T) fingerprints equal."""
+    rng = make_rng(seed)
+    scenario = random_nice_graph(rng.randint(1, 3), rng.randint(1, 2), seed=rng)
+    registry = scenario.registry
+    prints = set()
+    for _ in range(4):
+        tree = sample_implementing_tree(scenario.graph, rng)
+        prints.add(graph_fingerprint(graph_of(tree, registry)))
+    assert len(prints) == 1
+
+
+# -- distinctness -------------------------------------------------------------
+
+
+def test_edge_kind_and_direction_distinguish():
+    join_g = QueryGraph.from_edges(join=[("R1", "R2", P12)])
+    oj_g = QueryGraph.from_edges(oj=[("R1", "R2", P12)])
+    oj_flipped = QueryGraph.from_edges(oj=[("R2", "R1", P12)])
+    prints = {
+        graph_fingerprint(join_g),
+        graph_fingerprint(oj_g),
+        graph_fingerprint(oj_flipped),
+    }
+    assert len(prints) == 3
+
+
+def test_node_names_and_extra_nodes_distinguish():
+    base = QueryGraph.from_edges(join=[("R1", "R2", P12)])
+    renamed = QueryGraph.from_edges(join=[("R1", "R9", eq("R1.a", "R9.a"))])
+    widened = QueryGraph.from_edges(join=[("R1", "R2", P12)], isolated=["R3"])
+    prints = {graph_fingerprint(g) for g in (base, renamed, widened)}
+    assert len(prints) == 3
+
+
+def test_predicate_structure_distinguishes():
+    lt = QueryGraph.from_edges(join=[("R1", "R2", Comparison("R1.a", "<", "R2.a"))])
+    le = QueryGraph.from_edges(join=[("R1", "R2", Comparison("R1.a", "<=", "R2.a"))])
+    assert graph_fingerprint(lt) != graph_fingerprint(le)
+
+
+def test_filters_and_cost_model_distinguish_cache_keys():
+    graph = figure2_graph().graph
+    f = Comparison("A.a", "=", 1)
+    assert graph_fingerprint(graph) != graph_fingerprint(graph, {"A": [f]})
+    assert plan_cache_key(graph, None, "retrieval") != plan_cache_key(graph, None, "cout")
+
+
+def test_nonisomorphic_random_graphs_rarely_collide():
+    """A pool of distinct random scenarios yields pairwise-distinct digests."""
+    rng = make_rng(99)
+    prints = {}
+    for _ in range(120):
+        scenario = random_scenario(rng)
+        fp = graph_fingerprint(scenario.graph)
+        lines = tuple(canonical_lines(scenario.graph))
+        if fp in prints:
+            # Same digest must mean same canonical description.
+            assert prints[fp] == lines
+        prints[fp] = lines
+
+
+# -- stability ----------------------------------------------------------------
+
+
+def test_fingerprint_is_not_python_hash_dependent():
+    """Digests come from structural reprs, so they repeat within a run and
+    have the documented length; ``PYTHONHASHSEED`` cannot perturb them."""
+    graph = figure2_graph().graph
+    first = graph_fingerprint(graph)
+    assert first == graph_fingerprint(graph)
+    assert len(first) == 32 and all(c in "0123456789abcdef" for c in first)
+
+
+def test_canonical_lines_are_sorted_and_complete():
+    scenario = chain(3, ["join", "out"], name="c")
+    lines = canonical_lines(scenario.graph)
+    assert lines == sorted(lines)
+    kinds = {line.split(":", 1)[0] for line in lines}
+    assert kinds == {"node", "join", "oj"}
+    assert sum(1 for line in lines if line.startswith("node:")) == 3
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -10,7 +10,6 @@ from repro.algebra import (
     bag_equal,
     eq,
     full_outerjoin,
-    join,
     outerjoin,
     union_padded,
 )

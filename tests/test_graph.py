@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra import And, SchemaRegistry, conjunction, eq
+from repro.algebra import And, SchemaRegistry, eq
 from repro.core import QueryGraph, aj, graph_of, jn, oj, rel, roj
 from repro.util.errors import GraphUndefinedError
 

@@ -7,7 +7,6 @@ from repro.core import implementing_trees
 from repro.datagen import section5_catalog, section5_store
 from repro.language import (
     Catalog,
-    Compiler,
     ObjectStore,
     compile_query,
     parse,

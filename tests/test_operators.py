@@ -9,7 +9,6 @@ import pytest
 from repro.algebra import (
     NULL,
     Relation,
-    Row,
     antijoin,
     bag_equal,
     cross,

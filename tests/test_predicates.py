@@ -9,7 +9,6 @@ import pytest
 from repro.algebra import (
     NULL,
     And,
-    AttrRef,
     Comparison,
     Const,
     CustomPredicate,

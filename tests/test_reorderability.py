@@ -13,7 +13,6 @@ from repro.algebra import And, Comparison, Const, IsNull, Or, eq
 from repro.core import (
     QueryGraph,
     brute_force_check,
-    graph_of,
     is_freely_reorderable,
     jn,
     oj,

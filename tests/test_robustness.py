@@ -6,7 +6,6 @@ memory explosions in closures) surface as failures rather than as user
 pain.
 """
 
-import pytest
 
 from repro.algebra import bag_equal, eq
 from repro.core import (

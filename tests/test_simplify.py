@@ -17,7 +17,6 @@ from repro.core import (
     LeftOuterJoin,
     Restrict,
     apply_referential_integrity,
-    graph_of,
     is_nice,
     jn,
     oj,

@@ -131,7 +131,11 @@ class TestBenchReportSchema:
 
         root = Path(__file__).resolve().parents[1]
         for report_path in sorted(root.glob("BENCH_*.json")):
-            benchschema.validate_report(json.loads(report_path.read_text()))
+            document = json.loads(report_path.read_text())
+            if benchschema.is_servicebench_report(document):
+                benchschema.validate_servicebench_report(document)
+            else:
+                benchschema.validate_report(document)
 
     def test_checked_in_overhead_below_acceptance_bar(self):
         """BENCH_PR3.json's overall ambient-tracing overhead stays < 5%.

@@ -11,7 +11,6 @@ import pytest
 from repro.algebra import eq
 from repro.core import (
     count_implementing_trees,
-    graph_of,
     implementing_trees,
     is_nice,
     jn,
