@@ -13,6 +13,11 @@ tier                    route
 ``"engine"``            physical planner + iterators, hash equi-joins
 ``"engine-merge"``      physical planner + iterators, merge equi-joins
 ``"sqlite"``            transpiled SQL on stdlib sqlite3 (external oracle)
+``"parallel"``          algebra operators dispatched through the
+                        morsel-driven partitioned executor
+                        (:mod:`repro.engine.parallel`), pinned to
+                        ``workers=2, partitions=3, min_rows=0`` for
+                        deterministic small-input coverage
 ======================  =====================================================
 
 :func:`cross_check` runs a query through any subset of tiers and demands
@@ -45,6 +50,7 @@ EXECUTOR_TIERS: Tuple[str, ...] = (
     "engine",
     "engine-merge",
     "sqlite",
+    "parallel",
 )
 
 _ENGINE_TIERS = frozenset({"engine", "engine-merge"})
@@ -95,6 +101,15 @@ def run_executor(
             return expr.eval(db)
     if name == "algebra":
         return expr.eval(db)
+    if name == "parallel":
+        from repro.engine.parallel.config import using_config
+        from repro.util.fastpath import parallel_mode
+
+        # Odd partition count on purpose: uneven buckets exercise the
+        # skew/merge path; min_rows=0 defeats the small-input gate so the
+        # fuzzer's tiny relations actually take the partitioned route.
+        with parallel_mode(True), using_config(workers=2, partitions=3, min_rows=0):
+            return expr.eval(db)
     if name in _ENGINE_TIERS:
         from repro.engine.executor import execute_plan
         from repro.engine.planner import Planner

@@ -1,0 +1,85 @@
+"""Morsel-driven parallel join execution with memory-bounded spill.
+
+The package splits into five small layers:
+
+* :mod:`~repro.engine.parallel.pool` — deterministic worker pools and the
+  process-wide :class:`WorkerLedger` (max-total-workers invariant);
+* :mod:`~repro.engine.parallel.budget` — :class:`MemoryBudget` metering
+  with the ``REPRO_MEMORY_BUDGET`` env contract;
+* :mod:`~repro.engine.parallel.spill` — :class:`PartitionBuffer`, the
+  memory→spilled→closed grace-hash state machine over tempfiles;
+* :mod:`~repro.engine.parallel.partition` — radix partitioning with the
+  dedicated null partition;
+* :mod:`~repro.engine.parallel.joins` — per-partition build/probe kernels
+  for all join variants and the :func:`parallel_counts` driver.
+
+The enable switch is :func:`repro.util.fastpath.parallel_enabled`
+(``REPRO_PARALLEL=1``); the algebra operators and the engine's
+``ParallelHashJoin`` both dispatch through :func:`parallel_counts`.
+"""
+
+from repro.engine.parallel.budget import (
+    BUDGET_ENV,
+    MemoryBudget,
+    env_budget_bytes,
+    parse_budget,
+    process_budget,
+    reset_process_budget,
+    row_bytes,
+)
+from repro.engine.parallel.config import (
+    DEFAULT_MIN_ROWS,
+    DEFAULT_PARTITIONS,
+    ParallelConfig,
+    current_config,
+    set_config,
+    using_config,
+)
+from repro.engine.parallel.joins import VARIANTS, parallel_counts, run_partition_task
+from repro.engine.parallel.partition import partition_counts
+from repro.engine.parallel.pool import (
+    DEFAULT_MAX_TOTAL,
+    DEFAULT_WORKERS,
+    GLOBAL_LEDGER,
+    MAX_TOTAL_ENV,
+    WORKERS_ENV,
+    WorkerLedger,
+    WorkerPool,
+    max_total_workers,
+    reset_shared_pool,
+    resolve_workers,
+    shared_pool,
+)
+from repro.engine.parallel.spill import PartitionBuffer
+
+__all__ = [
+    "BUDGET_ENV",
+    "DEFAULT_MAX_TOTAL",
+    "DEFAULT_MIN_ROWS",
+    "DEFAULT_PARTITIONS",
+    "DEFAULT_WORKERS",
+    "GLOBAL_LEDGER",
+    "MAX_TOTAL_ENV",
+    "MemoryBudget",
+    "ParallelConfig",
+    "PartitionBuffer",
+    "VARIANTS",
+    "WORKERS_ENV",
+    "WorkerLedger",
+    "WorkerPool",
+    "current_config",
+    "env_budget_bytes",
+    "max_total_workers",
+    "parallel_counts",
+    "parse_budget",
+    "partition_counts",
+    "process_budget",
+    "reset_process_budget",
+    "reset_shared_pool",
+    "resolve_workers",
+    "row_bytes",
+    "run_partition_task",
+    "set_config",
+    "shared_pool",
+    "using_config",
+]

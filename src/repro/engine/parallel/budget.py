@@ -1,0 +1,210 @@
+"""Per-operator memory budgets that degrade to spill instead of OOMing.
+
+A :class:`MemoryBudget` meters the bytes an operator's in-memory state is
+allowed to hold.  Consumers call :meth:`try_reserve` before growing a
+buffer; a ``False`` answer is not an error but a *degrade signal* — the
+caller moves the buffer to a grace-hash spill file (see
+:mod:`repro.engine.parallel.spill`) and releases the bytes it was
+holding.  The budget therefore never raises on exhaustion; it converts
+"would OOM" into "runs slower off tempfiles", which is the contract the
+low-memory CI job (``REPRO_MEMORY_BUDGET=8MB``) exercises on every PR.
+
+Sizing uses :func:`row_bytes`, a deliberately simple estimator
+(``sys.getsizeof`` over the row mapping's keys and values, memoized per
+scheme for the fixed per-row overhead).  The estimate only has to be
+*monotone* — more/bigger rows cost more — for the degrade decision to be
+sound; bag-equality of results never depends on it.
+
+Budgets form a two-level hierarchy mirroring PR 3's mem high-water
+accounting: one process budget (:func:`process_budget`, sized by the
+``REPRO_MEMORY_BUDGET`` env var, e.g. ``8MB``; unset means unlimited)
+and per-operator child budgets that draw from it.  High-water marks are
+tracked at both levels and flow into the ``mem_budget_*`` span counters.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Dict, Mapping, Optional
+
+from repro.util.errors import ReproError
+
+#: Environment variable holding the process memory budget (e.g. "8MB").
+BUDGET_ENV = "REPRO_MEMORY_BUDGET"
+
+_UNITS = {
+    "B": 1,
+    "KB": 1024,
+    "MB": 1024 * 1024,
+    "GB": 1024 * 1024 * 1024,
+}
+
+
+def parse_budget(text: str) -> Optional[int]:
+    """Parse ``"8MB"`` / ``"512kb"`` / ``"1048576"`` into bytes.
+
+    Empty / ``"0"`` / ``"unlimited"`` / ``"none"`` mean no budget (None).
+    """
+    raw = text.strip()
+    if not raw or raw.lower() in ("unlimited", "none", "off"):
+        return None
+    upper = raw.upper().replace(" ", "")
+    for unit in ("GB", "MB", "KB", "B"):
+        if upper.endswith(unit):
+            number = upper[: -len(unit)]
+            break
+    else:
+        unit, number = "B", upper
+    try:
+        value = float(number)
+    except ValueError:
+        raise ReproError(f"cannot parse memory budget {text!r}") from None
+    if value < 0:
+        raise ReproError(f"memory budget must be >= 0, got {text!r}")
+    total = int(value * _UNITS[unit])
+    return total if total > 0 else None
+
+
+def env_budget_bytes() -> Optional[int]:
+    """The process budget named by ``REPRO_MEMORY_BUDGET``, in bytes."""
+    return parse_budget(os.environ.get(BUDGET_ENV, ""))
+
+
+class MemoryBudget:
+    """A byte meter with reserve/release accounting and a high-water mark.
+
+    ``limit=None`` means unlimited: every reservation succeeds but usage
+    and high-water are still tracked (that is what feeds the observability
+    counters when no budget is set).  A child budget forwards every
+    reservation to its parent, so one process-wide ceiling bounds the sum
+    of all per-operator states.
+    """
+
+    def __init__(
+        self,
+        limit: Optional[int] = None,
+        name: str = "budget",
+        parent: Optional["MemoryBudget"] = None,
+    ):
+        if limit is not None and limit < 0:
+            raise ReproError(f"memory budget limit must be >= 0, got {limit}")
+        self.name = name
+        self.limit = limit
+        self.parent = parent
+        self._used = 0
+        self._high_water = 0
+        self._spill_signals = 0
+        self._lock = threading.Lock()
+
+    def child(self, name: str, limit: Optional[int] = None) -> "MemoryBudget":
+        """A per-operator budget drawing from this one."""
+        return MemoryBudget(limit=limit, name=name, parent=self)
+
+    def try_reserve(self, nbytes: int) -> bool:
+        """Reserve ``nbytes`` if they fit (here and in every ancestor).
+
+        On ``False`` nothing is reserved anywhere — the caller should
+        spill and release what it already holds.
+        """
+        if nbytes < 0:
+            raise ReproError(f"cannot reserve negative bytes ({nbytes})")
+        with self._lock:
+            if self.limit is not None and self._used + nbytes > self.limit:
+                self._spill_signals += 1
+                return False
+            if self.parent is not None and not self.parent.try_reserve(nbytes):
+                self._spill_signals += 1
+                return False
+            self._used += nbytes
+            if self._used > self._high_water:
+                self._high_water = self._used
+            return True
+
+    def release(self, nbytes: int) -> None:
+        with self._lock:
+            if nbytes > self._used:
+                raise ReproError(
+                    f"budget {self.name!r}: release of {nbytes} exceeds used {self._used}"
+                )
+            self._used -= nbytes
+        if self.parent is not None:
+            self.parent.release(nbytes)
+
+    @property
+    def used(self) -> int:
+        with self._lock:
+            return self._used
+
+    @property
+    def high_water(self) -> int:
+        with self._lock:
+            return self._high_water
+
+    @property
+    def spill_signals(self) -> int:
+        """How many reservations were refused (each one a degrade event)."""
+        with self._lock:
+            return self._spill_signals
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "limit": self.limit,
+                "used": self._used,
+                "high_water": self._high_water,
+                "spill_signals": self._spill_signals,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "unlimited" if self.limit is None else f"{self.limit}B"
+        return f"MemoryBudget({self.name!r}, limit={cap}, used={self.used}B)"
+
+
+# -- row sizing ---------------------------------------------------------------
+
+#: Memoized per-scheme overhead: dict + key strings + fixed slot cost.
+_SCHEME_OVERHEAD: Dict[frozenset, int] = {}
+_SCHEME_OVERHEAD_LIMIT = 1024
+
+#: Flat per-row object overhead (Row instance + counter slot), a constant
+#: so the estimator stays cheap; exactness is not required, monotonicity is.
+_ROW_FIXED = 96
+
+
+def row_bytes(values: Mapping[str, object]) -> int:
+    """Estimated resident bytes of one row's in-memory representation."""
+    scheme = frozenset(values.keys())
+    overhead = _SCHEME_OVERHEAD.get(scheme)
+    if overhead is None:
+        overhead = _ROW_FIXED + sys.getsizeof({}) + sum(
+            sys.getsizeof(k) for k in values.keys()
+        )
+        if len(_SCHEME_OVERHEAD) >= _SCHEME_OVERHEAD_LIMIT:
+            _SCHEME_OVERHEAD.clear()
+        _SCHEME_OVERHEAD[scheme] = overhead
+    return overhead + sum(sys.getsizeof(v) for v in values.values())
+
+
+# -- the process budget -------------------------------------------------------
+
+_process: Optional[MemoryBudget] = None
+_process_lock = threading.Lock()
+
+
+def process_budget() -> MemoryBudget:
+    """The process-wide budget, sized from ``REPRO_MEMORY_BUDGET`` once."""
+    global _process
+    with _process_lock:
+        if _process is None:
+            _process = MemoryBudget(limit=env_budget_bytes(), name="process")
+        return _process
+
+
+def reset_process_budget() -> None:
+    """Forget the process budget so the next call re-reads the env."""
+    global _process
+    with _process_lock:
+        _process = None

@@ -1,0 +1,92 @@
+"""Configuration for the morsel-driven parallel executor.
+
+The on/off switch lives in :mod:`repro.util.fastpath`
+(:func:`~repro.util.fastpath.parallel_enabled`, driven by the
+``REPRO_PARALLEL`` environment variable) so the algebra layer can consult
+it without importing the engine.  Everything *about* parallel execution
+once it is on — worker count, radix partition count, pool mode, the
+small-input gate, spill directory — lives here in a
+:class:`ParallelConfig`, swapped atomically via :func:`set_config` or the
+:func:`using_config` context manager (the conformance ``parallel`` tier
+pins ``workers=2, partitions=3, min_rows=0`` for determinism).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+from repro.engine.parallel.pool import WorkerPool
+from repro.util.errors import ReproError
+
+#: Default radix partition count.  Deliberately larger than the default
+#: worker count so the pool can balance skewed partitions, and fixed (not
+#: derived from input size) so plans are reproducible.
+DEFAULT_PARTITIONS = 8
+
+#: Below this many *distinct* input rows (left + right) the partitioning
+#: overhead outweighs the win and the parallel path declines, letting the
+#: serial kernels handle the operator.  The conformance tier forces 0.
+DEFAULT_MIN_ROWS = 2048
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """One immutable bundle of parallel-execution knobs."""
+
+    workers: Optional[int] = None  # None -> pool.resolve_workers()
+    partitions: int = DEFAULT_PARTITIONS
+    mode: str = "thread"
+    min_rows: int = DEFAULT_MIN_ROWS
+    spill_dir: Optional[str] = None
+    #: An externally-owned pool (e.g. the QueryService's shared intra-query
+    #: pool).  None means use the process-wide shared pool.
+    pool: Optional[WorkerPool] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise ReproError(f"partitions must be >= 1, got {self.partitions}")
+        if self.min_rows < 0:
+            raise ReproError(f"min_rows must be >= 0, got {self.min_rows}")
+
+
+_current = ParallelConfig()
+_lock = threading.Lock()
+_tls = threading.local()
+
+
+def current_config() -> ParallelConfig:
+    """The effective config: innermost thread-local override, else global.
+
+    The thread-local layer is what lets each QueryService worker pin its
+    own intra-query pool via :func:`using_config` without racing other
+    workers' restores.
+    """
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return _current
+
+
+def set_config(config: ParallelConfig) -> ParallelConfig:
+    """Install a new process-wide config; returns the previous one."""
+    global _current
+    with _lock:
+        previous, _current = _current, config
+    return previous
+
+
+@contextmanager
+def using_config(**overrides) -> Iterator[ParallelConfig]:
+    """Override config fields for the current thread's dynamic extent."""
+    updated = replace(current_config(), **overrides)
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    stack.append(updated)
+    try:
+        yield updated
+    finally:
+        stack.pop()

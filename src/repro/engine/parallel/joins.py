@@ -1,0 +1,426 @@
+"""Per-partition build/probe kernels and the parallel join driver.
+
+:func:`parallel_counts` is the single entry point for all five physical
+join variants (``inner``/``left_outer``/``full_outer``/``semi``/``anti``
+— GOJ reduces to ``inner`` plus a serial projection-difference in
+:mod:`repro.algebra.goj` and needs nothing here).  It radix-partitions
+both inputs by join-key hash (see :mod:`repro.engine.parallel.partition`
+for why that is match-preserving), runs one
+:func:`run_partition_task` per non-trivial partition on a worker pool,
+and merges the per-partition ``Counter`` outputs.
+
+The merge is bag-identical to the serial kernels because the partition
+outputs are **disjoint**: every output row embeds its (non-null) key
+values, which determine its partition, and null-partition outputs carry
+null keys no regular partition can produce.  ``Counter.update`` adds
+multiplicities, but the disjointness means no key ever collides — the
+merge is a plain union, in any order.
+
+Null-partition rows never probe; their variant-specific fate is
+expressed by running the *same* task kernel against an empty opposite
+side, which yields exactly the paper's semantics:
+
+=============  ======================  =======================
+variant        left null-key rows      right null-key rows
+=============  ======================  =======================
+inner          dropped                 dropped
+left_outer     padded with nulls       dropped
+full_outer     padded (left side)      padded (right side)
+semi           dropped                 dropped (build only)
+anti           kept verbatim           dropped (build only)
+=============  ======================  =======================
+
+The probe loop is deliberately lower-level than the serial kernels in
+:mod:`repro.algebra.kernels`: partition routing already filtered null
+keys, so probes use direct dict access (no per-row null re-checks), the
+output row is assembled by fusing the two value dicts and filling a
+``Row``'s slots directly (``Row.__new__`` + slot assignment — safe
+because ``Row`` is slot-only and its hash contract,
+``hash(frozenset(values.items()))``, is reproduced verbatim), and
+multiplicity-1 outputs are counted by one batched C-accelerated
+``Counter.update(list)`` per task instead of a per-row ``+= 1``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from repro.algebra.kernels import _residual_true, decompose_join_predicate
+from repro.algebra.nulls import NULL
+from repro.algebra.predicates import PairView, Predicate
+from repro.algebra.relation import Relation
+from repro.algebra.tuples import Row
+from repro.engine.parallel import partition as _partition
+from repro.engine.parallel.budget import env_budget_bytes, process_budget
+from repro.engine.parallel.config import ParallelConfig, current_config
+from repro.engine.parallel.pool import WorkerPool, shared_pool
+from repro.engine.parallel.spill import PartitionBuffer
+from repro.observability.spans import maybe_span
+from repro.tools import instrumentation
+from repro.util.errors import ReproError
+
+#: The five physical variants this driver serves.
+VARIANTS = ("inner", "left_outer", "full_outer", "semi", "anti")
+
+#: Task tuple layout (picklable for process pools when the partition
+#: sources are plain pair lists):
+#: (variant, left_src, right_src, left_keys, right_keys, residual,
+#:  left_attrs, right_attrs)
+Task = Tuple
+
+
+def _pairs(src) -> List[Tuple[Row, int]]:
+    if isinstance(src, PartitionBuffer):
+        return list(src.drain())
+    return src
+
+
+def _build_table(right_pairs, right_keys):
+    """key -> [(row, values_dict, multiplicity), ...]; keys are non-null."""
+    table: dict = {}
+    setdefault = table.setdefault
+    if len(right_keys) == 1:
+        a = right_keys[0]
+        for r2, n2 in right_pairs:
+            v2 = r2._values
+            setdefault(v2[a], []).append((r2, v2, n2))
+    else:
+        for r2, n2 in right_pairs:
+            v2 = r2._values
+            setdefault(tuple(v2[a] for a in right_keys), []).append((r2, v2, n2))
+    return table
+
+
+def _build_split_tables(right_pairs, key):
+    """Single-key build for the branch-free probe: unit and weighted sides.
+
+    Multiplicity-1 rows (the overwhelmingly common case) go into
+    ``unit[key] = [values_dict, ...]`` so the probe iterates bare dicts —
+    no tuple unpacking, no per-pair multiplicity branch.  The rare
+    duplicated rows land in ``weighted[key] = [(values_dict, n), ...]``.
+    """
+    unit: dict = {}
+    weighted: dict = {}
+    setdefault_u = unit.setdefault
+    setdefault_w = weighted.setdefault
+    for r2, n2 in right_pairs:
+        v2 = r2._values
+        if n2 == 1:
+            setdefault_u(v2[key], []).append(v2)
+        else:
+            setdefault_w(v2[key], []).append((v2, n2))
+    return unit, weighted
+
+
+def _emit(values: dict) -> Row:
+    """A Row over pre-merged values, filling slots directly.
+
+    Bit-identical to ``Row(values)`` minus the attribute-name validation
+    (inputs are rows that already passed it): same ``_values`` dict, same
+    ``hash(frozenset(items))`` hash, so rows from this path and from
+    ``Row.concat`` compare and hash interchangeably.
+    """
+    row = Row.__new__(Row)
+    row._values = values
+    row._hash = hash(frozenset(values.items()))
+    return row
+
+
+#: A task's output: multiplicity-1 rows as a flat list (counted in the
+#: parent by one C-accelerated ``Counter.update`` per task) plus the rare
+#: weighted rows as explicit ``(row, multiplicity)`` pairs.
+TaskResult = Tuple[List[Row], List[Tuple[Row, int]]]
+
+
+def run_partition_task(task: Task) -> TaskResult:
+    """Execute one partition's build/probe.
+
+    Module-level (not a closure) so process pools can pickle it by
+    reference.
+    """
+    variant, left_src, right_src, left_keys, right_keys, residual, left_attrs, right_attrs = task
+    left_pairs = _pairs(left_src)
+    right_pairs = _pairs(right_src)
+    if variant in ("semi", "anti"):
+        return _semi_anti_task(left_pairs, right_pairs, left_keys, right_keys, residual, variant == "semi")
+    return _join_task(
+        variant, left_pairs, right_pairs, left_keys, right_keys, residual, left_attrs, right_attrs
+    )
+
+
+def _join_task(
+    variant, left_pairs, right_pairs, left_keys, right_keys, residual, left_attrs, right_attrs
+) -> TaskResult:
+    unit: List[Row] = []
+    weighted: List[Tuple[Row, int]] = []
+    append_unit = unit.append
+    append_weighted = weighted.append
+    single = len(left_keys) == 1
+    a = left_keys[0] if single else None
+    hash_ = hash
+    frozenset_ = frozenset
+    new = Row.__new__
+
+    if variant == "inner" and not residual and single:
+        # The hottest shape (single-key pure equi-join) gets a branch-free
+        # body: no tuple unpacking, no per-pair multiplicity/residual/full
+        # checks — duplicated build rows probe through a separate table so
+        # the common all-unit loop touches bare value dicts only.
+        utable, wtable = (
+            _build_split_tables(right_pairs, right_keys[0]) if right_pairs else ({}, {})
+        )
+        get_unit = utable.get
+        get_weighted = wtable.get if wtable else None
+        for r1, n1 in left_pairs:
+            v1 = r1._values
+            key = v1[a]
+            bucket = get_unit(key)
+            if bucket is not None:
+                if n1 == 1:
+                    for v2 in bucket:
+                        m = v1 | v2
+                        row = new(Row)
+                        row._values = m
+                        row._hash = hash_(frozenset_(m.items()))
+                        append_unit(row)
+                else:
+                    for v2 in bucket:
+                        m = v1 | v2
+                        row = new(Row)
+                        row._values = m
+                        row._hash = hash_(frozenset_(m.items()))
+                        append_weighted((row, n1))
+            if get_weighted is not None:
+                wbucket = get_weighted(key)
+                if wbucket is not None:
+                    for v2, n2 in wbucket:
+                        m = v1 | v2
+                        row = new(Row)
+                        row._values = m
+                        row._hash = hash_(frozenset_(m.items()))
+                        append_weighted((row, n1 * n2))
+        return unit, weighted
+
+    table = _build_table(right_pairs, right_keys) if right_pairs else {}
+    get_bucket = table.get
+
+    preserve_left = variant != "inner"
+    full = variant == "full_outer"
+    left_pad = {attr: NULL for attr in right_attrs} if preserve_left else None
+    matched_right: set = set()
+
+    for r1, n1 in left_pairs:
+        v1 = r1._values
+        bucket = get_bucket(v1[a] if single else tuple(v1[k] for k in left_keys))
+        matched = False
+        if bucket is not None:
+            for r2, v2, n2 in bucket:
+                if residual and not _residual_true(residual, PairView(r1, r2)):
+                    continue
+                matched = True
+                if full:
+                    matched_right.add(r2)
+                m = v1 | v2
+                row = new(Row)
+                row._values = m
+                row._hash = hash_(frozenset_(m.items()))
+                if n1 == 1 and n2 == 1:
+                    append_unit(row)
+                else:
+                    append_weighted((row, n1 * n2))
+        if preserve_left and not matched:
+            m = v1 | left_pad
+            row = new(Row)
+            row._values = m
+            row._hash = hash_(frozenset_(m.items()))
+            if n1 == 1:
+                append_unit(row)
+            else:
+                append_weighted((row, n1))
+
+    if full:
+        right_pad = {attr: NULL for attr in left_attrs}
+        for r2, n2 in right_pairs:
+            if r2 not in matched_right:
+                m = right_pad | r2._values
+                row = new(Row)
+                row._values = m
+                row._hash = hash_(frozenset_(m.items()))
+                if n2 == 1:
+                    append_unit(row)
+                else:
+                    append_weighted((row, n2))
+    return unit, weighted
+
+
+def _semi_anti_task(left_pairs, right_pairs, left_keys, right_keys, residual, want_match) -> TaskResult:
+    unit: List[Row] = []
+    weighted: List[Tuple[Row, int]] = []
+    append_unit = unit.append
+    table = _build_table(right_pairs, right_keys) if right_pairs else {}
+    get_bucket = table.get
+    single = len(left_keys) == 1
+    a = left_keys[0] if single else None
+    for r1, n1 in left_pairs:
+        v1 = r1._values
+        bucket = get_bucket(v1[a] if single else tuple(v1[k] for k in left_keys))
+        if residual:
+            matched = bucket is not None and any(
+                _residual_true(residual, PairView(r1, r2)) for r2, _v2, _n2 in bucket
+            )
+        else:
+            matched = bucket is not None
+        if matched is want_match:
+            if n1 == 1:
+                append_unit(r1)
+            else:
+                weighted.append((r1, n1))
+    return unit, weighted
+
+
+def _task_needed(variant: str, left_rows: int, right_rows: int) -> bool:
+    """Can this (possibly half-empty) partition produce output?"""
+    if variant == "inner":
+        return left_rows > 0 and right_rows > 0
+    if variant == "full_outer":
+        return left_rows > 0 or right_rows > 0
+    return left_rows > 0  # left_outer / semi / anti
+
+
+def parallel_counts(
+    left: Relation,
+    right: Relation,
+    predicate: Optional[Predicate],
+    variant: str,
+    config: Optional[ParallelConfig] = None,
+    split: Optional[Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[Predicate, ...]]] = None,
+) -> Optional[Counter]:
+    """Partitioned-parallel output multiplicities, or None when inapplicable.
+
+    ``None`` (no usable equality key, or input below the ``min_rows``
+    gate) tells the caller to fall through to the serial kernels / naive
+    operators — the same contract :mod:`repro.algebra.kernels` uses.
+
+    The engine's hash join already knows its key split, so it passes
+    ``split=(left_keys, right_keys, residual_conjuncts)`` directly and
+    ``predicate=None``; the algebra operators pass the predicate and let
+    :func:`decompose_join_predicate` find the keys.
+    """
+    if variant not in VARIANTS:
+        raise ReproError(f"unknown parallel join variant {variant!r}")
+    cfg = config if config is not None else current_config()
+    left_counts = left.counts()
+    right_counts = right.counts()
+    if len(left_counts) + len(right_counts) < cfg.min_rows:
+        return None
+    if split is not None:
+        left_keys, right_keys, residual = split
+    else:
+        left_keys, right_keys, residual = decompose_join_predicate(
+            predicate, left.scheme, right.scheme
+        )
+    if not left_keys:
+        return None
+
+    budget = process_budget() if env_budget_bytes() is not None else None
+    op_budget = budget.child(f"parallel-{variant}") if budget is not None else None
+    nparts = cfg.partitions
+    left_attrs = tuple(left.scheme)
+    right_attrs = tuple(right.scheme)
+
+    with maybe_span(
+        f"parallel.{variant}", category="parallel", partitions=nparts
+    ) as span:
+        left_parts, left_nulls = _partition.partition_counts(
+            left_counts, left_keys, nparts, op_budget, "build-left", cfg.spill_dir
+        )
+        right_parts, right_nulls = _partition.partition_counts(
+            right_counts, right_keys, nparts, op_budget, "build-right", cfg.spill_dir
+        )
+
+        tasks: List[Task] = []
+        skew: List[int] = []
+        for i in range(nparts):
+            lrows = _partition.partition_rows(left_parts[i])
+            rrows = _partition.partition_rows(right_parts[i])
+            skew.append(lrows + rrows)
+            if _task_needed(variant, lrows, rrows):
+                tasks.append(
+                    (variant, left_parts[i], right_parts[i], left_keys, right_keys,
+                     residual, left_attrs, right_attrs)
+                )
+            else:
+                _partition.discard(left_parts[i])
+                _partition.discard(right_parts[i])
+
+        # Null-partition rows never probe; the same kernels applied against
+        # an empty opposite side realize drop/pad/keep per variant.
+        lnull = _partition.partition_rows(left_nulls)
+        rnull = _partition.partition_rows(right_nulls)
+        if lnull and variant in ("left_outer", "full_outer", "anti"):
+            tasks.append(
+                (variant, left_nulls, [], left_keys, right_keys, residual,
+                 left_attrs, right_attrs)
+            )
+        else:
+            _partition.discard(left_nulls)
+        if rnull and variant == "full_outer":
+            tasks.append(
+                (variant, [], right_nulls, left_keys, right_keys, residual,
+                 left_attrs, right_attrs)
+            )
+        else:
+            _partition.discard(right_nulls)
+
+        pool = cfg.pool
+        owned: Optional[WorkerPool] = None
+        if pool is None:
+            if cfg.workers is not None or cfg.mode != "thread":
+                owned = pool = WorkerPool(workers=cfg.workers, mode=cfg.mode, name="join")
+            else:
+                pool = shared_pool()
+        try:
+            if pool.mode == "process":
+                # Open spill files don't cross process boundaries; drain in
+                # the parent (in-memory hand-off is the process-pool deal).
+                tasks = [
+                    (t[0], _pairs(t[1]), _pairs(t[2]), *t[3:]) for t in tasks
+                ]
+            results = pool.map(run_partition_task, tasks)
+        finally:
+            if owned is not None:
+                owned.close()
+
+        # Partition outputs are disjoint (see module docstring), so the
+        # merge is one batched C-accelerated count per task plus the rare
+        # weighted tail; no cross-task collisions are possible.
+        out: Counter[Row] = Counter()
+        for unit, weighted in results:
+            out.update(unit)
+            for row, n in weighted:
+                out[row] += n
+
+        spills = op_budget.spill_signals if op_budget is not None else 0
+        instrumentation.bump("parallel_joins")
+        instrumentation.bump("parallel_tasks", len(tasks))
+        instrumentation.bump("parallel_partitions", nparts)
+        if spills:
+            instrumentation.bump("parallel_spills", spills)
+        if span is not None:
+            span.add("parallel_tasks", len(tasks))
+            span.add("null_rows_left", lnull)
+            span.add("null_rows_right", rnull)
+            span.add("spill_events", spills)
+            if op_budget is not None:
+                span.add("mem_budget_high_water", op_budget.high_water)
+            biggest = max(skew) if skew else 0
+            total = sum(skew)
+            span.set(
+                workers=pool.workers,
+                pool_mode=pool.mode,
+                partition_rows=",".join(map(str, skew)),
+                skew_max_fraction=round(biggest / total, 4) if total else 0.0,
+                spilled=bool(spills),
+            )
+    return out

@@ -1,0 +1,125 @@
+"""Radix partitioning of relations by join-key hash.
+
+:func:`partition_counts` splits one side of a join into ``npartitions``
+regular partitions plus one dedicated **null partition**.  The routing
+rule is the whole correctness story of parallel execution under the
+paper's 3VL semantics:
+
+* a row whose key columns are all non-null goes to partition
+  ``hash(key) % npartitions``.  Equality of key values implies equality
+  of hashes (Python's cross-type numeric hashing included: ``1``,
+  ``1.0`` and ``True`` hash alike exactly because they compare equal),
+  so *any two rows that could join land in the same partition* — the
+  per-partition build/probe tasks never miss a match, and a build row
+  can only be matched by probes in its own partition, which makes
+  "unmatched locally" identical to "unmatched globally" (the property
+  full outerjoin's right-padding relies on);
+* a row with a null in **any** key column can never satisfy the key
+  equality (``NULL = x`` is unknown, unknown does not satisfy), so it is
+  routed to the null partition, where the variant-specific padding rules
+  of OJ/FOJ/AJ are applied without ever probing.
+
+Partitions are plain ``(row, multiplicity)`` pair lists by default; when
+a :class:`~repro.engine.parallel.budget.MemoryBudget` is supplied they
+are :class:`~repro.engine.parallel.spill.PartitionBuffer` instances that
+degrade to tempfile spill under memory pressure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple, Union
+
+from repro.algebra.nulls import NULL
+from repro.algebra.tuples import Row
+from repro.engine.parallel.budget import MemoryBudget
+from repro.engine.parallel.spill import PartitionBuffer
+
+#: One partition: an in-memory pair list or a spillable buffer.
+Partition = Union[List[Tuple[Row, int]], PartitionBuffer]
+
+
+def partition_counts(
+    counts: Mapping[Row, int],
+    keys: Tuple[str, ...],
+    npartitions: int,
+    budget: Optional[MemoryBudget] = None,
+    name: str = "side",
+    spill_dir: Optional[str] = None,
+) -> Tuple[List[Partition], Partition]:
+    """Split ``row -> multiplicity`` into radix partitions + null partition.
+
+    Returns ``(partitions, null_partition)``.  With no budget the
+    partitions are plain lists (no per-append locking); with a budget
+    each partition is a :class:`PartitionBuffer` charged against it.
+    """
+    if budget is None:
+        return _partition_lists(counts, keys, npartitions)
+    return _partition_buffers(counts, keys, npartitions, budget, name, spill_dir)
+
+
+def _partition_lists(counts, keys, npartitions):
+    parts: List[List[Tuple[Row, int]]] = [[] for _ in range(npartitions)]
+    nulls: List[Tuple[Row, int]] = []
+    appends = [p.append for p in parts]
+    if len(keys) == 1:
+        a = keys[0]
+        for row, n in counts.items():
+            v = row._values[a]
+            if v is NULL:
+                nulls.append((row, n))
+            else:
+                appends[hash(v) % npartitions]((row, n))
+    else:
+        for row, n in counts.items():
+            values = row._values
+            key = tuple(values[a] for a in keys)
+            if any(v is NULL for v in key):
+                nulls.append((row, n))
+            else:
+                appends[hash(key) % npartitions]((row, n))
+    return parts, nulls
+
+
+def _partition_buffers(counts, keys, npartitions, budget, name, spill_dir):
+    parts: List[PartitionBuffer] = [
+        PartitionBuffer(f"{name}-p{i}", budget=budget, spill_dir=spill_dir)
+        for i in range(npartitions)
+    ]
+    nulls = PartitionBuffer(f"{name}-null", budget=budget, spill_dir=spill_dir)
+    if len(keys) == 1:
+        a = keys[0]
+        for row, n in counts.items():
+            v = row._values[a]
+            if v is NULL:
+                nulls.append(row, n)
+            else:
+                parts[hash(v) % npartitions].append(row, n)
+    else:
+        for row, n in counts.items():
+            values = row._values
+            key = tuple(values[a] for a in keys)
+            if any(v is NULL for v in key):
+                nulls.append(row, n)
+            else:
+                parts[hash(key) % npartitions].append(row, n)
+    return parts, nulls
+
+
+def partition_rows(partition: Partition) -> int:
+    """Total multiplicity held by a partition (list or buffer)."""
+    if isinstance(partition, PartitionBuffer):
+        return partition.rows
+    return sum(n for _, n in partition)
+
+
+def materialize(partition: Partition) -> List[Tuple[Row, int]]:
+    """Pair list of a partition; draining (and closing) buffers."""
+    if isinstance(partition, PartitionBuffer):
+        return list(partition.drain())
+    return partition
+
+
+def discard(partition: Partition) -> None:
+    """Release a partition that will not be consumed."""
+    if isinstance(partition, PartitionBuffer):
+        partition.close()

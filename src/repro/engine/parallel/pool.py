@@ -1,0 +1,280 @@
+"""Worker pools for intra-query parallelism, with a global worker ledger.
+
+Two design rules, both motivated by reproducibility on small CI runners:
+
+* **Sizing is explicit and deterministic.**  Nothing in this module ever
+  consults ``os.cpu_count()``: a pool has exactly the worker count it was
+  asked for, resolved through :func:`resolve_workers` (explicit argument,
+  else the ``REPRO_PARALLEL_WORKERS`` environment variable, else
+  :data:`DEFAULT_WORKERS`).  A 1/2/4/8-worker benchmark grid therefore
+  means the same thing on a 2-core CI runner as on a 64-core box — the
+  worker counts are part of the experiment, not a property of the host.
+
+* **One process-wide worker ceiling.**  Inter-query parallelism (the
+  :class:`~repro.service.QueryService` thread pool) and intra-query
+  parallelism (partition fan-out inside one join) draw from the same
+  :class:`WorkerLedger`.  The ledger enforces the *max-total-workers
+  invariant*: the sum of granted workers never exceeds
+  :func:`max_total_workers`.  A request that would exceed the ceiling is
+  clamped, possibly to zero — a pool granted zero workers still works, it
+  just runs its tasks inline on the caller's thread.  Saturation degrades
+  to serial execution, never to unbounded thread creation.
+
+Pools run in one of three modes:
+
+* ``"serial"`` — tasks run inline on the calling thread (the zero-cost
+  degenerate pool; also what a 1-worker pool uses);
+* ``"thread"`` — a ``ThreadPoolExecutor``; the default.  Partition tasks
+  are pure Python, so threads add structure (and overlap any releases of
+  the GIL) rather than linear scaling on CPython;
+* ``"process"`` — a ``ProcessPoolExecutor`` for true multi-core scaling;
+  task functions must be module-level and arguments picklable, which the
+  partition kernels in :mod:`repro.engine.parallel.kernels` are.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.util.errors import ReproError
+
+#: Environment variable naming the default intra-query worker count.
+WORKERS_ENV = "REPRO_PARALLEL_WORKERS"
+
+#: Environment variable naming the process-wide worker ceiling.
+MAX_TOTAL_ENV = "REPRO_MAX_TOTAL_WORKERS"
+
+#: Default worker count when neither an argument nor the environment
+#: says otherwise.  A constant, deliberately not ``os.cpu_count()``.
+DEFAULT_WORKERS = 4
+
+#: Default process-wide ceiling on workers granted by the ledger.
+DEFAULT_MAX_TOTAL = 16
+
+#: Pool execution modes.
+POOL_MODES = ("serial", "thread", "process")
+
+
+def resolve_workers(requested: Optional[int] = None) -> int:
+    """The effective worker count: explicit > environment > default.
+
+    Never consults the host CPU count — see the module docstring.
+    """
+    if requested is not None:
+        if requested < 0:
+            raise ReproError(f"worker count must be >= 0, got {requested}")
+        return requested
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ReproError(f"{WORKERS_ENV}={raw!r} is not an integer") from None
+        if value < 0:
+            raise ReproError(f"{WORKERS_ENV} must be >= 0, got {value}")
+        return value
+    return DEFAULT_WORKERS
+
+
+def max_total_workers() -> int:
+    """The process-wide worker ceiling (``REPRO_MAX_TOTAL_WORKERS``)."""
+    raw = os.environ.get(MAX_TOTAL_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ReproError(f"{MAX_TOTAL_ENV}={raw!r} is not an integer") from None
+        if value < 1:
+            raise ReproError(f"{MAX_TOTAL_ENV} must be >= 1, got {value}")
+        return value
+    return DEFAULT_MAX_TOTAL
+
+
+class WorkerLedger:
+    """Accounting for the max-total-workers invariant.
+
+    ``acquire(n)`` grants ``min(n, remaining)`` workers (possibly zero)
+    and records the grant; ``release`` returns them.  The invariant —
+    granted total never exceeds the ceiling — holds at every instant, and
+    :meth:`snapshot` exposes the books so tests can assert it.
+    """
+
+    def __init__(self, ceiling: Optional[int] = None):
+        self._ceiling = ceiling
+        self._granted = 0
+        self._grants: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def ceiling(self) -> int:
+        return self._ceiling if self._ceiling is not None else max_total_workers()
+
+    def acquire(self, requested: int, name: str = "pool") -> int:
+        """Grant up to ``requested`` workers; the remainder is clamped off."""
+        if requested < 0:
+            raise ReproError(f"cannot acquire a negative worker count ({requested})")
+        with self._lock:
+            remaining = max(self.ceiling - self._granted, 0)
+            granted = min(requested, remaining)
+            self._granted += granted
+            if granted:
+                self._grants[name] = self._grants.get(name, 0) + granted
+            return granted
+
+    def release(self, granted: int, name: str = "pool") -> None:
+        with self._lock:
+            if granted > self._granted:
+                raise ReproError(
+                    f"ledger release of {granted} exceeds outstanding {self._granted}"
+                )
+            self._granted -= granted
+            if name in self._grants:
+                self._grants[name] -= granted
+                if self._grants[name] <= 0:
+                    del self._grants[name]
+
+    @property
+    def granted(self) -> int:
+        with self._lock:
+            return self._granted
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "ceiling": self.ceiling,
+                "granted": self._granted,
+                "grants": dict(self._grants),
+            }
+
+
+#: The process-wide ledger every pool and the query service register with.
+GLOBAL_LEDGER = WorkerLedger()
+
+
+class WorkerPool:
+    """A deterministic-size task pool for partition fan-out.
+
+    ``workers`` resolves through :func:`resolve_workers`; when a ``ledger``
+    is supplied the resolved count is additionally clamped by
+    :meth:`WorkerLedger.acquire` so the max-total-workers invariant holds.
+    A pool whose effective worker count is 0 or 1 runs tasks inline — the
+    semantics of :meth:`map` are identical in every mode.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        mode: str = "thread",
+        name: str = "parallel",
+        ledger: Optional[WorkerLedger] = None,
+    ):
+        if mode not in POOL_MODES:
+            raise ReproError(f"unknown pool mode {mode!r}; expected one of {POOL_MODES}")
+        requested = resolve_workers(workers)
+        self.name = name
+        self.mode = mode if requested > 1 else "serial"
+        self._ledger = ledger
+        self._leased = ledger.acquire(requested, name) if ledger is not None else requested
+        self.workers = self._leased if ledger is not None else requested
+        self._executor = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # -- execution -----------------------------------------------------------
+
+    def _ensure_executor(self):
+        with self._lock:
+            if self._closed:
+                raise ReproError(f"pool {self.name!r} is closed")
+            if self._executor is None:
+                if self.mode == "thread":
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix=f"repro-{self.name}",
+                    )
+                elif self.mode == "process":
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            return self._executor
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        """Run ``fn`` over ``tasks``; results come back in task order.
+
+        Inline (serial) execution when the pool has fewer than two
+        effective workers or fewer than two tasks — identical results,
+        no thread hand-off cost.
+        """
+        items = list(tasks)
+        if self.mode == "serial" or self.workers < 2 or len(items) < 2:
+            return [fn(item) for item in items]
+        executor = self._ensure_executor()
+        return list(executor.map(fn, items))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the executor down and return leased workers to the ledger."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if self._ledger is not None and self._leased:
+            self._ledger.release(self._leased, self.name)
+            self._leased = 0
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "workers": self.workers,
+            "closed": self._closed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerPool({self.name!r}, mode={self.mode}, workers={self.workers})"
+
+
+#: Lazily-created process-wide shared pool (intra-query default).
+_shared: Optional[WorkerPool] = None
+_shared_lock = threading.Lock()
+
+
+def shared_pool() -> WorkerPool:
+    """The process-wide intra-query pool, created on first use.
+
+    Sized by :func:`resolve_workers` and registered with the global
+    ledger, so ambient parallel execution respects the same ceiling as
+    explicitly-constructed pools.
+    """
+    global _shared
+    with _shared_lock:
+        if _shared is None or _shared.closed:
+            _shared = WorkerPool(name="shared", ledger=GLOBAL_LEDGER)
+        return _shared
+
+
+def reset_shared_pool() -> None:
+    """Close and forget the shared pool (tests and env changes)."""
+    global _shared
+    with _shared_lock:
+        pool, _shared = _shared, None
+    if pool is not None:
+        pool.close()

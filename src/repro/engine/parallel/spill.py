@@ -1,0 +1,190 @@
+"""Grace-hash spill buffers: partition state that degrades to tempfiles.
+
+A :class:`PartitionBuffer` accumulates one radix partition's rows as
+``(row, multiplicity)`` pairs.  It starts **in memory** and charges every
+appended row to a :class:`~repro.engine.parallel.budget.MemoryBudget`;
+the first refused reservation flips it to the **spilled** state: the
+in-memory batch is pickled to an unnamed ``tempfile`` (unlinked on
+close, so a crashed process leaks nothing), the budgeted bytes are
+released, and subsequent appends buffer into a small write-behind batch
+that is flushed whenever it grows past ``batch_rows``.  The state
+machine is one-way —
+
+    memory --(budget refusal)--> spilled --(close)--> closed
+
+— because un-spilling buys nothing: a partition that exceeded the budget
+once will again.  ``drain()`` replays the buffer's contents in append
+order (spilled batches first, then the tail batch) regardless of state,
+so consumers are state-blind; bag semantics are preserved exactly since
+pairs are replayed verbatim.
+
+Rows, the ``NULL`` singleton, and predicate objects all pickle cleanly
+(``_Null.__reduce__`` returns the singleton constructor), which is what
+makes batched ``pickle.dump`` the storage format.  Batching matters:
+one ``dump`` per batch amortizes pickling overhead, and protocol
+``HIGHEST_PROTOCOL`` keeps the files compact.
+"""
+
+from __future__ import annotations
+
+import pickle
+import tempfile
+import threading
+from typing import Iterator, List, Optional, Tuple
+
+from repro.algebra.tuples import Row
+from repro.engine.parallel.budget import MemoryBudget, row_bytes
+from repro.util.errors import ReproError
+
+#: Rows per pickled batch once a buffer has spilled.
+DEFAULT_BATCH_ROWS = 512
+
+#: Buffer states.
+STATE_MEMORY = "memory"
+STATE_SPILLED = "spilled"
+STATE_CLOSED = "closed"
+
+
+class PartitionBuffer:
+    """One partition's rows, in memory until the budget says otherwise."""
+
+    def __init__(
+        self,
+        name: str = "partition",
+        budget: Optional[MemoryBudget] = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        spill_dir: Optional[str] = None,
+    ):
+        if batch_rows < 1:
+            raise ReproError(f"batch_rows must be >= 1, got {batch_rows}")
+        self.name = name
+        self.state = STATE_MEMORY
+        self._budget = budget
+        self._batch_rows = batch_rows
+        self._spill_dir = spill_dir
+        self._pairs: List[Tuple[Row, int]] = []
+        self._reserved = 0
+        self._rows = 0
+        self._file = None
+        self._spilled_batches = 0
+        self._lock = threading.Lock()
+
+    # -- append path ---------------------------------------------------------
+
+    def append(self, row: Row, count: int = 1) -> None:
+        """Add ``count`` copies of ``row``; may trigger a spill transition."""
+        with self._lock:
+            if self.state == STATE_CLOSED:
+                raise ReproError(f"partition buffer {self.name!r} is closed")
+            self._rows += count
+            if self.state == STATE_MEMORY and self._budget is not None:
+                nbytes = row_bytes(row)
+                if self._budget.try_reserve(nbytes):
+                    self._reserved += nbytes
+                    self._pairs.append((row, count))
+                    return
+                self._spill_locked()
+            self._pairs.append((row, count))
+            if self.state == STATE_SPILLED and len(self._pairs) >= self._batch_rows:
+                self._flush_locked()
+
+    def extend(self, pairs) -> None:
+        for row, count in pairs:
+            self.append(row, count)
+
+    # -- spill transition ----------------------------------------------------
+
+    def _spill_locked(self) -> None:
+        """memory -> spilled: move the held batch to a tempfile."""
+        self._file = tempfile.TemporaryFile(
+            prefix=f"repro-spill-{self.name}-", dir=self._spill_dir
+        )
+        if self._pairs:
+            pickle.dump(self._pairs, self._file, pickle.HIGHEST_PROTOCOL)
+            self._spilled_batches += 1
+            self._pairs = []
+        if self._reserved:
+            self._budget.release(self._reserved)
+            self._reserved = 0
+        self.state = STATE_SPILLED
+
+    def _flush_locked(self) -> None:
+        if self._pairs:
+            pickle.dump(self._pairs, self._file, pickle.HIGHEST_PROTOCOL)
+            self._spilled_batches += 1
+            self._pairs = []
+
+    def force_spill(self) -> None:
+        """Spill now regardless of budget state (tests and drills)."""
+        with self._lock:
+            if self.state == STATE_MEMORY:
+                self._spill_locked()
+
+    # -- drain path ----------------------------------------------------------
+
+    def drain(self) -> Iterator[Tuple[Row, int]]:
+        """Yield all ``(row, count)`` pairs in append order and close.
+
+        Draining consumes the buffer: budget bytes are released and the
+        spill file (if any) is deleted once exhausted.
+        """
+        with self._lock:
+            if self.state == STATE_CLOSED:
+                raise ReproError(f"partition buffer {self.name!r} already drained")
+            if self.state == STATE_SPILLED:
+                self._flush_locked()
+            state = self.state
+            pairs, self._pairs = self._pairs, []
+            file, self._file = self._file, None
+            batches = self._spilled_batches
+            self.state = STATE_CLOSED
+            if self._reserved:
+                self._budget.release(self._reserved)
+                self._reserved = 0
+        if state == STATE_SPILLED:
+            try:
+                file.seek(0)
+                for _ in range(batches):
+                    yield from pickle.load(file)
+            finally:
+                file.close()
+        yield from pairs
+
+    def close(self) -> None:
+        """Discard the buffer's contents and resources without draining."""
+        with self._lock:
+            if self.state == STATE_CLOSED:
+                return
+            self._pairs = []
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+            if self._reserved:
+                self._budget.release(self._reserved)
+                self._reserved = 0
+            self.state = STATE_CLOSED
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Total multiplicity appended so far."""
+        with self._lock:
+            return self._rows
+
+    @property
+    def spilled(self) -> bool:
+        return self.state == STATE_SPILLED
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self.state,
+                "rows": self._rows,
+                "reserved_bytes": self._reserved,
+                "spilled_batches": self._spilled_batches,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PartitionBuffer({self.name!r}, state={self.state}, rows={self.rows})"

@@ -24,6 +24,17 @@ into a serving layer:
   blocking the caller; a saturated service degrades by answering fewer
   queries, not by stalling every client.
 
+* **Worker budget** — inter-query parallelism (the service threads) and
+  intra-query parallelism (partition fan-out inside one join, see
+  :mod:`repro.engine.parallel`) draw from one :class:`WorkerLedger`, so
+  ``service threads + intra-query workers <= max_total_workers()`` holds
+  at every instant.  With ``parallel=True`` the service owns a single
+  shared intra-query :class:`WorkerPool` that every worker's queries use
+  (installed per query via the thread-local parallel config); the pool's
+  size is whatever the ledger has left after the service threads took
+  their grant, clamped possibly to zero — in which case joins degrade to
+  inline serial partitioning rather than oversubscribing the host.
+
 Everything is stdlib ``threading`` + ``queue``.  Counters
 (``service_queries`` / ``service_rejected`` / ``service_timeouts`` /
 ``service_cancelled``) flow into :mod:`repro.tools.instrumentation`, and
@@ -34,6 +45,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from time import monotonic
 from typing import Any, Dict, List, Optional, Sequence
@@ -41,6 +53,8 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.algebra.relation import Relation
 from repro.core.expressions import Expression
 from repro.engine.executor import ExecutionResult, execute
+from repro.engine.parallel.config import using_config
+from repro.engine.parallel.pool import WorkerLedger, WorkerPool, resolve_workers
 from repro.engine.storage import Storage
 from repro.observability.spans import maybe_span
 from repro.optimizer.pipeline import PipelineResult, optimize_query
@@ -53,6 +67,7 @@ from repro.util.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
+from repro.util.fastpath import parallel_enabled, parallel_mode
 
 #: Outcome statuses, in the order ``snapshot()`` reports them.
 STATUSES = ("ok", "error", "timeout", "cancelled", "rejected")
@@ -152,6 +167,16 @@ class QueryService:
     overrides it.  The deadline clock starts at submission, so time spent
     queued counts against it — an overloaded service times queries out
     rather than serving arbitrarily stale answers.
+
+    ``parallel`` turns on intra-query parallel joins for every served
+    query (``None`` follows the process default, i.e. ``REPRO_PARALLEL``).
+    ``intra_workers`` sizes the shared intra-query pool (``None`` resolves
+    through :func:`repro.engine.parallel.pool.resolve_workers`); the
+    ledger clamps it so service threads plus intra-query workers never
+    exceed the ceiling.  ``ledger`` defaults to a fresh per-service
+    :class:`WorkerLedger` (ceiling = ``max_total_workers()``); pass
+    :data:`~repro.engine.parallel.pool.GLOBAL_LEDGER` to share the budget
+    with ambient pools in the same process.
     """
 
     def __init__(
@@ -163,6 +188,9 @@ class QueryService:
         use_cache: bool = True,
         default_timeout_s: Optional[float] = None,
         cost_model: str = "retrieval",
+        parallel: Optional[bool] = None,
+        intra_workers: Optional[int] = None,
+        ledger: Optional[WorkerLedger] = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -180,9 +208,28 @@ class QueryService:
         self._closed = False
         self._submitted = 0
         self._outcomes: Dict[str, int] = {status: 0 for status in STATUSES}
+        # Worker-budget accounting: the service threads take their grant
+        # first; the intra-query pool gets (at most) what remains.  Both
+        # grants live in the same ledger, which *is* the invariant.
+        self._ledger = ledger if ledger is not None else WorkerLedger()
+        self._service_grant = self._ledger.acquire(workers, "service")
+        if self._service_grant < 1:
+            raise ValueError(
+                "worker ledger has no capacity left for a service thread "
+                f"(ceiling {self._ledger.ceiling}, requested {workers})"
+            )
+        self.parallel = parallel if parallel is not None else parallel_enabled()
+        self._intra_pool: Optional[WorkerPool] = None
+        if self.parallel:
+            self._intra_pool = WorkerPool(
+                workers=resolve_workers(intra_workers),
+                mode="thread",
+                name="intra-query",
+                ledger=self._ledger,
+            )
         self._workers = [
             threading.Thread(target=self._worker, name=f"repro-service-{i}", daemon=True)
-            for i in range(workers)
+            for i in range(self._service_grant)
         ]
         for thread in self._workers:
             thread.start()
@@ -247,10 +294,24 @@ class QueryService:
             finally:
                 self._queue.task_done()
 
+    def _query_scope(self) -> ExitStack:
+        """The per-query execution context for this worker thread.
+
+        With ``parallel`` on, forces the parallel join path and pins the
+        service's shared intra-query pool — both thread-locally, so
+        concurrent workers never race each other's restores and queries
+        outside the service are unaffected.
+        """
+        stack = ExitStack()
+        if self.parallel:
+            stack.enter_context(parallel_mode(True))
+            stack.enter_context(using_config(pool=self._intra_pool))
+        return stack
+
     def _run(self, ticket: QueryTicket) -> None:
         started = monotonic()
         queue_wait = started - ticket.submitted_at
-        with maybe_span("service.query", category="service") as span:
+        with self._query_scope(), maybe_span("service.query", category="service") as span:
             try:
                 # The deadline covers queue wait too: a query that aged out
                 # while queued stops here, before any work is spent on it.
@@ -313,6 +374,14 @@ class QueryService:
         if wait:
             for thread in self._workers:
                 thread.join()
+        # Return every leased worker to the ledger: the intra-query pool
+        # releases its own grant on close, then the service threads' grant
+        # goes back, restoring the ledger to its pre-service books.
+        if self._intra_pool is not None:
+            self._intra_pool.close()
+        if self._service_grant:
+            self._ledger.release(self._service_grant, "service")
+            self._service_grant = 0
 
     def __enter__(self) -> "QueryService":
         return self
@@ -331,6 +400,12 @@ class QueryService:
                 "outcomes": dict(self._outcomes),
                 "closed": self._closed,
             }
+        out["parallel"] = {
+            "enabled": self.parallel,
+            "service_grant": self._service_grant,
+            "intra_pool": self._intra_pool.snapshot() if self._intra_pool else None,
+            "ledger": self._ledger.snapshot(),
+        }
         if self.plan_cache is not None:
             out["plan_cache"] = self.plan_cache.snapshot()
         return out
@@ -347,6 +422,14 @@ class QueryService:
             f"queue {snap['queue_depth']}/{snap['queue_capacity']}, "
             f"{snap['submitted']} submitted ({outcomes or 'no outcomes yet'})"
         ]
+        if self.parallel:
+            par = snap["parallel"]
+            ledger = par["ledger"]
+            pool = par["intra_pool"] or {"workers": 0, "mode": "serial"}
+            lines.append(
+                f"parallel: intra-query pool {pool['workers']} worker(s) "
+                f"({pool['mode']}), ledger {ledger['granted']}/{ledger['ceiling']}"
+            )
         if self.plan_cache is not None:
             lines.append(self.plan_cache.summary())
         return "\n".join(lines)

@@ -34,6 +34,17 @@ Modes:
                    bar is overhead below 5%; per-test benchmark means are
                    summed (min across repeats) so pytest startup cost
                    cannot mask a real per-query regression.
+* ``--parallel-bench`` — additionally measure the morsel-driven parallel
+                   executor (:mod:`repro.engine.parallel`) on a large
+                   equi-join: serial kernels vs a 1/2/4/8-worker grid,
+                   plus a spill-vs-in-memory cost curve at shrinking
+                   ``REPRO_MEMORY_BUDGET`` values.  Serial and parallel
+                   are timed in the *same process run* and the headline
+                   number is their ratio, which stays stable even when
+                   absolute wall-clock drifts on noisy runners.  Written
+                   under a ``parallel`` report key (the BENCH_PR5
+                   artifact's payload); every timed run is bag-equality
+                   checked against the serial result.
 """
 
 from __future__ import annotations
@@ -57,6 +68,7 @@ HEADLINE = (
     "bench_planning_scalability.py",
     "bench_theorem1_free_reorder.py",
     "bench_optimizer_comparison.py",
+    "bench_parallel_join.py",
 )
 
 #: Instrumentation keys copied into each scenario record.
@@ -200,6 +212,155 @@ def measure_trace_overhead(
     return overhead
 
 
+#: Worker grid for the parallel bench.  Explicit, never ``os.cpu_count()``.
+PARALLEL_WORKER_GRID = (1, 2, 4, 8)
+
+#: Memory budgets for the spill cost curve, largest (never spills) first.
+SPILL_BUDGETS = ("unlimited", "32MB", "8MB", "2MB")
+
+
+def _parallel_workload(seed: int, rows: int, domain: int):
+    """A two-table equi-join workload sized to dominate partitioning cost.
+
+    Key skew is mild (uniform keys over ``domain`` values, so about
+    ``rows**2/domain`` output rows) plus a sprinkle of null keys so the
+    dedicated null partition is on the measured path.
+    """
+    from repro.algebra.nulls import NULL
+    from repro.algebra.predicates import AttrRef, Comparison
+    from repro.algebra.relation import Relation
+    from repro.algebra.tuples import Row
+    from repro.util.rng import make_rng
+
+    rng = make_rng(seed)
+
+    def table(prefix: str, payload: str) -> Relation:
+        out = []
+        for i in range(rows):
+            key = NULL if rng.random() < 0.01 else rng.randrange(domain)
+            out.append(Row({f"{prefix}.k": key, f"{prefix}.{payload}": i}))
+        return Relation((f"{prefix}.k", f"{prefix}.{payload}"), out)
+
+    predicate = Comparison(AttrRef("L.k"), "=", AttrRef("R.k"))
+    return table("L", "a"), table("R", "b"), predicate
+
+
+def measure_parallel(
+    seed: int = 0,
+    smoke: bool = False,
+    workers_grid: Sequence[int] = PARALLEL_WORKER_GRID,
+    budgets: Sequence[str] = SPILL_BUDGETS,
+    rounds: int = 3,
+) -> Dict[str, object]:
+    """Serial-vs-parallel speedup grid and the spill cost curve, in-process.
+
+    Rounds are interleaved (serial, then each grid point, repeated) and
+    reduced by min, so a load spike on the host hits both sides rather
+    than biasing the ratio.  Every parallel result is asserted bag-equal
+    to the serial kernels' result before its time is recorded.
+    """
+    from repro.algebra.operators import join
+    from repro.engine.parallel.budget import BUDGET_ENV, reset_process_budget
+    from repro.engine.parallel.config import using_config
+    from repro.tools import instrumentation
+    from repro.util.fastpath import parallel_mode
+
+    # ~20 matches per key: the probe loop (where the partitioned fast path
+    # wins) dominates input scanning/partitioning, as in the paper-scale
+    # key-FK joins; ~590k output rows at full size.
+    rows = 4_000 if smoke else 30_000
+    domain = max(rows // 20, 2)
+    left, right, predicate = _parallel_workload(seed, rows, domain)
+
+    def timed(fn):
+        start = time.perf_counter()
+        result = fn()
+        return time.perf_counter() - start, result
+
+    serial_s = float("inf")
+    serial_rel = None
+    grid_s: Dict[int, float] = {w: float("inf") for w in workers_grid}
+    for _ in range(rounds):
+        with parallel_mode(False):
+            elapsed, rel = timed(lambda: join(left, right, predicate))
+        serial_s = min(serial_s, elapsed)
+        if serial_rel is None:
+            serial_rel = rel
+        for w in workers_grid:
+            with parallel_mode(True), using_config(workers=w, min_rows=0):
+                elapsed, rel = timed(lambda: join(left, right, predicate))
+            if rel != serial_rel:
+                raise RuntimeError(f"parallel join (workers={w}) is not bag-equal to serial")
+            grid_s[w] = min(grid_s[w], elapsed)
+
+    grid = [
+        {
+            "workers": w,
+            "elapsed_s": round(grid_s[w], 4),
+            "speedup": round(serial_s / grid_s[w], 2) if grid_s[w] > 0 else None,
+        }
+        for w in workers_grid
+    ]
+
+    # Spill cost curve: same join at 4 workers under shrinking budgets.
+    # The budget env is read per operator, so flipping it between runs is
+    # enough; reset_process_budget() drops the cached root budget.
+    prior_budget = os.environ.get(BUDGET_ENV)
+    curve: List[Dict[str, object]] = []
+    in_memory_s: Optional[float] = None
+    try:
+        for budget in budgets:
+            if budget == "unlimited":
+                os.environ.pop(BUDGET_ENV, None)
+            else:
+                os.environ[BUDGET_ENV] = budget
+            reset_process_budget()
+            spills_before = instrumentation.snapshot().get("parallel_spills", 0)
+            best = float("inf")
+            for _ in range(rounds):
+                with parallel_mode(True), using_config(workers=4, min_rows=0):
+                    elapsed, rel = timed(lambda: join(left, right, predicate))
+                if rel != serial_rel:
+                    raise RuntimeError(f"spill run (budget={budget}) is not bag-equal to serial")
+                best = min(best, elapsed)
+            spill_events = instrumentation.snapshot().get("parallel_spills", 0) - spills_before
+            if budget == "unlimited":
+                in_memory_s = best
+            curve.append(
+                {
+                    "budget": budget,
+                    "elapsed_s": round(best, 4),
+                    "spill_events": spill_events,
+                    "cost_ratio": round(best / in_memory_s, 2)
+                    if in_memory_s and in_memory_s > 0
+                    else None,
+                    "bag_equal": True,
+                }
+            )
+    finally:
+        if prior_budget is None:
+            os.environ.pop(BUDGET_ENV, None)
+        else:
+            os.environ[BUDGET_ENV] = prior_budget
+        reset_process_budget()
+
+    speedup_at_4 = next((g["speedup"] for g in grid if g["workers"] == 4), None)
+    return {
+        "workload": {
+            "left_rows": len(left),
+            "right_rows": len(right),
+            "output_rows": len(serial_rel),
+            "domain": domain,
+            "null_key_fraction": 0.01,
+        },
+        "rounds": rounds,
+        "serial_s": round(serial_s, 4),
+        "grid": grid,
+        "speedup_at_4_workers": speedup_at_4,
+        "spill_curve": curve,
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="run_all.py", description="Run the benchmark suite and write a JSON report."
@@ -218,9 +379,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also measure ambient-tracing overhead on the headline scenarios",
     )
     parser.add_argument(
-        "--output", type=Path, default=DEFAULT_OUTPUT, help="report path (default BENCH_PR1.json)"
+        "--parallel-bench",
+        action="store_true",
+        help="also measure the parallel executor (worker grid + spill curve); "
+        "default output becomes BENCH_PR5.json",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="report path (default BENCH_PR1.json)"
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = REPO_ROOT / "BENCH_PR5.json" if args.parallel_bench else DEFAULT_OUTPUT
 
     if args.smoke:
         scenarios = [BENCH_DIR / name for name in HEADLINE]
@@ -279,6 +448,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 f"  {name:40s} traced {entry['traced_s']:.4f}s / "
                 f"untraced {entry['untraced_s']:.4f}s  ({entry['overhead_pct']:+.2f}%)"
+            )
+    if args.parallel_bench:
+        print("\nmeasuring the parallel executor (serial vs worker grid, spill curve)...")
+        section = measure_parallel(seed=args.seed, smoke=args.smoke)
+        report["parallel"] = section
+        print(f"  serial kernels: {section['serial_s']:.4f}s")
+        for point in section["grid"]:
+            print(
+                f"  workers={point['workers']}: {point['elapsed_s']:.4f}s "
+                f"({point['speedup']}x)"
+            )
+        for point in section["spill_curve"]:
+            print(
+                f"  budget={point['budget']:>9s}: {point['elapsed_s']:.4f}s, "
+                f"{point['spill_events']} spill(s), cost x{point['cost_ratio']}"
             )
     from repro.tools.benchschema import validate_report
 

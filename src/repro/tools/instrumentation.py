@@ -48,7 +48,11 @@ from typing import Dict
 #: ``service_queries``         (queries admitted by a QueryService),
 #: ``service_rejected``        (queries shed at admission),
 #: ``service_timeouts``        (queries cancelled by deadline),
-#: ``service_cancelled``       (queries cancelled by the caller).
+#: ``service_cancelled``       (queries cancelled by the caller),
+#: ``parallel_joins``          (joins taken by the parallel executor),
+#: ``parallel_tasks``          (per-partition join tasks dispatched),
+#: ``parallel_partitions``     (radix partitions materialized),
+#: ``parallel_spills``         (partition buffers spilled to disk).
 STATS: Counter = Counter()
 
 #: One lock serializes every mutation of :data:`STATS`; see module docs.

@@ -109,7 +109,13 @@ def aggregate_trace(doc: Dict[str, Any]) -> Dict[str, KeyStats]:
 
 
 def aggregate_bench(doc: Dict[str, Any]) -> Dict[str, KeyStats]:
-    """Per-test mean timings of a benchmark report, keyed scenario::test."""
+    """Per-test mean timings of a benchmark report, keyed scenario::test.
+
+    Reports carrying a ``parallel`` section (BENCH_PR5) also contribute
+    its serial baseline, worker-grid points, and spill-curve points, so
+    the same CLI diffs parallel-executor performance against a committed
+    baseline.
+    """
     stats: Dict[str, KeyStats] = {}
     for record in doc.get("scenarios", ()):
         if record.get("mode") == "naive":
@@ -117,6 +123,15 @@ def aggregate_bench(doc: Dict[str, Any]) -> Dict[str, KeyStats]:
         for test, mean_s in (record.get("timings") or {}).items():
             key = f"{record['scenario']}::{test}"
             stats[key] = KeyStats(key, mean_s * 1e3)
+    parallel = doc.get("parallel")
+    if parallel:
+        stats["parallel::serial"] = KeyStats("parallel::serial", parallel["serial_s"] * 1e3)
+        for point in parallel.get("grid", ()):
+            key = f"parallel::workers={point['workers']}"
+            stats[key] = KeyStats(key, point["elapsed_s"] * 1e3)
+        for point in parallel.get("spill_curve", ()):
+            key = f"parallel::budget={point['budget']}"
+            stats[key] = KeyStats(key, point["elapsed_s"] * 1e3)
     return stats
 
 

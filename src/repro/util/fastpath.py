@@ -23,10 +23,63 @@ _enabled: bool = os.environ.get("REPRO_NAIVE_KERNELS", "").lower() not in (
     "yes",
 )
 
+#: Parallel execution is opt-in: ``REPRO_PARALLEL=1`` (or truthy) turns
+#: on the morsel-driven partitioned join path in
+#: :mod:`repro.engine.parallel`.  The switch lives here, not in the
+#: engine, so the algebra operators can consult it without an import
+#: cycle — the engine already imports the algebra.
+_parallel: bool = os.environ.get("REPRO_PARALLEL", "").lower() in (
+    "1",
+    "true",
+    "yes",
+)
+
+#: Thread-local overrides pushed by :func:`parallel_mode`.  Scoping the
+#: *temporary* switch per thread lets each QueryService worker force
+#: parallel execution for its own query without racing other threads'
+#: restores (the process-wide default stays whatever the env /
+#: :func:`set_parallel` said).
+import threading as _threading
+
+_parallel_tls = _threading.local()
+
 
 def fast_enabled() -> bool:
     """Is the fast-kernel dispatch currently on?"""
     return _enabled
+
+
+def parallel_enabled() -> bool:
+    """Is the morsel-driven parallel join dispatch currently on?
+
+    The innermost :func:`parallel_mode` override on *this thread* wins;
+    otherwise the process-wide default applies.
+    """
+    stack = getattr(_parallel_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return _parallel
+
+
+def set_parallel(enabled: bool) -> bool:
+    """Set the process-wide parallel default; returns the previous one."""
+    global _parallel
+    previous = _parallel
+    _parallel = bool(enabled)
+    return previous
+
+
+@contextmanager
+def parallel_mode(enabled: bool):
+    """Force the parallel path on (True) or off (False) for this thread."""
+    stack = getattr(_parallel_tls, "stack", None)
+    if stack is None:
+        stack = _parallel_tls.stack = []
+    stack.append(bool(enabled))
+    try:
+        yield
+    finally:
+        stack.pop()
 
 
 def set_fast_kernels(enabled: bool) -> bool:

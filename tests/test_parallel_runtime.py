@@ -1,0 +1,276 @@
+"""Unit tests for the parallel runtime: pools, the ledger, budgets, spill.
+
+These are the pieces under the join kernels: deterministic worker
+sizing (:func:`resolve_workers` never consults the CPU count), the
+max-total-workers invariant (:class:`WorkerLedger`), the memory-budget
+hierarchy with its refuse-don't-raise contract, and the partition
+buffer's one-way memory → spilled → closed state machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.tuples import Row
+from repro.engine.parallel.budget import (
+    BUDGET_ENV,
+    MemoryBudget,
+    env_budget_bytes,
+    parse_budget,
+    reset_process_budget,
+    row_bytes,
+)
+from repro.engine.parallel.pool import (
+    DEFAULT_MAX_TOTAL,
+    DEFAULT_WORKERS,
+    MAX_TOTAL_ENV,
+    WORKERS_ENV,
+    WorkerLedger,
+    WorkerPool,
+    max_total_workers,
+    resolve_workers,
+)
+from repro.engine.parallel.spill import (
+    STATE_CLOSED,
+    STATE_MEMORY,
+    STATE_SPILLED,
+    PartitionBuffer,
+)
+from repro.util.errors import ReproError
+
+
+# -- deterministic sizing ----------------------------------------------------
+
+
+def test_resolve_workers_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "7")
+    assert resolve_workers(3) == 3
+    assert resolve_workers() == 7
+
+
+def test_resolve_workers_default_is_constant(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    assert resolve_workers() == DEFAULT_WORKERS
+
+
+def test_resolve_workers_rejects_garbage(monkeypatch):
+    with pytest.raises(ReproError):
+        resolve_workers(-1)
+    monkeypatch.setenv(WORKERS_ENV, "lots")
+    with pytest.raises(ReproError):
+        resolve_workers()
+
+
+def test_max_total_workers_env(monkeypatch):
+    monkeypatch.delenv(MAX_TOTAL_ENV, raising=False)
+    assert max_total_workers() == DEFAULT_MAX_TOTAL
+    monkeypatch.setenv(MAX_TOTAL_ENV, "5")
+    assert max_total_workers() == 5
+    monkeypatch.setenv(MAX_TOTAL_ENV, "0")
+    with pytest.raises(ReproError):
+        max_total_workers()
+
+
+# -- the worker ledger -------------------------------------------------------
+
+
+def test_ledger_clamps_and_restores():
+    ledger = WorkerLedger(ceiling=5)
+    assert ledger.acquire(3, "a") == 3
+    assert ledger.acquire(4, "b") == 2  # clamped to the remainder
+    assert ledger.acquire(1, "c") == 0  # exhausted: zero grant, not an error
+    assert ledger.granted == 5
+    ledger.release(2, "b")
+    assert ledger.acquire(9, "d") == 2
+    ledger.release(3, "a")
+    ledger.release(2, "d")
+    assert ledger.granted == 0
+    assert ledger.snapshot()["grants"] == {}
+
+
+def test_ledger_invariant_holds_at_every_instant():
+    ledger = WorkerLedger(ceiling=4)
+    for request in (1, 2, 3, 4, 5):
+        ledger.acquire(request, f"g{request}")
+        assert ledger.granted <= ledger.ceiling
+
+
+def test_ledger_rejects_bad_amounts():
+    ledger = WorkerLedger(ceiling=4)
+    with pytest.raises(ReproError):
+        ledger.acquire(-1)
+    with pytest.raises(ReproError):
+        ledger.release(1, "ghost")
+
+
+# -- worker pools ------------------------------------------------------------
+
+
+def test_pool_serial_inline_and_order():
+    with WorkerPool(workers=0) as pool:
+        assert pool.mode == "serial"
+        assert pool.map(lambda x: x * x, range(5)) == [0, 1, 4, 9, 16]
+
+
+def test_pool_thread_map_preserves_order():
+    with WorkerPool(workers=3, mode="thread") as pool:
+        assert pool.map(lambda x: -x, range(20)) == [-x for x in range(20)]
+
+
+def test_pool_with_ledger_releases_on_close():
+    ledger = WorkerLedger(ceiling=4)
+    pool = WorkerPool(workers=3, ledger=ledger, name="p")
+    assert ledger.granted == 3
+    pool.close()
+    assert ledger.granted == 0
+    pool.close()  # idempotent
+    assert ledger.granted == 0
+
+
+def test_pool_clamped_to_zero_still_works():
+    ledger = WorkerLedger(ceiling=2)
+    ledger.acquire(2, "hog")
+    with WorkerPool(workers=4, ledger=ledger, name="starved") as pool:
+        assert pool.workers == 0
+        assert pool.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+
+
+def test_pool_refuses_use_after_close():
+    pool = WorkerPool(workers=2, mode="thread")
+    pool.close()
+    with pytest.raises(ReproError):
+        pool.map(lambda x: x, [1, 2, 3])
+
+
+# -- memory budgets ----------------------------------------------------------
+
+
+def test_parse_budget_units():
+    assert parse_budget("1048576") == 1048576
+    assert parse_budget("8MB") == 8 * 1024 * 1024
+    assert parse_budget("512kb") == 512 * 1024
+    assert parse_budget("1GB") == 1024**3
+    assert parse_budget("unlimited") is None
+    assert parse_budget("") is None
+    with pytest.raises(ReproError):
+        parse_budget("eight megabytes")
+
+
+def test_env_budget_bytes(monkeypatch):
+    monkeypatch.delenv(BUDGET_ENV, raising=False)
+    assert env_budget_bytes() is None
+    monkeypatch.setenv(BUDGET_ENV, "4KB")
+    assert env_budget_bytes() == 4096
+
+
+def test_budget_reserve_release_high_water():
+    budget = MemoryBudget(limit=100, name="op")
+    assert budget.try_reserve(60)
+    assert budget.try_reserve(40)
+    assert not budget.try_reserve(1)  # refusal, not an exception
+    assert budget.spill_signals == 1
+    budget.release(50)
+    assert budget.try_reserve(10)
+    assert budget.used == 60
+    assert budget.high_water == 100
+
+
+def test_budget_child_forwards_to_parent():
+    parent = MemoryBudget(limit=100, name="process")
+    child = parent.child("op")
+    assert child.try_reserve(80)
+    assert parent.used == 80
+    # Child has no limit of its own, but the parent refuses; nothing is
+    # left half-reserved anywhere.
+    assert not child.try_reserve(30)
+    assert parent.used == 80
+    assert child.used == 80
+    child.release(80)
+    assert parent.used == 0
+
+
+def test_row_bytes_positive_and_monotonic():
+    small = row_bytes({"a": 1})
+    large = row_bytes({"a": 1, "b": "x" * 100, "c": 3})
+    assert 0 < small < large
+
+
+# -- the partition buffer state machine --------------------------------------
+
+
+def _rows(n, start=0):
+    return [(Row({"T.k": i, "T.v": i * 2}), 1) for i in range(start, start + n)]
+
+
+def test_buffer_stays_in_memory_without_budget():
+    buf = PartitionBuffer("p0")
+    for row, n in _rows(10):
+        buf.append(row, n)
+    assert buf.state == STATE_MEMORY
+    assert not buf.spilled
+    assert list(buf.drain()) == _rows(10)
+    assert buf.state == STATE_CLOSED
+
+
+def test_buffer_spills_on_budget_refusal_and_preserves_order():
+    budget = MemoryBudget(limit=1, name="tiny")  # refuses everything
+    buf = PartitionBuffer("p1", budget=budget, batch_rows=4)
+    rows = _rows(13)
+    for row, n in rows:
+        buf.append(row, n)
+    assert buf.state == STATE_SPILLED
+    assert buf.spilled
+    assert budget.used == 0  # spilling released the reservation
+    assert list(buf.drain()) == rows
+    assert buf.state == STATE_CLOSED
+
+
+def test_buffer_force_spill_then_append():
+    buf = PartitionBuffer("p2", batch_rows=3)
+    rows = _rows(5)
+    for row, n in rows[:2]:
+        buf.append(row, n)
+    buf.force_spill()
+    assert buf.state == STATE_SPILLED
+    for row, n in rows[2:]:
+        buf.append(row, n)
+    assert buf.rows == 5
+    assert list(buf.drain()) == rows
+
+
+def test_buffer_multiplicities_counted_in_rows():
+    buf = PartitionBuffer("p3")
+    row = Row({"T.k": 1, "T.v": 2})
+    buf.append(row, 3)
+    buf.append(row, 4)
+    assert buf.rows == 7
+    assert list(buf.drain()) == [(row, 3), (row, 4)]
+
+
+def test_buffer_close_discards_and_is_terminal():
+    budget = MemoryBudget(limit=10_000, name="b")
+    buf = PartitionBuffer("p4", budget=budget)
+    for row, n in _rows(4):
+        buf.append(row, n)
+    assert budget.used > 0
+    buf.close()
+    assert buf.state == STATE_CLOSED
+    assert budget.used == 0
+    with pytest.raises(ReproError):
+        buf.append(Row({"T.k": 0, "T.v": 0}), 1)
+
+
+def test_reset_process_budget_rereads_env(monkeypatch):
+    from repro.engine.parallel.budget import process_budget
+
+    monkeypatch.setenv(BUDGET_ENV, "2KB")
+    reset_process_budget()
+    try:
+        assert process_budget().limit == 2048
+        monkeypatch.setenv(BUDGET_ENV, "4KB")
+        assert process_budget().limit == 2048  # cached until reset
+        reset_process_budget()
+        assert process_budget().limit == 4096
+    finally:
+        monkeypatch.delenv(BUDGET_ENV, raising=False)
+        reset_process_budget()

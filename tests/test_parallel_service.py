@@ -1,0 +1,155 @@
+"""Integration: the parallel executor inside QueryService and conformance.
+
+Covers the worker-budget invariant (service threads + intra-query
+workers never exceed the ledger ceiling), graceful degradation when the
+ledger is exhausted, bag-equality of parallel service results, and the
+``parallel`` conformance tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import Comparison, Const, bag_equal, eq
+from repro.conformance.check import EXECUTOR_TIERS, run_executor
+from repro.conformance.fuzz import run_campaign
+from repro.core import Restrict, jn, oj
+from repro.datagen import example1_storage
+from repro.engine import execute
+from repro.engine.parallel.pool import WorkerLedger
+from repro.service import QueryService
+
+P12 = eq("R1.k", "R2.k")
+P23 = eq("R2.j", "R3.j")
+
+
+def query(constant: int = 5):
+    return Restrict(
+        jn("R1", oj("R2", "R3", P23), P12), Comparison("R3.j", "=", Const(constant))
+    )
+
+
+@pytest.fixture
+def storage():
+    return example1_storage(400)
+
+
+# -- the worker-budget invariant ---------------------------------------------
+
+
+def test_ledger_invariant_service_plus_intra_within_ceiling(storage):
+    ledger = WorkerLedger(ceiling=6)
+    with QueryService(
+        storage, workers=2, parallel=True, intra_workers=3, ledger=ledger
+    ) as service:
+        snap = service.snapshot()["parallel"]
+        assert snap["enabled"]
+        assert snap["service_grant"] == 2
+        assert snap["intra_pool"]["workers"] == 3
+        assert ledger.granted == 5
+        assert ledger.granted <= ledger.ceiling
+    assert ledger.granted == 0  # close() released every grant
+
+
+def test_intra_pool_clamped_by_ledger(storage):
+    ledger = WorkerLedger(ceiling=3)
+    with QueryService(
+        storage, workers=2, parallel=True, intra_workers=8, ledger=ledger
+    ) as service:
+        snap = service.snapshot()["parallel"]
+        assert snap["service_grant"] == 2
+        # Only one worker left under the ceiling for intra-query work.
+        assert snap["intra_pool"]["workers"] == 1
+        assert ledger.granted == 3
+
+
+def test_intra_pool_starved_to_zero_degrades_inline(storage):
+    ledger = WorkerLedger(ceiling=2)
+    with QueryService(
+        storage, workers=2, parallel=True, intra_workers=4, ledger=ledger
+    ) as service:
+        assert service.snapshot()["parallel"]["intra_pool"]["workers"] == 0
+        # Queries still run; the pool maps inline.
+        outcome = service.execute(query(), timeout_s=60)
+        assert outcome.ok
+
+
+def test_exhausted_ledger_rejects_new_service(storage):
+    ledger = WorkerLedger(ceiling=2)
+    with QueryService(storage, workers=2, ledger=ledger):
+        with pytest.raises(ValueError):
+            QueryService(storage, workers=1, ledger=ledger)
+
+
+def test_shared_ledger_across_services(storage):
+    ledger = WorkerLedger(ceiling=10)
+    a = QueryService(storage, workers=4, parallel=True, intra_workers=4, ledger=ledger)
+    try:
+        assert ledger.granted == 8
+        b = QueryService(storage, workers=2, parallel=True, intra_workers=4, ledger=ledger)
+        try:
+            # b's service threads take the last 2; its intra pool clamps to 0.
+            assert b.snapshot()["parallel"]["service_grant"] == 2
+            assert b.snapshot()["parallel"]["intra_pool"]["workers"] == 0
+            assert ledger.granted == 10
+        finally:
+            b.close()
+        assert ledger.granted == 8
+    finally:
+        a.close()
+    assert ledger.granted == 0
+
+
+# -- results under parallel execution ----------------------------------------
+
+
+def test_parallel_service_results_bag_equal_serial(storage):
+    queries = [query(c) for c in range(5)]
+    expected = [execute(q, storage).relation for q in queries]
+    with QueryService(storage, workers=3, parallel=True, intra_workers=2) as service:
+        outcomes = [t.result(timeout=60) for t in service.submit_batch(queries)]
+    assert [o.status for o in outcomes] == ["ok"] * len(queries)
+    for outcome, reference in zip(outcomes, expected):
+        assert bag_equal(outcome.require(), reference)
+
+
+def test_serial_service_reports_parallel_disabled(storage):
+    with QueryService(storage, workers=2, parallel=False) as service:
+        snap = service.snapshot()["parallel"]
+        assert not snap["enabled"]
+        assert snap["intra_pool"] is None
+
+
+def test_parallel_service_summary_mentions_parallel(storage):
+    with QueryService(storage, workers=2, parallel=True, intra_workers=2) as service:
+        assert "parallel" in service.summary()
+
+
+# -- the conformance tier ----------------------------------------------------
+
+
+def test_parallel_is_a_conformance_tier():
+    assert "parallel" in EXECUTOR_TIERS
+
+
+def test_parallel_tier_matches_naive_tier():
+    from repro.core.expressions import Rel, oj
+    from repro.datagen import random_database
+
+    schemas = {"R1": ["R1.a"], "R2": ["R2.a", "R2.b"], "R3": ["R3.b"]}
+    expr = oj(
+        oj(Rel("R1"), Rel("R2"), eq("R1.a", "R2.a")),
+        Rel("R3"),
+        eq("R2.b", "R3.b"),
+    )
+    for seed in range(5):
+        db = random_database(schemas, seed=seed, null_probability=0.3)
+        reference = run_executor("naive", expr, db)
+        got = run_executor("parallel", expr, db)
+        assert bag_equal(got, reference), f"parallel tier diverged at seed {seed}"
+
+
+def test_small_fuzz_campaign_includes_parallel_tier():
+    report = run_campaign(cases=12, seed=412)
+    assert report.ok
+    assert report.cases == 12
