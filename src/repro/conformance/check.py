@@ -18,6 +18,13 @@ tier                    route
                         (:mod:`repro.engine.parallel`), pinned to
                         ``workers=2, partitions=3, min_rows=0`` for
                         deterministic small-input coverage
+``"batch"``             physical planner + iterators with vectorized
+                        columnar execution forced ON
+                        (:mod:`repro.engine.batch`), batch size pinned
+                        to 2 so small inputs still cross chunk
+                        boundaries; the plain ``engine`` tier pins batch
+                        execution OFF so the row-at-a-time path remains
+                        an independent baseline
 ======================  =====================================================
 
 :func:`cross_check` runs a query through any subset of tiers and demands
@@ -51,9 +58,10 @@ EXECUTOR_TIERS: Tuple[str, ...] = (
     "engine-merge",
     "sqlite",
     "parallel",
+    "batch",
 )
 
-_ENGINE_TIERS = frozenset({"engine", "engine-merge"})
+_ENGINE_TIERS = frozenset({"engine", "engine-merge", "batch"})
 
 
 def supported_executors(
@@ -114,12 +122,22 @@ def run_executor(
         from repro.engine.executor import execute_plan
         from repro.engine.planner import Planner
         from repro.engine.storage import Storage
+        from repro.util.fastpath import batch_mode, batch_sized
 
         if storage is None:
             storage = Storage.from_database(db)
         algo = "merge" if name == "engine-merge" else "hash"
         plan = Planner(storage, equi_join=algo).plan(expr)
-        return execute_plan(plan).relation
+        if name == "batch":
+            # Batch size 2 on purpose: the fuzzer's tiny relations then
+            # still span several batches, exercising chunk boundaries,
+            # zero-row selections, and cross-batch dedup/build state.
+            with batch_mode(True), batch_sized(2):
+                return execute_plan(plan).relation
+        # The row path is this tier's whole point: pin batching off so
+        # "engine"/"engine-merge" stay independent of the batch kernels.
+        with batch_mode(False):
+            return execute_plan(plan).relation
     if name == "sqlite":
         from repro.conformance.sqlite_oracle import SQLiteOracle
 

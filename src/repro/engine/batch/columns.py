@@ -1,0 +1,211 @@
+"""The columnar batch representation: per-column lists + selection vector.
+
+A :class:`ColumnBatch` is the unit of work of the vectorized engine: a
+fixed scheme, one Python list per attribute holding the column's values
+(with :data:`~repro.algebra.nulls.NULL` marking nulls in place), and an
+optional *selection vector* — a list of row positions that are logically
+alive.  Filters produce selections instead of copying columns; gathering
+operators (projection output, join output, the row-compat shim) resolve
+the selection when they materialize.
+
+Null handling is the 3VL contract of :mod:`repro.algebra.nulls`, stated
+columnar:
+
+* the value lists store the ``NULL`` singleton in place, so a value ``v``
+  is null iff ``v is NULL`` — no out-of-band state to keep in sync;
+* :meth:`null_mask` derives (and caches) an explicit boolean mask per
+  column for kernels that want branch-light null tests (``IS NULL``
+  filters, key-column routing).  The mask is a *view* of the value list:
+  it is always consistent with it because batches are immutable once
+  emitted.
+
+Batches preserve row order: ``to_rows()`` of the batches an operator
+emits replays exactly the sequence its row-at-a-time twin would yield,
+which is what makes ``REPRO_BATCH=0`` byte-identical to ``=1``
+(``tests/test_batch_exec.py`` proves it in a subprocess).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.algebra.nulls import NULL
+from repro.algebra.schema import Schema
+from repro.algebra.tuples import Row
+from repro.util.errors import SchemaError
+
+
+def _fast_row(values: Dict[str, Any]) -> Row:
+    """A Row over a pre-built values dict, filling slots directly.
+
+    Bit-identical to ``Row(values)`` minus the attribute-name validation
+    (batch columns only ever hold values that arrived through validated
+    rows): same ``_values`` dict, same ``hash(frozenset(items))``
+    contract, so rows from this path hash and compare interchangeably
+    with rows from ``Row.concat`` — the same trick
+    :mod:`repro.engine.parallel.joins` uses for its task outputs.
+    """
+    row = Row.__new__(Row)
+    object.__setattr__(row, "_values", values)
+    object.__setattr__(row, "_hash", hash(frozenset(values.items())))
+    return row
+
+
+class ColumnBatch:
+    """An immutable chunk of rows in columnar form.
+
+    ``attrs`` fixes the column order (sorted attribute names, so two
+    batches on the same scheme always agree); ``columns`` maps attribute
+    -> value list, each of the same *physical* length; ``selection`` is
+    either None (every physical row is alive) or a list of alive
+    positions in ascending emission order.
+    """
+
+    __slots__ = ("attrs", "columns", "length", "selection", "_masks")
+
+    def __init__(
+        self,
+        attrs: Sequence[str],
+        columns: Dict[str, List[Any]],
+        length: int,
+        selection: Optional[List[int]] = None,
+    ):
+        self.attrs: Tuple[str, ...] = tuple(attrs)
+        self.columns = columns
+        self.length = length
+        self.selection = selection
+        self._masks: Dict[str, List[bool]] = {}
+        for attr in self.attrs:
+            col = columns.get(attr)
+            if col is None:
+                raise SchemaError(f"batch is missing column {attr!r}")
+            if len(col) != length:
+                raise SchemaError(
+                    f"column {attr!r} has {len(col)} values, batch length is {length}"
+                )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema | Iterable[str], rows: Sequence[Row]) -> "ColumnBatch":
+        """Columnarize a chunk of rows (the row->batch shim's workhorse)."""
+        attrs = _attrs_of(schema)
+        columns: Dict[str, List[Any]] = {}
+        for attr in attrs:
+            columns[attr] = [r._values[attr] for r in rows]
+        return cls(attrs, columns, len(rows))
+
+    @classmethod
+    def empty(cls, schema: Schema | Iterable[str]) -> "ColumnBatch":
+        """A zero-row batch on the given scheme."""
+        attrs = _attrs_of(schema)
+        return cls(attrs, {a: [] for a in attrs}, 0)
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Logical (post-selection) row count."""
+        if self.selection is not None:
+            return len(self.selection)
+        return self.length
+
+    def is_empty(self) -> bool:
+        return self.num_rows == 0
+
+    def indices(self) -> Sequence[int]:
+        """The alive row positions, in emission order."""
+        if self.selection is not None:
+            return self.selection
+        return range(self.length)
+
+    # -- null masks ----------------------------------------------------------
+
+    def null_mask(self, attr: str) -> List[bool]:
+        """Explicit null mask of one column (cached; covers *physical* rows).
+
+        ``mask[i]`` is True iff ``columns[attr][i] is NULL`` — derived
+        from the in-band marker, so it can never drift from the values.
+        """
+        mask = self._masks.get(attr)
+        if mask is None:
+            mask = [v is NULL for v in self.columns[attr]]
+            self._masks[attr] = mask
+        return mask
+
+    # -- transforms ----------------------------------------------------------
+
+    def with_selection(self, selection: List[int]) -> "ColumnBatch":
+        """The same physical batch narrowed to ``selection`` (zero copy)."""
+        return ColumnBatch(self.attrs, self.columns, self.length, selection)
+
+    def compact(self) -> "ColumnBatch":
+        """Resolve the selection vector into dense columns."""
+        if self.selection is None:
+            return self
+        sel = self.selection
+        columns = {a: [col[i] for i in sel] for a, col in self.columns.items()}
+        return ColumnBatch(self.attrs, columns, len(sel))
+
+    def project(self, attributes: Iterable[str]) -> "ColumnBatch":
+        """Restrict to a subset of columns (shares the value lists)."""
+        attrs = tuple(sorted(attributes))
+        missing = [a for a in attrs if a not in self.columns]
+        if missing:
+            raise SchemaError(f"cannot project batch on absent attributes {missing}")
+        return ColumnBatch(
+            attrs, {a: self.columns[a] for a in attrs}, self.length, self.selection
+        )
+
+    # -- row compatibility ----------------------------------------------------
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Yield the alive rows as :class:`Row` objects, in order."""
+        attrs = self.attrs
+        cols = [self.columns[a] for a in attrs]
+        for i in self.indices():
+            yield _fast_row({a: col[i] for a, col in zip(attrs, cols)})
+
+    def to_rows(self) -> List[Row]:
+        return list(self.iter_rows())
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sel = f", selection={len(self.selection)}" if self.selection is not None else ""
+        return f"ColumnBatch({list(self.attrs)}, rows={self.num_rows}{sel})"
+
+
+def _attrs_of(schema: Schema | Iterable[str]) -> Tuple[str, ...]:
+    if isinstance(schema, Schema):
+        return tuple(sorted(schema.attributes))
+    return tuple(sorted(schema))
+
+
+def batches_from_rows(
+    rows: Iterable[Row], schema: Schema | Iterable[str], size: int
+) -> Iterator[ColumnBatch]:
+    """Chunk a row stream into column batches (the row->batch shim).
+
+    Operators without a native batch implementation fall back to this —
+    correctness is free, only the vectorized speedup is forfeited.
+    """
+    attrs = _attrs_of(schema)
+    chunk: List[Row] = []
+    append = chunk.append
+    for row in rows:
+        append(row)
+        if len(chunk) >= size:
+            yield ColumnBatch.from_rows(attrs, chunk)
+            chunk = []
+            append = chunk.append
+    if chunk:
+        yield ColumnBatch.from_rows(attrs, chunk)
+
+
+def rows_from_batches(batches: Iterable[ColumnBatch]) -> Iterator[Row]:
+    """Flatten a batch stream back into rows (the batch->row adapter)."""
+    for batch in batches:
+        yield from batch.iter_rows()

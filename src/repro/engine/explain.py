@@ -35,7 +35,15 @@ _DISPATCH = {
 }
 
 #: Per-operator span counters surfaced in the rendered tree, in order.
-_DETAIL_COUNTERS = ("index_probes", "index_hits", "build_buckets", "mem_rows")
+#: ``batches_out`` is the number of column batches a batch-native
+#: operator emitted (absent on row-path runs and shim-only operators).
+_DETAIL_COUNTERS = (
+    "index_probes",
+    "index_hits",
+    "build_buckets",
+    "mem_rows",
+    "batches_out",
+)
 
 
 @dataclass

@@ -45,6 +45,16 @@ Modes:
                    under a ``parallel`` report key (the BENCH_PR5
                    artifact's payload); every timed run is bag-equality
                    checked against the serial result.
+* ``--batch-bench`` — additionally measure vectorized columnar execution
+                   (:mod:`repro.engine.batch`) against the row-at-a-time
+                   iterators on the headline 30k-row hash join: row
+                   serial vs native batch drain vs batch-through-the-
+                   row-adapter vs batching stacked on the 4-worker
+                   parallel executor.  Cells are interleaved, warmed up,
+                   reduced by min-of-N with raw per-round timings kept,
+                   and sequence/bag-equality checked untimed.  Written
+                   under a ``batch`` report key (the BENCH_PR6
+                   artifact's payload).
 """
 
 from __future__ import annotations
@@ -251,13 +261,20 @@ def measure_parallel(
     workers_grid: Sequence[int] = PARALLEL_WORKER_GRID,
     budgets: Sequence[str] = SPILL_BUDGETS,
     rounds: int = 3,
+    warmup_rounds: int = 1,
 ) -> Dict[str, object]:
     """Serial-vs-parallel speedup grid and the spill cost curve, in-process.
 
     Rounds are interleaved (serial, then each grid point, repeated) and
     reduced by min, so a load spike on the host hits both sides rather
-    than biasing the ratio.  Every parallel result is asserted bag-equal
-    to the serial kernels' result before its time is recorded.
+    than biasing the ratio.  Before the timed rounds every cell runs
+    ``warmup_rounds`` untimed passes — the first execution pays one-off
+    costs (worker-pool spin-up, allocator growth, branch warm-up) that
+    made the BENCH_PR5 grid non-monotonic across worker counts.  The
+    per-round raw timings of every cell are recorded under
+    ``raw_timings_s`` so outliers are diagnosable from the BENCH file
+    itself.  Every parallel result is asserted bag-equal to the serial
+    kernels' result before its time is recorded.
     """
     from repro.algebra.operators import join
     from repro.engine.parallel.budget import BUDGET_ENV, reset_process_budget
@@ -277,21 +294,40 @@ def measure_parallel(
         result = fn()
         return time.perf_counter() - start, result
 
-    serial_s = float("inf")
-    serial_rel = None
-    grid_s: Dict[int, float] = {w: float("inf") for w in workers_grid}
-    for _ in range(rounds):
+    def run_serial():
         with parallel_mode(False):
-            elapsed, rel = timed(lambda: join(left, right, predicate))
-        serial_s = min(serial_s, elapsed)
-        if serial_rel is None:
-            serial_rel = rel
+            return join(left, right, predicate)
+
+    def run_parallel(w: int):
+        with parallel_mode(True), using_config(workers=w, min_rows=0):
+            return join(left, right, predicate)
+
+    serial_rel = run_serial()  # warm-up pass doubles as the oracle result
+    for _ in range(max(warmup_rounds - 1, 0)):
+        run_serial()
+    for w in workers_grid:
+        for _ in range(warmup_rounds):
+            if run_parallel(w) != serial_rel:
+                raise RuntimeError(
+                    f"parallel join (workers={w}) is not bag-equal to serial"
+                )
+
+    raw: Dict[str, List[float]] = {"serial": []}
+    for w in workers_grid:
+        raw[f"workers={w}"] = []
+    for _ in range(rounds):
+        elapsed, rel = timed(run_serial)
+        raw["serial"].append(round(elapsed, 4))
+        if rel != serial_rel:
+            raise RuntimeError("serial join result drifted between rounds")
         for w in workers_grid:
-            with parallel_mode(True), using_config(workers=w, min_rows=0):
-                elapsed, rel = timed(lambda: join(left, right, predicate))
+            elapsed, rel = timed(lambda: run_parallel(w))
             if rel != serial_rel:
                 raise RuntimeError(f"parallel join (workers={w}) is not bag-equal to serial")
-            grid_s[w] = min(grid_s[w], elapsed)
+            raw[f"workers={w}"].append(round(elapsed, 4))
+
+    serial_s = min(raw["serial"])
+    grid_s: Dict[int, float] = {w: min(raw[f"workers={w}"]) for w in workers_grid}
 
     grid = [
         {
@@ -354,10 +390,164 @@ def measure_parallel(
             "null_key_fraction": 0.01,
         },
         "rounds": rounds,
+        "warmup_rounds": warmup_rounds,
+        "raw_timings_s": raw,
         "serial_s": round(serial_s, 4),
         "grid": grid,
         "speedup_at_4_workers": speedup_at_4,
         "spill_curve": curve,
+    }
+
+
+def _batch_workload(seed: int, rows: int, domain: int):
+    """The PR-5 headline join rebuilt as engine base tables (no indexes).
+
+    Same shape as :func:`_parallel_workload` — uniform keys over
+    ``domain`` values (~20 matches per key at full size), 1% null keys —
+    but stored in :class:`~repro.engine.storage.Storage` so the measured
+    object is the physical :class:`~repro.engine.iterators.HashJoin`
+    pipeline, row path versus batch path.  No index is created: an
+    indexed right side would make the planner prefer INLJ, which is not
+    the operator under test.
+    """
+    from repro.algebra.nulls import NULL
+    from repro.engine.iterators import HashJoin, SeqScan
+    from repro.engine.storage import Storage
+    from repro.util.rng import make_rng
+
+    rng = make_rng(seed)
+    storage = Storage()
+    for prefix, payload in (("L", "a"), ("R", "b")):
+        storage.create_table(
+            prefix,
+            [f"{prefix}.k", f"{prefix}.{payload}"],
+            (
+                {
+                    f"{prefix}.k": NULL if rng.random() < 0.01 else rng.randrange(domain),
+                    f"{prefix}.{payload}": i,
+                }
+                for i in range(rows)
+            ),
+        )
+    plan = HashJoin(SeqScan(storage["L"]), SeqScan(storage["R"]), "L.k", "R.k")
+    return storage, plan
+
+
+def measure_batch(
+    seed: int = 0,
+    smoke: bool = False,
+    rounds: int = 3,
+    warmup_rounds: int = 1,
+) -> Dict[str, object]:
+    """Row-at-a-time vs vectorized execution of the headline hash join.
+
+    Four cells, interleaved round-robin and reduced by min (after
+    ``warmup_rounds`` untimed passes each), raw per-round timings kept:
+
+    * ``row_serial``     — the PR-5 baseline: ``REPRO_BATCH=0``, rows
+      drained through ``execute()``;
+    * ``batch_serial``   — the headline: batches drained natively through
+      ``execute_batches()``, rows counted but never materialized as
+      ``Row`` objects (the columnar result is the batch engine's working
+      representation; converting it back to rows is the *consumer's*
+      choice, priced separately);
+    * ``batch_rows``     — honesty cell: batch execution drained through
+      the row-compat adapter, paying full ``Row`` materialization;
+    * ``combined_4w``    — batching + the morsel-parallel executor at 4
+      workers (vectorized children feeding the partitioned join).
+
+    Correctness is verified untimed: the batch row stream must be
+    *sequence*-identical to the row path's, and the combined run
+    bag-equal to it.
+    """
+    from collections import Counter
+
+    from repro.engine.metrics import Metrics
+    from repro.engine.parallel.config import using_config
+    from repro.util.fastpath import batch_mode, batch_size, parallel_mode
+
+    rows = 4_000 if smoke else 30_000
+    domain = max(rows // 20, 2)
+    _storage, plan = _batch_workload(seed, rows, domain)
+
+    def row_serial() -> list:
+        with batch_mode(False):
+            return list(plan.execute(Metrics()))
+
+    def batch_serial() -> int:
+        total = 0
+        with batch_mode(True):
+            for batch in plan.execute_batches(Metrics()):
+                total += batch.num_rows
+        return total
+
+    def batch_rows() -> list:
+        with batch_mode(True):
+            return list(plan.execute(Metrics()))
+
+    def combined_4w() -> int:
+        total = 0
+        with batch_mode(True), parallel_mode(True), using_config(workers=4, min_rows=0):
+            for batch in plan.execute_batches(Metrics()):
+                total += batch.num_rows
+        return total
+
+    # Untimed correctness pass (doubles as warm-up round one).
+    baseline = row_serial()
+    if batch_rows() != baseline:
+        raise RuntimeError("batch row stream is not sequence-identical to the row path")
+    if batch_serial() != len(baseline):
+        raise RuntimeError("batch row count disagrees with the row path")
+    combined_bag: Counter = Counter()
+    with batch_mode(True), parallel_mode(True), using_config(workers=4, min_rows=0):
+        for batch in plan.execute_batches(Metrics()):
+            for row in batch.iter_rows():
+                combined_bag[row] += 1
+    if combined_bag != Counter(baseline):
+        raise RuntimeError("combined batch+parallel run is not bag-equal to serial")
+
+    cells = {
+        "row_serial": row_serial,
+        "batch_serial": batch_serial,
+        "batch_rows": batch_rows,
+        "combined_4w": combined_4w,
+    }
+    for _ in range(max(warmup_rounds - 1, 0)):
+        for fn in cells.values():
+            fn()
+
+    raw: Dict[str, List[float]] = {name: [] for name in cells}
+    for _ in range(rounds):
+        for name, fn in cells.items():
+            start = time.perf_counter()
+            fn()
+            raw[name].append(round(time.perf_counter() - start, 4))
+
+    best = {name: min(times) for name, times in raw.items()}
+
+    def speedup(cell: str) -> Optional[float]:
+        return round(best["row_serial"] / best[cell], 2) if best[cell] > 0 else None
+
+    return {
+        "workload": {
+            "left_rows": rows,
+            "right_rows": rows,
+            "output_rows": len(baseline),
+            "domain": domain,
+            "null_key_fraction": 0.01,
+        },
+        "rounds": rounds,
+        "warmup_rounds": warmup_rounds,
+        "batch_size": batch_size(),
+        "raw_timings_s": raw,
+        "row_serial_s": round(best["row_serial"], 4),
+        "batch_serial_s": round(best["batch_serial"], 4),
+        "batch_rows_s": round(best["batch_rows"], 4),
+        "combined_4w_s": round(best["combined_4w"], 4),
+        "speedup_batch_serial": speedup("batch_serial"),
+        "speedup_batch_rows": speedup("batch_rows"),
+        "speedup_combined_4w": speedup("combined_4w"),
+        "bag_equal": True,
     }
 
 
@@ -385,11 +575,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "default output becomes BENCH_PR5.json",
     )
     parser.add_argument(
+        "--batch-bench",
+        action="store_true",
+        help="also measure vectorized batch execution against the row-at-a-time "
+        "path on the headline hash join; default output becomes BENCH_PR6.json",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None, help="report path (default BENCH_PR1.json)"
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        args.output = REPO_ROOT / "BENCH_PR5.json" if args.parallel_bench else DEFAULT_OUTPUT
+        if args.batch_bench:
+            args.output = REPO_ROOT / "BENCH_PR6.json"
+        elif args.parallel_bench:
+            args.output = REPO_ROOT / "BENCH_PR5.json"
+        else:
+            args.output = DEFAULT_OUTPUT
 
     if args.smoke:
         scenarios = [BENCH_DIR / name for name in HEADLINE]
@@ -464,6 +665,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"  budget={point['budget']:>9s}: {point['elapsed_s']:.4f}s, "
                 f"{point['spill_events']} spill(s), cost x{point['cost_ratio']}"
             )
+    if args.batch_bench:
+        print("\nmeasuring vectorized batch execution vs the row-at-a-time path...")
+        section = measure_batch(seed=args.seed, smoke=args.smoke)
+        report["batch"] = section
+        print(f"  row serial:        {section['row_serial_s']:.4f}s")
+        print(
+            f"  batch serial:      {section['batch_serial_s']:.4f}s "
+            f"({section['speedup_batch_serial']}x)"
+        )
+        print(
+            f"  batch + rows:      {section['batch_rows_s']:.4f}s "
+            f"({section['speedup_batch_rows']}x)"
+        )
+        print(
+            f"  combined 4 workers: {section['combined_4w_s']:.4f}s "
+            f"({section['speedup_combined_4w']}x)"
+        )
     from repro.tools.benchschema import validate_report
 
     validate_report(report)

@@ -52,7 +52,11 @@ from typing import Dict
 #: ``parallel_joins``          (joins taken by the parallel executor),
 #: ``parallel_tasks``          (per-partition join tasks dispatched),
 #: ``parallel_partitions``     (radix partitions materialized),
-#: ``parallel_spills``         (partition buffers spilled to disk).
+#: ``parallel_spills``         (partition buffers spilled to disk),
+#: ``batches_emitted``         (column batches emitted by batch-native ops),
+#: ``batch_rows``              (rows carried by those batches),
+#: ``predicate_vectorized``    (filter-kernel applications with >=1
+#:                             vectorized conjunct pass).
 STATS: Counter = Counter()
 
 #: One lock serializes every mutation of :data:`STATS`; see module docs.

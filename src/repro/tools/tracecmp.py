@@ -114,7 +114,9 @@ def aggregate_bench(doc: Dict[str, Any]) -> Dict[str, KeyStats]:
     Reports carrying a ``parallel`` section (BENCH_PR5) also contribute
     its serial baseline, worker-grid points, and spill-curve points, so
     the same CLI diffs parallel-executor performance against a committed
-    baseline.
+    baseline.  Reports carrying a ``batch`` section (BENCH_PR6) likewise
+    contribute its row-at-a-time baseline and vectorized cells as
+    ``batch::`` keys.
     """
     stats: Dict[str, KeyStats] = {}
     for record in doc.get("scenarios", ()):
@@ -132,6 +134,11 @@ def aggregate_bench(doc: Dict[str, Any]) -> Dict[str, KeyStats]:
         for point in parallel.get("spill_curve", ()):
             key = f"parallel::budget={point['budget']}"
             stats[key] = KeyStats(key, point["elapsed_s"] * 1e3)
+    batch = doc.get("batch")
+    if batch:
+        for cell in ("row_serial", "batch_serial", "batch_rows", "combined_4w"):
+            key = f"batch::{cell}"
+            stats[key] = KeyStats(key, batch[f"{cell}_s"] * 1e3)
     return stats
 
 

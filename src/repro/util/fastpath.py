@@ -34,14 +34,43 @@ _parallel: bool = os.environ.get("REPRO_PARALLEL", "").lower() in (
     "yes",
 )
 
-#: Thread-local overrides pushed by :func:`parallel_mode`.  Scoping the
-#: *temporary* switch per thread lets each QueryService worker force
-#: parallel execution for its own query without racing other threads'
-#: restores (the process-wide default stays whatever the env /
-#: :func:`set_parallel` said).
+#: Vectorized batch execution is opt-out: ``REPRO_BATCH=0`` falls back to
+#: the row-at-a-time iterators.  Default on — the batch kernels are
+#: bag-identical (indeed sequence-identical) to the row path, so the
+#: faster representation is the default and the row path remains the
+#: differential baseline (the ``engine`` conformance tier pins it off).
+_batch: bool = os.environ.get("REPRO_BATCH", "").lower() not in (
+    "0",
+    "false",
+    "no",
+)
+
+
+def _env_batch_size() -> int:
+    raw = os.environ.get("REPRO_BATCH_SIZE", "").strip()
+    if not raw:
+        return 1024
+    try:
+        size = int(raw)
+    except ValueError:
+        return 1024
+    return size if size >= 1 else 1024
+
+
+#: Rows per :class:`~repro.engine.batch.ColumnBatch` pulled from a scan or
+#: produced by the row->batch shim.  Operators may emit larger batches
+#: (a join's output batch follows its probe batch's match multiplicity).
+_batch_size: int = _env_batch_size()
+
+#: Thread-local overrides pushed by :func:`parallel_mode` /
+#: :func:`batch_mode`.  Scoping the *temporary* switch per thread lets
+#: each QueryService worker force a mode for its own query without racing
+#: other threads' restores (the process-wide default stays whatever the
+#: env / :func:`set_parallel` / :func:`set_batch` said).
 import threading as _threading
 
 _parallel_tls = _threading.local()
+_batch_tls = _threading.local()
 
 
 def fast_enabled() -> bool:
@@ -80,6 +109,65 @@ def parallel_mode(enabled: bool):
         yield
     finally:
         stack.pop()
+
+
+def batch_enabled() -> bool:
+    """Is vectorized columnar batch execution currently on?
+
+    The innermost :func:`batch_mode` override on *this thread* wins;
+    otherwise the process-wide default (``REPRO_BATCH``, default on)
+    applies.
+    """
+    stack = getattr(_batch_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return _batch
+
+
+def set_batch(enabled: bool) -> bool:
+    """Set the process-wide batch default; returns the previous one."""
+    global _batch
+    previous = _batch
+    _batch = bool(enabled)
+    return previous
+
+
+@contextmanager
+def batch_mode(enabled: bool):
+    """Force batch execution on (True) or off (False) for this thread."""
+    stack = getattr(_batch_tls, "stack", None)
+    if stack is None:
+        stack = _batch_tls.stack = []
+    stack.append(bool(enabled))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def batch_size() -> int:
+    """The configured rows-per-batch (``REPRO_BATCH_SIZE``, default 1024)."""
+    return _batch_size
+
+
+def set_batch_size(size: int) -> int:
+    """Set the process-wide batch size; returns the previous one."""
+    global _batch_size
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    previous = _batch_size
+    _batch_size = int(size)
+    return previous
+
+
+@contextmanager
+def batch_sized(size: int):
+    """Temporarily pin the batch size (tests and the conformance tier)."""
+    previous = set_batch_size(size)
+    try:
+        yield
+    finally:
+        set_batch_size(previous)
 
 
 def set_fast_kernels(enabled: bool) -> bool:

@@ -1,0 +1,320 @@
+"""Boundary and parity tests for the vectorized columnar batch layer.
+
+Covers the edges the fuzzer is unlikely to pin down deterministically:
+empty batches, ``batch_size=1`` chunking, all-null key columns, zero-row
+selections, the full-outer batch joiner against the algebra kernel, and
+a subprocess proof that ``REPRO_BATCH=0`` is byte-identical to ``=1``.
+"""
+
+import os
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.algebra.kernels import full_outerjoin_counts, small_input_limit
+from repro.algebra.nulls import NULL
+from repro.algebra.predicates import Comparison, Const, eq, gt
+from repro.algebra.relation import Relation
+from repro.algebra.tuples import Row
+from repro.engine.batch import (
+    BatchHashJoiner,
+    BuildSide,
+    ColumnBatch,
+    batches_from_rows,
+    compile_filter,
+    rows_from_batches,
+)
+from repro.engine.iterators import Filter, HashJoin, ProjectOp, SeqScan
+from repro.engine.metrics import Metrics
+from repro.engine.storage import Storage
+from repro.util.errors import PredicateError, SchemaError
+from repro.util.fastpath import batch_mode, batch_sized
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _storage():
+    """Two small joinable tables with null keys sprinkled on both sides."""
+    storage = Storage()
+    storage.create_table(
+        "L",
+        ["L.k", "L.a"],
+        [
+            {"L.k": 1, "L.a": 10},
+            {"L.k": 2, "L.a": 20},
+            {"L.k": NULL, "L.a": 30},
+            {"L.k": 2, "L.a": 40},
+            {"L.k": 5, "L.a": 50},
+        ],
+    )
+    storage.create_table(
+        "R",
+        ["R.k", "R.b"],
+        [
+            {"R.k": 2, "R.b": 200},
+            {"R.k": 1, "R.b": 100},
+            {"R.k": NULL, "R.b": 300},
+            {"R.k": 2, "R.b": 400},
+            {"R.k": 9, "R.b": 900},
+        ],
+    )
+    return storage
+
+
+def _join_plan(storage, join_type, residual=None):
+    return HashJoin(
+        SeqScan(storage["L"]),
+        SeqScan(storage["R"]),
+        "L.k",
+        "R.k",
+        residual=residual,
+        join_type=join_type,
+    )
+
+
+class TestColumnBatchBoundaries:
+    def test_empty_batch_roundtrip(self):
+        batch = ColumnBatch.empty(["x", "y"])
+        assert batch.num_rows == 0
+        assert batch.is_empty()
+        assert batch.to_rows() == []
+        assert list(batch.indices()) == []
+
+    def test_batches_from_rows_empty_stream(self):
+        assert list(batches_from_rows([], ["x"], 4)) == []
+
+    def test_zero_row_selection_is_empty_but_physical(self):
+        batch = ColumnBatch.from_rows(["x"], [Row({"x": 1}), Row({"x": 2})])
+        narrowed = batch.with_selection([])
+        assert narrowed.num_rows == 0
+        assert narrowed.length == 2  # zero copy: physical rows untouched
+        assert narrowed.to_rows() == []
+        assert narrowed.compact().num_rows == 0
+
+    def test_null_mask_matches_values_and_caches(self):
+        batch = ColumnBatch.from_rows(
+            ["x"], [Row({"x": 1}), Row({"x": NULL}), Row({"x": 3})]
+        )
+        mask = batch.null_mask("x")
+        assert mask == [False, True, False]
+        assert batch.null_mask("x") is mask  # cached
+
+    def test_project_missing_attribute_raises(self):
+        batch = ColumnBatch.from_rows(["x"], [Row({"x": 1})])
+        with pytest.raises(SchemaError):
+            batch.project(["x", "y"])
+
+    def test_column_length_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            ColumnBatch(("x", "y"), {"x": [1, 2], "y": [1]}, 2)
+
+    def test_rows_from_batches_respects_selection_order(self):
+        batch = ColumnBatch.from_rows(
+            ["x"], [Row({"x": i}) for i in range(5)]
+        ).with_selection([1, 3, 4])
+        assert [r["x"] for r in rows_from_batches([batch])] == [1, 3, 4]
+
+
+class TestBatchSizeBoundaries:
+    @pytest.mark.parametrize("size", [1, 2, 3, 1024])
+    @pytest.mark.parametrize("join_type", ["inner", "left_outer", "semi", "anti"])
+    def test_every_chunking_matches_row_path_exactly(self, size, join_type):
+        storage = _storage()
+        plan = ProjectOp(
+            Filter(_join_plan(storage, join_type), gt("L.a", Const(5))),
+            ["L.a", "L.k"],
+            dedup=True,
+        )
+        with batch_mode(False):
+            row_metrics = Metrics()
+            expected = list(plan.execute(row_metrics))
+        with batch_mode(True), batch_sized(size):
+            batch_metrics = Metrics()
+            got = list(plan.execute(batch_metrics))
+        assert got == expected  # same rows, same order
+        assert batch_metrics.tuples_retrieved == row_metrics.tuples_retrieved
+        assert batch_metrics.predicate_evaluations == row_metrics.predicate_evaluations
+        assert batch_metrics.rows_emitted == row_metrics.rows_emitted
+
+    def test_residual_join_matches_row_path_at_size_one(self):
+        storage = _storage()
+        plan = _join_plan(storage, "inner", residual=gt("R.b", "L.a"))
+        with batch_mode(False):
+            expected = list(plan.execute(Metrics()))
+        with batch_mode(True), batch_sized(1):
+            got = list(plan.execute(Metrics()))
+        assert got == expected
+
+
+class TestAllNullKeys:
+    def _null_key_rows(self, n=3):
+        return [Row({"R.k": NULL, "R.b": i}) for i in range(n)]
+
+    def test_build_side_never_buckets_null_keys(self):
+        build = BuildSide("R.k", ("R.b", "R.k"))
+        build.add_batch(ColumnBatch.from_rows(("R.b", "R.k"), self._null_key_rows()))
+        assert build.rows == 3
+        assert build.buckets == {}
+        assert build.bucketed_rows == 0
+        assert build.null_indices == [0, 1, 2]
+
+    def test_inner_probe_with_all_null_keys_emits_nothing(self):
+        build = BuildSide("R.k", ("R.b", "R.k"))
+        build.add_batch(ColumnBatch.from_rows(("R.b", "R.k"), self._null_key_rows()))
+        joiner = BatchHashJoiner(build, "L.k", "inner", None, Metrics(), "HashJoin[inner]")
+        probe = ColumnBatch.from_rows(
+            ("L.a", "L.k"), [Row({"L.k": NULL, "L.a": 1}), Row({"L.k": 7, "L.a": 2})]
+        )
+        assert joiner.probe(probe) is None
+
+    def test_left_outer_all_null_keys_pads_every_probe_row(self):
+        build = BuildSide("R.k", ("R.b", "R.k"))
+        build.add_batch(ColumnBatch.from_rows(("R.b", "R.k"), self._null_key_rows()))
+        joiner = BatchHashJoiner(
+            build, "L.k", "left_outer", None, Metrics(), "HashJoin[left_outer]"
+        )
+        probe = ColumnBatch.from_rows(
+            ("L.a", "L.k"), [Row({"L.k": 1, "L.a": 1}), Row({"L.k": NULL, "L.a": 2})]
+        )
+        out = joiner.probe(probe)
+        rows = out.to_rows()
+        assert [r["L.a"] for r in rows] == [1, 2]
+        assert all(r["R.b"] is NULL and r["R.k"] is NULL for r in rows)
+
+    def test_full_outer_all_null_keys_pads_both_sides(self):
+        build = BuildSide("R.k", ("R.b", "R.k"))
+        build.add_batch(ColumnBatch.from_rows(("R.b", "R.k"), self._null_key_rows(2)))
+        joiner = BatchHashJoiner(
+            build, "L.k", "full_outer", None, Metrics(), "HashJoin[full_outer]"
+        )
+        probe = ColumnBatch.from_rows(("L.a", "L.k"), [Row({"L.k": NULL, "L.a": 1})])
+        out = joiner.probe(probe)
+        assert out.num_rows == 1  # the probe row, right-padded
+        tail = joiner.finish(("L.a", "L.k"))
+        rows = tail.to_rows()
+        assert len(rows) == 2  # every null-keyed build row, left-padded
+        assert all(r["L.a"] is NULL and r["L.k"] is NULL for r in rows)
+        assert sorted(r["R.b"] for r in rows) == [0, 1]
+
+
+class TestFullOuterJoinerParity:
+    @pytest.mark.parametrize("size", [1, 2, 1024])
+    def test_bag_matches_algebra_kernel(self, size):
+        storage = _storage()
+        left_rows = storage["L"].rows
+        right_rows = storage["R"].rows
+        with small_input_limit(0):
+            expected = full_outerjoin_counts(
+                Relation(["L.k", "L.a"], left_rows),
+                Relation(["R.k", "R.b"], right_rows),
+                eq("L.k", "R.k"),
+            )
+        assert expected is not None
+        build = BuildSide("R.k", ("R.b", "R.k"))
+        for batch in batches_from_rows(right_rows, ("R.b", "R.k"), size):
+            build.add_batch(batch)
+        joiner = BatchHashJoiner(
+            build, "L.k", "full_outer", None, Metrics(), "HashJoin[full_outer]"
+        )
+        got = []
+        for batch in batches_from_rows(left_rows, ("L.a", "L.k"), size):
+            out = joiner.probe(batch)
+            if out is not None:
+                got.extend(out.to_rows())
+        tail = joiner.finish(("L.a", "L.k"))
+        if tail is not None:
+            got.extend(tail.to_rows())
+        assert Counter(got) == expected
+
+
+class TestFilterKernel:
+    def test_simple_conjuncts_vectorize(self):
+        kernel = compile_filter(gt("L.a", Const(5)))
+        assert kernel.vectorized
+        assert kernel.vectorized_passes == 1
+
+    def test_zero_row_result_drops_batches_downstream(self):
+        storage = _storage()
+        plan = Filter(SeqScan(storage["L"]), gt("L.a", Const(10**9)))
+        with batch_mode(True), batch_sized(2):
+            assert list(plan.open_batches()) == []
+
+    def test_type_error_matches_row_path_error(self):
+        storage = _storage()
+        predicate = Comparison("L.a", "<", Const("not-a-number"))
+        plan = Filter(SeqScan(storage["L"]), predicate)
+        with batch_mode(False), pytest.raises(PredicateError) as row_err:
+            list(plan.execute(Metrics()))
+        with batch_mode(True), batch_sized(2), pytest.raises(PredicateError) as batch_err:
+            list(plan.execute(Metrics()))
+        assert str(batch_err.value) == str(row_err.value)
+
+
+class TestBatchPull:
+    def test_next_batch_drains_then_none(self):
+        storage = _storage()
+        with batch_mode(True), batch_sized(2):
+            cursor = SeqScan(storage["L"]).open_batches()
+            sizes = []
+            while (batch := cursor.next_batch()) is not None:
+                sizes.append(batch.num_rows)
+        assert sizes == [2, 2, 1]  # 5 rows at batch_size=2
+        assert cursor.next_batch() is None  # stays exhausted
+        cursor.close()
+
+
+_TOGGLE_SCRIPT = """
+import json
+from repro.algebra.nulls import NULL
+from repro.algebra.predicates import Const, gt
+from repro.conformance.serialize import value_to_json
+from repro.engine.iterators import Filter, HashJoin, ProjectOp, SeqScan
+from repro.engine.metrics import Metrics
+from repro.engine.storage import Storage
+
+storage = Storage()
+storage.create_table(
+    "L", ["L.k", "L.a"],
+    [{"L.k": k if k % 7 else NULL, "L.a": k * 3 % 11} for k in range(60)],
+)
+storage.create_table(
+    "R", ["R.k", "R.b"],
+    [{"R.k": k % 20 if k % 5 else NULL, "R.b": k} for k in range(40)],
+)
+plan = ProjectOp(
+    Filter(
+        HashJoin(SeqScan(storage["L"]), SeqScan(storage["R"]), "L.k", "R.k",
+                 join_type="left_outer"),
+        gt("L.a", Const(2)),
+    ),
+    ["L.a", "L.k", "R.b"],
+)
+metrics = Metrics()
+for row in plan.execute(metrics):
+    print(json.dumps({a: value_to_json(row[a]) for a in sorted(row)}, sort_keys=True))
+print("retrieved", sorted(metrics.tuples_retrieved.items()))
+print("evaluated", metrics.predicate_evaluations)
+print("emitted", sorted(metrics.rows_emitted.items()))
+"""
+
+
+class TestRowModeToggle:
+    def test_repro_batch_0_is_byte_identical(self):
+        """REPRO_BATCH=0 and =1 agree byte-for-byte on rows, order, metrics."""
+        outputs = {}
+        for flag in ("0", "1"):
+            env = dict(os.environ, REPRO_BATCH=flag)
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", _TOGGLE_SCRIPT],
+                capture_output=True,
+                env=env,
+                cwd=REPO_ROOT,
+                check=True,
+            )
+            outputs[flag] = proc.stdout
+        assert outputs["0"] == outputs["1"]
+        assert outputs["0"].count(b"\n") > 3  # the workload produced rows
