@@ -25,6 +25,15 @@ tier                    route
                         boundaries; the plain ``engine`` tier pins batch
                         execution OFF so the row-at-a-time path remains
                         an independent baseline
+``"yannakakis"``        the acyclic fast path: every maximal
+                        join/outerjoin subtree runs as a GYO join tree
+                        through the full semijoin reducer
+                        (:mod:`repro.engine.yannakakis`); wrapper
+                        operators (restrict/project/union/FOJ/semi/
+                        anti/GOJ) evaluate via the algebra layer.
+                        Declines (skips) when a core subtree has no
+                        safe join tree — cyclic class hypergraph, or an
+                        outerjoin graph outside Theorem 1
 ======================  =====================================================
 
 :func:`cross_check` runs a query through any subset of tiers and demands
@@ -59,9 +68,14 @@ EXECUTOR_TIERS: Tuple[str, ...] = (
     "sqlite",
     "parallel",
     "batch",
+    "yannakakis",
 )
 
 _ENGINE_TIERS = frozenset({"engine", "engine-merge", "batch"})
+
+#: Tiers that evaluate through :class:`~repro.engine.storage.Storage`
+#: (and hence benefit from a shared instance across many checks).
+_STORAGE_TIERS = _ENGINE_TIERS | {"yannakakis"}
 
 
 def supported_executors(
@@ -145,7 +159,108 @@ def run_executor(
             return oracle.evaluate(expr)
         with SQLiteOracle(db) as own:
             return own.evaluate(expr)
+    if name == "yannakakis":
+        from repro.engine.storage import Storage
+
+        if storage is None:
+            storage = Storage.from_database(db)
+        return _run_yannakakis(expr, db, storage)
     raise PlanningError(f"unknown executor tier {name!r}")
+
+
+def _run_yannakakis(expr: Expression, db: Database, storage) -> Relation:
+    """Evaluate with every maximal join core on the acyclic fast path.
+
+    A *core* subtree is a pure tree of Rel/Join/LeftOuterJoin/
+    RightOuterJoin — exactly the fragment :func:`~repro.core.graph.graph_of`
+    abstracts into a query graph.  Each maximal core runs as a GYO join
+    tree through :class:`~repro.engine.yannakakis.YannakakisOp` (under the
+    ambient batch mode, so the CI matrix covers both row and columnar
+    reducers); wrapper and extended operators evaluate via the algebra
+    layer on the recursed children.  Raises :class:`PlanningError` — a
+    cross-check *skip* — when no core yields a safe join tree, so the
+    tier never silently duplicates the algebra tier.
+    """
+    from repro.algebra import operators as ops
+    from repro.algebra.goj import generalized_outerjoin
+    from repro.core.expressions import (
+        Antijoin,
+        GeneralizedOuterJoin,
+        Join,
+        LeftOuterJoin,
+        Project,
+        Rel,
+        Restrict,
+        RightAntijoin,
+        RightOuterJoin,
+        Semijoin,
+    )
+    from repro.core.graph import graph_of
+    from repro.core.gyo import join_tree_of
+    from repro.engine.executor import execute_plan
+    from repro.engine.yannakakis import build_yannakakis_plan
+
+    registry = storage.registry
+    took_fast_path = [False]
+
+    def is_core(node: Expression) -> bool:
+        if isinstance(node, Rel):
+            return True
+        if isinstance(node, (Join, LeftOuterJoin, RightOuterJoin)):
+            return is_core(node.left) and is_core(node.right)
+        return False
+
+    def run_core(node: Expression) -> Relation:
+        graph = graph_of(node, registry)
+        tree = join_tree_of(graph, registry)
+        if tree is None:
+            raise PlanningError(
+                f"yannakakis tier declines: no safe join tree for {node!r}"
+            )
+        took_fast_path[0] = True
+        return execute_plan(build_yannakakis_plan(tree, storage, {})).relation
+
+    def recurse(node: Expression) -> Relation:
+        if isinstance(node, Rel):
+            return node.eval(db)
+        if is_core(node):
+            return run_core(node)
+        if isinstance(node, Join):
+            return ops.join(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, LeftOuterJoin):
+            return ops.outerjoin(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, RightOuterJoin):
+            return ops.outerjoin(recurse(node.right), recurse(node.left), node.predicate)
+        if isinstance(node, FullOuterJoin):
+            return ops.full_outerjoin(
+                recurse(node.left), recurse(node.right), node.predicate
+            )
+        if isinstance(node, Semijoin):
+            return ops.semijoin(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, Antijoin):
+            return ops.antijoin(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, RightAntijoin):
+            return ops.antijoin(recurse(node.right), recurse(node.left), node.predicate)
+        if isinstance(node, GeneralizedOuterJoin):
+            return generalized_outerjoin(
+                recurse(node.left), recurse(node.right), node.predicate, node.projection
+            )
+        if isinstance(node, Restrict):
+            return ops.restrict(recurse(node.child), node.predicate)
+        if isinstance(node, Project):
+            return ops.project(
+                recurse(node.child), sorted(node.attributes), dedup=node.dedup
+            )
+        if isinstance(node, Union):
+            return ops.union_padded(recurse(node.left), recurse(node.right))
+        raise PlanningError(
+            f"yannakakis tier cannot evaluate {type(node).__name__}"
+        )
+
+    relation = recurse(expr)
+    if not took_fast_path[0]:
+        raise PlanningError("yannakakis tier declines: no multi-relation join core")
+    return relation
 
 
 @dataclass
@@ -191,7 +306,7 @@ def cross_check(
     """
     instrumentation.bump("conformance_checks")
     result = CheckResult(expr=expr)
-    if storage is None and any(e in _ENGINE_TIERS for e in executors):
+    if storage is None and any(e in _STORAGE_TIERS for e in executors):
         from repro.engine.storage import Storage
 
         storage = Storage.from_database(db)

@@ -68,17 +68,22 @@ def generate_case(
     seed: int,
     coverage: Optional[Counter] = None,
     executors: Tuple[str, ...] = EXECUTOR_TIERS,
+    topologies: Optional[Sequence[str]] = None,
 ) -> FuzzCase:
     """Generate one case; updates ``coverage`` with the chosen features.
 
     Regenerating a case from its seed requires the same coverage state
     (the steering reads it), so reproducers are persisted as full JSON
-    artifacts rather than as seeds.
+    artifacts rather than as seeds.  ``topologies`` restricts the steered
+    topology choice (default: all of ``TOPOLOGY_KINDS``) — campaigns use
+    it to focus on acyclic families.
     """
     if coverage is None:
         coverage = Counter()
     rng = make_rng(seed)
-    topology = _least_covered(TOPOLOGY_KINDS, "topology", coverage, rng)
+    topology = _least_covered(
+        tuple(topologies) if topologies else TOPOLOGY_KINDS, "topology", coverage, rng
+    )
     extended = _least_covered(EXTENDED_OPS, "op", coverage, rng)
     coverage[f"topology:{topology}"] += 1
     coverage[f"op:{extended}"] += 1
@@ -175,19 +180,21 @@ def run_campaign(
     executors: Tuple[str, ...] = EXECUTOR_TIERS,
     artifacts_dir: Optional[str] = None,
     shrink: bool = True,
+    topologies: Optional[Sequence[str]] = None,
 ) -> CampaignReport:
     """Run a fixed-seed campaign of ``cases`` differential checks.
 
     On each disagreement the case is shrunk to a minimal reproducer and,
     when ``artifacts_dir`` is given, persisted there as JSON.  The
-    report's ``ok`` property is the campaign verdict.
+    report's ``ok`` property is the campaign verdict.  ``topologies``
+    narrows the graph families the generator draws from.
     """
     master = make_rng(seed)
     coverage: Counter = Counter()
     report = CampaignReport()
     for _ in range(cases):
         case_seed = master.randrange(2**32)
-        case = generate_case(case_seed, coverage, executors)
+        case = generate_case(case_seed, coverage, executors, topologies=topologies)
         result = run_case(case)
         report.cases += 1
         for tier in result.skipped:

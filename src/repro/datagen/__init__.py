@@ -24,6 +24,7 @@ from repro.datagen.topologies import (
     join_cycle,
     random_graph,
     random_nice_graph,
+    snowflake,
     star,
     weaken_oj_edge,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "sales_storage",
     "section5_catalog",
     "section5_store",
+    "snowflake",
     "star",
     "weaken_oj_edge",
 ]

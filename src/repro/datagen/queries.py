@@ -44,12 +44,20 @@ from repro.datagen.topologies import (
     join_cycle,
     random_graph,
     random_nice_graph,
+    snowflake,
     star,
 )
 from repro.util.rng import make_rng
 
 #: Topology families the scenario generator can draw from.
-TOPOLOGY_KINDS: Sequence[str] = ("chain", "star", "cycle", "nice", "random")
+TOPOLOGY_KINDS: Sequence[str] = (
+    "chain",
+    "star",
+    "snowflake",
+    "cycle",
+    "nice",
+    "random",
+)
 
 #: Root-operator rewrites that leave the core IT space.
 EXTENDED_OPS: Sequence[str] = ("none", "foj", "sj", "aj", "raj", "goj", "union")
@@ -72,6 +80,15 @@ def random_scenario(
     if kind == "star":
         leaves = max(n - 1, 1)
         return star(leaves, oj_leaves=rng.randint(0, leaves), name=f"fuzz-star{leaves}")
+    if kind == "snowflake":
+        arms = rng.randint(2, max(2, min(3, n - 1)))
+        length = max(1, (n - 1) // arms)
+        return snowflake(
+            arms,
+            arm_length=length,
+            oj_arms=rng.randint(0, arms),
+            name=f"fuzz-snowflake{arms}x{length}",
+        )
     if kind == "cycle":
         return join_cycle(max(n, 3), name=f"fuzz-cycle{max(n, 3)}")
     if kind == "nice":

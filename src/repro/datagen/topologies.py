@@ -103,6 +103,49 @@ def star(
     )
 
 
+def snowflake(
+    n_arms: int, arm_length: int = 2, oj_arms: int = 0, name: str = "snowflake"
+) -> GraphScenario:
+    """A hub ``R0`` with ``n_arms`` dimension chains of ``arm_length`` nodes.
+
+    The warehouse shape the acyclic fast path is built for: each arm
+    joins the hub on ``.a`` and then continues ``prev.b = next.a``, so
+    interior nodes contribute *two* attribute classes to the hypergraph
+    (unlike :func:`star`, whose hyperedges are all singletons).  The last
+    ``oj_arms`` arms hang by outerjoins pointing outward — hub preserved,
+    whole arm null-supplied — which keeps the graph nice.
+    """
+    if n_arms < 1 or arm_length < 1:
+        raise GraphUndefinedError("snowflake needs at least one arm of one node")
+    if oj_arms > n_arms:
+        raise GraphUndefinedError(f"only {n_arms} arms, cannot outerjoin {oj_arms}")
+    nodes = ["R0"]
+    join_edges: List[Tuple[str, str, Predicate]] = []
+    oj_edges: List[Tuple[str, str, Predicate]] = []
+    for arm in range(n_arms):
+        outer = arm >= n_arms - oj_arms
+        prev = "R0"
+        for depth in range(arm_length):
+            node = f"A{arm + 1}_{depth + 1}"
+            nodes.append(node)
+            if prev == "R0":
+                p = eq("R0.a", f"{node}.a")
+            else:
+                p = eq(f"{prev}.b", f"{node}.a")
+            (oj_edges if outer else join_edges).append((prev, node, p))
+            prev = node
+    graph = QueryGraph.from_edges(join=join_edges, oj=oj_edges, isolated=nodes)
+    return GraphScenario(
+        name=name,
+        graph=graph,
+        schemas=_schemas_for(nodes),
+        description=(
+            f"snowflake, {n_arms} arms of length {arm_length}, "
+            f"{oj_arms} outerjoined"
+        ),
+    )
+
+
 def join_cycle(n: int, name: str = "cycle") -> GraphScenario:
     """A cycle of join edges (identity 1's conjunct-migration territory)."""
     nodes = [f"R{i + 1}" for i in range(n)]

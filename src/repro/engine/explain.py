@@ -32,6 +32,7 @@ _DISPATCH = {
     "IndexNestedLoopJoin": "index-kernel",
     "GeneralizedOuterJoinOp": "goj-hash-kernel",
     "NestedLoopJoin": "naive-nested-loop",
+    "YannakakisOp": "semijoin-reducer",
 }
 
 #: Per-operator span counters surfaced in the rendered tree, in order.
@@ -43,6 +44,8 @@ _DETAIL_COUNTERS = (
     "build_buckets",
     "mem_rows",
     "batches_out",
+    "reducer_passes",
+    "reducer_dropped",
 )
 
 

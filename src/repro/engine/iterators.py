@@ -774,6 +774,18 @@ def trace_plan(plan: PhysicalOp, parent_span: Span) -> Tuple[PhysicalOp, "list"]
                 wrapper.child_wrappers.append(child_wrapper)
                 undo.append((op, attr, child))
                 setattr(op, attr, child_wrapper)
+        inputs = getattr(op, "inputs", None)
+        if isinstance(inputs, tuple) and inputs and all(
+            isinstance(c, PhysicalOp) for c in inputs
+        ):
+            wrapped_inputs = []
+            for child in inputs:
+                child_wrapper = wrap(child, span)
+                child_wrapper.parent_span = span
+                wrapper.child_wrappers.append(child_wrapper)
+                wrapped_inputs.append(child_wrapper)
+            undo.append((op, "inputs", inputs))
+            op.inputs = tuple(wrapped_inputs)
         return wrapper
 
     return wrap(plan, parent_span), undo

@@ -30,10 +30,11 @@ from typing import Dict, List, Optional
 from repro.algebra.predicates import Predicate, conjunction
 from repro.core.expressions import Expression, Rel, Restrict
 from repro.core.graph import QueryGraph, graph_of
+from repro.core.gyo import JoinTree, join_tree_of
 from repro.core.pushdown import push_restrictions
 from repro.core.reorderability import ReorderabilityVerdict, theorem1_applies
 from repro.core.simplify import simplify_outerjoins
-from repro.engine.executor import ExecutionResult, execute
+from repro.engine.executor import ExecutionResult, execute, execute_plan
 from repro.engine.storage import Storage, Table
 from repro.observability.spans import maybe_span
 from repro.optimizer.cardinality import CardinalityEstimator
@@ -41,6 +42,7 @@ from repro.optimizer.cost import CostModel, CoutCostModel, RetrievalCostModel
 from repro.optimizer.dp import DPOptimizer
 from repro.optimizer.fingerprint import plan_cache_key
 from repro.optimizer.plancache import PlanCache, active_plan_cache
+from repro.util.fastpath import yannakakis_enabled
 
 
 @dataclass
@@ -62,6 +64,15 @@ class PipelineResult:
     fingerprint: Optional[str] = None
     #: True when the chosen plan (or verdict) was replayed from the cache.
     cache_hit: bool = False
+    #: How ``optimize_and_run`` executes: the binary-tree DP plan ("dp")
+    #: or the acyclic semijoin-reduced fast path ("yannakakis").
+    strategy: str = "dp"
+    #: The rooted join tree backing the fast path (None under "dp").
+    join_tree: Optional[JoinTree] = None
+    #: Pushed leaf filters (relation -> conjuncts); what
+    #: ``_reattach_filters`` re-applies and the Yannakakis builder scans
+    #: under.  Empty when the query never reached the graph stage.
+    leaf_filters: Dict[str, List[Predicate]] = field(default_factory=dict)
 
     def explain(self) -> str:
         lines = [f"original:   {self.original.to_infix()}"]
@@ -203,6 +214,7 @@ def _optimize_query(
         return result
 
     core, filters = _split_leaf_filters(push_report.query)
+    result.leaf_filters = filters
     # Multi-relation conjuncts parked above inner joins keep the core from
     # being a pure join/outerjoin tree; fall back in that case too.
     try:
@@ -221,13 +233,19 @@ def _optimize_query(
             # freely-reorderable graph the cached entry carries the
             # chosen tree; otherwise only the (graph-determined)
             # verdict, because non-nice trees are NOT interchangeable
-            # and the written order must stand.
-            verdict, chosen = hit
+            # and the written order must stand.  The cached join tree
+            # records the strategy *decision*; whether it is taken is
+            # re-checked against the live Yannakakis switch, mirroring
+            # HashJoin's execution-time parallel dispatch.
+            verdict, chosen, join_tree = hit
             result.verdict = verdict
             result.cache_hit = True
             if chosen is not None:
                 result.chosen = chosen
                 result.reordered = True
+            if join_tree is not None and yannakakis_enabled():
+                result.join_tree = join_tree
+                result.strategy = "yannakakis"
             return result
 
     with maybe_span("optimizer.niceness", category="optimizer") as span:
@@ -240,7 +258,7 @@ def _optimize_query(
     result.verdict = verdict
     if not verdict.freely_reorderable:
         if cache is not None:
-            cache.store(result.fingerprint, generation, (verdict, None))
+            cache.store(result.fingerprint, generation, (verdict, None, None))
         return result
 
     stats_view = _filtered_storage(storage, filters)
@@ -255,9 +273,50 @@ def _optimize_query(
     plan = DPOptimizer(graph, model).optimize()
     result.chosen = _reattach_filters(plan.expr, filters)
     result.reordered = True
+    join_tree: Optional[JoinTree] = None
+    if yannakakis_enabled():
+        join_tree = _acyclic_fast_path(graph, registry, estimator, plan.expr)
     if cache is not None:
-        cache.store(result.fingerprint, generation, (verdict, result.chosen))
+        cache.store(result.fingerprint, generation, (verdict, result.chosen, join_tree))
+    if join_tree is not None:
+        result.join_tree = join_tree
+        result.strategy = "yannakakis"
     return result
+
+
+def _acyclic_fast_path(
+    graph: QueryGraph,
+    registry,
+    estimator: CardinalityEstimator,
+    dp_expr: Expression,
+) -> Optional[JoinTree]:
+    """Take the Yannakakis fast path when it is safe *and* cheaper.
+
+    Safety is :func:`~repro.core.gyo.join_tree_of`'s certificate (class
+    hypergraph α-acyclic, every tree edge a real graph edge, outerjoins
+    only under Theorem 1 with a core root and no chords).  The cost test
+    compares C_out of the DP's binary tree against the reducer's bill:
+    roughly three streaming passes over the (filtered) base relations
+    plus the output itself — both measured with the same estimator, so
+    the comparison is apples-to-apples.
+    """
+    with maybe_span("optimizer.yannakakis", category="optimizer") as span:
+        tree = join_tree_of(graph, registry)
+        if tree is None:
+            if span is not None:
+                span.set(acyclic=False, chosen=False)
+            return None
+        with estimator.memo_scope():
+            dp_cost = CoutCostModel(estimator).plan_cost(dp_expr)
+            base_total = sum(estimator.base(n).cardinality for n in tree.order)
+            output = estimator.estimate_expression(dp_expr).cardinality
+        yann_cost = base_total + output
+        chosen = yann_cost < dp_cost
+        if span is not None:
+            span.set(acyclic=True, chosen=chosen)
+            span.counters["dp_cost"] = int(dp_cost)
+            span.counters["yannakakis_cost"] = int(yann_cost)
+        return tree if chosen else None
 
 
 def optimize_and_run(
@@ -267,9 +326,24 @@ def optimize_and_run(
     cache: Optional[PlanCache] = None,
     use_cache: bool = True,
 ) -> tuple[PipelineResult, ExecutionResult]:
-    """Optimize, execute the chosen plan, return both records."""
+    """Optimize, execute the chosen plan, return both records.
+
+    A "yannakakis" strategy builds the semijoin-reduced N-ary plan from
+    the cached join tree and leaf filters; the switch is re-checked here
+    so ``REPRO_YANNAKAKIS=0`` falls back to the DP tree even on plans
+    optimized (or cached) while the fast path was on.
+    """
     result = optimize_query(
         query, storage, cost_model=cost_model, cache=cache, use_cache=use_cache
     )
+    if (
+        result.strategy == "yannakakis"
+        and result.join_tree is not None
+        and yannakakis_enabled()
+    ):
+        from repro.engine.yannakakis import build_yannakakis_plan
+
+        plan = build_yannakakis_plan(result.join_tree, storage, result.leaf_filters)
+        return result, execute_plan(plan)
     execution = execute(result.chosen, storage)
     return result, execution

@@ -55,6 +55,18 @@ Modes:
                    and sequence/bag-equality checked untimed.  Written
                    under a ``batch`` report key (the BENCH_PR6
                    artifact's payload).
+* ``--yannakakis-bench`` — additionally measure the acyclic fast path
+                   (:mod:`repro.engine.yannakakis`) against the binary
+                   DP plan on a chain and a star workload built so every
+                   binary join order pays a large dangling intermediate
+                   while the full reducer shrinks the inputs to the
+                   output's support first.  Both cells run the same query
+                   end-to-end through the optimizer (cache disabled),
+                   with the ``REPRO_YANNAKAKIS`` switch selecting the
+                   plan shape; strategies and untimed bag-equality are
+                   asserted before timing.  Written under a
+                   ``yannakakis`` report key (the BENCH_PR7 artifact's
+                   payload).
 """
 
 from __future__ import annotations
@@ -229,6 +241,31 @@ PARALLEL_WORKER_GRID = (1, 2, 4, 8)
 SPILL_BUDGETS = ("unlimited", "32MB", "8MB", "2MB")
 
 
+def _headline_table(rng, name: str, keys, payload: str, rows: int, null_fraction: float = 0.01):
+    """Schema and row dicts for one headline bench base table.
+
+    ``keys`` maps each key column to a half-open ``(lo, hi)`` range sampled
+    uniformly; ``payload`` names a row-counter ballast column.  A
+    ``null_fraction`` sprinkle of null keys keeps the dedicated null
+    partition (parallel), the null composite-key drop (Yannakakis), and
+    3VL comparisons on the measured path of every consumer.  All bench
+    workloads — two-table equi-join, chain, star — are concatenations of
+    these blocks, so their cell/schema plumbing lives in one place.
+    """
+    from repro.algebra.nulls import NULL
+
+    schema = [f"{name}.{col}" for col in (*keys, payload)]
+    data = []
+    for i in range(rows):
+        row = {}
+        for col, (lo, hi) in keys.items():
+            value = NULL if rng.random() < null_fraction else rng.randrange(lo, hi)
+            row[f"{name}.{col}"] = value
+        row[f"{name}.{payload}"] = i
+        data.append(row)
+    return schema, data
+
+
 def _parallel_workload(seed: int, rows: int, domain: int):
     """A two-table equi-join workload sized to dominate partitioning cost.
 
@@ -236,7 +273,6 @@ def _parallel_workload(seed: int, rows: int, domain: int):
     ``rows**2/domain`` output rows) plus a sprinkle of null keys so the
     dedicated null partition is on the measured path.
     """
-    from repro.algebra.nulls import NULL
     from repro.algebra.predicates import AttrRef, Comparison
     from repro.algebra.relation import Relation
     from repro.algebra.tuples import Row
@@ -245,11 +281,8 @@ def _parallel_workload(seed: int, rows: int, domain: int):
     rng = make_rng(seed)
 
     def table(prefix: str, payload: str) -> Relation:
-        out = []
-        for i in range(rows):
-            key = NULL if rng.random() < 0.01 else rng.randrange(domain)
-            out.append(Row({f"{prefix}.k": key, f"{prefix}.{payload}": i}))
-        return Relation((f"{prefix}.k", f"{prefix}.{payload}"), out)
+        schema, data = _headline_table(rng, prefix, {"k": (0, domain)}, payload, rows)
+        return Relation(tuple(schema), [Row(row) for row in data])
 
     predicate = Comparison(AttrRef("L.k"), "=", AttrRef("R.k"))
     return table("L", "a"), table("R", "b"), predicate
@@ -410,7 +443,6 @@ def _batch_workload(seed: int, rows: int, domain: int):
     indexed right side would make the planner prefer INLJ, which is not
     the operator under test.
     """
-    from repro.algebra.nulls import NULL
     from repro.engine.iterators import HashJoin, SeqScan
     from repro.engine.storage import Storage
     from repro.util.rng import make_rng
@@ -418,17 +450,8 @@ def _batch_workload(seed: int, rows: int, domain: int):
     rng = make_rng(seed)
     storage = Storage()
     for prefix, payload in (("L", "a"), ("R", "b")):
-        storage.create_table(
-            prefix,
-            [f"{prefix}.k", f"{prefix}.{payload}"],
-            (
-                {
-                    f"{prefix}.k": NULL if rng.random() < 0.01 else rng.randrange(domain),
-                    f"{prefix}.{payload}": i,
-                }
-                for i in range(rows)
-            ),
-        )
+        schema, data = _headline_table(rng, prefix, {"k": (0, domain)}, payload, rows)
+        storage.create_table(prefix, schema, data)
     plan = HashJoin(SeqScan(storage["L"]), SeqScan(storage["R"]), "L.k", "R.k")
     return storage, plan
 
@@ -551,6 +574,162 @@ def measure_batch(
     }
 
 
+def _yannakakis_workloads(seed: int, smoke: bool):
+    """Acyclic workloads where binary join orders pay, and the reducer wins.
+
+    Both separate the *dangling* keys from the *surviving* keys.  The
+    heavy key windows carry massive duplication but are anti-correlated
+    across tables, so every binary DP order fans them into a huge
+    intermediate that the query's other end then kills entirely; only a
+    handful of thinly-planted needle keys (outside the heavy windows)
+    reach the output.  The full reducer semijoin-reduces the heavy rows
+    away in passes linear in the base tables, before any join runs:
+
+    * ``chain`` (E1 − E2 − E3): E2's halves pair an in-window heavy key
+      with a far-range key matching nothing, so either join order
+      explodes ~half of E2 through an endpoint's duplicates first;
+    * ``star`` (H with leaves L1..L3): each hub third sits in exactly one
+      leaf's heavy window, so whichever leaf DP joins first fans a third
+      of the hub out through that leaf's duplicates.
+    """
+    from repro.algebra.predicates import eq
+    from repro.core import jn
+    from repro.engine.storage import Storage
+    from repro.util.rng import make_rng
+
+    rng = make_rng(seed)
+    rows = 4_000 if smoke else 30_000
+    workloads = []
+
+    # Chain: heavy endpoint window [0, 200) (~100x duplication at full
+    # size), E2 far range [1000, 1200), needle keys in [2000, 2010).
+    window, far, needles = 200, (1_000, 1_200), (2_000, 2_010)
+    heavy = rows * 4 // 5
+    storage = Storage()
+    for name, col in (("E1", "k1"), ("E3", "k2")):
+        schema, data = _headline_table(rng, name, {col: (0, window)}, "p", heavy)
+        data += _headline_table(rng, name, {col: needles}, "p", 30, null_fraction=0.0)[1]
+        storage.create_table(name, schema, data)
+    schema, data = _headline_table(rng, "E2", {"k1": (0, window), "k2": far}, "p", rows // 2)
+    data += _headline_table(rng, "E2", {"k1": far, "k2": (0, window)}, "p", rows // 2)[1]
+    data += _headline_table(rng, "E2", {"k1": needles, "k2": needles}, "p", 10, null_fraction=0.0)[1]
+    storage.create_table("E2", schema, data)
+    workloads.append(
+        {
+            "topology": "chain",
+            "storage": storage,
+            "query": jn(
+                jn("E1", "E2", eq("E1.k1", "E2.k1")), "E3", eq("E2.k2", "E3.k2")
+            ),
+            "tables": {"E1": heavy + 30, "E2": rows + 10, "E3": heavy + 30},
+        }
+    )
+
+    # Star: heavy leaf window [0, 100) (~160x duplication at full size),
+    # hub far range [1000, 1100) — as narrow as the window, keeping the
+    # hub's per-attribute distinct count low enough for the estimated
+    # hub-leaf join to clear the cost gate's base-scan bill.
+    window, far, needles = 100, (1_000, 1_100), (2_000, 2_005)
+    leaf_heavy = rows * 8 // 15
+    core = 5
+    attrs = ("a", "b", "c")
+    storage = Storage()
+    schema = None
+    data = []
+    for in_window in attrs:
+        ranges = {a: (0, window) if a == in_window else far for a in attrs}
+        schema, part = _headline_table(rng, "H", ranges, "p", rows // 3)
+        data += part
+    data += _headline_table(
+        rng, "H", {a: needles for a in attrs}, "p", core, null_fraction=0.0
+    )[1]
+    storage.create_table("H", schema, data)
+    tables = {"H": len(data)}
+    query = jn("H", "L1", eq("H.a", "L1.a"))
+    for i, attr in enumerate(attrs):
+        leaf = f"L{i + 1}"
+        leaf_schema, leaf_data = _headline_table(rng, leaf, {attr: (0, window)}, "p", leaf_heavy)
+        leaf_data += _headline_table(rng, leaf, {attr: needles}, "p", 10, null_fraction=0.0)[1]
+        storage.create_table(leaf, leaf_schema, leaf_data)
+        tables[leaf] = leaf_heavy + 10
+        if i:
+            query = jn(query, leaf, eq(f"H.{attr}", f"{leaf}.{attr}"))
+    workloads.append({"topology": "star", "storage": storage, "query": query, "tables": tables})
+    return workloads
+
+
+def measure_yannakakis(
+    seed: int = 0,
+    smoke: bool = False,
+    rounds: int = 3,
+    warmup_rounds: int = 1,
+) -> Dict[str, object]:
+    """End-to-end DP plan vs the semijoin-reduced Yannakakis plan.
+
+    Each workload runs the *same* query through the full optimizer
+    pipeline twice per round — ``REPRO_YANNAKAKIS`` off (binary DP tree)
+    and on (GYO join tree through the full reducer) — interleaved and
+    reduced by min, caching disabled so both cells pay optimization every
+    time.  Before any timing, an untimed pass asserts the strategies
+    actually diverge ("dp" vs "yannakakis") and that the two results are
+    bag-equal; a fast path that silently fell back would otherwise
+    benchmark DP against itself.
+    """
+    from repro.algebra import bag_equal
+    from repro.optimizer.pipeline import optimize_and_run
+    from repro.util.fastpath import yannakakis_mode
+
+    results: List[Dict[str, object]] = []
+    for workload in _yannakakis_workloads(seed, smoke):
+        topology, storage = workload["topology"], workload["storage"]
+        query = workload["query"]
+
+        def run(fast: bool):
+            with yannakakis_mode(fast):
+                result, execution = optimize_and_run(query, storage, use_cache=False)
+            return result, execution.relation
+
+        # Untimed strategy + correctness pass (doubles as warm-up one).
+        pipeline, reduced = run(True)
+        if pipeline.strategy != "yannakakis":
+            raise RuntimeError(
+                f"{topology}: fast path not taken (strategy={pipeline.strategy!r})"
+            )
+        pipeline, baseline = run(False)
+        if pipeline.strategy != "dp":
+            raise RuntimeError(
+                f"{topology}: DP cell not on the DP path (strategy={pipeline.strategy!r})"
+            )
+        if not bag_equal(reduced, baseline):
+            raise RuntimeError(f"{topology}: semijoin-reduced result is not bag-equal to DP")
+
+        for _ in range(max(warmup_rounds - 1, 0)):
+            run(True)
+            run(False)
+
+        raw: Dict[str, List[float]] = {"dp": [], "yannakakis": []}
+        for _ in range(rounds):
+            for cell, fast in (("dp", False), ("yannakakis", True)):
+                start = time.perf_counter()
+                run(fast)
+                raw[cell].append(round(time.perf_counter() - start, 4))
+
+        dp_s, yann_s = min(raw["dp"]), min(raw["yannakakis"])
+        results.append(
+            {
+                "topology": topology,
+                "tables": workload["tables"],
+                "output_rows": len(baseline),
+                "raw_timings_s": raw,
+                "dp_s": round(dp_s, 4),
+                "yannakakis_s": round(yann_s, 4),
+                "speedup": round(dp_s / yann_s, 2) if yann_s > 0 else None,
+                "bag_equal": True,
+            }
+        )
+    return {"rounds": rounds, "warmup_rounds": warmup_rounds, "workloads": results}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="run_all.py", description="Run the benchmark suite and write a JSON report."
@@ -581,11 +760,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "path on the headline hash join; default output becomes BENCH_PR6.json",
     )
     parser.add_argument(
+        "--yannakakis-bench",
+        action="store_true",
+        help="also measure the acyclic fast path (GYO join tree + full reducer) "
+        "against the binary DP plan on chain and star workloads; default "
+        "output becomes BENCH_PR7.json",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None, help="report path (default BENCH_PR1.json)"
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        if args.batch_bench:
+        if args.yannakakis_bench:
+            args.output = REPO_ROOT / "BENCH_PR7.json"
+        elif args.batch_bench:
             args.output = REPO_ROOT / "BENCH_PR6.json"
         elif args.parallel_bench:
             args.output = REPO_ROOT / "BENCH_PR5.json"
@@ -682,6 +870,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"  combined 4 workers: {section['combined_4w_s']:.4f}s "
             f"({section['speedup_combined_4w']}x)"
         )
+    if args.yannakakis_bench:
+        print("\nmeasuring the acyclic fast path (full reducer) vs the DP plan...")
+        section = measure_yannakakis(seed=args.seed, smoke=args.smoke)
+        report["yannakakis"] = section
+        for entry in section["workloads"]:
+            print(
+                f"  {entry['topology']:6s} dp {entry['dp_s']:.4f}s / "
+                f"yannakakis {entry['yannakakis_s']:.4f}s  ({entry['speedup']}x, "
+                f"{entry['output_rows']} rows out)"
+            )
     from repro.tools.benchschema import validate_report
 
     validate_report(report)

@@ -34,6 +34,7 @@ from repro.conformance import (
     run_campaign,
 )
 from repro.datagen import (
+    TOPOLOGY_KINDS,
     GraphScenario,
     chain,
     example2_graph,
@@ -41,6 +42,7 @@ from repro.datagen import (
     figure2_graph,
     join_cycle,
     random_nice_graph,
+    snowflake,
     star,
 )
 from repro.tools import instrumentation
@@ -53,6 +55,7 @@ SCENARIOS: Dict[str, Callable[[], GraphScenario]] = {
     "figure2": figure2_graph,
     "oj-chain": lambda: chain(4, ["out", "out", "out"], name="oj-chain"),
     "star": lambda: star(4, oj_leaves=2),
+    "snowflake": lambda: snowflake(3, arm_length=2, oj_arms=1),
     "cycle": lambda: join_cycle(4),
     "random-nice": lambda: random_nice_graph(3, 2, seed=1),
 }
@@ -70,6 +73,18 @@ def _parse_executors(spec: Optional[str]) -> tuple:
     return names
 
 
+def _parse_topologies(spec: Optional[str]) -> Optional[tuple]:
+    if not spec:
+        return None
+    names = tuple(s.strip() for s in spec.split(",") if s.strip())
+    unknown = [n for n in names if n not in TOPOLOGY_KINDS]
+    if unknown:
+        raise SystemExit(
+            f"unknown topology kind(s) {unknown}; known: {', '.join(TOPOLOGY_KINDS)}"
+        )
+    return names
+
+
 def cmd_fuzz(args: argparse.Namespace, out) -> int:
     report = run_campaign(
         cases=args.cases,
@@ -77,6 +92,7 @@ def cmd_fuzz(args: argparse.Namespace, out) -> int:
         executors=_parse_executors(args.executors),
         artifacts_dir=args.artifacts,
         shrink=not args.no_shrink,
+        topologies=_parse_topologies(args.topologies),
     )
     print(report.summary(), file=out)
     if args.stats:
@@ -140,6 +156,14 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "--artifacts",
         default="artifacts/repros",
         help="directory for shrunk reproducer JSONs (default artifacts/repros)",
+    )
+    fuzz.add_argument(
+        "--topologies",
+        default=None,
+        help=(
+            "comma-separated topology families to draw from "
+            f"(default all: {','.join(TOPOLOGY_KINDS)})"
+        ),
     )
     fuzz.add_argument("--no-shrink", action="store_true", help="keep raw counterexamples")
     fuzz.add_argument("--stats", action="store_true", help="print instrumentation counters")

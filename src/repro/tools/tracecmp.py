@@ -116,7 +116,9 @@ def aggregate_bench(doc: Dict[str, Any]) -> Dict[str, KeyStats]:
     the same CLI diffs parallel-executor performance against a committed
     baseline.  Reports carrying a ``batch`` section (BENCH_PR6) likewise
     contribute its row-at-a-time baseline and vectorized cells as
-    ``batch::`` keys.
+    ``batch::`` keys, and a ``yannakakis`` section (BENCH_PR7)
+    contributes per-topology DP and semijoin-reducer cells as
+    ``yannakakis::`` keys.
     """
     stats: Dict[str, KeyStats] = {}
     for record in doc.get("scenarios", ()):
@@ -139,6 +141,12 @@ def aggregate_bench(doc: Dict[str, Any]) -> Dict[str, KeyStats]:
         for cell in ("row_serial", "batch_serial", "batch_rows", "combined_4w"):
             key = f"batch::{cell}"
             stats[key] = KeyStats(key, batch[f"{cell}_s"] * 1e3)
+    yannakakis = doc.get("yannakakis")
+    if yannakakis:
+        for workload in yannakakis.get("workloads", ()):
+            for cell in ("dp", "yannakakis"):
+                key = f"yannakakis::{workload['topology']}:{cell}"
+                stats[key] = KeyStats(key, workload[f"{cell}_s"] * 1e3)
     return stats
 
 

@@ -45,6 +45,18 @@ _batch: bool = os.environ.get("REPRO_BATCH", "").lower() not in (
     "no",
 )
 
+#: The acyclic fast path (GYO + Yannakakis semijoin reduction) is
+#: opt-out: ``REPRO_YANNAKAKIS=0`` pins the optimizer to the binary-tree
+#: DP plans.  Default on — the optimizer only takes the fast path when
+#: the cost model favors it and the safety certificate holds, and the
+#: toggle exists so the conformance suite can prove the DP fallback is
+#: byte-identical when the path is disabled.
+_yannakakis: bool = os.environ.get("REPRO_YANNAKAKIS", "").lower() not in (
+    "0",
+    "false",
+    "no",
+)
+
 
 def _env_batch_size() -> int:
     raw = os.environ.get("REPRO_BATCH_SIZE", "").strip()
@@ -71,6 +83,7 @@ import threading as _threading
 
 _parallel_tls = _threading.local()
 _batch_tls = _threading.local()
+_yannakakis_tls = _threading.local()
 
 
 def fast_enabled() -> bool:
@@ -138,6 +151,40 @@ def batch_mode(enabled: bool):
     stack = getattr(_batch_tls, "stack", None)
     if stack is None:
         stack = _batch_tls.stack = []
+    stack.append(bool(enabled))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def yannakakis_enabled() -> bool:
+    """Is the acyclic Yannakakis fast path currently eligible?
+
+    The innermost :func:`yannakakis_mode` override on *this thread*
+    wins; otherwise the process-wide default (``REPRO_YANNAKAKIS``,
+    default on) applies.
+    """
+    stack = getattr(_yannakakis_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return _yannakakis
+
+
+def set_yannakakis(enabled: bool) -> bool:
+    """Set the process-wide Yannakakis default; returns the previous one."""
+    global _yannakakis
+    previous = _yannakakis
+    _yannakakis = bool(enabled)
+    return previous
+
+
+@contextmanager
+def yannakakis_mode(enabled: bool):
+    """Force the acyclic fast path on (True) or off (False) for this thread."""
+    stack = getattr(_yannakakis_tls, "stack", None)
+    if stack is None:
+        stack = _yannakakis_tls.stack = []
     stack.append(bool(enabled))
     try:
         yield

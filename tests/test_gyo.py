@@ -1,0 +1,296 @@
+"""Property tests for GYO reduction against a brute-force acyclicity oracle.
+
+The oracle is the textbook characterization (Beeri–Fagin–Maier–Yannakakis):
+a hypergraph is α-acyclic iff it is *conformal* (every maximal clique of
+the primal graph fits in a hyperedge) and its primal graph is *chordal*
+(checked by simplicial elimination).  That computation shares no code
+with :func:`repro.core.gyo.gyo_reduce`, so agreement on hundreds of
+random hypergraphs — accept and reject paths both — is real evidence.
+
+The accept path additionally replays every certificate
+(:meth:`GYOCertificate.validates`) and checks the induced ear forest is
+well-formed; the bridge tests pin :func:`join_tree_of` behaviour on the
+repo's named topologies, including the cyclic and unsafe-outerjoin
+rejections the optimizer's DP fallback relies on.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.predicates import eq
+from repro.core.graph import QueryGraph
+from repro.core.gyo import (
+    EarStep,
+    GYOCertificate,
+    class_hypergraph,
+    gyo_reduce,
+    join_tree_of,
+)
+from repro.datagen.topologies import (
+    chain,
+    example2_graph,
+    figure1_graph,
+    figure2_graph,
+    join_cycle,
+    random_nice_graph,
+    snowflake,
+    star,
+)
+
+# ---------------------------------------------------------------------------
+# Brute-force oracle: acyclic iff conformal + chordal primal graph
+# ---------------------------------------------------------------------------
+
+
+def primal_graph(hyper):
+    vertices = sorted(set().union(*hyper.values())) if hyper else []
+    adj = {v: set() for v in vertices}
+    for verts in hyper.values():
+        for a in verts:
+            for b in verts:
+                if a != b:
+                    adj[a].add(b)
+    return vertices, adj
+
+
+def is_chordal(vertices, adj):
+    """Simplicial elimination: chordal iff it empties the graph."""
+    remaining = set(vertices)
+    while remaining:
+        for v in sorted(remaining):
+            nbrs = adj[v] & remaining
+            if all(b in adj[a] for a in nbrs for b in nbrs if a != b):
+                remaining.discard(v)
+                break
+        else:
+            return False
+    return True
+
+
+def is_conformal(hyper, vertices, adj):
+    """Every maximal clique of the primal graph lies inside a hyperedge."""
+    n = len(vertices)
+    cliques = []
+    for mask in range(1, 1 << n):
+        subset = [vertices[i] for i in range(n) if mask >> i & 1]
+        if all(b in adj[a] for a in subset for b in subset if a != b):
+            cliques.append(frozenset(subset))
+    maximal = [c for c in cliques if not any(c < d for d in cliques)]
+    return all(any(c <= e for e in hyper.values()) for c in maximal)
+
+
+def oracle_acyclic(hyper):
+    vertices, adj = primal_graph(hyper)
+    return is_chordal(vertices, adj) and is_conformal(hyper, vertices, adj)
+
+
+def random_hypergraph(rng):
+    n_verts = rng.randint(1, 7)
+    universe = [chr(ord("a") + i) for i in range(n_verts)]
+    n_edges = rng.randint(1, 6)
+    hyper = {}
+    for i in range(n_edges):
+        k = rng.randint(1, min(4, n_verts))
+        hyper[f"e{i}"] = frozenset(rng.sample(universe, k))
+    return hyper
+
+
+class TestOracleAgreement:
+    def test_500_random_hypergraphs_never_misclassified(self):
+        """Acceptance gate: GYO agrees with the oracle on ≥ 500 graphs,
+        with healthy counts on both the accept and the reject path."""
+        rng = random.Random(20260808)
+        accepted = rejected = 0
+        for _ in range(600):
+            hyper = random_hypergraph(rng)
+            cert = gyo_reduce(hyper)
+            expected = oracle_acyclic(hyper)
+            assert (cert is not None) == expected, hyper
+            if cert is None:
+                rejected += 1
+            else:
+                accepted += 1
+                assert cert.validates(hyper), hyper
+        assert accepted >= 50
+        assert rejected >= 50
+
+    def test_certificate_forest_is_well_formed(self):
+        """Each edge is removed exactly once, and every witness is still
+        un-removed (appears later in the ear ordering) at its step."""
+        rng = random.Random(99)
+        checked = 0
+        while checked < 60:
+            hyper = random_hypergraph(rng)
+            cert = gyo_reduce(hyper)
+            if cert is None:
+                continue
+            checked += 1
+            removed = [s.edge for s in cert.steps]
+            assert sorted(removed) == sorted(hyper)
+            position = {name: i for i, name in enumerate(removed)}
+            for child, parent in cert.tree_edges():
+                assert child != parent
+                assert position[parent] > position[child]
+
+
+class TestKnownHypergraphs:
+    def test_triangle_is_cyclic(self):
+        hyper = {
+            "e1": frozenset("ab"),
+            "e2": frozenset("bc"),
+            "e3": frozenset("ac"),
+        }
+        assert gyo_reduce(hyper) is None
+        assert not oracle_acyclic(hyper)
+
+    def test_covered_triangle_is_acyclic(self):
+        """Adding the covering edge {a,b,c} makes the triangle α-acyclic."""
+        hyper = {
+            "e1": frozenset("ab"),
+            "e2": frozenset("bc"),
+            "e3": frozenset("ac"),
+            "e4": frozenset("abc"),
+        }
+        cert = gyo_reduce(hyper)
+        assert cert is not None and cert.validates(hyper)
+        assert oracle_acyclic(hyper)
+
+    def test_disconnected_components_yield_a_forest(self):
+        hyper = {"e1": frozenset("ab"), "e2": frozenset("cd")}
+        cert = gyo_reduce(hyper)
+        assert cert is not None
+        assert cert.tree_edges() == ()
+        assert sum(1 for s in cert.steps if s.witness is None) == 2
+
+    def test_single_edge(self):
+        cert = gyo_reduce({"only": frozenset("xyz")})
+        assert cert is not None
+        assert cert.steps == (EarStep("only", None),)
+
+
+class TestCertificateReplay:
+    HYPER = {
+        "r": frozenset("ab"),
+        "s": frozenset("bc"),
+        "t": frozenset("cd"),
+    }
+
+    def test_replay_accepts_genuine_certificate(self):
+        cert = gyo_reduce(self.HYPER)
+        assert cert.validates(self.HYPER)
+
+    def test_replay_rejects_wrong_witness(self):
+        bad = GYOCertificate(
+            (EarStep("r", "t"), EarStep("s", "t"), EarStep("t", None))
+        )
+        assert not bad.validates(self.HYPER)
+
+    def test_replay_rejects_incomplete_ordering(self):
+        partial = GYOCertificate((EarStep("r", "s"),))
+        assert not partial.validates(self.HYPER)
+
+    def test_replay_rejects_foreign_hypergraph(self):
+        cert = gyo_reduce(self.HYPER)
+        triangle = {
+            "r": frozenset("ab"),
+            "s": frozenset("bc"),
+            "t": frozenset("ac"),
+        }
+        # 'r' shares {a, b} with the rest but its witness covers ≤ one.
+        assert not cert.validates(triangle)
+
+
+# ---------------------------------------------------------------------------
+# QueryGraph bridge
+# ---------------------------------------------------------------------------
+
+
+def cyclic_triangle_graph():
+    """A genuinely cyclic *class* hypergraph (three distinct key classes)."""
+    return QueryGraph.from_edges(
+        join=[
+            ("R1", "R2", eq("R1.a", "R2.a")),
+            ("R2", "R3", eq("R2.b", "R3.b")),
+            ("R3", "R1", eq("R3.a", "R1.b")),
+        ]
+    )
+
+
+TRIANGLE_SCHEMAS = {n: [f"{n}.a", f"{n}.b"] for n in ("R1", "R2", "R3")}
+
+
+class TestJoinTreeOf:
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            chain(4),
+            chain(3, ["join", "out"]),
+            star(4),
+            star(5, oj_leaves=2),
+            snowflake(3, arm_length=2, oj_arms=1),
+            figure1_graph(),
+            figure2_graph(),
+            random_nice_graph(3, 2, seed=5),
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_acyclic_scenarios_get_trees(self, scenario):
+        tree = join_tree_of(scenario.graph, scenario.registry)
+        assert tree is not None
+        assert set(tree.order) == set(scenario.graph.nodes)
+        assert len(tree.edges) == len(tree.order) - 1
+        # preorder invariant: each edge's parent precedes its child
+        pos = {n: i for i, n in enumerate(tree.order)}
+        for edge in tree.edges:
+            assert pos[edge.parent] < pos[edge.child]
+        # outerjoin edges always hang null-supplied below preserved
+        for edge in tree.edges:
+            if edge.kind == "oj":
+                assert (edge.parent, edge.child) in scenario.graph.oj_edges
+
+    def test_join_cycle_collapses_to_chorded_tree(self):
+        """All-``.a`` equijoins merge into one class: acyclic, one chord."""
+        scenario = join_cycle(4)
+        tree = join_tree_of(scenario.graph, scenario.registry)
+        assert tree is not None
+        assert len(tree.chords) == 1
+
+    def test_cyclic_class_hypergraph_declines(self):
+        from repro.algebra.schema import SchemaRegistry
+
+        graph = cyclic_triangle_graph()
+        registry = SchemaRegistry(TRIANGLE_SCHEMAS)
+        hyper = class_hypergraph(graph, registry)
+        assert hyper is not None
+        assert gyo_reduce(hyper) is None
+        assert join_tree_of(graph, registry) is None
+
+    def test_non_nice_outerjoin_graph_declines(self):
+        """Example 2 (R1 → R2 − R3) fails Theorem 1: no fast path."""
+        scenario = example2_graph()
+        assert join_tree_of(scenario.graph, scenario.registry) is None
+
+    def test_outerjoin_with_chord_declines(self):
+        """A chord in an outerjoin graph forfeits the fast path."""
+        graph = QueryGraph.from_edges(
+            join=[
+                ("A", "B", eq("A.a", "B.a")),
+                ("A", "C", eq("A.a", "C.a")),
+                ("B", "C", eq("B.a", "C.a")),
+            ],
+            oj=[("A", "D", eq("A.b", "D.a"))],
+        )
+        from repro.algebra.schema import SchemaRegistry
+
+        registry = SchemaRegistry({n: [f"{n}.a", f"{n}.b"] for n in "ABCD"})
+        assert join_tree_of(graph, registry) is None
+
+    def test_disconnected_graph_declines(self):
+        from repro.algebra.schema import SchemaRegistry
+
+        graph = QueryGraph.from_edges(
+            join=[("A", "B", eq("A.a", "B.a"))], isolated=["A", "B", "C"]
+        )
+        registry = SchemaRegistry({n: [f"{n}.a"] for n in "ABC"})
+        assert join_tree_of(graph, registry) is None

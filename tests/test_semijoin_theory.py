@@ -112,3 +112,123 @@ class TestAgreement:
         late = sj(jn("X", "Y", PXY), "Z", PYZ)
         for db in dbs:
             assert bag_equal(early.eval(db), late.eval(db))
+
+
+# ---------------------------------------------------------------------------
+# Semijoin-pushdown legality on the paper's named graphs (the identity
+# layer the Yannakakis full reducer stands on).  Expressions may not
+# repeat a relation variable, so the reduced forms are evaluated with the
+# algebra operators directly.
+# ---------------------------------------------------------------------------
+
+from repro.algebra import join, outerjoin, semijoin  # noqa: E402
+from repro.algebra.nulls import NULL  # noqa: E402
+from repro.algebra.relation import Database, Relation  # noqa: E402
+from repro.core import oj  # noqa: E402
+from repro.datagen import random_databases as _random_databases  # noqa: E402
+
+CHAIN_SCHEMAS = {n: [f"{n}.a", f"{n}.b"] for n in ("R1", "R2", "R3")}
+P12 = eq("R1.a", "R2.a")
+P23 = eq("R2.a", "R3.a")
+
+
+def chain_databases(count, seed):
+    return _random_databases(CHAIN_SCHEMAS, count, seed=seed)
+
+
+def db_of(rows_by_rel):
+    return Database(
+        {
+            name: Relation.from_dicts(CHAIN_SCHEMAS[name], rows)
+            for name, rows in rows_by_rel.items()
+        }
+    )
+
+
+class TestPushdownLegalityExample1:
+    """Example 1's graph R1 − R2 → R3: which semijoin reductions are legal.
+
+    These are exactly the reducer passes :mod:`repro.engine.yannakakis`
+    runs (and refuses to run) on this shape: both directions of a join
+    edge, the top-down pass over an outerjoin edge, but never the
+    bottom-up reduction of a preserved side by its null-supplied child.
+    """
+
+    QUERY = oj(jn("R1", "R2", P12), "R3", P23)
+
+    def test_reducing_either_join_side_is_legal(self):
+        for db in chain_databases(20, seed=41):
+            r1, r2, r3 = db["R1"], db["R2"], db["R3"]
+            expected = self.QUERY.eval(db)
+            reduced_left = outerjoin(join(semijoin(r1, r2, P12), r2, P12), r3, P23)
+            reduced_right = outerjoin(join(r1, semijoin(r2, r1, P12), P12), r3, P23)
+            assert bag_equal(reduced_left, expected)
+            assert bag_equal(reduced_right, expected)
+
+    def test_reducing_null_supplied_side_is_legal(self):
+        """Top-down over the outerjoin arrow: R3 rows the preserved side
+        cannot reach never appear (matched or padded) in the output."""
+        for db in chain_databases(20, seed=42):
+            r1, r2, r3 = db["R1"], db["R2"], db["R3"]
+            reduced = outerjoin(join(r1, r2, P12), semijoin(r3, r2, P23), P23)
+            assert bag_equal(reduced, self.QUERY.eval(db))
+
+    def test_reducing_preserved_side_by_null_supplied_is_illegal(self):
+        """Known answer: semijoining R2 by R3 across the outerjoin edge
+        drops the row the outerjoin was required to null-pad."""
+        db = db_of(
+            {
+                "R1": [{"R1.a": 1, "R1.b": 0}],
+                "R2": [{"R2.a": 1, "R2.b": 0}],
+                "R3": [{"R3.a": 7, "R3.b": 0}],  # matches nothing
+            }
+        )
+        expected = self.QUERY.eval(db)
+        assert len(expected) == 1  # (1, 1, NULL-padded R3)
+        assert all(row["R3.a"] is NULL for row in expected)
+        r1, r2, r3 = db["R1"], db["R2"], db["R3"]
+        reduced = outerjoin(join(r1, semijoin(r2, r3, P23), P12), r3, P23)
+        assert len(reduced) == 0
+        assert not bag_equal(reduced, expected)
+
+
+class TestPushdownLegalityExample2:
+    """Example 2's non-nice graph R1 → R2 − R3 (the forbidden X→Y−Z).
+
+    The join under the arrow may still be semijoin-reduced internally —
+    the illegality sits at the preserved relation, which explains why
+    :func:`repro.core.gyo.join_tree_of` refuses this graph outright
+    (Theorem 1 fails) instead of picking a root.
+    """
+
+    QUERY = oj("R1", jn("R2", "R3", P23), P12)
+
+    def test_reducing_inside_null_supplied_subtree_is_legal(self):
+        for db in chain_databases(20, seed=43):
+            r1, r2, r3 = db["R1"], db["R2"], db["R3"]
+            reduced = outerjoin(r1, join(semijoin(r2, r3, P23), r3, P23), P12)
+            assert bag_equal(reduced, self.QUERY.eval(db))
+
+    def test_reducing_the_preserved_relation_is_illegal(self):
+        """Known answer: semijoining R1 by R2 erases the dangling
+        preserved row instead of null-padding it."""
+        db = db_of(
+            {
+                "R1": [{"R1.a": 1, "R1.b": 0}, {"R1.a": 5, "R1.b": 0}],
+                "R2": [{"R2.a": 1, "R2.b": 0}],
+                "R3": [{"R3.a": 1, "R3.b": 0}],
+            }
+        )
+        expected = self.QUERY.eval(db)
+        assert len(expected) == 2  # the a=5 row survives, null-padded
+        r1, r2, r3 = db["R1"], db["R2"], db["R3"]
+        reduced = outerjoin(semijoin(r1, r2, P12), join(r2, r3, P23), P12)
+        assert len(reduced) == 1
+        assert not bag_equal(reduced, expected)
+
+    def test_fast_path_refuses_example2(self):
+        from repro.core.gyo import join_tree_of
+        from repro.datagen import example2_graph
+
+        scenario = example2_graph()
+        assert join_tree_of(scenario.graph, scenario.registry) is None

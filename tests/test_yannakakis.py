@@ -1,0 +1,322 @@
+"""End-to-end tests for the Yannakakis acyclic fast path.
+
+Covers the physical operator (full reducer + output-linear join against
+the naive oracle, outerjoin padding, null keys, chords, batch parity),
+the optimizer's strategy choice and plan-cache interplay, EXPLAIN
+ANALYZE surfacing of the reducer, the ``yannakakis`` conformance tier,
+and — mirroring the ``REPRO_BATCH`` pattern — a subprocess proof that
+``REPRO_YANNAKAKIS=0`` and ``=1`` agree, with cyclic graphs falling back
+to the DP plan byte-identically.
+"""
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.algebra.comparison import bag_equal
+from repro.algebra.nulls import NULL, is_null
+from repro.algebra.predicates import eq
+from repro.conformance.check import EXECUTOR_TIERS, cross_check, run_executor
+from repro.core.enumeration import sample_implementing_tree
+from repro.core.expressions import Project, Restrict, jn, rel
+from repro.core.graph import QueryGraph, graph_of
+from repro.core.gyo import join_tree_of
+from repro.datagen.random_db import random_database
+from repro.datagen.topologies import (
+    chain,
+    figure2_graph,
+    join_cycle,
+    snowflake,
+    star,
+)
+from repro.engine.explain import explain_analyze
+from repro.engine.storage import Storage
+from repro.engine.yannakakis import YannakakisOp, build_yannakakis_plan
+from repro.optimizer.pipeline import optimize_and_run, optimize_query
+from repro.optimizer.plancache import PlanCache
+from repro.util.errors import PlanningError
+from repro.util.fastpath import batch_mode, batch_sized, yannakakis_mode
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def scenario_case(scenario, seed, **db_kwargs):
+    """(expr, db, storage, tree) for one topology scenario."""
+    rng = random.Random(seed)
+    expr = sample_implementing_tree(scenario.graph, rng)
+    db = random_database(scenario.schemas, seed=seed, **db_kwargs)
+    storage = Storage.from_database(db)
+    tree = join_tree_of(scenario.graph, scenario.registry)
+    return expr, db, storage, tree
+
+
+class TestOperator:
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            chain(4),
+            chain(4, ["join", "out", "out"]),
+            star(4, oj_leaves=2),
+            snowflake(3, arm_length=2, oj_arms=1),
+            figure2_graph(),
+            join_cycle(4),  # chord goes through the join-phase filter
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_matches_naive_eval(self, scenario):
+        for seed in (1, 2, 3):
+            expr, db, storage, tree = scenario_case(
+                scenario, seed, null_probability=0.3, duplicate_probability=0.3
+            )
+            assert tree is not None
+            plan = build_yannakakis_plan(tree, storage, {})
+            got = plan.run()
+            assert bag_equal(got, expr.eval(db)), scenario.name
+
+    def test_outerjoin_pads_dangling_preserved_rows(self):
+        scenario = star(2, oj_leaves=2)
+        db = {
+            "R0": [{"R0.a": 1, "R0.b": 0}, {"R0.a": 9, "R0.b": 0}],
+            "R1": [{"R1.a": 1, "R1.b": 10}],
+            "R2": [{"R2.a": 1, "R2.b": 20}],
+        }
+        from repro.algebra.relation import Database, Relation
+
+        database = Database(
+            {name: Relation.from_dicts(scenario.schemas[name], rows) for name, rows in db.items()}
+        )
+        storage = Storage.from_database(database)
+        tree = join_tree_of(scenario.graph, scenario.registry)
+        got = build_yannakakis_plan(tree, storage, {}).run()
+        padded = [row for row in got if row["R0.a"] == 9]
+        assert len(padded) == 1
+        assert is_null(padded[0]["R1.a"]) and is_null(padded[0]["R2.b"])
+
+    def test_null_join_keys_never_match(self):
+        scenario = chain(2)
+        from repro.algebra.relation import Database, Relation
+
+        database = Database(
+            {
+                "R1": Relation.from_dicts(
+                    scenario.schemas["R1"],
+                    [{"R1.a": NULL, "R1.b": 1}, {"R1.a": 3, "R1.b": 2}],
+                ),
+                "R2": Relation.from_dicts(
+                    scenario.schemas["R2"],
+                    [{"R2.a": NULL, "R2.b": 1}, {"R2.a": 3, "R2.b": 2}],
+                ),
+            }
+        )
+        storage = Storage.from_database(database)
+        tree = join_tree_of(scenario.graph, scenario.registry)
+        got = build_yannakakis_plan(tree, storage, {}).run()
+        assert len(got) == 1  # only the 3 = 3 pair; NULL = NULL is unknown
+
+    def test_batch_and_row_modes_agree(self):
+        scenario = star(4, oj_leaves=1)
+        expr, db, storage, tree = scenario_case(scenario, 11, null_probability=0.2)
+        plan = build_yannakakis_plan(tree, storage, {})
+        with batch_mode(False):
+            row_result = build_yannakakis_plan(tree, storage, {}).run()
+        with batch_mode(True), batch_sized(2):
+            batch_result = plan.run()
+        assert bag_equal(row_result, batch_result)
+        assert bag_equal(row_result, expr.eval(db))
+
+    def test_input_arity_is_validated(self):
+        scenario = chain(3)
+        _expr, _db, storage, tree = scenario_case(scenario, 1)
+        good = build_yannakakis_plan(tree, storage, {})
+        with pytest.raises(PlanningError):
+            YannakakisOp(tree, good.inputs[:1])
+
+
+class TestExplain:
+    def test_explain_analyze_surfaces_the_reducer(self):
+        scenario = chain(3)
+        expr, _db, storage, tree = scenario_case(scenario, 4)
+        plan = build_yannakakis_plan(tree, storage, {})
+        node = explain_analyze(plan, storage, expr=expr)
+        assert "Yannakakis" in node.label
+        assert node.details.get("dispatch") == "semijoin-reducer"
+        assert node.details.get("reducer_passes", 0) >= 2  # down + up passes
+        assert "reducer_dropped" in node.details
+        assert len(node.children) == len(tree.order)  # trace wraps the inputs
+        assert node.actual_rows == len(expr.eval(_db))
+
+    def test_describe_names_root_and_chords(self):
+        scenario = join_cycle(4)
+        _expr, _db, storage, tree = scenario_case(scenario, 4)
+        text = build_yannakakis_plan(tree, storage, {}).describe()
+        assert "Yannakakis[root=" in text
+        assert "chords=1" in text
+
+
+class TestOptimizerStrategy:
+    def test_chain_chooses_yannakakis_and_matches_dp(self):
+        scenario = chain(4)
+        expr, db, storage, _tree = scenario_case(scenario, 21, max_rows=6)
+        with yannakakis_mode(True):
+            result, execution = optimize_and_run(expr, storage, use_cache=False)
+        assert result.strategy == "yannakakis"
+        assert result.join_tree is not None
+        with yannakakis_mode(False):
+            dp_result, dp_execution = optimize_and_run(expr, storage, use_cache=False)
+        assert dp_result.strategy == "dp"
+        assert bag_equal(execution.relation, dp_execution.relation)
+        assert bag_equal(execution.relation, expr.eval(db))
+
+    def test_cyclic_class_hypergraph_stays_on_dp(self):
+        graph = QueryGraph.from_edges(
+            join=[
+                ("R1", "R2", eq("R1.a", "R2.a")),
+                ("R2", "R3", eq("R2.b", "R3.b")),
+                ("R3", "R1", eq("R3.a", "R1.b")),
+            ]
+        )
+        schemas = {n: [f"{n}.a", f"{n}.b"] for n in ("R1", "R2", "R3")}
+        expr = jn(jn(rel("R1"), rel("R2"), eq("R1.a", "R2.a")), rel("R3"),
+                  eq("R2.b", "R3.b"))
+        db = random_database(schemas, seed=31)
+        storage = Storage.from_database(db)
+        assert join_tree_of(graph, db.registry) is None
+        with yannakakis_mode(True):
+            result, execution = optimize_and_run(expr, storage, use_cache=False)
+        assert result.strategy == "dp"
+        assert bag_equal(execution.relation, expr.eval(db))
+
+    def test_cached_plan_replays_the_join_tree(self):
+        scenario = chain(4)
+        expr, db, storage, _tree = scenario_case(scenario, 21, max_rows=6)
+        cache = PlanCache()
+        with yannakakis_mode(True):
+            first = optimize_query(expr, storage, cache=cache)
+            assert first.strategy == "yannakakis" and not first.cache_hit
+            second = optimize_query(expr, storage, cache=cache)
+            assert second.cache_hit
+            assert second.strategy == "yannakakis"
+            assert second.join_tree == first.join_tree
+        # the live switch wins over the cached payload
+        with yannakakis_mode(False):
+            third = optimize_query(expr, storage, cache=cache)
+            assert third.cache_hit
+            assert third.strategy == "dp"
+
+
+class TestConformanceTier:
+    def test_tier_is_registered(self):
+        assert "yannakakis" in EXECUTOR_TIERS
+
+    def test_agrees_with_naive_on_acyclic_topologies(self):
+        for scenario in (chain(4, ["join", "out", "out"]), star(4, oj_leaves=1),
+                         snowflake(2, arm_length=2)):
+            expr, db, _storage, _tree = scenario_case(scenario, 8, null_probability=0.25)
+            got = run_executor("yannakakis", expr, db)
+            assert bag_equal(got, run_executor("naive", expr, db)), scenario.name
+
+    def test_wrapped_core_still_takes_the_fast_path(self):
+        scenario = chain(3)
+        expr, db, _storage, _tree = scenario_case(scenario, 9)
+        wrapped = Project(
+            Restrict(expr, eq("R1.a", "R2.a")), frozenset(["R1.a", "R3.a"]), dedup=False
+        )
+        got = run_executor("yannakakis", wrapped, db)
+        assert bag_equal(got, wrapped.eval(db))
+
+    def test_declines_on_cyclic_core(self):
+        schemas = {n: [f"{n}.a", f"{n}.b"] for n in ("R1", "R2", "R3")}
+        from repro.algebra.predicates import conjunction
+
+        # the R3.a=R1.b conjunct makes the *class* hypergraph a triangle
+        expr = jn(
+            jn(rel("R1"), rel("R2"), eq("R1.a", "R2.a")),
+            rel("R3"),
+            conjunction([eq("R2.b", "R3.b"), eq("R3.a", "R1.b")]),
+        )
+        db = random_database(schemas, seed=12)
+        with pytest.raises(PlanningError):
+            run_executor("yannakakis", expr, db)
+
+    def test_declines_without_a_join_core(self):
+        db = random_database({"R1": ["R1.a", "R1.b"]}, seed=13)
+        with pytest.raises(PlanningError):
+            run_executor("yannakakis", Restrict(rel("R1"), eq("R1.a", "R1.b")), db)
+
+    def test_cross_check_runs_the_tier(self):
+        scenario = snowflake(3, arm_length=1, oj_arms=1)
+        expr, db, _storage, _tree = scenario_case(scenario, 14)
+        result = cross_check(expr, db)
+        assert result.ok, result.summary()
+        assert "yannakakis" in result.results
+
+
+_TOGGLE_SCRIPT = """
+import json
+import random
+from repro.conformance.serialize import value_to_json
+from repro.core.enumeration import sample_implementing_tree
+from repro.core.expressions import jn, rel
+from repro.algebra.predicates import eq, conjunction
+from repro.datagen.random_db import random_database
+from repro.datagen.topologies import chain, star
+from repro.engine.storage import Storage
+from repro.optimizer.pipeline import optimize_and_run
+
+def dump(tag, relation, ordered):
+    lines = [
+        json.dumps({a: value_to_json(row[a]) for a in sorted(row)}, sort_keys=True)
+        for row in relation
+    ]
+    print(tag)
+    for line in lines if ordered else sorted(lines):
+        print(line)
+
+# two acyclic workloads: rows must agree as bags (sorted lines)
+for scenario, seed in ((chain(4), 5), (star(4, oj_leaves=1), 6)):
+    expr = sample_implementing_tree(scenario.graph, random.Random(seed))
+    db = random_database(
+        scenario.schemas, seed=seed, max_rows=8, domain=2, null_probability=0.0
+    )
+    result, execution = optimize_and_run(expr, Storage.from_database(db), use_cache=False)
+    dump(scenario.name, execution.relation, ordered=False)
+
+# a cyclic class hypergraph: both toggle settings must run the *same* DP
+# plan, so rows, iteration order, and metrics are byte-identical
+schemas = {n: [f"{n}.a", f"{n}.b"] for n in ("R1", "R2", "R3")}
+expr = jn(
+    jn(rel("R1"), rel("R2"), eq("R1.a", "R2.a")),
+    rel("R3"),
+    conjunction([eq("R2.b", "R3.b"), eq("R3.a", "R1.b")]),
+)
+db = random_database(schemas, seed=7, max_rows=8, domain=2, null_probability=0.0)
+result, execution = optimize_and_run(expr, Storage.from_database(db), use_cache=False)
+assert result.strategy == "dp", result.strategy
+dump("cyclic", execution.relation, ordered=True)
+print("retrieved", sorted(execution.metrics.tuples_retrieved.items()))
+print("evaluated", execution.metrics.predicate_evaluations)
+"""
+
+
+class TestFastPathToggle:
+    def test_repro_yannakakis_0_matches_1(self):
+        """REPRO_YANNAKAKIS=0 and =1 agree on every workload; the cyclic
+        fallback is byte-identical down to the DP plan's metrics."""
+        outputs = {}
+        for flag in ("0", "1"):
+            env = dict(os.environ, REPRO_YANNAKAKIS=flag)
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", _TOGGLE_SCRIPT],
+                capture_output=True,
+                env=env,
+                cwd=REPO_ROOT,
+                check=True,
+            )
+            outputs[flag] = proc.stdout
+        assert outputs["0"] == outputs["1"]
+        assert outputs["0"].count(b"\n") > 5  # the workloads produced rows
