@@ -34,6 +34,15 @@ tier                    route
                         Declines (skips) when a core subtree has no
                         safe join tree — cyclic class hypergraph, or an
                         outerjoin graph outside Theorem 1
+``"wcoj"``              the cyclic fast path: every maximal *pure-join*
+                        subtree with a genuinely cyclic class
+                        hypergraph runs as a Leapfrog Triejoin over
+                        sorted tries (:mod:`repro.engine.wcoj`);
+                        wrapper/outerjoin operators evaluate via the
+                        algebra layer on the recursed children.
+                        Declines (skips) when no core is cyclic —
+                        acyclic graphs belong to Yannakakis/DP, and
+                        outerjoins never enter a cyclic core
 ======================  =====================================================
 
 :func:`cross_check` runs a query through any subset of tiers and demands
@@ -69,13 +78,14 @@ EXECUTOR_TIERS: Tuple[str, ...] = (
     "parallel",
     "batch",
     "yannakakis",
+    "wcoj",
 )
 
 _ENGINE_TIERS = frozenset({"engine", "engine-merge", "batch"})
 
 #: Tiers that evaluate through :class:`~repro.engine.storage.Storage`
 #: (and hence benefit from a shared instance across many checks).
-_STORAGE_TIERS = _ENGINE_TIERS | {"yannakakis"}
+_STORAGE_TIERS = _ENGINE_TIERS | {"yannakakis", "wcoj"}
 
 
 def supported_executors(
@@ -165,6 +175,12 @@ def run_executor(
         if storage is None:
             storage = Storage.from_database(db)
         return _run_yannakakis(expr, db, storage)
+    if name == "wcoj":
+        from repro.engine.storage import Storage
+
+        if storage is None:
+            storage = Storage.from_database(db)
+        return _run_wcoj(expr, db, storage)
     raise PlanningError(f"unknown executor tier {name!r}")
 
 
@@ -260,6 +276,103 @@ def _run_yannakakis(expr: Expression, db: Database, storage) -> Relation:
     relation = recurse(expr)
     if not took_fast_path[0]:
         raise PlanningError("yannakakis tier declines: no multi-relation join core")
+    return relation
+
+
+def _run_wcoj(expr: Expression, db: Database, storage) -> Relation:
+    """Evaluate with every maximal cyclic join core on the WCOJ fast path.
+
+    A *core* here is a pure tree of Rel/Join — outerjoins never enter a
+    cyclic core (Theorem 1 certifies reordering them only on the
+    implementing-tree side), so unlike the yannakakis tier they are
+    handled as wrappers via the algebra layer.  Each maximal core whose
+    attribute-class hypergraph is genuinely cyclic runs as a Leapfrog
+    Triejoin over sorted tries (under the ambient batch mode, so the CI
+    matrix covers both output paths).  Raises :class:`PlanningError` — a
+    cross-check *skip* — when no core is WCOJ-eligible, so the tier
+    never silently duplicates the algebra tier.  Note the existing
+    ``cycle``/``random`` fuzz topologies join every edge on ``.a = .a``,
+    collapsing all attributes into one class; their class hypergraphs
+    are acyclic and this tier declines on them by design — only the
+    alternating-attribute cyclic topologies actually run here.
+    """
+    from repro.algebra import operators as ops
+    from repro.algebra.goj import generalized_outerjoin
+    from repro.core.expressions import (
+        Antijoin,
+        GeneralizedOuterJoin,
+        Join,
+        LeftOuterJoin,
+        Project,
+        Rel,
+        Restrict,
+        RightAntijoin,
+        RightOuterJoin,
+        Semijoin,
+    )
+    from repro.core.graph import graph_of
+    from repro.core.wcoj_order import wcoj_spec_of
+    from repro.engine.executor import execute_plan
+    from repro.engine.wcoj import build_wcoj_plan
+
+    registry = storage.registry
+    took_fast_path = [False]
+
+    def is_core(node: Expression) -> bool:
+        if isinstance(node, Rel):
+            return True
+        if isinstance(node, Join):
+            return is_core(node.left) and is_core(node.right)
+        return False
+
+    def run_core(node: Expression) -> Relation:
+        graph = graph_of(node, registry)
+        spec = wcoj_spec_of(graph, registry)
+        if spec is None:
+            raise PlanningError(
+                f"wcoj tier declines: join core is not cyclic for {node!r}"
+            )
+        took_fast_path[0] = True
+        return execute_plan(build_wcoj_plan(spec, storage, {})).relation
+
+    def recurse(node: Expression) -> Relation:
+        if isinstance(node, Rel):
+            return node.eval(db)
+        if is_core(node):
+            return run_core(node)
+        if isinstance(node, Join):
+            return ops.join(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, LeftOuterJoin):
+            return ops.outerjoin(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, RightOuterJoin):
+            return ops.outerjoin(recurse(node.right), recurse(node.left), node.predicate)
+        if isinstance(node, FullOuterJoin):
+            return ops.full_outerjoin(
+                recurse(node.left), recurse(node.right), node.predicate
+            )
+        if isinstance(node, Semijoin):
+            return ops.semijoin(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, Antijoin):
+            return ops.antijoin(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, RightAntijoin):
+            return ops.antijoin(recurse(node.right), recurse(node.left), node.predicate)
+        if isinstance(node, GeneralizedOuterJoin):
+            return generalized_outerjoin(
+                recurse(node.left), recurse(node.right), node.predicate, node.projection
+            )
+        if isinstance(node, Restrict):
+            return ops.restrict(recurse(node.child), node.predicate)
+        if isinstance(node, Project):
+            return ops.project(
+                recurse(node.child), sorted(node.attributes), dedup=node.dedup
+            )
+        if isinstance(node, Union):
+            return ops.union_padded(recurse(node.left), recurse(node.right))
+        raise PlanningError(f"wcoj tier cannot evaluate {type(node).__name__}")
+
+    relation = recurse(expr)
+    if not took_fast_path[0]:
+        raise PlanningError("wcoj tier declines: no cyclic join core")
     return relation
 
 

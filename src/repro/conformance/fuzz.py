@@ -64,6 +64,26 @@ def _least_covered(options: Sequence[str], prefix: str, coverage: Counter, rng) 
     return candidates[0] if len(candidates) == 1 else rng.choice(candidates)
 
 
+def _validated_topologies(topologies: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    """The topology filter as a validated tuple (default: every kind).
+
+    An unknown name — or a filter that matches *nothing* — is an error,
+    not a silent no-op: a campaign invoked with a typo'd ``--topologies``
+    used to fall through to the full grid and report green coverage on
+    families it never ran.
+    """
+    if topologies is None:
+        return tuple(TOPOLOGY_KINDS)
+    chosen = tuple(topologies)
+    unknown = [t for t in chosen if t not in TOPOLOGY_KINDS]
+    if unknown or not chosen:
+        raise ValueError(
+            f"unknown topology kind(s) {unknown or '<empty>'}; "
+            f"expected a non-empty subset of {tuple(TOPOLOGY_KINDS)}"
+        )
+    return chosen
+
+
 def generate_case(
     seed: int,
     coverage: Optional[Counter] = None,
@@ -82,7 +102,7 @@ def generate_case(
         coverage = Counter()
     rng = make_rng(seed)
     topology = _least_covered(
-        tuple(topologies) if topologies else TOPOLOGY_KINDS, "topology", coverage, rng
+        _validated_topologies(topologies), "topology", coverage, rng
     )
     extended = _least_covered(EXTENDED_OPS, "op", coverage, rng)
     coverage[f"topology:{topology}"] += 1

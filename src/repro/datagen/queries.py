@@ -41,15 +41,22 @@ from repro.core.enumeration import sample_implementing_tree
 from repro.datagen.topologies import (
     GraphScenario,
     chain,
+    clique4,
+    cyclic_chord,
     join_cycle,
     random_graph,
     random_nice_graph,
     snowflake,
+    square,
     star,
+    triangle,
 )
 from repro.util.rng import make_rng
 
-#: Topology families the scenario generator can draw from.
+#: Topology families the scenario generator can draw from.  The last
+#: four are the genuinely cyclic shapes (alternating-attribute edges, so
+#: the *class* hypergraph is cyclic, unlike "cycle" whose ``.a = .a``
+#: edges collapse into one class) that exercise the WCOJ fast path.
 TOPOLOGY_KINDS: Sequence[str] = (
     "chain",
     "star",
@@ -57,6 +64,10 @@ TOPOLOGY_KINDS: Sequence[str] = (
     "cycle",
     "nice",
     "random",
+    "triangle",
+    "square",
+    "clique4",
+    "cyclic_chord",
 )
 
 #: Root-operator rewrites that leave the core IT space.
@@ -91,6 +102,14 @@ def random_scenario(
         )
     if kind == "cycle":
         return join_cycle(max(n, 3), name=f"fuzz-cycle{max(n, 3)}")
+    if kind == "triangle":
+        return triangle(name="fuzz-triangle")
+    if kind == "square":
+        return square(name="fuzz-square")
+    if kind == "clique4":
+        return clique4(name="fuzz-clique4")
+    if kind == "cyclic_chord":
+        return cyclic_chord(max(n, 4), name=f"fuzz-cyclic-chord{max(n, 4)}")
     if kind == "nice":
         core = rng.randint(1, max(n - 1, 1))
         return random_nice_graph(core, n - core, seed=rng)

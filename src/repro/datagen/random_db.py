@@ -30,20 +30,33 @@ def random_relation(
     null_probability: float = 0.2,
     duplicate_probability: float = 0.25,
     allow_empty: bool = True,
+    zipf_skew: float = 0.0,
 ) -> Relation:
     """One random relation over the given attributes.
 
     Values are drawn from ``0..domain-1`` so that cross-relation matches
     occur with useful frequency; with probability ``null_probability`` an
-    individual value is NULL instead.
+    individual value is NULL instead.  ``zipf_skew > 0`` biases the draw
+    toward small values with Zipf weights ``1/(k+1)^skew`` — the heavy-
+    hitter distribution that blows up binary join plans on cyclic
+    patterns (0 keeps the exact uniform rng stream of earlier seeds).
     """
     low = 0 if allow_empty else 1
     n = rng.randint(low, max_rows)
+    weights = (
+        [1.0 / (k + 1) ** zipf_skew for k in range(domain)] if zipf_skew > 0 else None
+    )
+
+    def draw():
+        if weights is not None:
+            return rng.choices(range(domain), weights=weights)[0]
+        return rng.randrange(domain)
+
     rows: List[Row] = []
     for _ in range(n):
         row = Row(
             {
-                a: (NULL if rng.random() < null_probability else rng.randrange(domain))
+                a: (NULL if rng.random() < null_probability else draw())
                 for a in attributes
             }
         )
@@ -61,6 +74,7 @@ def random_database(
     null_probability: float = 0.2,
     duplicate_probability: float = 0.25,
     allow_empty: bool = True,
+    zipf_skew: float = 0.0,
 ) -> Database:
     """A database with one random relation per schema entry."""
     rng = make_rng(seed)
@@ -74,6 +88,7 @@ def random_database(
             null_probability=null_probability,
             duplicate_probability=duplicate_probability,
             allow_empty=allow_empty,
+            zipf_skew=zipf_skew,
         )
     return Database(relations)
 

@@ -159,6 +159,111 @@ def join_cycle(n: int, name: str = "cycle") -> GraphScenario:
     )
 
 
+def triangle(name: str = "triangle") -> GraphScenario:
+    """The triangle pattern: three relations, three *distinct* classes.
+
+    Unlike :func:`join_cycle` — whose ``.a = .a`` edges collapse every
+    attribute into one class, leaving the class hypergraph acyclic — the
+    edges here alternate attributes (``R1.a=R2.a``, ``R2.b=R3.a``,
+    ``R3.b=R1.b``), encoding the genuine triangle query
+    ``R1(x,z) ⋈ R2(x,y) ⋈ R3(y,z)``.  GYO gets stuck on its hypergraph,
+    which makes this the smallest WCOJ-eligible shape: every binary plan
+    materializes a full two-way join while the output obeys the AGM
+    bound ``√(|R1||R2||R3|)``.
+    """
+    nodes = ["R1", "R2", "R3"]
+    join_edges = [
+        ("R1", "R2", eq("R1.a", "R2.a")),
+        ("R2", "R3", eq("R2.b", "R3.a")),
+        ("R3", "R1", eq("R3.b", "R1.b")),
+    ]
+    graph = QueryGraph.from_edges(join=join_edges)
+    return GraphScenario(
+        name=name,
+        graph=graph,
+        schemas=_schemas_for(nodes),
+        description="triangle: R1(x,z) ⋈ R2(x,y) ⋈ R3(y,z), cyclic hypergraph",
+    )
+
+
+def square(name: str = "square") -> GraphScenario:
+    """A 4-cycle with alternating attributes: four distinct classes.
+
+    ``Ri.b = R(i+1).a`` around the cycle, so the class hypergraph is a
+    genuine 4-cycle (no edge between opposite corners) — cyclic but not
+    chordal, the classic shape where GYO finds no ear.
+    """
+    nodes = [f"R{i + 1}" for i in range(4)]
+    join_edges = [
+        (nodes[i], nodes[(i + 1) % 4], eq(f"{nodes[i]}.b", f"{nodes[(i + 1) % 4]}.a"))
+        for i in range(4)
+    ]
+    graph = QueryGraph.from_edges(join=join_edges)
+    return GraphScenario(
+        name=name,
+        graph=graph,
+        schemas=_schemas_for(nodes),
+        description="square: 4-cycle of Ri.b = R(i+1).a edges, cyclic hypergraph",
+    )
+
+
+def clique4(name: str = "clique4") -> GraphScenario:
+    """The 4-clique pattern: six pairwise edges, six distinct classes.
+
+    Each relation carries three attributes (one per incident edge), and
+    every pair of relations shares exactly one class — the complete
+    graph ``K4`` as a hypergraph.  The AGM cover assigns every relation
+    weight 1/3, bounding the output by ``Π|Ri|^{1/3} ≈ N^{4/3}``; binary
+    plans materialize at least one full triangle first.
+    """
+    nodes = [f"R{i + 1}" for i in range(4)]
+    schemas = {n: [f"{n}.a", f"{n}.b", f"{n}.c"] for n in nodes}
+    join_edges = [
+        ("R1", "R2", eq("R1.a", "R2.a")),
+        ("R1", "R3", eq("R1.b", "R3.a")),
+        ("R1", "R4", eq("R1.c", "R4.a")),
+        ("R2", "R3", eq("R2.b", "R3.b")),
+        ("R2", "R4", eq("R2.c", "R4.b")),
+        ("R3", "R4", eq("R3.c", "R4.c")),
+    ]
+    graph = QueryGraph.from_edges(join=join_edges)
+    return GraphScenario(
+        name=name,
+        graph=graph,
+        schemas=schemas,
+        description="clique4: complete K4 pattern, one shared class per pair",
+    )
+
+
+def cyclic_chord(n: int = 4, name: str = "cyclic_chord") -> GraphScenario:
+    """An ``n``-cycle of alternating-attribute edges plus one chord.
+
+    The cycle runs ``Ri.b = R(i+1).a``; the chord equates the ``.c``
+    attributes of ``R1`` and the opposite node.  The chord does *not*
+    triangulate the cycle (it introduces a fresh class), so the
+    hypergraph stays cyclic while being denser than :func:`square` —
+    a shape the leapfrog's residual-free multiway intersection and the
+    fuzz campaign both exercise.
+    """
+    if n < 4:
+        raise GraphUndefinedError("cyclic_chord needs at least four nodes")
+    nodes = [f"R{i + 1}" for i in range(n)]
+    schemas = {node: [f"{node}.a", f"{node}.b", f"{node}.c"] for node in nodes}
+    join_edges = [
+        (nodes[i], nodes[(i + 1) % n], eq(f"{nodes[i]}.b", f"{nodes[(i + 1) % n]}.a"))
+        for i in range(n)
+    ]
+    opposite = nodes[n // 2]
+    join_edges.append(("R1", opposite, eq("R1.c", f"{opposite}.c")))
+    graph = QueryGraph.from_edges(join=join_edges)
+    return GraphScenario(
+        name=name,
+        graph=graph,
+        schemas=schemas,
+        description=f"{n}-cycle of alternating-attribute edges plus a R1-{opposite} chord",
+    )
+
+
 def figure1_graph() -> GraphScenario:
     """The Figure-1 query: four relations in a path R − S − T − U.
 

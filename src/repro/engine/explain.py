@@ -33,6 +33,7 @@ _DISPATCH = {
     "GeneralizedOuterJoinOp": "goj-hash-kernel",
     "NestedLoopJoin": "naive-nested-loop",
     "YannakakisOp": "semijoin-reducer",
+    "LeapfrogTriejoinOp": "leapfrog-triejoin",
 }
 
 #: Per-operator span counters surfaced in the rendered tree, in order.
@@ -46,6 +47,9 @@ _DETAIL_COUNTERS = (
     "batches_out",
     "reducer_passes",
     "reducer_dropped",
+    "trie_builds",
+    "wcoj_seeks",
+    "wcoj_ties",
 )
 
 

@@ -13,7 +13,7 @@ import itertools
 import threading
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.algebra.nulls import is_null
 from repro.algebra.relation import Database, Relation
@@ -43,6 +43,8 @@ class Table:
         self._indexes: Dict[str, HashIndex] = {}
         self._stats: Optional[Dict[str, ColumnStats]] = None
         self._version = 0
+        self._derived: Dict[Any, Tuple[int, Any]] = {}
+        self._derived_lock = threading.Lock()
         for row in rows:
             self.insert(row)
 
@@ -124,6 +126,26 @@ class Table:
 
     def to_relation(self) -> Relation:
         return Relation(self.schema, self._rows)
+
+    # -- derived structures ----------------------------------------------------
+
+    def derived(self, key: Any, build: "Callable[[], Any]") -> Any:
+        """A version-keyed cache slot for structures computed from the rows.
+
+        ``build()`` runs (under the table's derived-structure lock) when
+        the slot is empty or the table has been modified since the slot
+        was filled — the same generation-keyed invalidation that backs
+        :meth:`Storage.to_database`.  Callers must treat the returned
+        structure as immutable; the trie indexes of the WCOJ fast path
+        are the primary tenant.
+        """
+        with self._derived_lock:
+            hit = self._derived.get(key)
+            if hit is not None and hit[0] == self._version:
+                return hit[1]
+            value = build()
+            self._derived[key] = (self._version, value)
+            return value
 
 
 #: Process-unique identity tokens for Storage instances, so that two

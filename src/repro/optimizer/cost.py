@@ -21,6 +21,8 @@ subgraphs is safe with either.
 
 from __future__ import annotations
 
+from typing import FrozenSet, Mapping
+
 from repro.algebra.predicates import Predicate
 from repro.core.expressions import Expression, Rel
 from repro.engine.planner import split_equijoin
@@ -72,6 +74,37 @@ class CostModel:
             return Plan(node, est, left.cost + right.cost + extra)
 
         return walk(expr).cost
+
+
+def agm_bound(
+    hyperedges: Mapping[str, FrozenSet[str]],
+    cardinalities: Mapping[str, float],
+) -> float:
+    """An AGM-style fractional-cover bound on the join output size.
+
+    AGM (Atserias–Grohe–Marx) bounds the output of a full conjunctive
+    query by ``Π |R|^{w_R}`` for any *fractional edge cover* ``w`` — any
+    weighting of the relations with ``Σ_{R ∋ v} w_R ≥ 1`` for every
+    variable ``v``.  We use the closed-form feasible cover
+    ``w_R = max_{v ∈ R} 1/deg(v)`` (each variable ``v`` then collects at
+    least ``deg(v) · 1/deg(v) = 1``), which is not always the *optimal*
+    cover but is exact on the symmetric cyclic shapes the dispatch gate
+    cares about: the triangle gets ``w ≡ 1/2`` and bound ``√(Π|R|)``,
+    the k-clique ``w ≡ 1/(k-1)``.  An upper bound from a feasible cover
+    is a sound gate either way — it can only overestimate, never let a
+    too-optimistic WCOJ estimate through.
+    """
+    degree: dict = {}
+    for vertices in hyperedges.values():
+        for vertex in vertices:
+            degree[vertex] = degree.get(vertex, 0) + 1
+    bound = 1.0
+    for name, vertices in hyperedges.items():
+        if not vertices:
+            continue
+        weight = max(1.0 / degree[v] for v in vertices)
+        bound *= max(cardinalities[name], 0.0) ** weight
+    return bound
 
 
 class CoutCostModel(CostModel):

@@ -34,15 +34,16 @@ from repro.core.gyo import JoinTree, join_tree_of
 from repro.core.pushdown import push_restrictions
 from repro.core.reorderability import ReorderabilityVerdict, theorem1_applies
 from repro.core.simplify import simplify_outerjoins
+from repro.core.wcoj_order import WcojSpec, wcoj_spec_of
 from repro.engine.executor import ExecutionResult, execute, execute_plan
 from repro.engine.storage import Storage, Table
 from repro.observability.spans import maybe_span
 from repro.optimizer.cardinality import CardinalityEstimator
-from repro.optimizer.cost import CostModel, CoutCostModel, RetrievalCostModel
+from repro.optimizer.cost import CostModel, CoutCostModel, RetrievalCostModel, agm_bound
 from repro.optimizer.dp import DPOptimizer
 from repro.optimizer.fingerprint import plan_cache_key
 from repro.optimizer.plancache import PlanCache, active_plan_cache
-from repro.util.fastpath import yannakakis_enabled
+from repro.util.fastpath import wcoj_enabled, yannakakis_enabled
 
 
 @dataclass
@@ -64,11 +65,15 @@ class PipelineResult:
     fingerprint: Optional[str] = None
     #: True when the chosen plan (or verdict) was replayed from the cache.
     cache_hit: bool = False
-    #: How ``optimize_and_run`` executes: the binary-tree DP plan ("dp")
-    #: or the acyclic semijoin-reduced fast path ("yannakakis").
+    #: How ``optimize_and_run`` executes: the binary-tree DP plan ("dp"),
+    #: the acyclic semijoin-reduced fast path ("yannakakis"), or the
+    #: cyclic worst-case optimal Leapfrog Triejoin ("wcoj").
     strategy: str = "dp"
-    #: The rooted join tree backing the fast path (None under "dp").
+    #: The rooted join tree backing the acyclic fast path (None otherwise).
     join_tree: Optional[JoinTree] = None
+    #: The trie layout + variable order backing the cyclic fast path
+    #: (None unless the strategy is "wcoj").
+    wcoj_spec: Optional[WcojSpec] = None
     #: Pushed leaf filters (relation -> conjuncts); what
     #: ``_reattach_filters`` re-applies and the Yannakakis builder scans
     #: under.  Empty when the query never reached the graph stage.
@@ -233,11 +238,11 @@ def _optimize_query(
             # freely-reorderable graph the cached entry carries the
             # chosen tree; otherwise only the (graph-determined)
             # verdict, because non-nice trees are NOT interchangeable
-            # and the written order must stand.  The cached join tree
-            # records the strategy *decision*; whether it is taken is
-            # re-checked against the live Yannakakis switch, mirroring
-            # HashJoin's execution-time parallel dispatch.
-            verdict, chosen, join_tree = hit
+            # and the written order must stand.  The cached join tree /
+            # WCOJ spec records the strategy *decision*; whether it is
+            # taken is re-checked against the live fast-path switches,
+            # mirroring HashJoin's execution-time parallel dispatch.
+            verdict, chosen, join_tree, wcoj_spec = hit
             result.verdict = verdict
             result.cache_hit = True
             if chosen is not None:
@@ -246,6 +251,9 @@ def _optimize_query(
             if join_tree is not None and yannakakis_enabled():
                 result.join_tree = join_tree
                 result.strategy = "yannakakis"
+            elif wcoj_spec is not None and wcoj_enabled():
+                result.wcoj_spec = wcoj_spec
+                result.strategy = "wcoj"
             return result
 
     with maybe_span("optimizer.niceness", category="optimizer") as span:
@@ -258,7 +266,7 @@ def _optimize_query(
     result.verdict = verdict
     if not verdict.freely_reorderable:
         if cache is not None:
-            cache.store(result.fingerprint, generation, (verdict, None, None))
+            cache.store(result.fingerprint, generation, (verdict, None, None, None))
         return result
 
     stats_view = _filtered_storage(storage, filters)
@@ -276,11 +284,19 @@ def _optimize_query(
     join_tree: Optional[JoinTree] = None
     if yannakakis_enabled():
         join_tree = _acyclic_fast_path(graph, registry, estimator, plan.expr)
+    wcoj_spec: Optional[WcojSpec] = None
+    if join_tree is None and wcoj_enabled():
+        wcoj_spec = _cyclic_fast_path(graph, registry, estimator, plan.expr)
     if cache is not None:
-        cache.store(result.fingerprint, generation, (verdict, result.chosen, join_tree))
+        cache.store(
+            result.fingerprint, generation, (verdict, result.chosen, join_tree, wcoj_spec)
+        )
     if join_tree is not None:
         result.join_tree = join_tree
         result.strategy = "yannakakis"
+    elif wcoj_spec is not None:
+        result.wcoj_spec = wcoj_spec
+        result.strategy = "wcoj"
     return result
 
 
@@ -319,6 +335,43 @@ def _acyclic_fast_path(
         return tree if chosen else None
 
 
+def _cyclic_fast_path(
+    graph: QueryGraph,
+    registry,
+    estimator: CardinalityEstimator,
+    dp_expr: Expression,
+) -> Optional[WcojSpec]:
+    """Take the worst-case optimal path when it is eligible *and* cheaper.
+
+    Eligibility is :func:`~repro.core.wcoj_order.wcoj_spec_of`'s call: a
+    connected pure-join core (outerjoins stay on implementing trees —
+    Theorem 1 never certifies reordering them into a cyclic core) whose
+    attribute-class hypergraph is genuinely cyclic.  The cost test
+    compares C_out of the DP's binary tree against the leapfrog bill:
+    one pass over the (filtered) base relations to build/drain the tries
+    plus the AGM fractional-cover bound on the output — the worst case
+    the algorithm is guaranteed never to exceed.  Both sides use the
+    same estimator under one memo scope, so the gate is apples-to-apples
+    with the Yannakakis gate above.
+    """
+    with maybe_span("optimizer.wcoj", category="optimizer") as span:
+        spec = wcoj_spec_of(graph, registry)
+        if spec is None:
+            if span is not None:
+                span.set(cyclic=False, chosen=False)
+            return None
+        with estimator.memo_scope():
+            dp_cost = CoutCostModel(estimator).plan_cost(dp_expr)
+            cards = {name: estimator.base(name).cardinality for name in spec.order}
+        wcoj_cost = sum(cards.values()) + agm_bound(spec.hyperedges(), cards)
+        chosen = wcoj_cost < dp_cost
+        if span is not None:
+            span.set(cyclic=True, chosen=chosen)
+            span.counters["dp_cost"] = int(dp_cost)
+            span.counters["wcoj_cost"] = int(wcoj_cost)
+        return spec if chosen else None
+
+
 def optimize_and_run(
     query: Expression,
     storage: Storage,
@@ -329,9 +382,11 @@ def optimize_and_run(
     """Optimize, execute the chosen plan, return both records.
 
     A "yannakakis" strategy builds the semijoin-reduced N-ary plan from
-    the cached join tree and leaf filters; the switch is re-checked here
-    so ``REPRO_YANNAKAKIS=0`` falls back to the DP tree even on plans
-    optimized (or cached) while the fast path was on.
+    the cached join tree and leaf filters; a "wcoj" strategy builds the
+    Leapfrog Triejoin plan from the cached trie spec.  The switches are
+    re-checked here so ``REPRO_YANNAKAKIS=0`` / ``REPRO_WCOJ=0`` fall
+    back to the DP tree even on plans optimized (or cached) while the
+    fast paths were on.
     """
     result = optimize_query(
         query, storage, cost_model=cost_model, cache=cache, use_cache=use_cache
@@ -344,6 +399,15 @@ def optimize_and_run(
         from repro.engine.yannakakis import build_yannakakis_plan
 
         plan = build_yannakakis_plan(result.join_tree, storage, result.leaf_filters)
+        return result, execute_plan(plan)
+    if (
+        result.strategy == "wcoj"
+        and result.wcoj_spec is not None
+        and wcoj_enabled()
+    ):
+        from repro.engine.wcoj import build_wcoj_plan
+
+        plan = build_wcoj_plan(result.wcoj_spec, storage, result.leaf_filters)
         return result, execute_plan(plan)
     execution = execute(result.chosen, storage)
     return result, execution

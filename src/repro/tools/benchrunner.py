@@ -730,6 +730,163 @@ def measure_yannakakis(
     return {"rounds": rounds, "warmup_rounds": warmup_rounds, "workloads": results}
 
 
+def _wcoj_workloads(smoke: bool):
+    """Cyclic workloads on the AGM worst-case family, where binary plans lose.
+
+    Both instances plant ``k`` duplicate copies of the star-spike rows
+    ``(0, j)`` and ``(j, 0)`` for ``j in 1..m`` in every relation of the
+    cycle, plus a handful of diagonal *needle* rows ``(v, v)`` that form
+    the only real matches.  The zero-spike makes EVERY binary join order
+    pair the ``m*k`` left-spike rows with the ``m*k`` right-spike rows —
+    an ``(m*k)^2`` intermediate — before the third relation kills all of
+    it; Leapfrog Triejoin intersects one variable at a time, discovers
+    the spike never completes a cycle after ``O(m)`` seeks, and emits
+    just the needles.  Duplication keeps the per-attribute distinct
+    counts low, so the estimated C_out of the best DP plan sits above the
+    AGM bound and the cost gate genuinely dispatches to the operator —
+    the bench measures the shipped gate, not a forced code path.
+
+    * ``triangle``: R1(x,z) ⋈ R2(x,y) ⋈ R3(y,z), the 3-cycle;
+    * ``clique4``: K4 with one edge variable per relation pair — R1 is a
+      tiny all-zero anchor (plus needle diagonals) and R2/R3/R4 carry the
+      spike triangle on their three pairwise-shared attributes.
+    """
+    from repro.algebra.predicates import eq
+    from repro.core import jn
+    from repro.engine.storage import Storage
+
+    m, k = (8, 12) if smoke else (16, 20)
+    needles = 5
+    spike = []
+    for j in range(1, m + 1):
+        spike += [(0, j)] * k + [(j, 0)] * k
+    diag = [(m + 1 + t, m + 1 + t) for t in range(needles)]
+
+    workloads = []
+
+    storage = Storage()
+    for name in ("R1", "R2", "R3"):
+        rows = [{f"{name}.a": a, f"{name}.b": b} for a, b in spike + diag]
+        storage.create_table(name, [f"{name}.a", f"{name}.b"], rows)
+    workloads.append(
+        {
+            "topology": "triangle",
+            "storage": storage,
+            "query": jn(
+                jn("R1", "R2", eq("R1.a", "R2.a")),
+                "R3",
+                eq("R2.b", "R3.a") & eq("R3.b", "R1.b"),
+            ),
+            "tables": {name: 2 * m * k + needles for name in ("R1", "R2", "R3")},
+        }
+    )
+
+    m, k = (8, 20) if smoke else (12, 24)
+    spike = []
+    for j in range(1, m + 1):
+        spike += [(0, j)] * k + [(j, 0)] * k
+    diag = [(m + 1 + t, m + 1 + t) for t in range(needles)]
+    storage = Storage()
+    for name in ("R2", "R3", "R4"):
+        rows = [{f"{name}.a": 0, f"{name}.b": p, f"{name}.c": q} for p, q in spike]
+        rows += [{f"{name}.a": v, f"{name}.b": v, f"{name}.c": w} for v, w in diag]
+        storage.create_table(name, [f"{name}.a", f"{name}.b", f"{name}.c"], rows)
+    anchor = [{"R1.a": 0, "R1.b": 0, "R1.c": 0}]
+    anchor += [{"R1.a": v, "R1.b": v, "R1.c": v} for v, _w in diag]
+    storage.create_table("R1", ["R1.a", "R1.b", "R1.c"], anchor)
+    workloads.append(
+        {
+            "topology": "clique4",
+            "storage": storage,
+            "query": jn(
+                jn(
+                    jn("R1", "R2", eq("R1.a", "R2.a")),
+                    "R3",
+                    eq("R1.b", "R3.a") & eq("R2.b", "R3.b"),
+                ),
+                "R4",
+                eq("R1.c", "R4.a") & eq("R2.c", "R4.b") & eq("R3.c", "R4.c"),
+            ),
+            "tables": {
+                "R1": len(anchor),
+                **{name: 2 * m * k + needles for name in ("R2", "R3", "R4")},
+            },
+        }
+    )
+    return workloads
+
+
+def measure_wcoj(
+    smoke: bool = False,
+    rounds: int = 3,
+    warmup_rounds: int = 1,
+) -> Dict[str, object]:
+    """End-to-end best DP binary plan vs the Leapfrog Triejoin dispatch.
+
+    Each cyclic workload runs the *same* query through the full optimizer
+    pipeline twice per round — ``REPRO_WCOJ`` off (binary DP tree) and on
+    (AGM-gated Leapfrog Triejoin) — interleaved and reduced by min, with
+    caching disabled so both cells pay optimization every time.  Before
+    any timing, an untimed pass asserts the strategies actually diverge
+    ("dp" vs "wcoj") and that the two results are bag-equal; a cost gate
+    that silently kept the binary plan would otherwise benchmark DP
+    against itself.
+    """
+    from repro.algebra import bag_equal
+    from repro.optimizer.pipeline import optimize_and_run
+    from repro.util.fastpath import wcoj_mode
+
+    results: List[Dict[str, object]] = []
+    for workload in _wcoj_workloads(smoke):
+        topology, storage = workload["topology"], workload["storage"]
+        query = workload["query"]
+
+        def run(fast: bool):
+            with wcoj_mode(fast):
+                result, execution = optimize_and_run(query, storage, use_cache=False)
+            return result, execution.relation
+
+        # Untimed strategy + correctness pass (doubles as warm-up one).
+        pipeline, leapfrog = run(True)
+        if pipeline.strategy != "wcoj":
+            raise RuntimeError(
+                f"{topology}: WCOJ path not taken (strategy={pipeline.strategy!r})"
+            )
+        pipeline, baseline = run(False)
+        if pipeline.strategy != "dp":
+            raise RuntimeError(
+                f"{topology}: DP cell not on the DP path (strategy={pipeline.strategy!r})"
+            )
+        if not bag_equal(leapfrog, baseline):
+            raise RuntimeError(f"{topology}: Leapfrog Triejoin result is not bag-equal to DP")
+
+        for _ in range(max(warmup_rounds - 1, 0)):
+            run(True)
+            run(False)
+
+        raw: Dict[str, List[float]] = {"dp": [], "wcoj": []}
+        for _ in range(rounds):
+            for cell, fast in (("dp", False), ("wcoj", True)):
+                start = time.perf_counter()
+                run(fast)
+                raw[cell].append(round(time.perf_counter() - start, 4))
+
+        dp_s, wcoj_s = min(raw["dp"]), min(raw["wcoj"])
+        results.append(
+            {
+                "topology": topology,
+                "tables": workload["tables"],
+                "output_rows": len(baseline),
+                "raw_timings_s": raw,
+                "dp_s": round(dp_s, 4),
+                "wcoj_s": round(wcoj_s, 4),
+                "speedup": round(dp_s / wcoj_s, 2) if wcoj_s > 0 else None,
+                "bag_equal": True,
+            }
+        )
+    return {"rounds": rounds, "warmup_rounds": warmup_rounds, "workloads": results}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="run_all.py", description="Run the benchmark suite and write a JSON report."
@@ -767,11 +924,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "output becomes BENCH_PR7.json",
     )
     parser.add_argument(
+        "--wcoj-bench",
+        action="store_true",
+        help="also measure the cyclic fast path (AGM-gated Leapfrog Triejoin) "
+        "against the best binary DP plan on triangle and 4-clique workloads; "
+        "default output becomes BENCH_PR8.json",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None, help="report path (default BENCH_PR1.json)"
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        if args.yannakakis_bench:
+        if args.wcoj_bench:
+            args.output = REPO_ROOT / "BENCH_PR8.json"
+        elif args.yannakakis_bench:
             args.output = REPO_ROOT / "BENCH_PR7.json"
         elif args.batch_bench:
             args.output = REPO_ROOT / "BENCH_PR6.json"
@@ -878,6 +1044,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 f"  {entry['topology']:6s} dp {entry['dp_s']:.4f}s / "
                 f"yannakakis {entry['yannakakis_s']:.4f}s  ({entry['speedup']}x, "
+                f"{entry['output_rows']} rows out)"
+            )
+    if args.wcoj_bench:
+        print("\nmeasuring the cyclic fast path (Leapfrog Triejoin) vs the DP plan...")
+        section = measure_wcoj(smoke=args.smoke)
+        report["wcoj"] = section
+        for entry in section["workloads"]:
+            print(
+                f"  {entry['topology']:8s} dp {entry['dp_s']:.4f}s / "
+                f"wcoj {entry['wcoj_s']:.4f}s  ({entry['speedup']}x, "
                 f"{entry['output_rows']} rows out)"
             )
     from repro.tools.benchschema import validate_report

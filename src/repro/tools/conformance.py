@@ -74,13 +74,16 @@ def _parse_executors(spec: Optional[str]) -> tuple:
 
 
 def _parse_topologies(spec: Optional[str]) -> Optional[tuple]:
-    if not spec:
+    if spec is None:
         return None
     names = tuple(s.strip() for s in spec.split(",") if s.strip())
     unknown = [n for n in names if n not in TOPOLOGY_KINDS]
-    if unknown:
+    if unknown or not names:
+        # A spec that parses to nothing (e.g. "--topologies ,") would
+        # silently widen to every family; treat it as the typo it is.
         raise SystemExit(
-            f"unknown topology kind(s) {unknown}; known: {', '.join(TOPOLOGY_KINDS)}"
+            f"unknown or empty topology kind(s) {unknown}; "
+            f"known: {', '.join(TOPOLOGY_KINDS)}"
         )
     return names
 

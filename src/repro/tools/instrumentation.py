@@ -56,7 +56,10 @@ from typing import Dict
 #: ``batches_emitted``         (column batches emitted by batch-native ops),
 #: ``batch_rows``              (rows carried by those batches),
 #: ``predicate_vectorized``    (filter-kernel applications with >=1
-#:                             vectorized conjunct pass).
+#:                             vectorized conjunct pass),
+#: ``trie_builds``             (WCOJ sorted-trie index constructions),
+#: ``wcoj_seeks``              (leapfrog seek() calls across all joins),
+#: ``wcoj_ties``               (leapfrog full-agreement matches).
 STATS: Counter = Counter()
 
 #: One lock serializes every mutation of :data:`STATS`; see module docs.

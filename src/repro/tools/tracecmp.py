@@ -116,9 +116,10 @@ def aggregate_bench(doc: Dict[str, Any]) -> Dict[str, KeyStats]:
     the same CLI diffs parallel-executor performance against a committed
     baseline.  Reports carrying a ``batch`` section (BENCH_PR6) likewise
     contribute its row-at-a-time baseline and vectorized cells as
-    ``batch::`` keys, and a ``yannakakis`` section (BENCH_PR7)
-    contributes per-topology DP and semijoin-reducer cells as
-    ``yannakakis::`` keys.
+    ``batch::`` keys, a ``yannakakis`` section (BENCH_PR7) contributes
+    per-topology DP and semijoin-reducer cells as ``yannakakis::`` keys,
+    and a ``wcoj`` section (BENCH_PR8) contributes per-topology DP and
+    Leapfrog Triejoin cells as ``wcoj::`` keys.
     """
     stats: Dict[str, KeyStats] = {}
     for record in doc.get("scenarios", ()):
@@ -146,6 +147,12 @@ def aggregate_bench(doc: Dict[str, Any]) -> Dict[str, KeyStats]:
         for workload in yannakakis.get("workloads", ()):
             for cell in ("dp", "yannakakis"):
                 key = f"yannakakis::{workload['topology']}:{cell}"
+                stats[key] = KeyStats(key, workload[f"{cell}_s"] * 1e3)
+    wcoj = doc.get("wcoj")
+    if wcoj:
+        for workload in wcoj.get("workloads", ()):
+            for cell in ("dp", "wcoj"):
+                key = f"wcoj::{workload['topology']}:{cell}"
                 stats[key] = KeyStats(key, workload[f"{cell}_s"] * 1e3)
     return stats
 

@@ -57,6 +57,19 @@ _yannakakis: bool = os.environ.get("REPRO_YANNAKAKIS", "").lower() not in (
     "no",
 )
 
+#: The cyclic fast path (sorted tries + Leapfrog Triejoin) is opt-out:
+#: ``REPRO_WCOJ=0`` pins cyclic join cores to the binary-tree DP plans.
+#: Default on — the optimizer only dispatches to the worst-case optimal
+#: operator when the join core is genuinely cyclic (GYO fails), contains
+#: no outerjoins, and the AGM fractional-cover bound beats the DP plan's
+#: C_out estimate; the toggle exists so the conformance suite can prove
+#: the DP fallback is byte-identical when the path is disabled.
+_wcoj: bool = os.environ.get("REPRO_WCOJ", "").lower() not in (
+    "0",
+    "false",
+    "no",
+)
+
 
 def _env_batch_size() -> int:
     raw = os.environ.get("REPRO_BATCH_SIZE", "").strip()
@@ -84,6 +97,7 @@ import threading as _threading
 _parallel_tls = _threading.local()
 _batch_tls = _threading.local()
 _yannakakis_tls = _threading.local()
+_wcoj_tls = _threading.local()
 
 
 def fast_enabled() -> bool:
@@ -185,6 +199,40 @@ def yannakakis_mode(enabled: bool):
     stack = getattr(_yannakakis_tls, "stack", None)
     if stack is None:
         stack = _yannakakis_tls.stack = []
+    stack.append(bool(enabled))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def wcoj_enabled() -> bool:
+    """Is the cyclic Leapfrog-Triejoin fast path currently eligible?
+
+    The innermost :func:`wcoj_mode` override on *this thread* wins;
+    otherwise the process-wide default (``REPRO_WCOJ``, default on)
+    applies.
+    """
+    stack = getattr(_wcoj_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return _wcoj
+
+
+def set_wcoj(enabled: bool) -> bool:
+    """Set the process-wide WCOJ default; returns the previous one."""
+    global _wcoj
+    previous = _wcoj
+    _wcoj = bool(enabled)
+    return previous
+
+
+@contextmanager
+def wcoj_mode(enabled: bool):
+    """Force the cyclic fast path on (True) or off (False) for this thread."""
+    stack = getattr(_wcoj_tls, "stack", None)
+    if stack is None:
+        stack = _wcoj_tls.stack = []
     stack.append(bool(enabled))
     try:
         yield

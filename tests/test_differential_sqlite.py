@@ -168,7 +168,9 @@ class TestCrossCheck:
             expr, db, executors=EXECUTOR_TIERS, storage=Storage.from_database(db)
         )
         assert result.ok, result.summary()
-        assert not result.skipped
+        # The wcoj tier owns cyclic join cores only; it declines this
+        # acyclic example by design.  Every other tier must run.
+        assert set(result.skipped) <= {"wcoj"}
 
     def test_engine_tiers_statically_skipped_for_foj(self, db):
         expr = foj(Rel("X"), Rel("Y"), P())

@@ -1,0 +1,428 @@
+"""The cyclic fast path end to end: operator, dispatch, tier, toggle.
+
+Four layers of assurance, mirroring test_yannakakis.py for the acyclic
+path:
+
+* known-answer pattern counts (triangle, 4-clique) against an
+  independent brute-force recomputation, the SQLite oracle, and the
+  kernels tier;
+* bag-equality of Leapfrog Triejoin vs. the DP binary plans on every
+  cyclic fuzz topology under nulls, duplicates, and skew;
+* the optimizer's AGM cost gate (dispatches on cyclic cores with real
+  data, declines acyclic graphs, outerjoins, and the collapsed-class
+  ``cycle`` family);
+* a ``REPRO_WCOJ=0`` subprocess proving the DP fallback is
+  byte-identical when the path is off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.algebra.comparison import bag_equal
+from repro.algebra.nulls import NULL, is_null
+from repro.algebra.predicates import eq
+from repro.algebra.relation import Database, Relation
+from repro.conformance.check import EXECUTOR_TIERS, cross_check, run_executor
+from repro.core.enumeration import sample_implementing_tree
+from repro.core.expressions import jn, oj, rel
+from repro.core.graph import graph_of
+from repro.core.wcoj_order import wcoj_spec_of
+from repro.datagen.random_db import random_database
+from repro.datagen.topologies import (
+    chain,
+    clique4,
+    cyclic_chord,
+    join_cycle,
+    square,
+    triangle,
+)
+from repro.engine.explain import explain_analyze
+from repro.engine.storage import Storage
+from repro.engine.wcoj import LeapfrogTriejoinOp, build_wcoj_plan
+from repro.optimizer.pipeline import optimize_and_run, optimize_query
+from repro.optimizer.plancache import PlanCache
+from repro.util.errors import PlanningError
+from repro.util.fastpath import wcoj_mode
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CYCLIC_SCENARIOS = [triangle(), square(), clique4(), cyclic_chord(4), cyclic_chord(5)]
+
+
+def scenario_case(scenario, seed, **db_kwargs):
+    """(expr, db, storage, spec) for one cyclic topology scenario."""
+    rng = random.Random(seed)
+    expr = sample_implementing_tree(scenario.graph, rng)
+    db = random_database(scenario.schemas, seed=seed, **db_kwargs)
+    storage = Storage.from_database(db)
+    spec = wcoj_spec_of(scenario.graph, scenario.registry)
+    return expr, db, storage, spec
+
+
+def triangle_db(edges):
+    """Encode an undirected edge list as the triangle scenario's relations.
+
+    ``R1(x,z) ⋈ R2(x,y) ⋈ R3(y,z)`` over one shared edge set counts the
+    (ordered) triangles of the graph, which the tests recount naively.
+    """
+    rows = [(u, v) for u, v in edges] + [(v, u) for u, v in edges]
+    return Database(
+        {
+            "R1": Relation.from_dicts(
+                ["R1.a", "R1.b"], [{"R1.a": x, "R1.b": z} for x, z in rows]
+            ),
+            "R2": Relation.from_dicts(
+                ["R2.a", "R2.b"], [{"R2.a": x, "R2.b": y} for x, y in rows]
+            ),
+            "R3": Relation.from_dicts(
+                ["R3.a", "R3.b"], [{"R3.a": y, "R3.b": z} for y, z in rows]
+            ),
+        }
+    )
+
+
+def triangle_query():
+    scenario = triangle()
+    return jn(
+        jn(rel("R1"), rel("R2"), eq("R1.a", "R2.a")),
+        rel("R3"),
+        eq("R2.b", "R3.a") & eq("R3.b", "R1.b"),
+    ), scenario
+
+
+class TestKnownAnswers:
+    def test_triangle_count_matches_brute_force_and_oracles(self):
+        rng = random.Random(5)
+        nodes = list(range(8))
+        edges = sorted(
+            {tuple(sorted(rng.sample(nodes, 2))) for _ in range(14)}
+        )
+        db = triangle_db(edges)
+        expr, _scenario = triangle_query()
+
+        # Independent recount: ordered vertex triples over the directed
+        # edge set (each undirected triangle appears 6 times).
+        directed = {(u, v) for u, v in edges} | {(v, u) for u, v in edges}
+        expected = sum(
+            1
+            for x, y, z in itertools.permutations(nodes, 3)
+            if (x, y) in directed and (y, z) in directed and (x, z) in directed
+        )
+
+        wcoj_rows = run_executor("wcoj", expr, db)
+        assert len(wcoj_rows) == expected
+        for tier in ("sqlite", "kernels"):
+            assert bag_equal(wcoj_rows, run_executor(tier, expr, db)), tier
+
+    def test_clique4_count_matches_brute_force_and_oracles(self):
+        rng = random.Random(9)
+        nodes = list(range(6))
+        edges = sorted({tuple(sorted(rng.sample(nodes, 2))) for _ in range(12)})
+        directed = sorted({(u, v) for u, v in edges} | {(v, u) for u, v in edges})
+        scenario = clique4()
+        # Ri's attributes are its three incident pattern edges; the shared
+        # classes give R1(x,y,z,w)-style bindings: R1=(x,*), R2=(x,*),
+        # R3=(y,*), R4=(z,*) per the clique4 builder's edge layout.
+        db = Database(
+            {
+                "R1": Relation.from_dicts(
+                    ["R1.a", "R1.b", "R1.c"],
+                    [{"R1.a": a, "R1.b": a, "R1.c": a} for a, _b in directed],
+                ),
+                "R2": Relation.from_dicts(
+                    ["R2.a", "R2.b", "R2.c"],
+                    [{"R2.a": a, "R2.b": b, "R2.c": b} for a, b in directed],
+                ),
+                "R3": Relation.from_dicts(
+                    ["R3.a", "R3.b", "R3.c"],
+                    [{"R3.a": a, "R3.b": b, "R3.c": b} for a, b in directed],
+                ),
+                "R4": Relation.from_dicts(
+                    ["R4.a", "R4.b", "R4.c"],
+                    [{"R4.a": a, "R4.b": b, "R4.c": b} for a, b in directed],
+                ),
+            }
+        )
+        expr = jn(
+            jn(
+                jn(rel("R1"), rel("R2"), eq("R1.a", "R2.a")),
+                rel("R3"),
+                eq("R1.b", "R3.a") & eq("R2.b", "R3.b"),
+            ),
+            rel("R4"),
+            eq("R1.c", "R4.a") & eq("R2.c", "R4.b") & eq("R3.c", "R4.c"),
+        )
+        wcoj_rows = run_executor("wcoj", expr, db)
+        for tier in ("sqlite", "kernels", "naive"):
+            assert bag_equal(wcoj_rows, run_executor(tier, expr, db)), tier
+
+
+class TestOperator:
+    @pytest.mark.parametrize("scenario", CYCLIC_SCENARIOS, ids=lambda s: s.name)
+    def test_matches_naive_eval(self, scenario):
+        for seed in (1, 2, 3):
+            expr, db, storage, spec = scenario_case(
+                scenario,
+                seed,
+                max_rows=8,
+                null_probability=0.3,
+                duplicate_probability=0.3,
+            )
+            assert spec is not None, scenario.name
+            plan = build_wcoj_plan(spec, storage, {})
+            assert bag_equal(plan.run(), expr.eval(db)), scenario.name
+
+    @pytest.mark.parametrize("scenario", CYCLIC_SCENARIOS, ids=lambda s: s.name)
+    def test_matches_naive_eval_under_zipf_skew(self, scenario):
+        for seed in (4, 5):
+            rng = random.Random(seed)
+            expr = sample_implementing_tree(scenario.graph, rng)
+            db = random_database(
+                scenario.schemas,
+                seed=seed,
+                max_rows=12,
+                domain=3,
+                null_probability=0.1,
+                zipf_skew=1.5,
+            )
+            storage = Storage.from_database(db)
+            spec = wcoj_spec_of(scenario.graph, scenario.registry)
+            plan = build_wcoj_plan(spec, storage, {})
+            assert bag_equal(plan.run(), expr.eval(db)), scenario.name
+
+    def test_null_keys_never_join(self):
+        expr, _scenario = triangle_query()
+        db = Database(
+            {
+                "R1": Relation.from_dicts(
+                    ["R1.a", "R1.b"],
+                    [{"R1.a": NULL, "R1.b": 1}, {"R1.a": 1, "R1.b": 1}],
+                ),
+                "R2": Relation.from_dicts(
+                    ["R2.a", "R2.b"],
+                    [{"R2.a": 1, "R2.b": 2}, {"R2.a": NULL, "R2.b": NULL}],
+                ),
+                "R3": Relation.from_dicts(
+                    ["R3.a", "R3.b"], [{"R3.a": 2, "R3.b": 1}]
+                ),
+            }
+        )
+        rows = list(run_executor("wcoj", expr, db))
+        assert len(rows) == 1
+        assert all(not is_null(v) for v in rows[0].values())
+
+    def test_arity_mismatch_rejected(self):
+        _expr, scenario = triangle_query()
+        spec = wcoj_spec_of(scenario.graph, scenario.registry)
+        db = random_database(scenario.schemas, seed=1)
+        storage = Storage.from_database(db)
+        plan = build_wcoj_plan(spec, storage, {})
+        with pytest.raises(PlanningError):
+            LeapfrogTriejoinOp(spec, plan.inputs[:2])
+
+
+class TestOptimizerDispatch:
+    # Seed 0 draws three comparably-sized relations (~30-50 rows each),
+    # where the AGM bound beats every binary plan; some seeds draw a
+    # near-empty relation and DP legitimately wins (see
+    # test_small_data_keeps_the_dp_plan).
+    def _triangle_storage(self, seed=0, rows=40, domain=4):
+        expr, scenario = triangle_query()
+        db = random_database(
+            scenario.schemas,
+            seed=seed,
+            max_rows=rows,
+            domain=domain,
+            null_probability=0.0,
+            allow_empty=False,
+        )
+        return expr, db, Storage.from_database(db)
+
+    def test_cyclic_core_with_real_data_dispatches_to_wcoj(self):
+        expr, db, storage = self._triangle_storage()
+        result, execution = optimize_and_run(expr, storage, use_cache=False)
+        assert result.strategy == "wcoj"
+        assert result.wcoj_spec is not None
+        assert bag_equal(execution.relation, expr.eval(db))
+
+    def test_toggle_off_is_bag_equal_dp(self):
+        expr, db, storage = self._triangle_storage()
+        with wcoj_mode(True):
+            _r1, on = optimize_and_run(expr, storage, use_cache=False)
+        with wcoj_mode(False):
+            r2, off = optimize_and_run(expr, storage, use_cache=False)
+        assert r2.strategy == "dp"
+        assert bag_equal(on.relation, off.relation)
+
+    def test_acyclic_graph_never_takes_wcoj(self):
+        scenario = chain(4)
+        rng = random.Random(3)
+        expr = sample_implementing_tree(scenario.graph, rng)
+        db = random_database(scenario.schemas, seed=3, max_rows=20)
+        result = optimize_query(expr, Storage.from_database(db), use_cache=False)
+        assert result.strategy in ("dp", "yannakakis")
+        assert result.wcoj_spec is None
+
+    def test_collapsed_class_cycle_stays_off_wcoj(self):
+        # join_cycle's .a=.a edges collapse every attribute into one
+        # class; its class hypergraph is acyclic, so WCOJ must decline
+        # even though the relation-level graph has a cycle.
+        scenario = join_cycle(4)
+        spec = wcoj_spec_of(scenario.graph, scenario.registry)
+        assert spec is None
+
+    def test_outerjoin_reaching_the_core_declines(self):
+        graph = graph_of(
+            oj(
+                jn(
+                    jn(rel("R1"), rel("R2"), eq("R1.a", "R2.a")),
+                    rel("R3"),
+                    eq("R2.b", "R3.a") & eq("R3.b", "R1.b"),
+                ),
+                rel("R4"),
+                eq("R1.a", "R4.a"),
+            ),
+            Storage.from_database(
+                random_database(
+                    {n: [f"{n}.a", f"{n}.b"] for n in ("R1", "R2", "R3", "R4")},
+                    seed=1,
+                )
+            ).registry,
+        )
+        registry = Storage.from_database(
+            random_database(
+                {n: [f"{n}.a", f"{n}.b"] for n in ("R1", "R2", "R3", "R4")}, seed=1
+            )
+        ).registry
+        assert graph.oj_edges
+        assert wcoj_spec_of(graph, registry) is None
+
+    def test_cached_plan_replays_the_wcoj_spec(self):
+        expr, db, storage = self._triangle_storage()
+        cache = PlanCache()
+        first, run1 = optimize_and_run(expr, storage, cache=cache)
+        second, run2 = optimize_and_run(expr, storage, cache=cache)
+        assert first.strategy == second.strategy == "wcoj"
+        assert not first.cache_hit and second.cache_hit
+        assert second.wcoj_spec == first.wcoj_spec
+        assert bag_equal(run1.relation, run2.relation)
+
+    def test_small_data_keeps_the_dp_plan(self):
+        # One row per relation: the AGM bound cannot beat C_out's tiny
+        # intermediate estimates, so the gate keeps the binary plan.
+        expr, scenario = triangle_query()
+        db = random_database(
+            scenario.schemas, seed=2, max_rows=1, null_probability=0.0, allow_empty=False
+        )
+        result = optimize_query(expr, Storage.from_database(db), use_cache=False)
+        assert result.strategy == "dp"
+
+
+class TestExplain:
+    def test_explain_analyze_shows_leapfrog_metering(self):
+        expr, scenario = triangle_query()
+        db = random_database(
+            scenario.schemas, seed=11, max_rows=20, null_probability=0.0, allow_empty=False
+        )
+        storage = Storage.from_database(db)
+        spec = wcoj_spec_of(scenario.graph, scenario.registry)
+        plan = build_wcoj_plan(spec, storage, {})
+        node = explain_analyze(plan, storage)
+        text = node.render()
+        assert "LeapfrogTriejoin" in text
+        assert "dispatch=leapfrog-triejoin" in text
+        assert "wcoj_seeks=" in text and "wcoj_ties=" in text
+        assert node.details["wcoj_seeks"] > 0
+        assert node.actual_rows == len(list(plan.run()))
+
+
+class TestConformanceTier:
+    def test_wcoj_is_a_registered_tier(self):
+        assert "wcoj" in EXECUTOR_TIERS
+
+    @pytest.mark.parametrize("scenario", CYCLIC_SCENARIOS, ids=lambda s: s.name)
+    def test_cross_check_all_tiers_on_cyclic_topologies(self, scenario):
+        expr, db, _storage, _spec = scenario_case(
+            scenario, 6, max_rows=6, null_probability=0.2, duplicate_probability=0.3
+        )
+        result = cross_check(expr, db, executors=EXECUTOR_TIERS)
+        assert result.ok, result.summary()
+        assert "wcoj" in result.results
+
+    def test_tier_declines_acyclic_queries(self):
+        scenario = chain(3)
+        expr = sample_implementing_tree(scenario.graph, random.Random(1))
+        db = random_database(scenario.schemas, seed=1)
+        with pytest.raises(PlanningError):
+            run_executor("wcoj", expr, db)
+
+
+_TOGGLE_SCRIPT = """
+import json
+import random
+from repro.conformance.serialize import value_to_json
+from repro.core.enumeration import sample_implementing_tree
+from repro.core.expressions import jn, rel
+from repro.algebra.predicates import eq, conjunction
+from repro.datagen.random_db import random_database
+from repro.datagen.topologies import chain, clique4, cyclic_chord, square, triangle
+from repro.engine.storage import Storage
+from repro.optimizer.pipeline import optimize_and_run
+
+def dump(tag, relation, ordered):
+    lines = [
+        json.dumps({a: value_to_json(row[a]) for a in sorted(row)}, sort_keys=True)
+        for row in relation
+    ]
+    print(tag)
+    for line in lines if ordered else sorted(lines):
+        print(line)
+
+# cyclic workloads: rows must agree as bags under both toggle settings
+for scenario, seed in ((triangle(), 3), (square(), 4), (clique4(), 5), (cyclic_chord(4), 6)):
+    expr = sample_implementing_tree(scenario.graph, random.Random(seed))
+    db = random_database(
+        scenario.schemas, seed=seed, max_rows=10, domain=3, null_probability=0.1
+    )
+    result, execution = optimize_and_run(expr, Storage.from_database(db), use_cache=False)
+    dump(scenario.name, execution.relation, ordered=False)
+
+# an acyclic chain never touches the WCOJ path: both toggle settings run
+# the *same* plan, so rows, order, and metrics are byte-identical
+scenario = chain(3)
+expr = sample_implementing_tree(scenario.graph, random.Random(8))
+db = random_database(scenario.schemas, seed=8, max_rows=8, domain=2, null_probability=0.0)
+result, execution = optimize_and_run(expr, Storage.from_database(db), use_cache=False)
+assert result.strategy != "wcoj", result.strategy
+dump("acyclic", execution.relation, ordered=True)
+print("retrieved", sorted(execution.metrics.tuples_retrieved.items()))
+print("evaluated", execution.metrics.predicate_evaluations)
+"""
+
+
+class TestFastPathToggle:
+    def test_repro_wcoj_0_matches_1(self):
+        """REPRO_WCOJ=0 and =1 agree on every cyclic workload as bags,
+        and are byte-identical (rows, order, metrics) off the path."""
+        outputs = {}
+        for flag in ("0", "1"):
+            env = dict(os.environ, REPRO_WCOJ=flag)
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", _TOGGLE_SCRIPT],
+                capture_output=True,
+                env=env,
+                cwd=REPO_ROOT,
+                check=True,
+            )
+            outputs[flag] = proc.stdout
+        assert outputs["0"] == outputs["1"]
+        assert outputs["0"].count(b"\n") > 5  # the workloads produced rows
