@@ -55,6 +55,15 @@ class Row(Mapping[str, Any]):
             return self._values == other._values
         return NotImplemented
 
+    def __reduce__(self):
+        # Rebuild through __init__ so the cached hash is recomputed on
+        # unpickling.  The default slotted-class pickling would carry
+        # ``_hash`` across verbatim, which is wrong across processes:
+        # string hashing is salted per process (PYTHONHASHSEED), so a
+        # child's cached hash would break dict lookups in the parent —
+        # the shard wire format depends on this round-trip.
+        return (Row, (self._values,))
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{a}={self._values[a]!r}" for a in sorted(self._values))
         return f"Row({inner})"

@@ -79,6 +79,7 @@ EXECUTOR_TIERS: Tuple[str, ...] = (
     "batch",
     "yannakakis",
     "wcoj",
+    "shard",
 )
 
 _ENGINE_TIERS = frozenset({"engine", "engine-merge", "batch"})
@@ -181,21 +182,18 @@ def run_executor(
         if storage is None:
             storage = Storage.from_database(db)
         return _run_wcoj(expr, db, storage)
+    if name == "shard":
+        return _run_shard(expr, db)
     raise PlanningError(f"unknown executor tier {name!r}")
 
 
-def _run_yannakakis(expr: Expression, db: Database, storage) -> Relation:
-    """Evaluate with every maximal join core on the acyclic fast path.
+def _recurse_with_cores(tier: str, expr: Expression, db: Database, is_core, run_core):
+    """Shared wrapper recursion of the fast-path tiers.
 
-    A *core* subtree is a pure tree of Rel/Join/LeftOuterJoin/
-    RightOuterJoin — exactly the fragment :func:`~repro.core.graph.graph_of`
-    abstracts into a query graph.  Each maximal core runs as a GYO join
-    tree through :class:`~repro.engine.yannakakis.YannakakisOp` (under the
-    ambient batch mode, so the CI matrix covers both row and columnar
-    reducers); wrapper and extended operators evaluate via the algebra
-    layer on the recursed children.  Raises :class:`PlanningError` — a
-    cross-check *skip* — when no core yields a safe join tree, so the
-    tier never silently duplicates the algebra tier.
+    Maximal subtrees satisfying ``is_core`` evaluate through the tier's
+    fast path (``run_core``); every other operator evaluates via the
+    algebra layer on the recursed children, so a tier only ever vouches
+    for the fragment its fast path actually ran.
     """
     from repro.algebra import operators as ops
     from repro.algebra.goj import generalized_outerjoin
@@ -211,6 +209,136 @@ def _run_yannakakis(expr: Expression, db: Database, storage) -> Relation:
         RightOuterJoin,
         Semijoin,
     )
+
+    def recurse(node: Expression) -> Relation:
+        if isinstance(node, Rel):
+            return node.eval(db)
+        if is_core(node):
+            return run_core(node)
+        if isinstance(node, Join):
+            return ops.join(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, LeftOuterJoin):
+            return ops.outerjoin(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, RightOuterJoin):
+            return ops.outerjoin(recurse(node.right), recurse(node.left), node.predicate)
+        if isinstance(node, FullOuterJoin):
+            return ops.full_outerjoin(
+                recurse(node.left), recurse(node.right), node.predicate
+            )
+        if isinstance(node, Semijoin):
+            return ops.semijoin(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, Antijoin):
+            return ops.antijoin(recurse(node.left), recurse(node.right), node.predicate)
+        if isinstance(node, RightAntijoin):
+            return ops.antijoin(recurse(node.right), recurse(node.left), node.predicate)
+        if isinstance(node, GeneralizedOuterJoin):
+            return generalized_outerjoin(
+                recurse(node.left), recurse(node.right), node.predicate, node.projection
+            )
+        if isinstance(node, Restrict):
+            return ops.restrict(recurse(node.child), node.predicate)
+        if isinstance(node, Project):
+            return ops.project(
+                recurse(node.child), sorted(node.attributes), dedup=node.dedup
+            )
+        if isinstance(node, Union):
+            return ops.union_padded(recurse(node.left), recurse(node.right))
+        raise PlanningError(f"{tier} tier cannot evaluate {type(node).__name__}")
+
+    return recurse(expr)
+
+
+#: Lazily-created worker pool for the ``shard`` tier, pinned to a tiny
+#: deterministic geometry (2 processes, 3 shards — odd on purpose, like
+#: the parallel tier's partition count, so uneven shards and the
+#: null-rides-on-shard-0 rule are exercised on every case).  Persistent
+#: across checks: spawning processes per fuzz case would dominate runtime.
+_SHARD_TIER_POOL = None
+
+
+def _shard_tier_pool():
+    global _SHARD_TIER_POOL
+    if _SHARD_TIER_POOL is None or _SHARD_TIER_POOL.closed:
+        from repro.engine.shard.pool import ShardPool
+
+        _SHARD_TIER_POOL = ShardPool(workers=2, name="conformance-shard")
+    return _SHARD_TIER_POOL
+
+
+def _run_shard(expr: Expression, db: Database) -> Relation:
+    """Evaluate with every maximal co-partitionable core process-sharded.
+
+    A *core* here is a tree of Rel/Restrict and the single-attribute-class
+    join operators (:data:`repro.engine.shard.executor._CORE_BINARY`) that
+    :func:`~repro.engine.shard.executor.shard_spec_of` accepts — each such
+    core is hash-sharded across worker processes and merged by
+    multiplicity sum.  Dedup projections and padded unions do not
+    distribute over the shard partition, so they stay wrappers.  Raises
+    :class:`PlanningError` — a cross-check *skip* — when no core is
+    co-partitionable, so the tier never silently duplicates the algebra
+    tier.
+    """
+    from repro.core.expressions import (
+        Antijoin,
+        Join,
+        LeftOuterJoin,
+        Rel,
+        Restrict,
+        RightAntijoin,
+        RightOuterJoin,
+        Semijoin,
+    )
+    from repro.engine.shard.executor import shard_spec_of, sharded_counts
+
+    registry = db.registry
+    took_fast_path = [False]
+    core_binary = (
+        Join,
+        LeftOuterJoin,
+        RightOuterJoin,
+        FullOuterJoin,
+        Semijoin,
+        Antijoin,
+        RightAntijoin,
+    )
+
+    def structural(node: Expression) -> bool:
+        if isinstance(node, Rel):
+            return True
+        if isinstance(node, Restrict):
+            return structural(node.child)
+        if isinstance(node, core_binary):
+            return structural(node.left) and structural(node.right)
+        return False
+
+    def is_core(node: Expression) -> bool:
+        return structural(node) and shard_spec_of(node, registry) is not None
+
+    def run_core(node: Expression) -> Relation:
+        took_fast_path[0] = True
+        schema, merged = sharded_counts(node, db, pool=_shard_tier_pool(), shards=3)
+        return Relation.from_counts(schema, merged)
+
+    relation = _recurse_with_cores("shard", expr, db, is_core, run_core)
+    if not took_fast_path[0]:
+        raise PlanningError("shard tier declines: no co-partitionable join core")
+    return relation
+
+
+def _run_yannakakis(expr: Expression, db: Database, storage) -> Relation:
+    """Evaluate with every maximal join core on the acyclic fast path.
+
+    A *core* subtree is a pure tree of Rel/Join/LeftOuterJoin/
+    RightOuterJoin — exactly the fragment :func:`~repro.core.graph.graph_of`
+    abstracts into a query graph.  Each maximal core runs as a GYO join
+    tree through :class:`~repro.engine.yannakakis.YannakakisOp` (under the
+    ambient batch mode, so the CI matrix covers both row and columnar
+    reducers); wrapper and extended operators evaluate via the algebra
+    layer on the recursed children.  Raises :class:`PlanningError` — a
+    cross-check *skip* — when no core yields a safe join tree, so the
+    tier never silently duplicates the algebra tier.
+    """
+    from repro.core.expressions import Join, LeftOuterJoin, Rel, RightOuterJoin
     from repro.core.graph import graph_of
     from repro.core.gyo import join_tree_of
     from repro.engine.executor import execute_plan
@@ -236,44 +364,7 @@ def _run_yannakakis(expr: Expression, db: Database, storage) -> Relation:
         took_fast_path[0] = True
         return execute_plan(build_yannakakis_plan(tree, storage, {})).relation
 
-    def recurse(node: Expression) -> Relation:
-        if isinstance(node, Rel):
-            return node.eval(db)
-        if is_core(node):
-            return run_core(node)
-        if isinstance(node, Join):
-            return ops.join(recurse(node.left), recurse(node.right), node.predicate)
-        if isinstance(node, LeftOuterJoin):
-            return ops.outerjoin(recurse(node.left), recurse(node.right), node.predicate)
-        if isinstance(node, RightOuterJoin):
-            return ops.outerjoin(recurse(node.right), recurse(node.left), node.predicate)
-        if isinstance(node, FullOuterJoin):
-            return ops.full_outerjoin(
-                recurse(node.left), recurse(node.right), node.predicate
-            )
-        if isinstance(node, Semijoin):
-            return ops.semijoin(recurse(node.left), recurse(node.right), node.predicate)
-        if isinstance(node, Antijoin):
-            return ops.antijoin(recurse(node.left), recurse(node.right), node.predicate)
-        if isinstance(node, RightAntijoin):
-            return ops.antijoin(recurse(node.right), recurse(node.left), node.predicate)
-        if isinstance(node, GeneralizedOuterJoin):
-            return generalized_outerjoin(
-                recurse(node.left), recurse(node.right), node.predicate, node.projection
-            )
-        if isinstance(node, Restrict):
-            return ops.restrict(recurse(node.child), node.predicate)
-        if isinstance(node, Project):
-            return ops.project(
-                recurse(node.child), sorted(node.attributes), dedup=node.dedup
-            )
-        if isinstance(node, Union):
-            return ops.union_padded(recurse(node.left), recurse(node.right))
-        raise PlanningError(
-            f"yannakakis tier cannot evaluate {type(node).__name__}"
-        )
-
-    relation = recurse(expr)
+    relation = _recurse_with_cores("yannakakis", expr, db, is_core, run_core)
     if not took_fast_path[0]:
         raise PlanningError("yannakakis tier declines: no multi-relation join core")
     return relation
@@ -296,20 +387,7 @@ def _run_wcoj(expr: Expression, db: Database, storage) -> Relation:
     are acyclic and this tier declines on them by design — only the
     alternating-attribute cyclic topologies actually run here.
     """
-    from repro.algebra import operators as ops
-    from repro.algebra.goj import generalized_outerjoin
-    from repro.core.expressions import (
-        Antijoin,
-        GeneralizedOuterJoin,
-        Join,
-        LeftOuterJoin,
-        Project,
-        Rel,
-        Restrict,
-        RightAntijoin,
-        RightOuterJoin,
-        Semijoin,
-    )
+    from repro.core.expressions import Join, Rel
     from repro.core.graph import graph_of
     from repro.core.wcoj_order import wcoj_spec_of
     from repro.engine.executor import execute_plan
@@ -335,42 +413,7 @@ def _run_wcoj(expr: Expression, db: Database, storage) -> Relation:
         took_fast_path[0] = True
         return execute_plan(build_wcoj_plan(spec, storage, {})).relation
 
-    def recurse(node: Expression) -> Relation:
-        if isinstance(node, Rel):
-            return node.eval(db)
-        if is_core(node):
-            return run_core(node)
-        if isinstance(node, Join):
-            return ops.join(recurse(node.left), recurse(node.right), node.predicate)
-        if isinstance(node, LeftOuterJoin):
-            return ops.outerjoin(recurse(node.left), recurse(node.right), node.predicate)
-        if isinstance(node, RightOuterJoin):
-            return ops.outerjoin(recurse(node.right), recurse(node.left), node.predicate)
-        if isinstance(node, FullOuterJoin):
-            return ops.full_outerjoin(
-                recurse(node.left), recurse(node.right), node.predicate
-            )
-        if isinstance(node, Semijoin):
-            return ops.semijoin(recurse(node.left), recurse(node.right), node.predicate)
-        if isinstance(node, Antijoin):
-            return ops.antijoin(recurse(node.left), recurse(node.right), node.predicate)
-        if isinstance(node, RightAntijoin):
-            return ops.antijoin(recurse(node.right), recurse(node.left), node.predicate)
-        if isinstance(node, GeneralizedOuterJoin):
-            return generalized_outerjoin(
-                recurse(node.left), recurse(node.right), node.predicate, node.projection
-            )
-        if isinstance(node, Restrict):
-            return ops.restrict(recurse(node.child), node.predicate)
-        if isinstance(node, Project):
-            return ops.project(
-                recurse(node.child), sorted(node.attributes), dedup=node.dedup
-            )
-        if isinstance(node, Union):
-            return ops.union_padded(recurse(node.left), recurse(node.right))
-        raise PlanningError(f"wcoj tier cannot evaluate {type(node).__name__}")
-
-    relation = recurse(expr)
+    relation = _recurse_with_cores("wcoj", expr, db, is_core, run_core)
     if not took_fast_path[0]:
         raise PlanningError("wcoj tier declines: no cyclic join core")
     return relation

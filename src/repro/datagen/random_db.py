@@ -31,6 +31,7 @@ def random_relation(
     duplicate_probability: float = 0.25,
     allow_empty: bool = True,
     zipf_skew: float = 0.0,
+    min_rows: int | None = None,
 ) -> Relation:
     """One random relation over the given attributes.
 
@@ -40,8 +41,12 @@ def random_relation(
     toward small values with Zipf weights ``1/(k+1)^skew`` — the heavy-
     hitter distribution that blows up binary join plans on cyclic
     patterns (0 keeps the exact uniform rng stream of earlier seeds).
+    ``min_rows`` raises the size draw's floor — benchmarks use it to
+    stop a randomly tiny relation from collapsing a join chain's cost
+    (``None``, the default, keeps the exact rng stream of earlier
+    seeds; it overrides ``allow_empty`` when set).
     """
-    low = 0 if allow_empty else 1
+    low = (0 if allow_empty else 1) if min_rows is None else min_rows
     n = rng.randint(low, max_rows)
     weights = (
         [1.0 / (k + 1) ** zipf_skew for k in range(domain)] if zipf_skew > 0 else None
@@ -75,6 +80,7 @@ def random_database(
     duplicate_probability: float = 0.25,
     allow_empty: bool = True,
     zipf_skew: float = 0.0,
+    min_rows: int | None = None,
 ) -> Database:
     """A database with one random relation per schema entry."""
     rng = make_rng(seed)
@@ -89,6 +95,7 @@ def random_database(
             duplicate_probability=duplicate_probability,
             allow_empty=allow_empty,
             zipf_skew=zipf_skew,
+            min_rows=min_rows,
         )
     return Database(relations)
 

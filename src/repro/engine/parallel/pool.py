@@ -99,37 +99,58 @@ class WorkerLedger:
     and records the grant; ``release`` returns them.  The invariant —
     granted total never exceeds the ceiling — holds at every instant, and
     :meth:`snapshot` exposes the books so tests can assert it.
+
+    Grants carry a ``kind`` — ``"thread"`` (service threads, intra-query
+    thread pools) or ``"process"`` (the sharded execution workers of
+    :mod:`repro.engine.shard`) — but both draw from the *same* ceiling:
+    a process worker is a core-occupying unit of concurrency exactly like
+    a thread, so threads + processes together never exceed
+    :func:`max_total_workers`.
     """
+
+    KINDS = ("thread", "process")
 
     def __init__(self, ceiling: Optional[int] = None):
         self._ceiling = ceiling
         self._granted = 0
         self._grants: dict[str, int] = {}
+        self._by_kind: dict[str, int] = {kind: 0 for kind in self.KINDS}
         self._lock = threading.Lock()
 
     @property
     def ceiling(self) -> int:
         return self._ceiling if self._ceiling is not None else max_total_workers()
 
-    def acquire(self, requested: int, name: str = "pool") -> int:
+    def acquire(self, requested: int, name: str = "pool", kind: str = "thread") -> int:
         """Grant up to ``requested`` workers; the remainder is clamped off."""
         if requested < 0:
             raise ReproError(f"cannot acquire a negative worker count ({requested})")
+        if kind not in self.KINDS:
+            raise ReproError(f"unknown worker kind {kind!r}; expected one of {self.KINDS}")
         with self._lock:
             remaining = max(self.ceiling - self._granted, 0)
             granted = min(requested, remaining)
             self._granted += granted
+            self._by_kind[kind] += granted
             if granted:
                 self._grants[name] = self._grants.get(name, 0) + granted
             return granted
 
-    def release(self, granted: int, name: str = "pool") -> None:
+    def release(self, granted: int, name: str = "pool", kind: str = "thread") -> None:
+        if kind not in self.KINDS:
+            raise ReproError(f"unknown worker kind {kind!r}; expected one of {self.KINDS}")
         with self._lock:
             if granted > self._granted:
                 raise ReproError(
                     f"ledger release of {granted} exceeds outstanding {self._granted}"
                 )
+            if granted > self._by_kind[kind]:
+                raise ReproError(
+                    f"ledger release of {granted} {kind} workers exceeds "
+                    f"outstanding {self._by_kind[kind]}"
+                )
             self._granted -= granted
+            self._by_kind[kind] -= granted
             if name in self._grants:
                 self._grants[name] -= granted
                 if self._grants[name] <= 0:
@@ -146,6 +167,7 @@ class WorkerLedger:
                 "ceiling": self.ceiling,
                 "granted": self._granted,
                 "grants": dict(self._grants),
+                "by_kind": dict(self._by_kind),
             }
 
 

@@ -1,0 +1,60 @@
+"""Process-sharded execution: co-partitioned joins across worker processes.
+
+The morsel executor of :mod:`repro.engine.parallel` and the
+:class:`~repro.service.QueryService` thread pool are both GIL-bound: one
+core of real Python work, however many threads.  This package adds the
+scale-out axis from ROADMAP item 5 — tables are hash-sharded on a single
+join-key attribute class (the PR-5 radix-partition routing rule, so any
+two rows that could ever join land on the same shard), each shard of the
+database lives in a persistent **worker process**, and a query whose
+join tree is co-partitionable evaluates independently per shard with a
+multiplicity-sum merge in the parent.  Shards cross the process boundary
+in the grace-hash spill wire format (:mod:`repro.engine.shard.wire`).
+
+Dispatch is opt-in behind ``REPRO_SHARD`` (default off) — with the
+switch off the shard machinery is never consulted and the threaded path
+is byte-identical to a build without this package.  Worker-process
+leases are drawn from the same :class:`~repro.engine.parallel.pool.WorkerLedger`
+as every thread pool, so threads + processes respect one global budget.
+"""
+
+from repro.engine.shard.config import (
+    ShardConfig,
+    current_shard_config,
+    set_shard_config,
+    using_shard_config,
+)
+from repro.engine.shard.executor import (
+    ShardedEvalOp,
+    plan_sharded,
+    shard_spec_of,
+    sharded_counts,
+)
+from repro.engine.shard.pool import (
+    DEFAULT_SHARD_WORKERS,
+    ShardPool,
+    ShardWorkerError,
+    resolve_shard_workers,
+    reset_shared_shard_pool,
+    shared_shard_pool,
+)
+from repro.engine.shard.wire import decode_pairs, encode_pairs
+
+__all__ = [
+    "DEFAULT_SHARD_WORKERS",
+    "ShardConfig",
+    "ShardPool",
+    "ShardWorkerError",
+    "ShardedEvalOp",
+    "current_shard_config",
+    "decode_pairs",
+    "encode_pairs",
+    "plan_sharded",
+    "reset_shared_shard_pool",
+    "resolve_shard_workers",
+    "set_shard_config",
+    "shard_spec_of",
+    "sharded_counts",
+    "shared_shard_pool",
+    "using_shard_config",
+]

@@ -1,0 +1,87 @@
+"""Per-thread configuration for sharded execution.
+
+Mirrors :mod:`repro.engine.parallel.config`: a frozen dataclass of knobs
+plus a thread-local override stack, so the conformance tier can pin a
+tiny deterministic geometry (2 workers, 3 shards) and each
+:class:`~repro.service.QueryService` worker thread can route queries at
+its service's own :class:`~repro.engine.shard.pool.ShardPool` without
+racing other threads' settings.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+from repro.engine.shard.pool import ShardPool, resolve_shard_workers
+from repro.util.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Knobs for one sharded evaluation.
+
+    ``workers=None`` resolves through
+    :func:`~repro.engine.shard.pool.resolve_shard_workers` (explicit >
+    ``REPRO_SHARD_WORKERS`` > default — never ``os.cpu_count()``);
+    ``shards=None`` means one shard per effective worker.  ``pool``
+    pins evaluation to a specific pool (the service's own); ``None``
+    uses the lazily-created process-wide shared pool.
+    """
+
+    workers: Optional[int] = None
+    shards: Optional[int] = None
+    #: An externally-owned pool (e.g. the QueryService's own shard pool).
+    #: None means use the process-wide shared pool.
+    pool: Optional[ShardPool] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.shards is not None and self.shards < 1:
+            raise ReproError(f"shard count must be >= 1, got {self.shards}")
+
+    def resolved_workers(self) -> int:
+        if self.pool is not None:
+            return self.pool.workers
+        return resolve_shard_workers(self.workers)
+
+    def resolved_shards(self) -> int:
+        if self.shards is not None:
+            return self.shards
+        return max(self.resolved_workers(), 1)
+
+
+_current = ShardConfig()
+_lock = threading.Lock()
+_tls = threading.local()
+
+
+def current_shard_config() -> ShardConfig:
+    """The effective config: innermost thread-local override, else global."""
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return _current
+
+
+def set_shard_config(config: ShardConfig) -> ShardConfig:
+    """Install a new process-wide config; returns the previous one."""
+    global _current
+    with _lock:
+        previous, _current = _current, config
+    return previous
+
+
+@contextmanager
+def using_shard_config(**overrides) -> Iterator[ShardConfig]:
+    """Override config fields for the current thread's dynamic extent."""
+    updated = replace(current_shard_config(), **overrides)
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    stack.append(updated)
+    try:
+        yield updated
+    finally:
+        stack.pop()

@@ -1,0 +1,488 @@
+"""Co-partitioned sharded evaluation: eligibility, dispatch, and merge.
+
+The correctness argument is the PR-5 radix-partition routing rule lifted
+from one join to a whole tree.  :func:`shard_spec_of` looks for a single
+**attribute equivalence class** ``C`` (union-find over the equi-join
+pairs of every binary node) such that
+
+* every join in the tree has at least one equi conjunct inside ``C``,
+  and
+* every base relation contributes exactly one attribute to ``C`` — its
+  *shard attribute*.
+
+Shard every relation by ``hash(value) % nshards`` of its shard
+attribute (null shard keys go to shard 0 — they can never satisfy an
+equality, so "unmatched locally" equals "unmatched globally" and the
+variant-specific padding of the outer/anti/semi joins is preserved).
+Any two rows that could ever join agree on their ``C`` attributes, hence
+hash alike, hence live on the same shard; extra equi conjuncts and
+residual predicates only *filter* within a shard.  The whole core
+expression therefore distributes over the shards, and the global answer
+is the multiplicity-sum of the per-shard answers — which is exactly what
+:func:`sharded_counts` computes, evaluating each shard in a worker
+process (the child runs the same planned engine executor as the
+threaded path, with the shard dispatch forced off; kernel toggles
+propagate via the environment at spawn).
+
+Projections with ``dedup`` and padded unions do **not** distribute over
+the shard partition, so they never enter a core — the conformance tier
+(and the optimizer, which only emits core-shaped trees) wraps them
+around sharded cores via the algebra layer.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import Counter, OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.nulls import NULL
+from repro.algebra.relation import Database, Relation
+from repro.algebra.kernels import decompose_join_predicate
+from repro.algebra.schema import Schema, SchemaRegistry
+from repro.core.expressions import (
+    Antijoin,
+    Expression,
+    FullOuterJoin,
+    Join,
+    LeftOuterJoin,
+    Rel,
+    Restrict,
+    RightAntijoin,
+    RightOuterJoin,
+    Semijoin,
+)
+from repro.engine.iterators import PhysicalOp
+from repro.engine.metrics import Metrics
+from repro.engine.shard.config import current_shard_config
+from repro.engine.shard.pool import ShardPool, shared_shard_pool
+from repro.engine.shard.wire import decode_pairs, encode_pairs
+from repro.util.errors import PlanningError
+
+#: Binary operators allowed inside a shardable core.  Two-sided padding
+#: (FOJ) is fine — null and locally-unmatched rows pad per shard exactly
+#: as they would globally.  GeneralizedOuterJoin is excluded: its
+#: embedded projection carries dedup semantics.
+_CORE_BINARY = (
+    Join,
+    LeftOuterJoin,
+    RightOuterJoin,
+    FullOuterJoin,
+    Semijoin,
+    Antijoin,
+    RightAntijoin,
+)
+
+
+class _Ineligible(Exception):
+    """Internal control flow for :func:`shard_spec_of`."""
+
+
+def shard_spec_of(
+    expr: Expression, registry: SchemaRegistry
+) -> Optional[Dict[str, str]]:
+    """The shard attribute per base relation, or None if not co-partitionable.
+
+    Walks a candidate core (Rel / Restrict / the ``_CORE_BINARY``
+    operators), decomposes every join predicate into equi pairs, unions
+    the paired attributes into equivalence classes, and picks the first
+    class (in sorted order, for determinism) that covers every join.
+    Declines — returns ``None`` — on any non-core operator, any join
+    with no equi conjunct, fewer than two base relations, or a relation
+    that would need two different shard attributes.
+    """
+    join_pairs: List[List[Tuple[str, str]]] = []
+    rels: List[str] = []
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, Rel):
+            rels.append(node.name)
+            return
+        if isinstance(node, Restrict):
+            walk(node.child)
+            return
+        if isinstance(node, _CORE_BINARY):
+            left_attrs = frozenset(node.left.scheme(registry))
+            right_attrs = frozenset(node.right.scheme(registry))
+            left_keys, right_keys, _residual = decompose_join_predicate(
+                node.predicate, left_attrs, right_attrs
+            )
+            if not left_keys:
+                raise _Ineligible
+            join_pairs.append(list(zip(left_keys, right_keys)))
+            walk(node.left)
+            walk(node.right)
+            return
+        raise _Ineligible
+
+    try:
+        walk(expr)
+    except _Ineligible:
+        return None
+    if len(rels) < 2 or not join_pairs:
+        return None
+
+    parent: Dict[str, str] = {}
+
+    def find(attr: str) -> str:
+        root = attr
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(attr, attr) != root:
+            parent[attr], attr = root, parent[attr]
+        return root
+
+    for pairs in join_pairs:
+        for left, right in pairs:
+            parent[find(left)] = find(right)
+
+    roots = sorted({find(a) for pairs in join_pairs for pair in pairs for a in pair})
+    chosen = None
+    for root in roots:
+        if all(
+            any(find(left) == root for left, _right in pairs) for pairs in join_pairs
+        ):
+            chosen = root
+            break
+    if chosen is None:
+        return None
+
+    spec: Dict[str, str] = {}
+    for pairs in join_pairs:
+        for pair in pairs:
+            if find(pair[0]) != chosen:
+                continue
+            for attr in pair:
+                rel = registry.owner(attr)
+                if spec.setdefault(rel, attr) != attr:
+                    return None
+    if set(spec) != set(rels):
+        return None
+    return spec
+
+
+#: Hash salt for shard routing.  ``hash(int) == int`` in CPython, so a
+#: raw ``hash(v) % nshards`` sends a value-skewed key column (Zipf-style
+#: workloads concentrate small integers) to a handful of shards; folding
+#: the value into a salted tuple mixes the bits while preserving the
+#: equality contract (``1``, ``1.0`` and ``True`` still hash alike, so
+#: cross-type key matches stay co-located).
+_SHARD_SALT = "repro-shard"
+
+
+def _shard_of(value: object, nshards: int) -> int:
+    return hash((_SHARD_SALT, value)) % nshards
+
+
+def _shard_table(
+    counts, attr: str, nshards: int
+) -> List[List[Tuple[object, int]]]:
+    """Partition one relation's counts on its shard attribute.
+
+    Same routing rule as the PR-5 radix partitioner but with the salted
+    hash (see :data:`_SHARD_SALT`) for balance under skew.  Partitioning
+    happens only in the parent process, so per-process string-hash
+    salting cannot desynchronize the routing.  Null shard keys ride on
+    shard 0: they can never satisfy a join equality anywhere, so any one
+    shard's padding rules treat them exactly as the global evaluation
+    would.
+    """
+    parts: List[List[Tuple[object, int]]] = [[] for _ in range(nshards)]
+    appends = [p.append for p in parts]
+    for row, n in counts.items():
+        value = row._values[attr]
+        if value is NULL:
+            appends[0]((row, n))
+        else:
+            appends[_shard_of(value, nshards)]((row, n))
+    return parts
+
+
+#: Cap on the per-process dispatch memo (see :func:`_dispatch_info`).
+_DISPATCH_MEMO_CAP = 128
+
+#: ``(id(expr), id(registry)) -> (expr, registry, spec, expr_blob)``.
+#: The value pins both keys' objects so their ids cannot be recycled
+#: while the entry lives.
+_dispatch_memo: "OrderedDict[Tuple[int, int], tuple]" = OrderedDict()
+_dispatch_memo_lock = threading.Lock()
+
+
+def _dispatch_info(
+    expr: Expression, registry: SchemaRegistry
+) -> Tuple[Optional[Dict[str, str]], Optional[bytes]]:
+    """The shard spec and pickled form of ``expr``, memoized.
+
+    A query's chosen plan is a stable object under the optimizer's plan
+    cache, so repeated queries would otherwise re-walk the spec
+    union-find and re-pickle the identical expression every time —
+    measurable parent-side CPU on the service hot path.  Keyed by
+    object identity of both the expression and the registry (the spec
+    depends on attribute ownership), with the objects pinned in the
+    value so id reuse cannot alias entries.
+    """
+    key = (id(expr), id(registry))
+    with _dispatch_memo_lock:
+        hit = _dispatch_memo.get(key)
+        if hit is not None and hit[0] is expr and hit[1] is registry:
+            _dispatch_memo.move_to_end(key)
+            return hit[2], hit[3]
+    spec = shard_spec_of(expr, registry)
+    blob = (
+        pickle.dumps(expr, pickle.HIGHEST_PROTOCOL) if spec is not None else None
+    )
+    with _dispatch_memo_lock:
+        _dispatch_memo[key] = (expr, registry, spec, blob)
+        _dispatch_memo.move_to_end(key)
+        while len(_dispatch_memo) > _DISPATCH_MEMO_CAP:
+            _dispatch_memo.popitem(last=False)
+    return spec, blob
+
+
+def sharded_counts(
+    expr: Expression,
+    db: Database,
+    pool: Optional[ShardPool] = None,
+    shards: Optional[int] = None,
+) -> Tuple[Schema, Counter]:
+    """Evaluate a core expression sharded over a database snapshot.
+
+    Shards are shipped inline with every call (the conformance tier's
+    mode of use — each fuzz case is a fresh database).  The service path
+    uses :func:`sharded_counts_storage`, which keeps table shards
+    resident in the workers.  Raises :class:`PlanningError` when the
+    expression is not co-partitionable.
+    """
+    config = current_shard_config()
+    if pool is None:
+        pool = config.pool if config.pool is not None else shared_shard_pool()
+    nshards = shards if shards is not None else config.resolved_shards()
+    registry = db.registry
+    spec, expr_blob = _dispatch_info(expr, registry)
+    if spec is None:
+        raise PlanningError(
+            "sharded execution declines: no single attribute class co-partitions "
+            f"{expr.to_infix()}"
+        )
+    schema = expr.scheme(registry)
+
+    shard_tables: List[Dict[str, Tuple[tuple, list]]] = [
+        {} for _ in range(nshards)
+    ]
+    for rel in sorted(spec):
+        attrs = tuple(registry[rel])
+        parts = _shard_table(db[rel].counts(), spec[rel], nshards)
+        for index, part in enumerate(parts):
+            shard_tables[index][rel] = (attrs, part)
+
+    merged: Counter = Counter()
+    if pool.workers < 1:
+        # Ledger clamped the pool to nothing: evaluate inline, serially.
+        for tables in shard_tables:
+            local = Database(
+                {
+                    rel: Relation.from_counts(attrs, dict(pairs))
+                    for rel, (attrs, pairs) in tables.items()
+                }
+            )
+            for row, count in expr.eval(local).counts().items():
+                merged[row] += count
+        return schema, merged
+
+    by_worker: Dict[int, List[int]] = {}
+    for index in range(nshards):
+        by_worker.setdefault(pool.worker_for(index), []).append(index)
+    jobs = [
+        (
+            worker_index,
+            [],
+            [
+                (
+                    expr_blob,
+                    {
+                        rel: ("inline", attrs, encode_pairs(pairs))
+                        for rel, (attrs, pairs) in shard_tables[index].items()
+                    },
+                )
+                for index in by_worker[worker_index]
+            ],
+        )
+        for worker_index in sorted(by_worker)
+    ]
+    for payload in pool.run_many(jobs):
+        merged.update(dict(decode_pairs(payload, intern_keys=False)))
+    return schema, merged
+
+
+def _shard_blobs(storage, rel: str, attr: str, nshards: int) -> List[bytes]:
+    """Wire-format shard blobs for one table, cached on the table itself.
+
+    :meth:`~repro.engine.storage.Table.derived` keys the cache by table
+    version, so a mutation invalidates the blobs exactly when it
+    invalidates the storage's cached oracle view.
+    """
+    table = storage[rel]
+
+    def build() -> List[bytes]:
+        counts = table.to_relation().counts()
+        return [encode_pairs(part) for part in _shard_table(counts, attr, nshards)]
+
+    return table.derived(("shard-blobs", attr, nshards), build)
+
+
+def sharded_counts_storage(
+    expr: Expression,
+    storage,
+    pool: Optional[ShardPool] = None,
+    shards: Optional[int] = None,
+) -> Tuple[Schema, Counter]:
+    """Evaluate a core expression sharded over live storage.
+
+    The steady-state fast path of the service: table shards are encoded
+    once per table version (cached via ``Table.derived``) and installed
+    in each worker once per ``(storage, table version, attribute,
+    geometry)`` — after warm-up a query ships only its pickled
+    expression and shard references, and the result rows come back.
+    """
+    config = current_shard_config()
+    if pool is None:
+        pool = config.pool if config.pool is not None else shared_shard_pool()
+    nshards = shards if shards is not None else config.resolved_shards()
+    db = storage.to_database()
+    registry = db.registry
+    spec, expr_blob = _dispatch_info(expr, registry)
+    if spec is None:
+        raise PlanningError(
+            "sharded execution declines: no single attribute class co-partitions "
+            f"{expr.to_infix()}"
+        )
+    schema = expr.scheme(registry)
+    if pool.workers < 1:
+        return sharded_counts(expr, db, pool=pool, shards=nshards)
+
+    token = storage.generation[0]
+    rel_blobs: Dict[str, List[bytes]] = {}
+    rel_keys: Dict[str, List[tuple]] = {}
+    for rel in sorted(spec):
+        version = storage[rel].version
+        rel_blobs[rel] = _shard_blobs(storage, rel, spec[rel], nshards)
+        rel_keys[rel] = [
+            (token, rel, version, spec[rel], nshards, index)
+            for index in range(nshards)
+        ]
+
+    merged: Counter = Counter()
+    by_worker: Dict[int, List[int]] = {}
+    for index in range(nshards):
+        by_worker.setdefault(pool.worker_for(index), []).append(index)
+    jobs = []
+    for worker_index in sorted(by_worker):
+        installs = []
+        evals = []
+        for index in by_worker[worker_index]:
+            rels = {}
+            for rel in sorted(spec):
+                key = rel_keys[rel][index]
+                attrs = tuple(registry[rel])
+                installs.append((key, attrs, rel_blobs[rel][index]))
+                rels[rel] = ("ref", key)
+            evals.append((expr_blob, rels))
+        jobs.append((worker_index, installs, evals))
+    for payload in pool.run_many(jobs):
+        merged.update(dict(decode_pairs(payload, intern_keys=False)))
+    return schema, merged
+
+
+class ShardedEvalOp(PhysicalOp):
+    """A physical operator that evaluates its expression across the shards.
+
+    Slots into the ordinary executor machinery — metrics, EXPLAIN, span
+    tracing, cooperative cancellation at the drain loop — so a sharded
+    query is observable exactly like a threaded one.
+    """
+
+    batch_native = False
+
+    def __init__(
+        self,
+        expr: Expression,
+        storage,
+        pool: ShardPool,
+        shards: int,
+    ):
+        self.expr = expr
+        self.storage = storage
+        self.pool = pool
+        self.shards = shards
+        self.schema = expr.scheme(storage.to_database().registry)
+
+    def _execute_rows(self, metrics: Metrics):
+        _schema, merged = sharded_counts_storage(
+            self.expr, self.storage, pool=self.pool, shards=self.shards
+        )
+        emitted = 0
+        for row, count in merged.items():
+            emitted += count
+            for _ in range(count):
+                yield row
+        metrics.emitted("sharded_eval", emitted)
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (
+            f"{pad}ShardedEval[shards={self.shards} workers={self.pool.workers} "
+            f"over {self.expr.to_infix()}]"
+        )
+
+
+def execute_sharded(op: ShardedEvalOp, cancel=None):
+    """Run a sharded plan, adopting the merged counts as the result.
+
+    The generic drain (:class:`ShardedEvalOp` through
+    :func:`~repro.engine.executor.execute_plan`) yields every row once
+    per multiplicity and then rebuilds the very Counter the merge
+    already produced — pure overhead on the hot path, and on a
+    single-core host the sharded/threaded race is decided by exactly
+    this kind of parent-side CPU.  With no tracer active, skip the
+    drain: hand the merged Counter straight to the result Relation
+    (:meth:`~repro.algebra.relation.Relation._adopt_counts` — every row
+    came from a worker's validated Relation, so the checks were already
+    paid).  Any active tracer falls back to the drained path so spans
+    and EXPLAIN ANALYZE observe the operator exactly as before.
+    """
+    from repro.engine.executor import ExecutionResult, execute_plan
+    from repro.observability.spans import current_tracer
+
+    if current_tracer() is not None:
+        return execute_plan(op, cancel=cancel)
+    if cancel is not None:
+        cancel.check()
+    metrics = Metrics(cancel=cancel)
+    _schema, merged = sharded_counts_storage(
+        op.expr, op.storage, pool=op.pool, shards=op.shards
+    )
+    if cancel is not None:
+        cancel.check()
+    metrics.emitted("sharded_eval", sum(merged.values()))
+    relation = Relation._adopt_counts(op.schema, merged)
+    return ExecutionResult(relation=relation, metrics=metrics, plan=op)
+
+
+def plan_sharded(expr: Expression, storage) -> Optional[ShardedEvalOp]:
+    """A sharded plan for ``expr``, or None when the dispatch declines.
+
+    Consulted by :func:`repro.engine.executor.execute` only when
+    :func:`~repro.util.fastpath.shard_enabled` says so; declining (not
+    co-partitionable, or fewer than two worker processes available)
+    falls back to the threaded path, byte-identically.
+    """
+    config = current_shard_config()
+    pool = config.pool if config.pool is not None else shared_shard_pool()
+    if pool.workers < 2:
+        return None
+    registry = storage.to_database().registry
+    spec, _blob = _dispatch_info(expr, registry)
+    if spec is None:
+        return None
+    return ShardedEvalOp(expr, storage, pool, config.resolved_shards())

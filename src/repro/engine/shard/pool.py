@@ -1,0 +1,579 @@
+"""A persistent pool of shard worker processes.
+
+Each worker is a child process holding one slice of the sharded database
+(installed once per table generation, invalidated by the same
+generation stamps that back :meth:`repro.engine.storage.Table.derived`)
+and evaluating whole core expressions against its local shards.  The
+parent talks to each worker over a duplex pipe with a strict
+request/response protocol; a per-worker lock held across one send/recv
+batch keeps concurrent :class:`~repro.service.QueryService` threads from
+interleaving frames on the same pipe.
+
+Three design rules carried over from :mod:`repro.engine.parallel.pool`:
+
+* **Deterministic sizing.**  Worker count resolves through
+  :func:`resolve_shard_workers` (explicit > ``REPRO_SHARD_WORKERS`` >
+  :data:`DEFAULT_SHARD_WORKERS`) and never ``os.cpu_count()``.
+* **One global budget.**  Pools lease process workers from the same
+  :class:`~repro.engine.parallel.pool.WorkerLedger` as every thread
+  pool (``kind="process"``), so threads + processes together respect
+  ``REPRO_MAX_TOTAL_WORKERS``.  When a worker dies its lease is
+  released immediately — the budget is reclaimed even before the pool
+  respawns a replacement.
+* **Graceful degradation.**  A pool clamped to zero workers is still
+  usable: callers check :attr:`ShardPool.workers` and evaluate shards
+  inline in the parent (serial, correct, slow) instead of failing.
+
+The default start method is ``spawn`` (``REPRO_SHARD_START`` overrides):
+forking a process that already runs service threads is deadlock-prone
+and warns under ``PYTHONDEVMODE``, and spawn ships ``sys.path`` plus a
+copy of ``os.environ`` to the child, so ``repro`` imports and
+``REPRO_*`` toggles propagate without any bootstrap of our own.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+import threading
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.engine.parallel.pool import GLOBAL_LEDGER, WorkerLedger
+from repro.util.errors import ReproError
+
+#: Environment variable naming the default shard worker-process count.
+SHARD_WORKERS_ENV = "REPRO_SHARD_WORKERS"
+
+#: Environment variable naming the multiprocessing start method.
+SHARD_START_ENV = "REPRO_SHARD_START"
+
+#: Default worker-process count.  A constant, deliberately not
+#: ``os.cpu_count()`` — see :mod:`repro.engine.parallel.pool`.
+DEFAULT_SHARD_WORKERS = 2
+
+#: Default multiprocessing start method (see the module docstring).
+DEFAULT_START_METHOD = "spawn"
+
+
+class ShardWorkerError(ReproError):
+    """A shard worker process failed or died mid-request."""
+
+
+def resolve_shard_workers(requested: Optional[int] = None) -> int:
+    """The effective worker-process count: explicit > environment > default.
+
+    Never consults the host CPU count — worker counts are part of the
+    experiment, not a property of the machine.
+    """
+    if requested is not None:
+        if requested < 0:
+            raise ReproError(f"shard worker count must be >= 0, got {requested}")
+        return requested
+    raw = os.environ.get(SHARD_WORKERS_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ReproError(f"{SHARD_WORKERS_ENV}={raw!r} is not an integer") from None
+        if value < 0:
+            raise ReproError(f"{SHARD_WORKERS_ENV} must be >= 0, got {value}")
+        return value
+    return DEFAULT_SHARD_WORKERS
+
+
+def shard_start_method() -> str:
+    """The configured multiprocessing start method (default ``spawn``)."""
+    raw = os.environ.get(SHARD_START_ENV, "").strip()
+    if not raw:
+        return DEFAULT_START_METHOD
+    if raw not in multiprocessing.get_all_start_methods():
+        raise ReproError(
+            f"{SHARD_START_ENV}={raw!r} is not a supported start method "
+            f"(have {multiprocessing.get_all_start_methods()})"
+        )
+    return raw
+
+
+def _shard_worker_main(conn) -> None:
+    """Worker-process entry point: a request/response loop over one pipe.
+
+    Module-level so it stays importable under the ``spawn`` start method.
+    Commands (tuples, first element the verb):
+
+    * ``("ping",)`` — liveness probe, replies ``("ok", "pong")``;
+    * ``("install", key, attrs, blob)`` — decode a shard from the spill
+      wire format and cache it under ``key`` (idempotent);
+    * ``("eval", expr_blob, rels)`` — build a local database from
+      ``rels`` (``{name: ("ref", key) | ("inline", attrs, blob)}``),
+      run the pickled expression through the engine executor (the same
+      planned, vectorized path the threaded service uses — with the
+      shard dispatch forced off so a worker never tries to re-shard its
+      own shard), reply the result's ``(row, multiplicity)`` pairs in
+      the wire format;
+    * ``("crash", code)`` — hard-exit without replying (fault injection
+      for the worker-death drills; never sent by normal execution);
+    * ``("exit",)`` — acknowledge and leave the loop.
+
+    Every command replies exactly once (``("ok", payload)`` or
+    ``("error", message)``) except ``crash``; a recoverable evaluation
+    error therefore never desynchronizes the pipe.
+    """
+    from repro.algebra.relation import Database, Relation
+    from repro.engine.executor import execute
+    from repro.engine.shard.wire import (
+        decode_pairs,
+        encode_pairs,
+        intern_plan_strings,
+    )
+    from repro.engine.storage import Storage
+    from repro.util.fastpath import shard_mode
+
+    installed: dict = {}
+    storages: dict = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        command = message[0]
+        if command == "exit":
+            try:
+                conn.send(("ok", "bye"))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        if command == "crash":
+            os._exit(int(message[1]))
+        try:
+            if command == "ping":
+                reply: Tuple[str, Any] = ("ok", "pong")
+            elif command == "install":
+                _, key, attrs, blob = message
+                attrs = tuple(sys.intern(a) for a in attrs)
+                installed[key] = Relation.from_counts(attrs, dict(decode_pairs(blob)))
+                reply = ("ok", len(installed))
+            elif command == "forget":
+                for key in message[1]:
+                    installed.pop(key, None)
+                storages.clear()
+                reply = ("ok", len(installed))
+            elif command == "eval":
+                _, expr_blob, rels = message
+                # All-ref shards (the service's steady state) reuse a
+                # cached Storage: rebuilding tables per eval would tax
+                # every query with the table-scan setup the installs
+                # already paid for.
+                ref_key = tuple(
+                    sorted((name, spec[1]) for name, spec in rels.items())
+                ) if all(spec[0] == "ref" for spec in rels.values()) else None
+                storage = storages.get(ref_key) if ref_key is not None else None
+                if storage is None:
+                    relations = {}
+                    for name, spec in rels.items():
+                        if spec[0] == "ref":
+                            relations[name] = installed[spec[1]]
+                        else:
+                            relations[name] = Relation.from_counts(
+                                tuple(sys.intern(a) for a in spec[1]),
+                                dict(decode_pairs(spec[2])),
+                            )
+                    storage = Storage.from_database(Database(relations))
+                    if ref_key is not None:
+                        storages[ref_key] = storage
+                expr = pickle.loads(expr_blob)
+                intern_plan_strings(expr)
+                with shard_mode(False):
+                    result = execute(expr, storage)
+                reply = ("ok", encode_pairs(list(result.relation.counts().items())))
+            else:
+                reply = ("error", f"unknown command {command!r}")
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            reply = ("error", f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = ("process", "conn", "installed", "alive")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        #: Keys the worker has acknowledged installing (parent-side view,
+        #: mutated only under the slot lock).
+        self.installed: set = set()
+        self.alive = True
+
+
+class ShardPool:
+    """A fixed-size pool of shard worker processes with slot affinity.
+
+    Shard ``s`` always lands on worker ``s % workers`` (see
+    :meth:`worker_for`), so a table shard installed once stays resident
+    where every query needs it.  Workers are spawned lazily per slot and
+    respawned (with a fresh ledger lease) after a death.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        name: str = "shard",
+        ledger: Optional[WorkerLedger] = None,
+        start: Optional[str] = None,
+    ):
+        requested = resolve_shard_workers(workers)
+        self.name = name
+        self._ledger = ledger
+        granted = (
+            ledger.acquire(requested, name, kind="process")
+            if ledger is not None
+            else requested
+        )
+        #: Effective worker count after any ledger clamp.  Zero is legal:
+        #: callers degrade to inline evaluation in the parent.
+        self.workers = granted
+        self.start = start if start is not None else shard_start_method()
+        self._ctx = multiprocessing.get_context(self.start)
+        self._slots: List[Optional[_Worker]] = [None] * self.workers
+        self._slot_locks = [threading.Lock() for _ in range(self.workers)]
+        #: Whether slot i currently holds a ledger lease unit.
+        self._backed = [True] * self.workers
+        self._closed = False
+        self._deaths = 0
+        self._respawns = 0
+
+    # -- placement ----------------------------------------------------------
+
+    def worker_for(self, shard: int) -> int:
+        """The slot that owns ``shard`` (stable across the pool's lifetime)."""
+        if self.workers < 1:
+            raise ShardWorkerError(f"pool {self.name!r} has no worker processes")
+        return shard % self.workers
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _spawn_locked(self, index: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn,),
+            name=f"repro-{self.name}-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(process, parent_conn)
+        self._slots[index] = worker
+        return worker
+
+    def _ensure_locked(self, index: int) -> _Worker:
+        worker = self._slots[index]
+        if worker is not None and worker.alive:
+            return worker
+        if not self._backed[index]:
+            if self._ledger is not None:
+                if self._ledger.acquire(1, self.name, kind="process") < 1:
+                    raise ShardWorkerError(
+                        f"pool {self.name!r} cannot respawn worker {index}: "
+                        "worker budget exhausted"
+                    )
+            self._backed[index] = True
+        if worker is not None:
+            self._respawns += 1
+        return self._spawn_locked(index)
+
+    def _reap_locked(self, index: int) -> None:
+        """Mark a dead worker and return its lease to the ledger."""
+        worker = self._slots[index]
+        if worker is None or not worker.alive:
+            return
+        worker.alive = False
+        worker.installed.clear()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=1.0)
+        if worker.process.is_alive():  # pragma: no cover - stuck child
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+        self._deaths += 1
+        if self._backed[index]:
+            self._backed[index] = False
+            if self._ledger is not None:
+                self._ledger.release(1, self.name, kind="process")
+
+    def terminate_worker(self, index: int) -> None:
+        """Fault injection: hard-kill one worker (tests and stress drills).
+
+        The kill itself is *not* accounted — the next request on the slot
+        observes the dead pipe, reclaims the lease, and raises
+        :class:`ShardWorkerError`, exactly like an organic death.
+        """
+        with self._slot_locks[index]:
+            worker = self._ensure_locked(index)
+            worker.process.terminate()
+            worker.process.join(timeout=5.0)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut every worker down and return all leases to the ledger."""
+        if self._closed:
+            return
+        self._closed = True
+        for index in range(self.workers):
+            with self._slot_locks[index]:
+                worker = self._slots[index]
+                if worker is not None and worker.alive:
+                    try:
+                        worker.conn.send(("exit",))
+                        worker.conn.recv()
+                    except (EOFError, BrokenPipeError, OSError):
+                        pass
+                self._reap_locked(index)
+                self._slots[index] = None
+                if self._backed[index]:
+                    self._backed[index] = False
+                    if self._ledger is not None:
+                        self._ledger.release(1, self.name, kind="process")
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the request/response protocol --------------------------------------
+
+    def request(self, index: int, messages: Sequence[tuple]) -> List[Any]:
+        """Send a batch of commands to one worker; return the ok-payloads.
+
+        The slot lock is held across the whole send/recv batch, so
+        concurrent callers can never interleave frames on one pipe.  A
+        dead pipe reaps the worker (reclaiming its ledger lease) and
+        raises :class:`ShardWorkerError`; an ``("error", ...)`` reply —
+        the worker survived, the command failed — raises too, after all
+        replies are drained so the pipe stays in sync.
+        """
+        if self._closed:
+            raise ReproError(f"shard pool {self.name!r} is closed")
+        if not messages:
+            return []
+        with self._slot_locks[index]:
+            worker = self._ensure_locked(index)
+            try:
+                for message in messages:
+                    worker.conn.send(message)
+                replies = [worker.conn.recv() for _ in messages]
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self._reap_locked(index)
+                raise ShardWorkerError(
+                    f"shard worker {index} of pool {self.name!r} died mid-query "
+                    f"({type(exc).__name__}); its worker lease has been reclaimed"
+                ) from exc
+        payloads = []
+        for status, payload in replies:
+            if status != "ok":
+                raise ShardWorkerError(
+                    f"shard worker {index} of pool {self.name!r} failed: {payload}"
+                )
+            payloads.append(payload)
+        return payloads
+
+    def run(
+        self,
+        index: int,
+        installs: Sequence[Tuple[Any, tuple, bytes]],
+        evals: Sequence[Tuple[bytes, dict]],
+    ) -> List[bytes]:
+        """Install any missing shards, then evaluate; returns eval payloads.
+
+        ``installs`` is ``(key, attrs, blob)`` triples — ones the worker
+        already acknowledged are skipped, so steady-state queries send
+        only ``eval`` frames.  Install acknowledgements are recorded
+        under the slot lock, which makes the parent-side ``installed``
+        view race-free across service threads.
+        """
+        if self._closed:
+            raise ReproError(f"shard pool {self.name!r} is closed")
+        with self._slot_locks[index]:
+            worker = self._ensure_locked(index)
+            fresh = [
+                (key, attrs, blob)
+                for key, attrs, blob in installs
+                if key not in worker.installed
+            ]
+            messages: List[tuple] = [
+                ("install", key, attrs, blob) for key, attrs, blob in fresh
+            ]
+            messages.extend(("eval", blob, rels) for blob, rels in evals)
+            if not messages:
+                return []
+            try:
+                for message in messages:
+                    worker.conn.send(message)
+                replies = [worker.conn.recv() for _ in messages]
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self._reap_locked(index)
+                raise ShardWorkerError(
+                    f"shard worker {index} of pool {self.name!r} died mid-query "
+                    f"({type(exc).__name__}); its worker lease has been reclaimed"
+                ) from exc
+            for status, payload in replies:
+                if status != "ok":
+                    raise ShardWorkerError(
+                        f"shard worker {index} of pool {self.name!r} failed: {payload}"
+                    )
+            worker.installed.update(key for key, _, _ in fresh)
+        return [payload for _, payload in replies[len(fresh) :]]
+
+    def run_many(
+        self,
+        jobs: Sequence[
+            Tuple[int, Sequence[Tuple[Any, tuple, bytes]], Sequence[Tuple[bytes, dict]]]
+        ],
+    ) -> List[bytes]:
+        """Run one query's per-worker batches: send to all, then collect.
+
+        The send phase writes every worker's frames before any reply is
+        read, so all workers start evaluating at once without spawning a
+        dispatch thread per query (thread churn is pure overhead, and on
+        a single-core host it is overhead with no overlap to buy back).
+        Slot locks are taken in index order — the only multi-lock path
+        in the pool, so lock ordering is trivially consistent — and held
+        until that worker's replies are drained.
+
+        Safe against pipe-buffer deadlock because replies accumulate
+        only while the parent is still sending: eval frames are small
+        (an expression pickle plus shard refs), each worker gets at most
+        ``ceil(shards / workers)`` of them, and a worker writes at most
+        one reply per frame — far below the pipe buffer by the time the
+        send phase ends, after which the parent drains replies.
+        """
+        if self._closed:
+            raise ReproError(f"shard pool {self.name!r} is closed")
+        ordered = sorted(jobs, key=lambda job: job[0])
+        acquired: List[threading.Lock] = []
+        payloads: List[bytes] = []
+        failure: Optional[ShardWorkerError] = None
+        try:
+            states = []
+            for index, installs, evals in ordered:
+                lock = self._slot_locks[index]
+                lock.acquire()
+                acquired.append(lock)
+                try:
+                    worker = self._ensure_locked(index)
+                    fresh = [
+                        (key, attrs, blob)
+                        for key, attrs, blob in installs
+                        if key not in worker.installed
+                    ]
+                    messages: List[tuple] = [
+                        ("install", key, attrs, blob) for key, attrs, blob in fresh
+                    ]
+                    messages.extend(("eval", blob, rels) for blob, rels in evals)
+                    for message in messages:
+                        worker.conn.send(message)
+                except (EOFError, BrokenPipeError, OSError) as exc:
+                    self._reap_locked(index)
+                    if failure is None:
+                        failure = ShardWorkerError(
+                            f"shard worker {index} of pool {self.name!r} died "
+                            f"mid-query ({type(exc).__name__}); its worker lease "
+                            "has been reclaimed"
+                        )
+                        failure.__cause__ = exc
+                    continue
+                states.append((index, worker, fresh, len(messages)))
+            # Drain every sent-to worker even after a failure — a pipe
+            # left holding unread replies would desynchronize the next
+            # query on that slot.
+            for index, worker, fresh, count in states:
+                try:
+                    replies = [worker.conn.recv() for _ in range(count)]
+                except (EOFError, BrokenPipeError, OSError) as exc:
+                    self._reap_locked(index)
+                    if failure is None:
+                        failure = ShardWorkerError(
+                            f"shard worker {index} of pool {self.name!r} died "
+                            f"mid-query ({type(exc).__name__}); its worker lease "
+                            "has been reclaimed"
+                        )
+                        failure.__cause__ = exc
+                    continue
+                for status, payload in replies:
+                    if status != "ok" and failure is None:
+                        failure = ShardWorkerError(
+                            f"shard worker {index} of pool {self.name!r} failed: "
+                            f"{payload}"
+                        )
+                worker.installed.update(key for key, _, _ in fresh)
+                payloads.extend(payload for _, payload in replies[len(fresh) :])
+        finally:
+            for lock in acquired:
+                lock.release()
+        if failure is not None:
+            raise failure
+        return payloads
+
+    def ping(self, index: int) -> bool:
+        """Round-trip a liveness probe through one worker."""
+        return self.request(index, [("ping",)]) == ["pong"]
+
+    def snapshot(self) -> dict:
+        """The pool's books, for service snapshots and tests."""
+        alive = sum(
+            1 for worker in self._slots if worker is not None and worker.alive
+        )
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "start": self.start,
+            "alive": alive,
+            "backed": sum(self._backed),
+            "deaths": self._deaths,
+            "respawns": self._respawns,
+            "closed": self._closed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardPool({self.name!r}, workers={self.workers}, start={self.start})"
+
+
+#: Lazily-created process-wide shard pool (conformance tier, ad-hoc use).
+_shared: Optional[ShardPool] = None
+_shared_lock = threading.Lock()
+
+
+def shared_shard_pool() -> ShardPool:
+    """The process-wide shard pool, created on first use.
+
+    Sized by :func:`resolve_shard_workers` and leased from the global
+    ledger, so ambient sharded execution respects the same ceiling as
+    every thread pool.
+    """
+    global _shared
+    with _shared_lock:
+        if _shared is None or _shared.closed:
+            _shared = ShardPool(name="shard-shared", ledger=GLOBAL_LEDGER)
+        return _shared
+
+
+def reset_shared_shard_pool() -> None:
+    """Close and forget the shared shard pool (tests and env changes)."""
+    global _shared
+    with _shared_lock:
+        pool, _shared = _shared, None
+    if pool is not None:
+        pool.close()

@@ -1,0 +1,128 @@
+"""The cross-process shard wire format: the grace-hash spill format.
+
+A shard travels between parent and worker exactly as a spilled partition
+travels to disk (:mod:`repro.engine.parallel.spill`): consecutive pickled
+batches of ``(row, multiplicity)`` pair lists, :data:`DEFAULT_BATCH_ROWS`
+pairs per batch, ``pickle.HIGHEST_PROTOCOL``.  Reusing the format means
+one serialization story for both pressure valves — memory pressure spills
+to tempfiles, process distribution ships the same bytes through a pipe —
+and the round-trip tests of either cover the other.
+
+``Row`` and the ``NULL`` singleton both pickle faithfully (``_Null``
+reduces to its singleton constructor, so ``decoded is NULL`` holds on the
+far side), which is what keeps 3VL semantics intact across the process
+boundary.
+
+One subtlety matters for *performance* rather than correctness: strings
+lose their identity when they cross the pipe.  Attribute names in the
+parent are interned (they originate as source literals), so every hot
+dict probe — hash-join key extraction, restrict evaluation — hits
+CPython's pointer-equality fast path.  Unpickled strings are fresh
+objects, so the same probes in a worker degrade to full string
+comparison, a measurable tax on shard evaluation.  :func:`decode_pairs`
+therefore re-interns row attribute names, and
+:func:`intern_plan_strings` does the same for an unpickled expression
+tree, restoring pointer-equality between the probing side (the plan)
+and the probed side (the rows).
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import sys
+from typing import Any, List, Tuple
+
+from repro.algebra.tuples import Row
+from repro.engine.parallel.spill import DEFAULT_BATCH_ROWS
+
+#: One (row, multiplicity) pair — the unit of every partition and shard.
+Pair = Tuple[Row, int]
+
+
+def encode_pairs(pairs: List[Pair], batch_rows: int = DEFAULT_BATCH_ROWS) -> bytes:
+    """Serialize a pair list into the spill-format byte stream."""
+    if batch_rows < 1:
+        raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
+    buffer = io.BytesIO()
+    for start in range(0, len(pairs), batch_rows):
+        pickle.dump(pairs[start : start + batch_rows], buffer, pickle.HIGHEST_PROTOCOL)
+    return buffer.getvalue()
+
+
+def decode_pairs(blob: bytes, intern_keys: bool = True) -> List[Pair]:
+    """Replay a spill-format byte stream back into its pair list.
+
+    With ``intern_keys`` (the default) row attribute names are
+    re-interned (see the module docstring): a one-time cost per decode,
+    repaid on every subsequent dict probe against the rows — the right
+    trade for a worker installing a shard it will evaluate many times.
+    A caller that only aggregates the rows (the parent merging result
+    payloads into a Counter probes by the cached row *hash*, not by
+    attribute) passes ``False`` and skips the rebuild.  Row hashes are
+    unaffected either way — interned strings equal the originals.
+    """
+    buffer = io.BytesIO(blob)
+    pairs: List[Pair] = []
+    while True:
+        try:
+            batch = pickle.load(buffer)
+        except EOFError:
+            break
+        pairs.extend(batch)
+    if intern_keys:
+        intern = sys.intern
+        for row, _count in pairs:
+            values = row._values
+            object.__setattr__(
+                row, "_values", {intern(k): v for k, v in values.items()}
+            )
+    return pairs
+
+
+def intern_plan_strings(obj: Any, _seen: set | None = None) -> None:
+    """Re-intern every string reachable through an unpickled plan tree.
+
+    Walks the slotted expression/predicate objects in place (they are
+    freshly unpickled, so mutating them cannot alias anything else) and
+    replaces each string — attribute names in comparisons, relation
+    names, projection tuples — with its interned form.  Containers that
+    hold strings (tuples, frozensets) are rebuilt.  Values that cannot
+    hold strings (numbers, None) are skipped; anything else recurses.
+    """
+    seen = _seen if _seen is not None else set()
+    if id(obj) in seen:
+        return
+    seen.add(id(obj))
+    for klass in type(obj).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            try:
+                value = getattr(obj, slot)
+            except AttributeError:
+                continue
+            if isinstance(value, str):
+                object.__setattr__(obj, slot, sys.intern(value))
+            elif isinstance(value, tuple):
+                rebuilt = tuple(
+                    sys.intern(item) if isinstance(item, str) else item
+                    for item in value
+                )
+                object.__setattr__(obj, slot, rebuilt)
+                for item in rebuilt:
+                    if not isinstance(
+                        item, (str, int, float, bool, type(None))
+                    ):
+                        intern_plan_strings(item, seen)
+            elif isinstance(value, frozenset):
+                object.__setattr__(
+                    obj,
+                    slot,
+                    frozenset(
+                        sys.intern(item) if isinstance(item, str) else item
+                        for item in value
+                    ),
+                )
+            elif isinstance(value, (int, float, bool, type(None))):
+                continue
+            else:
+                intern_plan_strings(value, seen)

@@ -387,6 +387,12 @@ def optimize_and_run(
     re-checked here so ``REPRO_YANNAKAKIS=0`` / ``REPRO_WCOJ=0`` fall
     back to the DP tree even on plans optimized (or cached) while the
     fast paths were on.
+
+    A "dp" strategy falls through to :func:`repro.engine.executor.execute`,
+    which consults the process-shard dispatch (``REPRO_SHARD``, default
+    off) before planning the tree — so sharded execution needs no
+    optimizer involvement here, and with the switch off this path is
+    byte-identical to a build without the shard machinery.
     """
     result = optimize_query(
         query, storage, cost_model=cost_model, cache=cache, use_cache=use_cache

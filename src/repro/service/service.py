@@ -55,6 +55,8 @@ from repro.core.expressions import Expression
 from repro.engine.executor import ExecutionResult, execute
 from repro.engine.parallel.config import using_config
 from repro.engine.parallel.pool import WorkerLedger, WorkerPool, resolve_workers
+from repro.engine.shard.config import using_shard_config
+from repro.engine.shard.pool import ShardPool, resolve_shard_workers
 from repro.engine.storage import Storage
 from repro.observability.spans import maybe_span
 from repro.optimizer.pipeline import PipelineResult, optimize_query
@@ -67,7 +69,7 @@ from repro.util.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
-from repro.util.fastpath import parallel_enabled, parallel_mode
+from repro.util.fastpath import parallel_enabled, parallel_mode, shard_enabled, shard_mode
 
 #: Outcome statuses, in the order ``snapshot()`` reports them.
 STATUSES = ("ok", "error", "timeout", "cancelled", "rejected")
@@ -177,6 +179,19 @@ class QueryService:
     :class:`WorkerLedger` (ceiling = ``max_total_workers()``); pass
     :data:`~repro.engine.parallel.pool.GLOBAL_LEDGER` to share the budget
     with ambient pools in the same process.
+
+    ``shard`` turns on process-sharded execution (``None`` follows
+    ``REPRO_SHARD``, default off): the service owns a persistent
+    :class:`~repro.engine.shard.pool.ShardPool` of ``shard_workers``
+    worker processes (``None`` resolves through
+    :func:`~repro.engine.shard.pool.resolve_shard_workers`), leased from
+    the same ledger as the threads.  Queries whose plans are
+    co-partitionable on one join-key attribute class evaluate across the
+    worker processes; everything else (and everything, when the pool is
+    clamped below two workers) stays on the threaded path.  A worker
+    process dying mid-query fails that query with status ``error``,
+    reclaims its worker lease, and leaves the service up — the pool
+    respawns the worker on the next sharded query.
     """
 
     def __init__(
@@ -190,6 +205,8 @@ class QueryService:
         cost_model: str = "retrieval",
         parallel: Optional[bool] = None,
         intra_workers: Optional[int] = None,
+        shard: Optional[bool] = None,
+        shard_workers: Optional[int] = None,
         ledger: Optional[WorkerLedger] = None,
     ):
         if workers < 1:
@@ -225,6 +242,20 @@ class QueryService:
                 workers=resolve_workers(intra_workers),
                 mode="thread",
                 name="intra-query",
+                ledger=self._ledger,
+            )
+        # Process-sharded execution: the service owns a persistent pool of
+        # worker processes, leased (kind="process") from the same ledger
+        # as the service threads — one budget covers both concurrency
+        # kinds.  The pool may be clamped below two workers, in which
+        # case the shard dispatch declines per query and the threaded
+        # path serves as usual.
+        self.shard = shard if shard is not None else shard_enabled()
+        self._shard_pool: Optional[ShardPool] = None
+        if self.shard:
+            self._shard_pool = ShardPool(
+                workers=resolve_shard_workers(shard_workers),
+                name="service-shard",
                 ledger=self._ledger,
             )
         self._workers = [
@@ -306,6 +337,9 @@ class QueryService:
         if self.parallel:
             stack.enter_context(parallel_mode(True))
             stack.enter_context(using_config(pool=self._intra_pool))
+        if self.shard:
+            stack.enter_context(shard_mode(True))
+            stack.enter_context(using_shard_config(pool=self._shard_pool))
         return stack
 
     def _run(self, ticket: QueryTicket) -> None:
@@ -379,6 +413,8 @@ class QueryService:
         # goes back, restoring the ledger to its pre-service books.
         if self._intra_pool is not None:
             self._intra_pool.close()
+        if self._shard_pool is not None:
+            self._shard_pool.close()
         if self._service_grant:
             self._ledger.release(self._service_grant, "service")
             self._service_grant = 0
@@ -405,6 +441,10 @@ class QueryService:
             "service_grant": self._service_grant,
             "intra_pool": self._intra_pool.snapshot() if self._intra_pool else None,
             "ledger": self._ledger.snapshot(),
+        }
+        out["shard"] = {
+            "enabled": self.shard,
+            "pool": self._shard_pool.snapshot() if self._shard_pool else None,
         }
         if self.plan_cache is not None:
             out["plan_cache"] = self.plan_cache.snapshot()

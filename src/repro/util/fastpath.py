@@ -57,6 +57,18 @@ _yannakakis: bool = os.environ.get("REPRO_YANNAKAKIS", "").lower() not in (
     "no",
 )
 
+#: Process-sharded execution is opt-in: ``REPRO_SHARD=1`` (or truthy)
+#: turns on the multiprocessing dispatch in :mod:`repro.engine.shard`
+#: (tables hash-sharded on a join-key attribute class across a pool of
+#: worker processes).  Default off — with the switch off the dispatch is
+#: never consulted, so the threaded path is byte-identical to a build
+#: without the shard module.
+_shard: bool = os.environ.get("REPRO_SHARD", "").lower() in (
+    "1",
+    "true",
+    "yes",
+)
+
 #: The cyclic fast path (sorted tries + Leapfrog Triejoin) is opt-out:
 #: ``REPRO_WCOJ=0`` pins cyclic join cores to the binary-tree DP plans.
 #: Default on — the optimizer only dispatches to the worst-case optimal
@@ -95,6 +107,7 @@ _batch_size: int = _env_batch_size()
 import threading as _threading
 
 _parallel_tls = _threading.local()
+_shard_tls = _threading.local()
 _batch_tls = _threading.local()
 _yannakakis_tls = _threading.local()
 _wcoj_tls = _threading.local()
@@ -131,6 +144,40 @@ def parallel_mode(enabled: bool):
     stack = getattr(_parallel_tls, "stack", None)
     if stack is None:
         stack = _parallel_tls.stack = []
+    stack.append(bool(enabled))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def shard_enabled() -> bool:
+    """Is the process-sharded execution dispatch currently on?
+
+    The innermost :func:`shard_mode` override on *this thread* wins;
+    otherwise the process-wide default (``REPRO_SHARD``, default off)
+    applies.
+    """
+    stack = getattr(_shard_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return _shard
+
+
+def set_shard(enabled: bool) -> bool:
+    """Set the process-wide shard default; returns the previous one."""
+    global _shard
+    previous = _shard
+    _shard = bool(enabled)
+    return previous
+
+
+@contextmanager
+def shard_mode(enabled: bool):
+    """Force sharded execution on (True) or off (False) for this thread."""
+    stack = getattr(_shard_tls, "stack", None)
+    if stack is None:
+        stack = _shard_tls.stack = []
     stack.append(bool(enabled))
     try:
         yield

@@ -9,10 +9,12 @@ import pytest
 from repro.tools.benchschema import (
     SchemaValidationError,
     is_servicebench_report,
+    is_trafficgen_report,
     load_schema,
     validate,
     validate_report,
     validate_servicebench_report,
+    validate_trafficgen_report,
 )
 from repro.util.errors import ReproError
 
@@ -69,8 +71,9 @@ def test_checked_in_bench_report_validates():
     """Every checked-in artifact validates against its own schema.
 
     ``meta.artifact == "BENCH_PR4"`` marks a service-benchmark artifact
-    (``docs/servicebench.schema.json``); everything else is a benchrunner
-    report (``docs/bench_report.schema.json``).
+    (``docs/servicebench.schema.json``), ``"BENCH_PR9"`` an open-loop
+    traffic artifact (``docs/trafficgen.schema.json``); everything else
+    is a benchrunner report (``docs/bench_report.schema.json``).
     """
     candidates = sorted(ROOT.glob("BENCH_*.json"))
     assert candidates, "expected a checked-in BENCH_*.json report"
@@ -80,10 +83,13 @@ def test_checked_in_bench_report_validates():
         if is_servicebench_report(document):
             validate_servicebench_report(document, root=ROOT)
             kinds.add("service")
+        elif is_trafficgen_report(document):
+            validate_trafficgen_report(document, root=ROOT)
+            kinds.add("traffic")
         else:
             validate_report(document, root=ROOT)
             kinds.add("benchrunner")
-    assert kinds == {"service", "benchrunner"}
+    assert kinds == {"service", "traffic", "benchrunner"}
 
 
 @pytest.mark.parametrize(

@@ -1,0 +1,254 @@
+"""Process-sharded execution: wire format, eligibility, pool, dispatch.
+
+The shard subsystem's contract, bottom up: the spill wire format
+round-trips rows (NULL identity and mixed-type keys included) across a
+real process boundary; :func:`shard_spec_of` accepts exactly the
+co-partitionable cores; :func:`sharded_counts` is bag-equal to the
+algebra oracle; a dead worker fails loudly, returns its ledger lease,
+and the pool respawns it; and with ``REPRO_SHARD=0`` the engine is
+byte-identical to a run that never heard of sharding.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.algebra import bag_equal, eq
+from repro.algebra.nulls import NULL
+from repro.algebra.predicates import conjunction, lt
+from repro.algebra.relation import Database, Relation
+from repro.algebra.tuples import Row
+from repro.core import Rel, Restrict, jn, oj
+from repro.engine.parallel.pool import WorkerLedger
+from repro.engine.shard.executor import (
+    _shard_of,
+    shard_spec_of,
+    sharded_counts,
+)
+from repro.engine.shard.pool import ShardPool, ShardWorkerError
+from repro.engine.shard.wire import decode_pairs, encode_pairs, intern_plan_strings
+from repro.util.errors import PlanningError
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def mixed_db() -> Database:
+    """Two tables joinable on ``a``, with NULL and mixed-type shard keys.
+
+    ``1`` (int), ``1.0`` (float) and ``True`` (bool) are equal in
+    Python, so the salted router must co-locate them; NULL keys must
+    ride on shard 0 and never match anything.
+    """
+    r = Relation.from_counts(
+        ("R.a", "R.b"),
+        {
+            Row({"R.a": 1, "R.b": "x"}): 2,
+            Row({"R.a": 1.0, "R.b": "y"}): 1,
+            Row({"R.a": "k", "R.b": "z"}): 1,
+            Row({"R.a": NULL, "R.b": "n"}): 3,
+            Row({"R.a": 7, "R.b": "w"}): 1,
+        },
+    )
+    s = Relation.from_counts(
+        ("S.a", "S.c"),
+        {
+            Row({"S.a": True, "S.c": 10}): 1,
+            Row({"S.a": "k", "S.c": 20}): 2,
+            Row({"S.a": NULL, "S.c": 30}): 1,
+            Row({"S.a": 9, "S.c": 40}): 1,
+        },
+    )
+    return Database({"R": r, "S": s})
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ShardPool(workers=2, name="test-shard") as p:
+        yield p
+
+
+# -- wire format ------------------------------------------------------------
+
+
+def test_wire_round_trip_preserves_null_identity_and_mixed_keys():
+    pairs = [
+        (Row({"R.a": 1, "R.b": NULL}), 3),
+        (Row({"R.a": 1.0, "R.b": "s"}), 1),
+        (Row({"R.a": True, "R.b": 2.5}), 2),
+        (Row({"R.a": "k", "R.b": None}), 1),
+        (Row({"R.a": NULL, "R.b": 0}), 4),
+    ]
+    # batch_rows=2 forces the stream across batch boundaries.
+    decoded = decode_pairs(encode_pairs(pairs, batch_rows=2))
+    assert decoded == pairs
+    # NULL must come back as *the* singleton, not a lookalike copy —
+    # 3VL dispatch tests identity on the far side of the pipe.
+    assert decoded[0][0]["R.b"] is NULL
+    assert decoded[4][0]["R.a"] is NULL
+    # Row hashes survive the trip (the parent merges by hash).
+    for (row, _), (back, _) in zip(pairs, decoded):
+        assert hash(row) == hash(back)
+
+
+def test_wire_rejects_degenerate_batch_size():
+    with pytest.raises(ValueError):
+        encode_pairs([], batch_rows=0)
+
+
+def test_decode_interns_attribute_names_by_default():
+    pairs = [(Row({"".join(["R.", "attr_long_name"]): 1}), 1)]
+    decoded = decode_pairs(encode_pairs(pairs))
+    for key in decoded[0][0]._values:
+        assert key is sys.intern(key)
+    # intern_keys=False (the parent's merge path) still round-trips.
+    assert decode_pairs(encode_pairs(pairs), intern_keys=False) == pairs
+
+
+def test_intern_plan_strings_round_trips_an_expression():
+    expr = Restrict(
+        oj("R", "S", eq("R.a", "S.a")),
+        conjunction([eq("R.b", "S.c"), eq("R.a", "S.a")]),
+    )
+    clone = pickle.loads(pickle.dumps(expr, pickle.HIGHEST_PROTOCOL))
+    intern_plan_strings(clone)
+    assert clone.to_infix() == expr.to_infix()
+    db = mixed_db()
+    assert bag_equal(clone.eval(db), expr.eval(db))
+
+
+# -- eligibility ------------------------------------------------------------
+
+
+def test_shard_spec_accepts_equi_chain_and_names_one_attribute_per_rel():
+    db = mixed_db()
+    spec = shard_spec_of(jn("R", "S", eq("R.a", "S.a")), db.registry)
+    assert spec == {"R": "R.a", "S": "S.a"}
+
+
+def test_shard_spec_declines_non_equi_and_single_relation():
+    db = mixed_db()
+    assert shard_spec_of(jn("R", "S", lt("R.a", "S.a")), db.registry) is None
+    assert shard_spec_of(Rel("R"), db.registry) is None
+
+
+def test_salted_router_colocates_cross_type_equal_keys():
+    for nshards in (2, 3, 7):
+        assert _shard_of(1, nshards) == _shard_of(1.0, nshards) == _shard_of(True, nshards)
+
+
+# -- cross-process evaluation ------------------------------------------------
+
+
+@pytest.mark.parametrize("builder", [jn, oj])
+def test_sharded_counts_matches_oracle_across_processes(pool, builder):
+    db = mixed_db()
+    expr = builder("R", "S", eq("R.a", "S.a"))
+    schema, merged = sharded_counts(expr, db, pool=pool, shards=3)
+    sharded = Relation.from_counts(schema, merged)
+    assert bag_equal(sharded, expr.eval(db))
+
+
+def test_sharded_counts_raises_on_ineligible_core(pool):
+    db = mixed_db()
+    with pytest.raises(PlanningError):
+        sharded_counts(jn("R", "S", lt("R.a", "S.a")), db, pool=pool, shards=3)
+
+
+def test_run_many_survives_worker_death_and_respawns():
+    db = mixed_db()
+    expr = jn("R", "S", eq("R.a", "S.a"))
+    ledger = WorkerLedger(ceiling=8)
+    with ShardPool(workers=2, name="death-drill", ledger=ledger) as p:
+        assert ledger.snapshot()["by_kind"]["process"] == 2
+        # Warm both workers, then kill one: the in-flight query fails
+        # loudly and the dead worker's lease goes back to the ledger.
+        _schema, merged = sharded_counts(expr, db, pool=p, shards=3)
+        p.terminate_worker(0)
+        with pytest.raises(ShardWorkerError):
+            sharded_counts(expr, db, pool=p, shards=3)
+        assert ledger.snapshot()["by_kind"]["process"] == 1
+        assert p.snapshot()["deaths"] == 1
+        # The next query respawns the slot (re-leasing it) and succeeds.
+        schema, again = sharded_counts(expr, db, pool=p, shards=3)
+        assert bag_equal(Relation.from_counts(schema, again), expr.eval(db))
+        assert ledger.snapshot()["by_kind"]["process"] == 2
+        assert p.snapshot()["respawns"] >= 1
+        assert merged == again
+    assert ledger.snapshot()["granted"] == 0
+
+
+def test_zero_worker_pool_degrades_to_inline_evaluation():
+    db = mixed_db()
+    expr = jn("R", "S", eq("R.a", "S.a"))
+    ledger = WorkerLedger(ceiling=0)
+    with ShardPool(workers=2, name="clamped", ledger=ledger) as p:
+        assert p.workers == 0
+        schema, merged = sharded_counts(expr, db, pool=p, shards=3)
+    assert bag_equal(Relation.from_counts(schema, merged), expr.eval(db))
+
+
+# -- the REPRO_SHARD=0 byte-identity proof -----------------------------------
+
+_IDENTITY_SCRIPT = textwrap.dedent(
+    """
+    import pickle, sys
+    from repro.datagen import example1_storage
+    from repro.algebra import Comparison, Const, eq
+    from repro.core import Restrict, jn, oj
+    from repro.engine import execute
+    from repro.optimizer import optimize_query
+
+    storage = example1_storage(200)
+    query = Restrict(
+        jn("R1", oj("R2", "R3", eq("R2.j", "R3.j")), eq("R1.k", "R2.k")),
+        Comparison("R3.j", "=", Const(3)),
+    )
+    pipeline = optimize_query(query, storage, use_cache=False)
+    result = execute(pipeline.chosen, storage)
+    rows = sorted(
+        (tuple(sorted(row._values.items(), key=str)), n)
+        for row, n in result.relation.counts().items()
+    )
+    sys.stdout.buffer.write(pickle.dumps((str(pipeline.chosen.to_infix()), rows)))
+    """
+)
+
+
+def test_shard_disabled_is_byte_identical_to_a_shardless_run(tmp_path):
+    """``REPRO_SHARD=0`` must not perturb plans or results in any way.
+
+    Two fresh interpreters run the same pipeline: one with the variable
+    unset (a world that never heard of sharding), one with it explicitly
+    off.  Their canonical (plan, rows) serializations must agree to the
+    byte — the dispatch is gated before it is consulted, so turning it
+    off cannot leave a fingerprint.
+    """
+    script = tmp_path / "identity.py"
+    script.write_text(_IDENTITY_SCRIPT)
+    outputs = []
+    for env_value in (None, "0"):
+        env = {k: v for k, v in os.environ.items() if k != "REPRO_SHARD"}
+        env["PYTHONPATH"] = str(ROOT / "src")
+        env["PYTHONHASHSEED"] = "0"
+        if env_value is not None:
+            env["REPRO_SHARD"] = env_value
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            env=env,
+            capture_output=True,
+            timeout=300,
+            check=True,
+        )
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,127 @@
+"""The sharded QueryService: parity, worker death, budget, snapshot.
+
+The service-level contract of ``shard=True``: answers are bag-equal to
+the threaded path; a worker process dying mid-query fails exactly that
+query (status ``error``), returns its lease to the shared ledger, and
+leaves the service serving; the pool respawns the worker on the next
+sharded query; and ``close()`` returns every thread *and* process lease.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import bag_equal
+from repro.algebra.predicates import conjunction, eq, lt
+from repro.algebra.relation import Database, Relation
+from repro.algebra.tuples import Row
+from repro.core import Restrict, jn
+from repro.engine import execute
+from repro.engine.parallel.pool import WorkerLedger
+from repro.engine.storage import Storage
+from repro.service import QueryService
+
+
+def chain_storage() -> Storage:
+    """Three tables joinable on one attribute class (co-partitionable)."""
+
+    def table(name: str, rows: int, stride: int) -> Relation:
+        counts = {}
+        for i in range(rows):
+            row = Row({f"{name}.a": i % 7, f"{name}.b": (i * stride) % 11})
+            counts[row] = counts.get(row, 0) + 1
+        return Relation.from_counts((f"{name}.a", f"{name}.b"), counts)
+
+    return Storage.from_database(
+        Database({"T1": table("T1", 42, 3), "T2": table("T2", 35, 5), "T3": table("T3", 28, 2)})
+    )
+
+
+def query():
+    return Restrict(
+        jn(jn("T1", "T2", eq("T1.a", "T2.a")), "T3", eq("T2.a", "T3.a")),
+        conjunction([lt("T1.b", "T2.b"), lt("T3.b", "T1.b")]),
+    )
+
+
+@pytest.fixture
+def storage():
+    return chain_storage()
+
+
+def test_sharded_service_matches_single_threaded_execution(storage):
+    reference = execute(query(), storage).relation
+    with QueryService(storage, workers=2, shard=True, shard_workers=2) as service:
+        outcomes = [t.result(timeout=120) for t in service.submit_batch([query()] * 6)]
+    assert all(o.ok for o in outcomes)
+    for outcome in outcomes:
+        assert bag_equal(outcome.require(), reference)
+
+
+def test_worker_death_fails_one_query_reclaims_budget_and_respawns(storage):
+    ledger = WorkerLedger(ceiling=8)
+    service = QueryService(
+        storage, workers=2, shard=True, shard_workers=2, ledger=ledger
+    )
+    try:
+        # 2 service threads + 2 shard processes on one budget.
+        books = ledger.snapshot()
+        assert books["by_kind"] == {"thread": 2, "process": 2}
+
+        assert service.execute(query()).ok  # warm: shards installed
+        service._shard_pool.terminate_worker(0)
+
+        victim = service.execute(query())
+        assert victim.status == "error"
+        assert ledger.snapshot()["by_kind"]["process"] == 1  # lease reclaimed
+
+        # The service is still up: the next query respawns the worker
+        # (re-leasing it) and answers correctly.
+        survivor = service.execute(query())
+        assert survivor.ok
+        assert bag_equal(survivor.require(), execute(query(), storage).relation)
+        assert ledger.snapshot()["by_kind"]["process"] == 2
+
+        snap = service.snapshot()
+        assert snap["shard"]["enabled"] is True
+        assert snap["shard"]["pool"]["deaths"] == 1
+        assert snap["shard"]["pool"]["respawns"] >= 1
+        assert snap["outcomes"]["error"] == 1 and snap["outcomes"]["ok"] == 2
+    finally:
+        service.close()
+    # close() returns every thread and process lease.
+    assert ledger.snapshot()["granted"] == 0
+
+
+def test_snapshot_reports_shard_pool_books(storage):
+    with QueryService(storage, workers=2, shard=True, shard_workers=2) as service:
+        service.execute(query())
+        snap = service.snapshot()
+    assert snap["shard"]["enabled"] is True
+    pool = snap["shard"]["pool"]
+    assert pool["workers"] == 2 and pool["alive"] == 2 and pool["start"] == "spawn"
+
+
+def test_unsharded_service_reports_no_pool(storage):
+    with QueryService(storage, workers=2, shard=False) as service:
+        service.execute(query())
+        snap = service.snapshot()
+    assert snap["shard"] == {"enabled": False, "pool": None}
+
+
+def test_clamped_pool_falls_back_to_threaded_path(storage):
+    # Ceiling 3 leaves one process lease after two service threads: the
+    # pool comes up below two workers, so the dispatch declines and the
+    # threaded path answers — correctly, not loudly.
+    ledger = WorkerLedger(ceiling=3)
+    reference = execute(query(), storage).relation
+    with QueryService(
+        storage, workers=2, shard=True, shard_workers=2, ledger=ledger
+    ) as service:
+        assert service._shard_pool.workers == 1
+        outcome = service.execute(query())
+        assert outcome.ok and bag_equal(outcome.require(), reference)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

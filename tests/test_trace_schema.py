@@ -134,6 +134,8 @@ class TestBenchReportSchema:
             document = json.loads(report_path.read_text())
             if benchschema.is_servicebench_report(document):
                 benchschema.validate_servicebench_report(document)
+            elif benchschema.is_trafficgen_report(document):
+                benchschema.validate_trafficgen_report(document, root=root)
             else:
                 benchschema.validate_report(document)
 

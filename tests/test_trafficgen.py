@@ -1,0 +1,149 @@
+"""The open-loop traffic harness: determinism, accounting, schema.
+
+These tests exercise the harness's *logic* on tiny workloads — the
+committed ``BENCH_PR9.json`` artifact is produced by the full run (and
+re-validated here against ``docs/trafficgen.schema.json``); CI's
+shard-stress job runs the ``--smoke`` sweep for real.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine.storage import Storage
+from repro.service import QueryService
+from repro.tools.benchschema import (
+    is_trafficgen_report,
+    validate_trafficgen_report,
+)
+from repro.tools.trafficgen import (
+    build_scenario,
+    build_storage,
+    build_workload,
+    open_loop_run,
+    percentile,
+    speedup_drill,
+    verify,
+    zipf_weights,
+)
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_workload_is_seed_deterministic():
+    scenario = build_scenario(3)
+    a = build_workload(scenario, shapes=3, seed=5)
+    b = build_workload(scenario, shapes=3, seed=5)
+    c = build_workload(scenario, shapes=3, seed=6)
+    assert [q.to_infix() for q in a] == [q.to_infix() for q in b]
+    assert [q.to_infix() for q in a] != [q.to_infix() for q in c]
+    # Distinct shapes: every query has its own plan-cache fingerprint.
+    assert len({q.to_infix() for q in a}) == len(a)
+
+
+def test_storage_is_seed_deterministic():
+    scenario = build_scenario(3)
+    a = build_storage(scenario, rows=30, seed=1)
+    b = build_storage(scenario, rows=30, seed=1)
+    assert isinstance(a, Storage)
+    for name in a:
+        assert a[name].to_relation().counts() == b[name].to_relation().counts()
+
+
+def test_zipf_weights_and_percentile():
+    weights = zipf_weights(4)
+    assert weights[0] > weights[1] > weights[3] > 0
+    assert percentile([], 0.5) is None
+    assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+    assert percentile([3.0, 1.0, 2.0], 0.99) == 3.0
+
+
+def test_open_loop_accounts_for_every_arrival():
+    scenario = build_scenario(3)
+    storage = build_storage(scenario, rows=24, seed=1)
+    workload = build_workload(scenario, shapes=2, seed=2)
+    with QueryService(storage, workers=2, queue_size=16) as service:
+        row = open_loop_run(
+            service,
+            workload,
+            zipf_weights(len(workload)),
+            rate_qps=50.0,
+            queries=12,
+            deadline_s=10.0,
+            seed=3,
+        )
+    assert row["queries"] == 12
+    assert row["ok"] + row["shed"] + row["timeout"] + row["error"] == 12
+    assert row["p50_ms"] is not None and row["p99_ms"] is not None
+    assert row["achieved_qps"] > 0
+
+
+def test_speedup_drill_reports_paired_rounds(monkeypatch):
+    import repro.tools.trafficgen as tg
+
+    # Tiny tables: the ratio is meaningless at this size (that is the
+    # full run's business); the *accounting* is what's under test.
+    monkeypatch.setattr(tg, "DRILL_BATCH", 2)
+    scenario = build_scenario(3)
+    storage = build_storage(scenario, rows=24, seed=1)
+    workload = build_workload(scenario, shapes=2, seed=2)
+    drill = speedup_drill(storage, workload, rounds=2, out=io.StringIO())
+    assert len(drill["rounds"]) == 2
+    assert drill["queries"] == 4 and drill["batch_size"] == 2
+    for mode in ("threaded", "sharded"):
+        assert drill[mode]["ok"] == drill[mode]["queries"] == 4
+    assert drill["speedup"] is not None
+    assert drill["speedup_min"] <= drill["speedup"] <= drill["speedup_max"]
+
+
+def test_verify_flags_missing_rounds_and_low_speedup():
+    report = {
+        "open_loop": {
+            "rates": [
+                {
+                    "mode": "threaded",
+                    "offered_qps": 4.0,
+                    "queries": 2,
+                    "ok": 2,
+                    "shed": 0,
+                    "timeout": 0,
+                    "error": 0,
+                    "p50_ms": 1.0,
+                    "p99_ms": 2.0,
+                }
+            ],
+            "saturation_qps": {"threaded": 2.0, "sharded": None},
+        },
+        "speedup": {
+            "rounds": [],
+            "shard_workers": 1,
+            "threaded": {"ok": 2, "queries": 2},
+            "sharded": {"ok": 1, "queries": 2},
+            "speedup": 0.8,
+        },
+    }
+    problems = verify(report, min_speedup=1.0)
+    assert any("no saturation" in p for p in problems)
+    assert any("no rounds" in p for p in problems)
+    assert any(">= 2 worker processes" in p for p in problems)
+    assert any("non-ok outcomes" in p for p in problems)
+    assert any("speedup 0.8" in p for p in problems)
+
+
+def test_committed_artifact_validates_and_meets_the_bar():
+    path = ROOT / "BENCH_PR9.json"
+    assert path.exists(), "BENCH_PR9.json must be committed"
+    report = json.loads(path.read_text())
+    assert is_trafficgen_report(report)
+    validate_trafficgen_report(report, root=ROOT)
+    assert verify(report, min_speedup=1.0) == []
+    assert report["meta"]["shard_workers"] >= 2
+    assert report["speedup"]["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
