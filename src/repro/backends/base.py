@@ -1,0 +1,186 @@
+"""The :class:`ExecutionBackend` interface, capabilities, and registry.
+
+A backend owns a *copy* of the data (pushed by :meth:`ExecutionBackend.sync`,
+keyed on the storage generation so unchanged data is never re-shipped) and
+evaluates expression trees against it.  ``execute`` takes an optional
+*hint*: a physical tree whose join order the backend must reproduce
+exactly — rendered by :mod:`repro.backends.hints` as explicitly nested
+JOIN SQL for the SQL backends, or executed verbatim by the local engine.
+
+Backends are constructed through a name registry so that the service,
+the conformance tiers, and the benchmark harness all route through one
+factory — and so optional backends (DuckDB) can *register* even when
+their wheel is absent, failing at construction time with
+:class:`BackendUnavailableError`, which the conformance cross-checker
+records as a skip rather than a failure.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.algebra.relation import Relation
+from repro.core.expressions import Expression
+from repro.engine.storage import Storage
+from repro.util.errors import PlanningError
+
+#: Environment variable selecting the service's default backend route.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+class BackendUnavailableError(PlanningError):
+    """The backend cannot be constructed here (missing wheel, bad name).
+
+    Derives from :class:`~repro.util.errors.PlanningError` so the
+    conformance cross-checker records the tier as *skipped*, mirroring
+    how unplannable operators are handled.
+    """
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can do; consulted by routers before dispatching.
+
+    ``supports_hints`` — accepts a physical tree whose join order must be
+    reproduced; ``native_optimizer`` — has its own join-order optimizer
+    worth A/B-ing against (False for the local engine, which *is* the
+    optimizer under test); ``persistent`` — holds synced data across
+    queries, making generation-keyed sync worthwhile.
+    """
+
+    name: str
+    dialect: str
+    supports_hints: bool
+    native_optimizer: bool
+    persistent: bool
+
+
+class ExecutionBackend(ABC):
+    """Abstract base: hold data, answer expression trees."""
+
+    @property
+    @abstractmethod
+    def capabilities(self) -> BackendCapabilities:
+        """Static descriptor of this backend's abilities."""
+
+    @abstractmethod
+    def sync(self, storage: Storage) -> bool:
+        """Mirror ``storage`` into the backend; True iff data was pushed.
+
+        Implementations key on :attr:`Storage.generation
+        <repro.engine.storage.Storage.generation>`: a matching token
+        means the backend's copy is current and nothing is transferred.
+        """
+
+    @abstractmethod
+    def execute(
+        self,
+        expr: Expression,
+        hint: Optional[Expression] = None,
+        fingerprint: Optional[str] = None,
+    ) -> Relation:
+        """Evaluate ``expr`` against the synced data.
+
+        ``hint`` is a physical tree (same semantics as ``expr``) whose
+        join order the backend must follow; None lets the backend's own
+        optimizer choose.  ``fingerprint`` (the PR-4 plan fingerprint)
+        keys prepared-statement reuse: two calls with the same
+        fingerprint and hint mode may reuse the compiled statement.
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release connections; the backend must not be used afterwards."""
+
+    def snapshot(self) -> Dict[str, object]:
+        """Introspection counters for service books; override to extend."""
+        return {"backend": self.capabilities.name}
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: name -> (factory, probe).  The probe answers "could the factory
+#: succeed here?" without side effects; None means always available.
+_REGISTRY: Dict[str, Tuple[Callable[..., ExecutionBackend], Optional[Callable[[], bool]]]] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., ExecutionBackend],
+    probe: Optional[Callable[[], bool]] = None,
+) -> None:
+    """Register a backend factory under ``name`` (last registration wins)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = (factory, probe)
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """All registered names, available here or not, in sorted order."""
+    _ensure_builtin()
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered names whose probe passes in this environment."""
+    _ensure_builtin()
+    with _REGISTRY_LOCK:
+        items = list(_REGISTRY.items())
+    return tuple(sorted(name for name, (_f, probe) in items if probe is None or probe()))
+
+
+def create_backend(name: str, **kwargs) -> ExecutionBackend:
+    """Instantiate a registered backend.
+
+    Raises :class:`BackendUnavailableError` for unknown names and for
+    registered-but-absent optional backends (e.g. DuckDB without the
+    wheel), so callers can treat both uniformly as a skip.
+    """
+    _ensure_builtin()
+    with _REGISTRY_LOCK:
+        entry = _REGISTRY.get(name)
+    if entry is None:
+        raise BackendUnavailableError(
+            f"unknown backend {name!r}; registered: {', '.join(registered_backends())}"
+        )
+    factory, _probe = entry
+    return factory(**kwargs)
+
+
+def default_backend_name() -> str:
+    """The service's default route: ``$REPRO_BACKEND``, or ``local``."""
+    return os.environ.get(BACKEND_ENV, "").strip() or "local"
+
+
+_BUILTIN_DONE = False
+
+
+def _ensure_builtin() -> None:
+    """Import the built-in implementations exactly once (they self-register).
+
+    Deferred so that ``repro.backends.base`` never drags sqlite3/duckdb
+    imports into module load of unrelated code paths.
+    """
+    global _BUILTIN_DONE
+    if _BUILTIN_DONE:
+        return
+    with _REGISTRY_LOCK:
+        if _BUILTIN_DONE:
+            return
+        _BUILTIN_DONE = True
+    import repro.backends.duckdb_backend  # noqa: F401  (self-registers)
+    import repro.backends.local  # noqa: F401
+    import repro.backends.sqlite_backend  # noqa: F401

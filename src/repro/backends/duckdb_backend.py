@@ -1,0 +1,246 @@
+"""DuckDB as an optional execution backend.
+
+The wheel is an optional dependency: the backend *registers* regardless
+(so ``registered_backends()`` always lists it, and CI can assert the
+skip path), but constructing it without the module raises
+:class:`~repro.backends.base.BackendUnavailableError`, which the
+conformance cross-checker and the service router both treat as a clean
+skip.  The ``backend-matrix`` CI job runs the suite once with and once
+without the wheel to keep both paths exercised.
+
+DuckDB's planner reorders joins, so hinting disables its reordering
+passes (``SET disabled_optimizers='join_order,build_side_probe_side'``)
+and ships the physical tree as nested ``INNER JOIN`` sources in written
+order — DuckDB rejects SQLite's ``CROSS JOIN ... ON`` spelling, hence
+the dialect split in :mod:`repro.backends.hints`.  Tables are created
+with inferred column types because DuckDB, unlike SQLite, is rigidly
+typed; heterogeneous columns (the fuzzer mixes ints and strings) make
+the load decline rather than miscompare.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import itertools
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.algebra.nulls import NULL, is_null
+from repro.algebra.relation import Database, Relation
+from repro.algebra.schema import SchemaRegistry
+from repro.algebra.sqlrender import sql_identifier
+from repro.algebra.tuples import Row
+from repro.backends.base import (
+    BackendCapabilities,
+    BackendUnavailableError,
+    ExecutionBackend,
+    register_backend,
+)
+from repro.backends.hints import hinted_sql
+from repro.backends.sqlite_backend import INSERT_BATCH
+from repro.core.expressions import Expression
+from repro.engine.storage import Storage
+from repro.tools import instrumentation
+from repro.util.errors import EvaluationError, PlanningError
+
+#: Optimizer passes disabled while a hinted statement runs, per the
+#: PostBOUND recipe for engines without hint comments.
+HINT_DISABLED_PASSES = "join_order,build_side_probe_side"
+
+_CAPS = BackendCapabilities(
+    name="duckdb",
+    dialect="duckdb",
+    supports_hints=True,
+    native_optimizer=True,
+    persistent=True,
+)
+
+
+def duckdb_available() -> bool:
+    """True when the optional ``duckdb`` wheel is importable."""
+    return importlib.util.find_spec("duckdb") is not None
+
+
+def _column_type(values: Iterable[object]) -> str:
+    """Infer one DuckDB column type; decline heterogeneous columns."""
+    kinds = set()
+    for v in values:
+        if is_null(v):
+            continue
+        if isinstance(v, bool):
+            kinds.add("BOOLEAN")
+        elif isinstance(v, int):
+            kinds.add("BIGINT")
+        elif isinstance(v, float):
+            kinds.add("DOUBLE")
+        elif isinstance(v, str):
+            kinds.add("VARCHAR")
+        else:
+            raise PlanningError(
+                f"duckdb backend declines: unsupported value type {type(v).__name__}"
+            )
+    if not kinds:
+        return "BIGINT"
+    if kinds == {"BIGINT", "DOUBLE"}:
+        return "DOUBLE"
+    if len(kinds) > 1:
+        raise PlanningError(
+            "duckdb backend declines: heterogeneous column "
+            f"(types {sorted(kinds)}) has no lossless DuckDB type"
+        )
+    return kinds.pop()
+
+
+class DuckDBBackend(ExecutionBackend):
+    """Persistent in-memory DuckDB engine behind the backend interface."""
+
+    def __init__(self) -> None:
+        if not duckdb_available():
+            raise BackendUnavailableError(
+                "duckdb backend unavailable: the 'duckdb' module is not installed"
+            )
+        import duckdb
+
+        self._conn = duckdb.connect(":memory:")
+        self._lock = threading.RLock()
+        self._registry: Optional[SchemaRegistry] = None
+        self._generation: Optional[tuple] = None
+        self._tables: Tuple[str, ...] = ()
+        self._sql_cache: Dict[object, str] = {}
+        self._closed = False
+        self.counters: Dict[str, int] = {
+            "syncs": 0,
+            "sync_hits": 0,
+            "loads": 0,
+            "rows_loaded": 0,
+            "queries": 0,
+            "hinted_queries": 0,
+            "statement_hits": 0,
+            "statement_misses": 0,
+        }
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return _CAPS
+
+    @property
+    def registry(self) -> SchemaRegistry:
+        if self._registry is None:
+            raise EvaluationError("duckdb backend has no data; call sync() first")
+        return self._registry
+
+    # -- data ----------------------------------------------------------------
+
+    def sync(self, storage: Storage) -> bool:
+        with self._lock:
+            self.counters["syncs"] += 1
+            generation = storage.generation
+            if generation == self._generation:
+                self.counters["sync_hits"] += 1
+                return False
+            db = storage.to_database()
+            self._load(db.registry, ((name, db[name]) for name in db))
+            self._generation = generation
+            return True
+
+    def load_database(self, db: Database) -> None:
+        """Load an algebra-level database directly (conformance path)."""
+        with self._lock:
+            self._load(db.registry, ((name, db[name]) for name in db))
+            self._generation = None
+
+    def _load(self, registry: SchemaRegistry, relations: Iterable[Tuple[str, Relation]]) -> None:
+        self.counters["loads"] += 1
+        self._sql_cache.clear()
+        for name in self._tables:
+            self._conn.execute(f"DROP TABLE IF EXISTS {sql_identifier(name)}")
+        loaded: List[str] = []
+        for name, relation in relations:
+            cols = sorted(relation.schema.attributes)
+            types = {c: _column_type(row[c] for row in relation) for c in cols}
+            ddl = ", ".join(f"{sql_identifier(c)} {types[c]}" for c in cols)
+            self._conn.execute(f"CREATE TABLE {sql_identifier(name)} ({ddl})")
+            placeholders = ", ".join("?" for _ in cols)
+            insert = f"INSERT INTO {sql_identifier(name)} VALUES ({placeholders})"
+            rows = iter(relation)
+            while True:
+                batch = [
+                    tuple(None if is_null(row[c]) else row[c] for c in cols)
+                    for row in itertools.islice(rows, INSERT_BATCH)
+                ]
+                if not batch:
+                    break
+                self._conn.executemany(insert, batch)
+                self.counters["rows_loaded"] += len(batch)
+            loaded.append(name)
+        self._tables = tuple(loaded)
+        self._registry = registry
+
+    # -- execution -----------------------------------------------------------
+
+    def _statement(
+        self,
+        expr: Expression,
+        hint: Optional[Expression],
+        fingerprint: Optional[str],
+    ) -> str:
+        mode = "hinted" if hint is not None else "native"
+        key: object = (mode, fingerprint) if fingerprint else (mode, hint or expr)
+        hit = self._sql_cache.get(key)
+        if hit is not None:
+            self.counters["statement_hits"] += 1
+            return hit
+        self.counters["statement_misses"] += 1
+        if hint is not None:
+            sql, _cols = hinted_sql(hint, self.registry, dialect="duckdb")
+        else:
+            from repro.conformance.sqlite_oracle import to_sqlite_sql
+
+            sql = to_sqlite_sql(expr, self.registry)
+        self._sql_cache[key] = sql
+        return sql
+
+    def execute(
+        self,
+        expr: Expression,
+        hint: Optional[Expression] = None,
+        fingerprint: Optional[str] = None,
+    ) -> Relation:
+        with self._lock:
+            self.counters["queries"] += 1
+            sql = self._statement(expr, hint, fingerprint)
+            instrumentation.bump("backend_duckdb_queries")
+            if hint is not None:
+                self.counters["hinted_queries"] += 1
+                self._conn.execute(f"SET disabled_optimizers='{HINT_DISABLED_PASSES}'")
+            try:
+                cursor = self._conn.execute(sql)
+                names = [d[0] for d in cursor.description]
+                fetched = cursor.fetchall()
+            finally:
+                if hint is not None:
+                    self._conn.execute("SET disabled_optimizers=''")
+            rows = [
+                Row({n: (NULL if v is None else v) for n, v in zip(names, row)})
+                for row in fetched
+            ]
+            return Relation(names, rows)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._conn.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {"backend": "duckdb", "tables": len(self._tables), **self.counters}
+
+
+register_backend("duckdb", DuckDBBackend, probe=duckdb_available)

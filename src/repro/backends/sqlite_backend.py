@@ -1,0 +1,311 @@
+"""SQLite as a first-class execution backend (promoted from the oracle).
+
+The conformance oracle opened a fresh ``:memory:`` connection per use and
+re-shipped every relation; this backend keeps one **persistent
+connection**, syncs data only when the storage *generation* changes,
+wraps loads in a single transaction with ``executemany`` **batched
+inserts**, builds **indexes on join keys** extracted from equi-join
+conjuncts, and caches transpiled SQL keyed by the plan fingerprint so
+sqlite3's internal statement cache can reuse the **prepared statement**
+across calls.
+
+Two execution modes share the connection:
+
+* **native** — the expression transpiles through the conformance
+  :class:`~repro.conformance.sqlite_oracle.SQLTranspiler` (nested
+  subqueries), and SQLite's own planner picks the join order;
+* **hinted** — a physical tree renders through
+  :func:`repro.backends.hints.hinted_sql` into nested
+  ``CROSS JOIN ... ON`` sources, which SQLite documents it will never
+  reorder — so the order our optimizer chose is the order SQLite runs.
+
+A small module-level pool (:func:`acquire_pooled`, :func:`release_pooled`)
+lets the oracle reuse warm connections across many per-case databases.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.algebra.nulls import NULL, is_null
+from repro.algebra.predicates import AttrRef, Comparison
+from repro.algebra.relation import Database, Relation
+from repro.algebra.schema import SchemaRegistry
+from repro.algebra.sqlrender import sql_identifier
+from repro.algebra.tuples import Row
+from repro.backends.base import BackendCapabilities, ExecutionBackend, register_backend
+from repro.backends.hints import hinted_sql
+from repro.core.expressions import BinaryOp, Expression, Restrict
+from repro.engine.storage import Storage
+from repro.tools import instrumentation
+from repro.util.errors import EvaluationError, SchemaError
+
+#: Rows per INSERT batch.  executemany already loops in C; the batch
+#: bound just keeps peak argument-buffer memory flat on wide loads.
+INSERT_BATCH = 4096
+
+_CAPS = BackendCapabilities(
+    name="sqlite",
+    dialect="sqlite",
+    supports_hints=True,
+    native_optimizer=True,
+    persistent=True,
+)
+
+
+def _index_targets(expr: Expression, registry: SchemaRegistry) -> List[Tuple[str, str]]:
+    """(table, attribute) pairs worth indexing: attr-to-attr equi-join keys."""
+    out: List[Tuple[str, str]] = []
+    seen = set()
+    for _path, node in expr.nodes():
+        predicate = getattr(node, "predicate", None)
+        if predicate is None or not isinstance(node, (BinaryOp, Restrict)):
+            continue
+        for conjunct in predicate.conjuncts():
+            if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+                continue
+            if not (
+                isinstance(conjunct.left, AttrRef) and isinstance(conjunct.right, AttrRef)
+            ):
+                continue
+            for term in (conjunct.left, conjunct.right):
+                if term.name in seen:
+                    continue
+                try:
+                    owner = registry.owner(term.name)
+                except SchemaError:
+                    continue
+                seen.add(term.name)
+                out.append((owner, term.name))
+    return out
+
+
+class SQLiteBackend(ExecutionBackend):
+    """Persistent in-memory SQLite engine behind the backend interface."""
+
+    def __init__(self) -> None:
+        # check_same_thread=False + our lock: the service worker pool may
+        # route queries from several threads through one backend; all
+        # connection use is serialized below.
+        self._conn = sqlite3.connect(":memory:", check_same_thread=False)
+        self._lock = threading.RLock()
+        self._registry: Optional[SchemaRegistry] = None
+        self._generation: Optional[tuple] = None
+        self._tables: Tuple[str, ...] = ()
+        self._sql_cache: Dict[object, Tuple[str, bool]] = {}
+        self._indexed: set = set()
+        self._closed = False
+        self.counters: Dict[str, int] = {
+            "syncs": 0,
+            "sync_hits": 0,
+            "loads": 0,
+            "rows_loaded": 0,
+            "queries": 0,
+            "hinted_queries": 0,
+            "statement_hits": 0,
+            "statement_misses": 0,
+            "indexes_built": 0,
+        }
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return _CAPS
+
+    @property
+    def registry(self) -> SchemaRegistry:
+        if self._registry is None:
+            raise EvaluationError("sqlite backend has no data; call sync() first")
+        return self._registry
+
+    # -- data ----------------------------------------------------------------
+
+    def sync(self, storage: Storage) -> bool:
+        """Mirror the storage unless its generation already matches."""
+        with self._lock:
+            self.counters["syncs"] += 1
+            generation = storage.generation
+            if generation == self._generation:
+                self.counters["sync_hits"] += 1
+                return False
+            db = storage.to_database()
+            self._load(db.registry, ((name, db[name]) for name in db))
+            self._generation = generation
+            return True
+
+    def load_database(self, db: Database) -> None:
+        """Load an algebra-level database directly (the oracle path).
+
+        Unkeyed: an algebra ``Database`` carries no generation, so every
+        load replaces the data.  Amortization across *expressions* over
+        one database still holds — that is the oracle's access pattern.
+        """
+        with self._lock:
+            self._load(db.registry, ((name, db[name]) for name in db))
+            self._generation = None
+
+    def _load(self, registry: SchemaRegistry, relations: Iterable[Tuple[str, Relation]]) -> None:
+        self.counters["loads"] += 1
+        self._sql_cache.clear()
+        self._indexed.clear()
+        cur = self._conn
+        for name in self._tables:
+            cur.execute(f"DROP TABLE IF EXISTS {sql_identifier(name)}")
+        loaded: List[str] = []
+        cur.execute("BEGIN")
+        try:
+            for name, relation in relations:
+                cols = sorted(relation.schema.attributes)
+                ddl = ", ".join(sql_identifier(c) for c in cols)
+                cur.execute(f"CREATE TABLE {sql_identifier(name)} ({ddl})")
+                placeholders = ", ".join("?" for _ in cols)
+                insert = f"INSERT INTO {sql_identifier(name)} VALUES ({placeholders})"
+                rows = iter(relation)
+                while True:
+                    batch = [
+                        tuple(None if is_null(row[c]) else row[c] for c in cols)
+                        for row in itertools.islice(rows, INSERT_BATCH)
+                    ]
+                    if not batch:
+                        break
+                    cur.executemany(insert, batch)
+                    self.counters["rows_loaded"] += len(batch)
+                loaded.append(name)
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+        self._tables = tuple(loaded)
+        self._registry = registry
+
+    def ensure_join_indexes(self, expr: Expression) -> int:
+        """CREATE INDEX on every attr-to-attr equi-join key of ``expr``.
+
+        Idempotent per load: built keys are remembered until the next
+        data load invalidates them with the tables.
+        """
+        with self._lock:
+            built = 0
+            for table, attr in _index_targets(expr, self.registry):
+                if (table, attr) in self._indexed:
+                    continue
+                ix = f"ix_{table}_{attr}".replace(".", "_").replace(" ", "_")
+                self._conn.execute(
+                    f"CREATE INDEX IF NOT EXISTS {sql_identifier(ix)} "
+                    f"ON {sql_identifier(table)} ({sql_identifier(attr)})"
+                )
+                self._indexed.add((table, attr))
+                built += 1
+            self.counters["indexes_built"] += built
+            return built
+
+    # -- execution -----------------------------------------------------------
+
+    def _statement(
+        self,
+        expr: Expression,
+        hint: Optional[Expression],
+        fingerprint: Optional[str],
+    ) -> str:
+        """Transpile (or replay) the SQL for one execution.
+
+        The cache key is the plan fingerprint when the caller has one —
+        stable across structurally-equal queries — or the expression
+        itself (trees are hashable) otherwise.  Identical SQL text then
+        hits sqlite3's internal compiled-statement cache, giving
+        prepared-statement reuse without an explicit prepare API.
+        """
+        mode = "hinted" if hint is not None else "native"
+        key: object = (mode, fingerprint) if fingerprint else (mode, hint or expr)
+        hit = self._sql_cache.get(key)
+        if hit is not None:
+            self.counters["statement_hits"] += 1
+            return hit[0]
+        self.counters["statement_misses"] += 1
+        if hint is not None:
+            sql, _cols = hinted_sql(hint, self.registry, dialect="sqlite")
+        else:
+            from repro.conformance.sqlite_oracle import to_sqlite_sql
+
+            sql = to_sqlite_sql(expr, self.registry)
+        self._sql_cache[key] = (sql, hint is not None)
+        return sql
+
+    def execute(
+        self,
+        expr: Expression,
+        hint: Optional[Expression] = None,
+        fingerprint: Optional[str] = None,
+    ) -> Relation:
+        with self._lock:
+            self.counters["queries"] += 1
+            if hint is not None:
+                self.counters["hinted_queries"] += 1
+                self.ensure_join_indexes(hint)
+            sql = self._statement(expr, hint, fingerprint)
+            instrumentation.bump("backend_sqlite_queries")
+            cursor = self._conn.execute(sql)
+            names = [d[0] for d in cursor.description]
+            rows = [
+                Row({n: (NULL if v is None else v) for n, v in zip(names, row)})
+                for row in cursor.fetchall()
+            ]
+            return Relation(names, rows)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._conn.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "backend": "sqlite",
+                "tables": len(self._tables),
+                "indexes": len(self._indexed),
+                **self.counters,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Connection pool (the oracle's path)
+# ---------------------------------------------------------------------------
+
+_POOL: List[SQLiteBackend] = []
+_POOL_LOCK = threading.Lock()
+_POOL_MAX = 4
+
+
+def acquire_pooled() -> SQLiteBackend:
+    """Take a warm backend from the pool (or make one)."""
+    with _POOL_LOCK:
+        while _POOL:
+            backend = _POOL.pop()
+            if not backend.closed:
+                instrumentation.bump("backend_sqlite_pool_hits")
+                return backend
+    instrumentation.bump("backend_sqlite_pool_misses")
+    return SQLiteBackend()
+
+
+def release_pooled(backend: SQLiteBackend) -> None:
+    """Return a backend to the pool; closes it when the pool is full."""
+    if backend.closed:
+        return
+    with _POOL_LOCK:
+        if len(_POOL) < _POOL_MAX:
+            _POOL.append(backend)
+            return
+    backend.close()
+
+
+register_backend("sqlite", SQLiteBackend)

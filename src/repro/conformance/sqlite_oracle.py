@@ -33,14 +33,11 @@ resolution, only for SQLite's requirement that subqueries be named.
 
 from __future__ import annotations
 
-import sqlite3
 from typing import Iterable, List, Sequence, Tuple
 
-from repro.algebra.nulls import NULL, is_null
 from repro.algebra.relation import Database, Relation
 from repro.algebra.schema import SchemaRegistry
 from repro.algebra.sqlrender import SQLRenderError, sql_identifier
-from repro.algebra.tuples import Row
 from repro.core.expressions import Expression
 from repro.tools import instrumentation
 from repro.util.errors import EvaluationError
@@ -238,29 +235,28 @@ class SQLiteOracle:
     transpiles and runs arbitrarily many expressions against it.  Values
     are mapped ``NULL`` ↔ SQL ``NULL``; everything else passes through
     sqlite3's native binding (int/float/str).
+
+    The connection and all load/bind machinery live in
+    :class:`repro.backends.sqlite_backend.SQLiteBackend`; the oracle
+    borrows a warm backend from the module pool and returns it on
+    ``close()``, so a fuzz campaign's thousands of per-case oracles
+    recycle a handful of connections instead of opening one each.
     """
 
     def __init__(self, db: Database):
+        from repro.backends.sqlite_backend import acquire_pooled
+
         self.db = db
         self.registry = db.registry
-        self.conn = sqlite3.connect(":memory:")
-        for name in db:
-            relation = db[name]
-            cols = sorted(relation.schema.attributes)
-            ddl = ", ".join(sql_identifier(c) for c in cols)
-            self.conn.execute(f"CREATE TABLE {sql_identifier(name)} ({ddl})")
-            placeholders = ", ".join("?" for _ in cols)
-            insert = f"INSERT INTO {sql_identifier(name)} VALUES ({placeholders})"
-            self.conn.executemany(
-                insert,
-                (
-                    tuple(None if is_null(row[c]) else row[c] for c in cols)
-                    for row in relation
-                ),
-            )
+        self._backend = acquire_pooled()
+        self._backend.load_database(db)
 
     def close(self) -> None:
-        self.conn.close()
+        from repro.backends.sqlite_backend import release_pooled
+
+        if self._backend is not None:
+            release_pooled(self._backend)
+            self._backend = None
 
     def __enter__(self) -> "SQLiteOracle":
         return self
@@ -270,15 +266,10 @@ class SQLiteOracle:
 
     def evaluate(self, expr: Expression) -> Relation:
         """Run the transpiled expression; return an algebra-level Relation."""
-        sql = to_sqlite_sql(expr, self.registry)
+        if self._backend is None:
+            raise EvaluationError("oracle is closed")
         instrumentation.bump("sqlite_oracle_queries")
-        cursor = self.conn.execute(sql)
-        names = [d[0] for d in cursor.description]
-        rows = [
-            Row({n: (NULL if v is None else v) for n, v in zip(names, row)})
-            for row in cursor.fetchall()
-        ]
-        return Relation(names, rows)
+        return self._backend.execute(expr)
 
 
 def sqlite_evaluate(expr: Expression, db: Database) -> Relation:

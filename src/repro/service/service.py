@@ -51,6 +51,12 @@ from time import monotonic
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.algebra.relation import Relation
+from repro.backends.base import (
+    ExecutionBackend,
+    default_backend_name,
+    registered_backends,
+)
+from repro.backends.hints import HintError
 from repro.core.expressions import Expression
 from repro.engine.executor import ExecutionResult, execute
 from repro.engine.parallel.config import using_config
@@ -122,9 +128,12 @@ class QueryTicket:
     through :meth:`result`, as ``cancelled`` if the signal landed in time.
     """
 
-    def __init__(self, query: Expression, token: CancelToken):
+    def __init__(self, query: Expression, token: CancelToken, backend: str = "local"):
         self.query = query
         self.token = token
+        #: Route this query resolves on: "local" is the in-process engine;
+        #: any other name dispatches through :mod:`repro.backends`.
+        self.backend = backend
         self.submitted_at = monotonic()
         self._done = threading.Event()
         self._outcome: Optional[QueryOutcome] = None
@@ -208,12 +217,27 @@ class QueryService:
         shard: Optional[bool] = None,
         shard_workers: Optional[int] = None,
         ledger: Optional[WorkerLedger] = None,
+        backend: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         if queue_size < 1:
             raise ValueError(f"admission queue must hold at least one query, got {queue_size}")
         self.storage = storage
+        # Backend routing: the default route comes from the ``backend=``
+        # parameter, falling back to $REPRO_BACKEND, falling back to
+        # "local".  Names are validated eagerly (a typo'd route should not
+        # silently error every query); *availability* is checked lazily at
+        # first use, so a service can be configured for duckdb on hosts
+        # that may or may not have the wheel.
+        self.default_backend = backend if backend is not None else default_backend_name()
+        if self.default_backend != "local" and self.default_backend not in registered_backends():
+            raise ValueError(
+                f"unknown backend route {self.default_backend!r}; "
+                f"registered: {', '.join(registered_backends())}"
+            )
+        self._backends: Dict[str, ExecutionBackend] = {}
+        self._route_counts: Dict[str, int] = {}
         self.cost_model = cost_model
         self.default_timeout_s = default_timeout_s
         if use_cache:
@@ -268,7 +292,10 @@ class QueryService:
     # -- submission ----------------------------------------------------------
 
     def submit(
-        self, query: Expression, timeout_s: Optional[float] = None
+        self,
+        query: Expression,
+        timeout_s: Optional[float] = None,
+        backend: Optional[str] = None,
     ) -> QueryTicket:
         """Enqueue a query; never blocks.
 
@@ -276,7 +303,17 @@ class QueryService:
         admission queue is full or the service is closed mid-call —
         already resolved as ``rejected`` (load shedding: the caller finds
         out immediately instead of waiting behind a saturated queue).
+
+        ``backend`` overrides the service's default route for this one
+        query (e.g. ``backend="sqlite"`` to run it hinted on SQLite while
+        everything else stays local).
         """
+        route = backend if backend is not None else self.default_backend
+        if route != "local" and route not in registered_backends():
+            raise ValueError(
+                f"unknown backend route {route!r}; "
+                f"registered: {', '.join(registered_backends())}"
+            )
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is closed")
@@ -285,7 +322,7 @@ class QueryService:
         token = CancelToken(
             timeout_s if timeout_s is not None else self.default_timeout_s
         )
-        ticket = QueryTicket(query, token)
+        ticket = QueryTicket(query, token, backend=route)
         try:
             self._queue.put_nowait(ticket)
         except queue.Full:
@@ -303,10 +340,13 @@ class QueryService:
         return [self.submit(query, timeout_s=timeout_s) for query in queries]
 
     def execute(
-        self, query: Expression, timeout_s: Optional[float] = None
+        self,
+        query: Expression,
+        timeout_s: Optional[float] = None,
+        backend: Optional[str] = None,
     ) -> QueryOutcome:
         """Synchronous convenience: submit and wait for the outcome."""
-        return self.submit(query, timeout_s=timeout_s).result()
+        return self.submit(query, timeout_s=timeout_s, backend=backend).result()
 
     def _shed(self, ticket: QueryTicket, error: Exception) -> None:
         instrumentation.bump("service_rejected")
@@ -342,6 +382,49 @@ class QueryService:
             stack.enter_context(using_shard_config(pool=self._shard_pool))
         return stack
 
+    def _backend_for(self, route: str) -> ExecutionBackend:
+        """Lazily create (and cache) the backend instance for ``route``."""
+        with self._lock:
+            backend = self._backends.get(route)
+            if backend is None:
+                from repro.backends.base import create_backend
+
+                backend = create_backend(route)
+                self._backends[route] = backend
+            return backend
+
+    def _run_backend(self, ticket: QueryTicket) -> QueryOutcome:
+        """Execute one ticket on a non-local backend route.
+
+        The optimizer still runs locally (planning is backend-agnostic);
+        its chosen tree becomes the join-order *hint* and its fingerprint
+        keys the backend's prepared-statement cache.  A backend that
+        cannot hint this shape (:class:`HintError`) falls back to native
+        execution of the original query — same bag, backend's own order.
+        """
+        route = ticket.backend
+        backend = self._backend_for(route)
+        backend.sync(self.storage)
+        ticket.token.check()
+        pipeline = optimize_query(
+            ticket.query,
+            self.storage,
+            cost_model=self.cost_model,
+            cache=self.plan_cache,
+            use_cache=self.plan_cache is not None,
+        )
+        ticket.token.check()
+        try:
+            relation = backend.execute(
+                pipeline.chosen, hint=pipeline.chosen, fingerprint=pipeline.fingerprint
+            )
+        except HintError:
+            relation = backend.execute(ticket.query)
+        ticket.token.check()
+        with self._lock:
+            self._route_counts[route] = self._route_counts.get(route, 0) + 1
+        return QueryOutcome(status="ok", relation=relation, pipeline=pipeline)
+
     def _run(self, ticket: QueryTicket) -> None:
         started = monotonic()
         queue_wait = started - ticket.submitted_at
@@ -350,21 +433,26 @@ class QueryService:
                 # The deadline covers queue wait too: a query that aged out
                 # while queued stops here, before any work is spent on it.
                 ticket.token.check()
-                pipeline = optimize_query(
-                    ticket.query,
-                    self.storage,
-                    cost_model=self.cost_model,
-                    cache=self.plan_cache,
-                    use_cache=self.plan_cache is not None,
-                )
-                ticket.token.check()
-                execution = execute(pipeline.chosen, self.storage, cancel=ticket.token)
-                outcome = QueryOutcome(
-                    status="ok",
-                    relation=execution.relation,
-                    pipeline=pipeline,
-                    execution=execution,
-                )
+                if ticket.backend != "local":
+                    outcome = self._run_backend(ticket)
+                else:
+                    pipeline = optimize_query(
+                        ticket.query,
+                        self.storage,
+                        cost_model=self.cost_model,
+                        cache=self.plan_cache,
+                        use_cache=self.plan_cache is not None,
+                    )
+                    ticket.token.check()
+                    execution = execute(
+                        pipeline.chosen, self.storage, cancel=ticket.token
+                    )
+                    outcome = QueryOutcome(
+                        status="ok",
+                        relation=execution.relation,
+                        pipeline=pipeline,
+                        execution=execution,
+                    )
             except QueryCancelledError as exc:
                 instrumentation.bump("service_cancelled")
                 outcome = QueryOutcome(status="cancelled", error=exc)
@@ -418,6 +506,11 @@ class QueryService:
         if self._service_grant:
             self._ledger.release(self._service_grant, "service")
             self._service_grant = 0
+        with self._lock:
+            backends = list(self._backends.values())
+            self._backends.clear()
+        for backend in backends:
+            backend.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -446,6 +539,15 @@ class QueryService:
             "enabled": self.shard,
             "pool": self._shard_pool.snapshot() if self._shard_pool else None,
         }
+        with self._lock:
+            out["backends"] = {
+                "default": self.default_backend,
+                "routes": dict(self._route_counts),
+                "instances": {
+                    name: backend.snapshot()
+                    for name, backend in self._backends.items()
+                },
+            }
         if self.plan_cache is not None:
             out["plan_cache"] = self.plan_cache.snapshot()
         return out

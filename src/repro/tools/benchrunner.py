@@ -67,6 +67,16 @@ Modes:
                    asserted before timing.  Written under a
                    ``yannakakis`` report key (the BENCH_PR7 artifact's
                    payload).
+* ``--backend-bench`` — additionally measure local engine execution
+                   against hinted and native execution on every available
+                   SQL backend (:mod:`repro.backends`) over the chain,
+                   star, and triangle workloads.  The optimizer's binary
+                   DP tree is forced onto each backend via the
+                   parenthesized hint grammar and raced against the
+                   backend's own join order; each cell is bag-equality
+                   checked untimed against the local result.  Written
+                   under a ``backends`` report key (the BENCH_PR10
+                   artifact's payload).
 """
 
 from __future__ import annotations
@@ -887,6 +897,112 @@ def measure_wcoj(
     return {"rounds": rounds, "warmup_rounds": warmup_rounds, "workloads": results}
 
 
+def measure_backends(
+    seed: int = 0,
+    smoke: bool = False,
+    rounds: int = 3,
+    warmup_rounds: int = 1,
+) -> Dict[str, object]:
+    """Local engine vs hinted and native execution on the SQL backends.
+
+    Reuses the chain and star workloads from the Yannakakis bench and the
+    triangle workload from the WCOJ bench — all three were built so join
+    *order* matters.  Per workload the optimizer runs once (fast paths
+    off, so ``chosen`` is the binary DP tree every backend can follow)
+    and then each cell runs the same query:
+
+    * ``local``            — the DP tree on this library's engine;
+    * ``<name>_hinted``    — the DP tree forced onto the backend via the
+      parenthesized hint grammar (prepared-statement reuse keyed by the
+      plan fingerprint);
+    * ``<name>_native``    — the transpiled query handed to the backend's
+      own optimizer, free to pick any join order.
+
+    The hinted-vs-native ratio per backend is the join-order delta the
+    issue asks for.  Before any timing, an untimed pass asserts every
+    cell is bag-equal to the local result; data loads are untimed too
+    (``sync`` once per workload), so cells time query execution only.
+    """
+    from repro.algebra import bag_equal
+    from repro.backends.base import available_backends, create_backend
+    from repro.engine.executor import execute as engine_execute
+    from repro.optimizer.pipeline import optimize_query
+    from repro.util.fastpath import wcoj_mode, yannakakis_mode
+
+    workloads = _yannakakis_workloads(seed, smoke)  # chain, star
+    workloads.append(_wcoj_workloads(smoke)[0])  # triangle
+    names = [n for n in available_backends() if n != "local"]
+
+    results: List[Dict[str, object]] = []
+    for workload in workloads:
+        topology, storage = workload["topology"], workload["storage"]
+        query = workload["query"]
+        with yannakakis_mode(False), wcoj_mode(False):
+            pipeline = optimize_query(query, storage, use_cache=False)
+        chosen, fingerprint = pipeline.chosen, pipeline.fingerprint
+
+        backends = {name: create_backend(name) for name in names}
+        cells: Dict[str, object] = {
+            "local": lambda: engine_execute(chosen, storage).relation
+        }
+        for name, backend in backends.items():
+            backend.sync(storage)
+            cells[f"{name}_hinted"] = (
+                lambda b=backend: b.execute(chosen, hint=chosen, fingerprint=fingerprint)
+            )
+            cells[f"{name}_native"] = lambda b=backend: b.execute(query)
+
+        # Untimed correctness pass (doubles as one warm-up round): every
+        # cell must produce the same bag before any number is recorded.
+        baseline = cells["local"]()
+        for cell, fn in cells.items():
+            if cell == "local":
+                continue
+            if not bag_equal(fn(), baseline):
+                raise RuntimeError(f"{topology}: {cell} is not bag-equal to local")
+        for _ in range(max(warmup_rounds - 1, 0)):
+            for fn in cells.values():
+                fn()
+
+        raw: Dict[str, List[float]] = {cell: [] for cell in cells}
+        for _ in range(rounds):
+            for cell, fn in cells.items():
+                start = time.perf_counter()
+                fn()
+                raw[cell].append(round(time.perf_counter() - start, 4))
+        for backend in backends.values():
+            backend.close()
+
+        best = {cell: min(times) for cell, times in raw.items()}
+        speedup_vs_local = {
+            cell: round(best["local"] / s, 2) if s > 0 else None
+            for cell, s in best.items()
+            if cell != "local"
+        }
+        hinted_vs_native = {}
+        for name in names:
+            native, hinted = best[f"{name}_native"], best[f"{name}_hinted"]
+            hinted_vs_native[name] = round(native / hinted, 2) if hinted > 0 else None
+        results.append(
+            {
+                "topology": topology,
+                "tables": workload["tables"],
+                "output_rows": len(baseline),
+                "raw_timings_s": raw,
+                "cells": {cell: round(s, 4) for cell, s in best.items()},
+                "speedup_vs_local": speedup_vs_local,
+                "hinted_vs_native": hinted_vs_native,
+                "bag_equal": True,
+            }
+        )
+    return {
+        "rounds": rounds,
+        "warmup_rounds": warmup_rounds,
+        "available": ["local"] + names,
+        "workloads": results,
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="run_all.py", description="Run the benchmark suite and write a JSON report."
@@ -931,11 +1047,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "default output becomes BENCH_PR8.json",
     )
     parser.add_argument(
+        "--backend-bench",
+        action="store_true",
+        help="also measure local vs hinted vs native execution on every "
+        "available SQL backend (chain, star, triangle workloads); default "
+        "output becomes BENCH_PR10.json",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None, help="report path (default BENCH_PR1.json)"
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        if args.wcoj_bench:
+        if args.backend_bench:
+            args.output = REPO_ROOT / "BENCH_PR10.json"
+        elif args.wcoj_bench:
             args.output = REPO_ROOT / "BENCH_PR8.json"
         elif args.yannakakis_bench:
             args.output = REPO_ROOT / "BENCH_PR7.json"
@@ -1056,6 +1181,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"wcoj {entry['wcoj_s']:.4f}s  ({entry['speedup']}x, "
                 f"{entry['output_rows']} rows out)"
             )
+    if args.backend_bench:
+        print("\nmeasuring local vs hinted vs native execution per backend...")
+        section = measure_backends(seed=args.seed, smoke=args.smoke)
+        report["backends"] = section
+        print(f"  backends available: {', '.join(section['available'])}")
+        for entry in section["workloads"]:
+            cells = ", ".join(
+                f"{cell} {secs:.4f}s" for cell, secs in sorted(entry["cells"].items())
+            )
+            print(f"  {entry['topology']:8s} {cells}")
+            for name, ratio in sorted(entry["hinted_vs_native"].items()):
+                print(f"           {name}: hinted is {ratio}x native order")
     from repro.tools.benchschema import validate_report
 
     validate_report(report)

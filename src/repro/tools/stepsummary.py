@@ -1,0 +1,191 @@
+"""Render perf-gate results as a GitHub job-summary markdown document.
+
+``python -m repro.tools.stepsummary`` turns the perf job's artifacts into
+the markdown table GitHub renders under the workflow run::
+
+    python -m repro.tools.stepsummary \\
+        --compare BENCH_PR3.json:/tmp/bench_perf.json \\
+        --compare BENCH_PR5.json:/tmp/bench_pr5.json \\
+        --backends /tmp/bench_pr10.json
+
+Each ``--compare BASELINE:CANDIDATE`` pair goes through the same
+aggregation as :mod:`repro.tools.tracecmp` (so the summary shows exactly
+what the gate measured) and contributes one table of per-key deltas —
+regressed keys first, capped at ``--max-rows`` non-regressed rows per
+pair so a wide report stays readable.  ``--backends`` takes a BENCH_PR10
+report and renders the per-topology backend matrix: every execution cell,
+the speedup over the local engine, and the hinted-vs-native join-order
+delta per backend.
+
+Output goes to the file named by ``$GITHUB_STEP_SUMMARY`` when that
+variable is set (appended, as GitHub requires), else to stdout — the
+same command line works in CI and on a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.tools.tracecmp import Finding, aggregate_file, compare
+from repro.util.errors import ReproError
+
+
+def _fmt_ratio(ratio: Optional[float]) -> str:
+    return f"{ratio:.2f}x" if ratio is not None else "n/a"
+
+
+def compare_table(
+    baseline: Path, candidate: Path, threshold: float, min_delta_ms: float, max_rows: int
+) -> List[str]:
+    """One markdown table of tracecmp deltas for a baseline/candidate pair."""
+    findings: List[Finding] = compare(
+        aggregate_file(baseline),
+        aggregate_file(candidate),
+        threshold=threshold,
+        min_delta_ms=min_delta_ms,
+    )
+    regressed = [f for f in findings if f.regressed]
+    steady = [f for f in findings if not f.regressed][:max_rows]
+    lines = [
+        f"### {baseline.name} vs {candidate.name}",
+        "",
+        f"{len(regressed)} regressed / {len(findings)} shared key(s)"
+        f" (threshold {threshold}x, min delta {min_delta_ms}ms)",
+        "",
+        "| key | baseline (ms) | candidate (ms) | ratio | verdict |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for finding in regressed + steady:
+        verdict = "**REGRESSED**" if finding.regressed else "ok"
+        lines.append(
+            f"| `{finding.key}` | {finding.baseline_ms:.2f} | "
+            f"{finding.candidate_ms:.2f} | {_fmt_ratio(finding.ratio)} | {verdict} |"
+        )
+    hidden = len(findings) - len(regressed) - len(steady)
+    if hidden > 0:
+        lines.append("")
+        lines.append(f"({hidden} further non-regressed key(s) elided)")
+    lines.append("")
+    return lines
+
+
+def backends_table(report_path: Path) -> List[str]:
+    """The BENCH_PR10 backend matrix as one markdown table per topology row."""
+    doc = json.loads(report_path.read_text())
+    section = doc.get("backends")
+    if section is None:
+        raise ReproError(f"{report_path}: report has no 'backends' section")
+    cells = sorted(
+        {cell for workload in section["workloads"] for cell in workload["cells"]}
+    )
+    header = (
+        "| topology | "
+        + " | ".join(cells)
+        + " | hinted vs native | bag-equal |"
+    )
+    divider = "| --- |" + " ---: |" * len(cells) + " --- | --- |"
+    lines = [
+        f"### Backend matrix ({report_path.name})",
+        "",
+        f"Backends available: {', '.join(section['available'])}."
+        " Cells are min-of-rounds seconds; *hinted vs native* is the"
+        " native-order time over the hint-forced time per backend"
+        " (>1 means the optimizer's order beat the backend's own).",
+        "",
+        header,
+        divider,
+    ]
+    for workload in section["workloads"]:
+        row = [workload["topology"]]
+        for cell in cells:
+            value = workload["cells"].get(cell)
+            row.append(f"{value:.4f}s" if value is not None else "—")
+        deltas = ", ".join(
+            f"{name} {_fmt_ratio(ratio)}"
+            for name, ratio in sorted(workload["hinted_vs_native"].items())
+        )
+        row.append(deltas or "—")
+        row.append("yes" if workload["bag_equal"] else "**NO**")
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    return lines
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.stepsummary",
+        description="render perf deltas and the backend matrix as job-summary markdown",
+    )
+    parser.add_argument(
+        "--compare",
+        action="append",
+        default=[],
+        metavar="BASELINE:CANDIDATE",
+        help="bench/trace file pair to diff (repeatable; same aggregation as tracecmp)",
+    )
+    parser.add_argument(
+        "--backends",
+        type=Path,
+        default=None,
+        help="BENCH_PR10-shaped report whose backend matrix to render",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=1.25, help="regression ratio (default 1.25)"
+    )
+    parser.add_argument(
+        "--min-delta-ms",
+        type=float,
+        default=1.0,
+        help="absolute regression floor in ms (default 1.0)",
+    )
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=10,
+        help="non-regressed rows shown per comparison (default 10)",
+    )
+    parser.add_argument(
+        "--title", default="Perf summary", help="top-level heading of the document"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="append to this file instead of $GITHUB_STEP_SUMMARY / stdout",
+    )
+    args = parser.parse_args(argv)
+
+    lines: List[str] = [f"## {args.title}", ""]
+    for pair in args.compare:
+        baseline, sep, candidate = pair.partition(":")
+        if not sep or not baseline or not candidate:
+            raise SystemExit(f"--compare wants BASELINE:CANDIDATE, got {pair!r}")
+        lines += compare_table(
+            Path(baseline),
+            Path(candidate),
+            threshold=args.threshold,
+            min_delta_ms=args.min_delta_ms,
+            max_rows=args.max_rows,
+        )
+    if args.backends is not None:
+        lines += backends_table(args.backends)
+
+    document = "\n".join(lines) + "\n"
+    target = args.output
+    if target is None and os.environ.get("GITHUB_STEP_SUMMARY"):
+        target = Path(os.environ["GITHUB_STEP_SUMMARY"])
+    if target is None:
+        sys.stdout.write(document)
+    else:
+        with open(target, "a", encoding="utf-8") as handle:
+            handle.write(document)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -118,8 +118,10 @@ def aggregate_bench(doc: Dict[str, Any]) -> Dict[str, KeyStats]:
     contribute its row-at-a-time baseline and vectorized cells as
     ``batch::`` keys, a ``yannakakis`` section (BENCH_PR7) contributes
     per-topology DP and semijoin-reducer cells as ``yannakakis::`` keys,
-    and a ``wcoj`` section (BENCH_PR8) contributes per-topology DP and
-    Leapfrog Triejoin cells as ``wcoj::`` keys.
+    a ``wcoj`` section (BENCH_PR8) contributes per-topology DP and
+    Leapfrog Triejoin cells as ``wcoj::`` keys, and a ``backends``
+    section (BENCH_PR10) contributes every per-topology execution cell
+    (local / hinted / native per backend) as ``backend::`` keys.
     """
     stats: Dict[str, KeyStats] = {}
     for record in doc.get("scenarios", ()):
@@ -154,6 +156,12 @@ def aggregate_bench(doc: Dict[str, Any]) -> Dict[str, KeyStats]:
             for cell in ("dp", "wcoj"):
                 key = f"wcoj::{workload['topology']}:{cell}"
                 stats[key] = KeyStats(key, workload[f"{cell}_s"] * 1e3)
+    backends = doc.get("backends")
+    if backends:
+        for workload in backends.get("workloads", ()):
+            for cell, seconds in workload.get("cells", {}).items():
+                key = f"backend::{workload['topology']}:{cell}"
+                stats[key] = KeyStats(key, seconds * 1e3)
     return stats
 
 

@@ -34,6 +34,7 @@ class TestLayoutMatchesDocs:
             "core",
             "engine",
             "optimizer",
+            "backends",
             "language",
             "datagen",
             "util",
